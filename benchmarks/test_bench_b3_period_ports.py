@@ -1,0 +1,42 @@
+"""Experiment Fig 6 / B.3: multi-port beats one-port on period.
+
+Multi-port period 12 (corrected instance; see DESIGN.md "Known paper
+slips"); a one-port period-12 steady state is exhaustively infeasible.
+"""
+
+from repro.analysis import text_table
+from repro.core import CommModel, CostModel
+from repro.scheduling import (
+    b3_oneport_period12_feasible,
+    oneport_overlap_period,
+    schedule_period_overlap,
+)
+from repro.workloads.paper import b3_period_ports
+
+from conftest import record
+
+
+def evaluate_b3():
+    inst = b3_period_ports(corrected=True)
+    multi = schedule_period_overlap(inst.graph)
+    oneport_12 = b3_oneport_period12_feasible(inst.graph)
+    oneport_ub = oneport_overlap_period(inst.graph)
+    literal = b3_period_ports(corrected=False)
+    cm = CostModel(literal.graph)
+    return multi, oneport_12, oneport_ub, cm
+
+
+def test_b3_period_separation(benchmark):
+    multi, oneport_12, oneport_ub, literal_cm = benchmark(evaluate_b3)
+    rows = [
+        ("multi-port period (Theorem 1)", "12", multi.period),
+        ("one-port period 12 feasible?", "no", str(oneport_12)),
+        ("one-port order-based upper bound", "> 12", oneport_ub),
+        ("literal instance cross-comm load", "12", literal_cm.cout("C1")),
+        ("literal instance Ccomp(C5) (paper slip)", "12 claimed", literal_cm.ccomp("C5")),
+    ]
+    record("b3_period_ports", text_table(["quantity", "paper", "measured"], rows))
+    assert multi.period == 12
+    assert multi.validate().ok
+    assert not oneport_12  # the separation: one-port > 12
+    assert oneport_ub > 12

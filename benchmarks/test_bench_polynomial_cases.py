@@ -1,0 +1,99 @@
+"""Experiments Thm 1 / Props 8, 12, 16: the polynomial special cases.
+
+Each polynomial algorithm is benchmarked on growing instances and checked
+against brute force on small ones (the optimality assertions live in the
+unit tests; here we pin the scaling shape: polynomial runtimes and
+bound-achievement on instances far beyond brute-force reach).
+"""
+
+from fractions import Fraction
+
+from repro.analysis import text_table
+from repro.core import CommModel, CostModel, ExecutionGraph
+from repro.optimize import (
+    brute_force_chain_latency,
+    brute_force_chain_period,
+    chain_latency,
+    chain_period,
+    greedy_chain_latency_order,
+    greedy_chain_period_order,
+)
+from repro.scheduling import schedule_period_overlap, tree_latency
+from repro.workloads.generators import random_application, random_forest
+
+from conftest import record
+
+F = Fraction
+
+
+def test_theorem1_overlap_orchestration(benchmark):
+    """Theorem 1: period-optimal OVERLAP orchestration is polynomial."""
+    app = random_application(60, seed=7)
+    graph = random_forest(app, seed=8)
+
+    def run():
+        return schedule_period_overlap(graph)
+
+    plan = benchmark(run)
+    bound = CostModel(graph).period_lower_bound(CommModel.OVERLAP)
+    rows = [("n=60 random forest: period == bound", "True", str(plan.period == bound))]
+    record("theorem1_overlap", text_table(["check", "expected", "measured"], rows))
+    assert plan.period == bound
+    assert plan.validate().ok
+
+
+def test_prop8_chain_period_greedy(benchmark):
+    """Prop 8: the greedy chain order matches brute force and scales."""
+    big = random_application(200, seed=11)
+
+    def run():
+        order = greedy_chain_period_order(big, CommModel.INORDER)
+        return chain_period(big, order, CommModel.INORDER)
+
+    big_val = benchmark(run)
+    small = random_application(7, seed=3)
+    rows = []
+    for model in (CommModel.OVERLAP, CommModel.INORDER):
+        greedy_val = chain_period(
+            small, greedy_chain_period_order(small, model), model
+        )
+        brute_val, _ = brute_force_chain_period(small, model)
+        rows.append(
+            (f"n=7 greedy == brute force ({model})", "True", str(greedy_val == brute_val))
+        )
+        assert greedy_val == brute_val
+    rows.append(("n=200 greedy chain period", "finite", big_val))
+    record("prop8_chain_period", text_table(["check", "expected", "measured"], rows))
+
+
+def test_prop16_chain_latency_greedy(benchmark):
+    """Prop 16: the (1-sigma)/(1+c) rule matches brute force and scales."""
+    big = random_application(200, seed=13)
+
+    def run():
+        return chain_latency(big, greedy_chain_latency_order(big))
+
+    big_val = benchmark(run)
+    small = random_application(7, seed=5)
+    greedy_val = chain_latency(small, greedy_chain_latency_order(small))
+    brute_val, _ = brute_force_chain_latency(small)
+    rows = [
+        ("n=7 greedy == brute force", "True", str(greedy_val == brute_val)),
+        ("n=200 greedy chain latency", "finite", big_val),
+    ]
+    record("prop16_chain_latency", text_table(["check", "expected", "measured"], rows))
+    assert greedy_val == brute_val
+
+
+def test_prop12_tree_latency(benchmark):
+    """Prop 12 / Algorithm 1: O(n log n) tree latency on a big forest."""
+    app = random_application(300, seed=17)
+    graph = random_forest(app, seed=18)
+
+    def run():
+        return tree_latency(graph)
+
+    val = benchmark(run)
+    rows = [("n=300 random forest latency", "finite", val)]
+    record("prop12_tree_latency", text_table(["check", "expected", "measured"], rows))
+    assert val > 0

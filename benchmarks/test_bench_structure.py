@@ -1,0 +1,55 @@
+"""Experiment Prop 4: some optimal MinPeriod plan is a forest.
+
+Exhaustive comparison of forest-restricted and full-DAG optima on random
+instances, plus the scaling of the exact searches (the NP-hard wall).
+"""
+
+import time
+
+from repro.analysis import text_table
+from repro.core import CommModel
+from repro.optimize import Effort, exhaustive_minperiod
+from repro.workloads.generators import random_application
+
+from conftest import record
+
+
+def test_prop4_forest_suffices(benchmark):
+    apps = [random_application(4, seed=s) for s in range(6)]
+
+    def run():
+        out = []
+        for app in apps:
+            fv, _ = exhaustive_minperiod(app, CommModel.OVERLAP, forests_only=True)
+            dv, _ = exhaustive_minperiod(app, CommModel.OVERLAP, forests_only=False)
+            out.append((fv, dv))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (f"instance {i}: forest opt == DAG opt", "True", str(fv == dv))
+        for i, (fv, dv) in enumerate(results)
+    ]
+    record("prop4_forest", text_table(["check", "expected", "measured"], rows))
+    assert all(fv == dv for fv, dv in results)
+
+
+def test_exhaustive_scaling_wall(benchmark):
+    """The exact search's exponential growth (the practical face of Thm 2)."""
+    timings = []
+    for n in (3, 4, 5):
+        app = random_application(n, seed=n)
+        start = time.perf_counter()
+        exhaustive_minperiod(app, CommModel.OVERLAP, forests_only=True)
+        timings.append((n, time.perf_counter() - start))
+
+    def run():
+        app = random_application(4, seed=99)
+        return exhaustive_minperiod(app, CommModel.OVERLAP, forests_only=True)
+
+    benchmark(run)
+    rows = [(f"n={n} forest search", "(n+1)^n graphs", f"{t * 1e3:.1f} ms") for n, t in timings]
+    growth = timings[-1][1] / max(timings[0][1], 1e-9)
+    rows.append(("growth n=3 -> n=5", "superpolynomial", f"{growth:.0f}x"))
+    record("exhaustive_scaling", text_table(["check", "expected", "measured"], rows))
+    assert timings[-1][1] > timings[0][1]

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Tour of the executable NP-hardness reductions (Figures 9-12).
+
+Each gadget turns an RN3DM (permutation sums) instance into a scheduling
+instance whose optimum hits a threshold K exactly when the RN3DM instance
+is solvable.  This script builds both a solvable and an unsolvable
+instance and shows the thresholds separating.
+
+Run:  python examples/hardness_gadgets.py
+"""
+
+from repro.analysis import text_table
+from repro.reductions import (
+    minlatency,
+    minperiod_oneport,
+    minperiod_overlap,
+    orchestration_latency,
+    orchestration_period,
+)
+from repro.reductions.rn3dm import RN3DMInstance, is_solvable, solve
+
+
+def main() -> None:
+    good = RN3DMInstance((2, 4, 6))      # lambda1 = lambda2 = identity
+    bad = RN3DMInstance((2, 2, 8, 8))    # two positions demand 1+1: clash
+    print(f"solvable instance   A = {good.A}: certificate {solve(good)}")
+    print(f"unsolvable instance A = {bad.A}: solvable? {is_solvable(bad)}")
+    print()
+
+    rows = []
+
+    g9 = orchestration_period.build(good)
+    b9 = orchestration_period.build(bad)
+    rows.append(
+        (
+            "Fig 9: one-port period orchestration",
+            f"K = {g9.K}",
+            f"{orchestration_period.forward_period(g9)}",
+            str(orchestration_period.decision(b9)),
+        )
+    )
+
+    g10 = minperiod_overlap.build(good)
+    b10 = minperiod_overlap.build(bad)
+    rows.append(
+        (
+            "Fig 10: MinPeriod-OVERLAP",
+            f"K = {g10.K}",
+            "<= K" if minperiod_overlap.forward_period(g10) <= g10.K else "> K",
+            str(minperiod_overlap.structure_restricted_decision(b10)),
+        )
+    )
+
+    g11 = minperiod_oneport.build(good)
+    b11 = minperiod_oneport.build(bad)
+    rows.append(
+        (
+            "Fig 11: MinPeriod one-port",
+            f"K = {g11.K}",
+            "<= K" if minperiod_oneport.forward_period(g11) <= g11.K else "> K",
+            str(minperiod_oneport.structure_restricted_decision(b11)),
+        )
+    )
+
+    g12 = orchestration_latency.build(good)
+    b12 = orchestration_latency.build(bad)
+    rows.append(
+        (
+            "Fig 12: latency orchestration",
+            f"K = {g12.K}",
+            f"{orchestration_latency.optimal_latency(g12)}",
+            str(orchestration_latency.decision(b12)),
+        )
+    )
+
+    gl = minlatency.build(good)
+    bl = minlatency.build(bad)
+    rows.append(
+        (
+            "Props 13-15: MinLatency",
+            f"K = {float(gl.K):.4f}",
+            "<= K" if minlatency.optimal_fork_join_latency(gl) <= gl.K else "> K",
+            str(minlatency.decision(bl)),
+        )
+    )
+
+    print(
+        text_table(
+            ["reduction", "threshold", "solvable: optimum", "unsolvable: <= K?"],
+            rows,
+        )
+    )
+    print(
+        "\nEvery 'unsolvable' column must read False: the gadget optimum "
+        "crosses K exactly when RN3DM is solvable — the paper's Theorems "
+        "1-4, executed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Gallery: every worked example of the paper, recomputed end to end.
+
+* Section 2.3 (Figure 1): latency 21; periods 4 / 7 / 23-thirds.
+* Appendix B.1 (Figure 4): communication costs flip the optimal structure.
+* Appendix B.2 (Figure 5): multi-port latency 20, one-port > 20.
+* Appendix B.3 (Figure 6): multi-port period 12, one-port > 12.
+
+Run:  python examples/paper_gallery.py
+"""
+
+from repro.analysis import text_table
+from repro.core import CommModel, CostModel, validate
+from repro.scheduling import (
+    b3_oneport_period12_feasible,
+    exact_inorder_period,
+    oneport_latency_schedule,
+    outorder_schedule,
+    overlap_latency_layered,
+    saturated_bipartite_window_feasible,
+    schedule_period_overlap,
+)
+from repro.workloads.paper import (
+    b1_counterexample,
+    b1_nocomm_plan_graph,
+    b2_latency_ports,
+    b3_period_ports,
+    fig1_example,
+    fig1_inorder_period_23_3_operation_list,
+)
+
+
+def section_2_3() -> None:
+    inst = fig1_example()
+    print("== Section 2.3 / Figure 1 ==")
+    lat = oneport_latency_schedule(inst.graph)
+    over = schedule_period_overlap(inst.graph)
+    inorder_lam, _ = exact_inorder_period(inst.graph)
+    out = outorder_schedule(inst.graph)
+    rows = [
+        ("latency (all models)", inst.expected["latency"], lat.latency),
+        ("period OVERLAP", inst.expected["period_overlap"], over.period),
+        ("period OUTORDER", inst.expected["period_outorder"], out.period),
+        ("period INORDER", inst.expected["period_inorder"], inorder_lam),
+    ]
+    print(text_table(["quantity", "paper", "recomputed"], rows))
+    ol = fig1_inorder_period_23_3_operation_list()
+    print(
+        "paper's hand-built 23/3 operation list validates:",
+        validate(inst.graph, ol, CommModel.INORDER).ok,
+    )
+    print()
+
+
+def appendix_b1() -> None:
+    print("== Appendix B.1 / Figure 4 ==")
+    good = b1_counterexample()
+    bad = b1_nocomm_plan_graph()
+    rows = [
+        (
+            "two-fan plan (comm-aware optimum)",
+            CostModel(good.graph).period_lower_bound(CommModel.OVERLAP),
+        ),
+        (
+            "chain plan (no-comm optimum) under OVERLAP",
+            CostModel(bad).period_lower_bound(CommModel.OVERLAP),
+        ),
+    ]
+    print(text_table(["plan", "OVERLAP period"], rows))
+    print()
+
+
+def appendix_b2() -> None:
+    print("== Appendix B.2 / Figure 5 ==")
+    inst = b2_latency_ports()
+    plan = overlap_latency_layered(inst.graph)
+    feasible = saturated_bipartite_window_feasible(
+        inst.graph,
+        [f"C{i}" for i in range(1, 7)],
+        [f"C{j}" for j in range(7, 13)],
+    )
+    print(f"multi-port latency (window scheduler): {plan.latency} (paper: 20)")
+    print(f"one-port schedule of latency 20 exists: {feasible} (paper: no)")
+    print()
+
+
+def appendix_b3() -> None:
+    print("== Appendix B.3 / Figure 6 ==")
+    inst = b3_period_ports(corrected=True)
+    plan = schedule_period_overlap(inst.graph)
+    print(f"multi-port period (Theorem 1): {plan.period} (paper: 12)")
+    print(
+        "one-port period-12 steady state exists:",
+        b3_oneport_period12_feasible(inst.graph),
+        "(paper: no)",
+    )
+    print()
+
+
+def main() -> None:
+    section_2_3()
+    appendix_b1()
+    appendix_b2()
+    appendix_b3()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — reproduction of "Mapping Filtering Streaming Applications With
+Communication Costs" (Agrawal, Benoit, Dufossé, Robert; SPAA 2009).
+
+The package models filtering streaming applications (services with costs
+and selectivities), the paper's three communication models (OVERLAP,
+INORDER, OUTORDER), plans (execution graph + cyclic operation list), the
+polynomial orchestration/optimisation algorithms, executable NP-hardness
+reductions, and the benchmark harness regenerating every worked example
+and counter-example of the paper.
+
+Quickstart::
+
+    from repro import make_application, ExecutionGraph
+    from repro.scheduling import schedule_period_overlap, inorder_schedule
+
+    app = make_application([("C1", 4, 1), ("C2", 4, 1)])
+    graph = ExecutionGraph.chain(app, ["C1", "C2"])
+    plan = schedule_period_overlap(graph)
+    print(plan.period, plan.latency)
+"""
+
+from .core import (
+    ALL_MODELS,
+    Application,
+    CommModel,
+    CostModel,
+    ExecutionGraph,
+    INPUT,
+    OUTPUT,
+    OperationList,
+    Plan,
+    Service,
+    as_fraction,
+    comm_op,
+    comp_op,
+    make_application,
+    validate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_MODELS",
+    "Application",
+    "CommModel",
+    "CostModel",
+    "ExecutionGraph",
+    "INPUT",
+    "OUTPUT",
+    "OperationList",
+    "Plan",
+    "Service",
+    "__version__",
+    "as_fraction",
+    "comm_op",
+    "comp_op",
+    "make_application",
+    "validate",
+]

@@ -1,0 +1,26 @@
+"""Bounds, the complexity-results table, and reporting utilities."""
+
+from .bounds import PeriodBounds, bound_summary, latency_gap, period_gap
+from .complexity import (
+    RESULTS,
+    SPECIAL_CASES,
+    ComplexityResult,
+    count_by_complexity,
+    render_table,
+)
+from .reporting import format_value, markdown_table, text_table
+
+__all__ = [
+    "ComplexityResult",
+    "PeriodBounds",
+    "RESULTS",
+    "SPECIAL_CASES",
+    "bound_summary",
+    "count_by_complexity",
+    "format_value",
+    "latency_gap",
+    "markdown_table",
+    "period_gap",
+    "render_table",
+    "text_table",
+]

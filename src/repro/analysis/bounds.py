@@ -1,0 +1,59 @@
+"""Bound computations and gap reports for plans and execution graphs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional
+
+from ..core import ALL_MODELS, CommModel, CostModel, ExecutionGraph, Plan
+
+
+@dataclass(frozen=True)
+class PeriodBounds:
+    """Per-model period lower bounds of one execution graph."""
+
+    overlap: Fraction
+    inorder: Fraction
+    outorder: Fraction
+
+    @classmethod
+    def of(cls, graph: ExecutionGraph) -> "PeriodBounds":
+        costs = CostModel(graph)
+        return cls(
+            overlap=costs.period_lower_bound(CommModel.OVERLAP),
+            inorder=costs.period_lower_bound(CommModel.INORDER),
+            outorder=costs.period_lower_bound(CommModel.OUTORDER),
+        )
+
+
+def period_gap(plan: Plan) -> Fraction:
+    """Relative gap between a plan's period and its model lower bound."""
+    lb = CostModel(plan.graph).period_lower_bound(plan.model)
+    if lb == 0:
+        return Fraction(0)
+    return (plan.period - lb) / lb
+
+
+def latency_gap(plan: Plan) -> Fraction:
+    """Relative gap between a plan's latency and the critical-path bound."""
+    lb = CostModel(plan.graph).latency_lower_bound()
+    if lb == 0:
+        return Fraction(0)
+    return (plan.latency - lb) / lb
+
+
+def bound_summary(graph: ExecutionGraph) -> Dict[str, Fraction]:
+    """All Section-2 bounds of one graph, keyed for reporting."""
+    costs = CostModel(graph)
+    return {
+        "period_lb_overlap": costs.period_lower_bound(CommModel.OVERLAP),
+        "period_lb_oneport": costs.period_lower_bound(CommModel.INORDER),
+        "period_lb_comm_only": costs.communication_period_bound(),
+        "latency_lb": costs.latency_lower_bound(),
+        "total_work": costs.total_work(),
+        "total_communication": costs.total_communication(),
+    }
+
+
+__all__ = ["PeriodBounds", "bound_summary", "latency_gap", "period_gap"]

@@ -1,0 +1,130 @@
+"""The paper's 12 complexity results as a data structure (its "Table 1").
+
+Three models x two problem layers (orchestration given an execution
+graph, and full plan minimisation) x two objectives.  Each entry records
+the complexity class, where the paper proves it, and which artefact of
+this repository exercises it — a polynomial algorithm or an executable
+reduction gadget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core import CommModel
+
+
+@dataclass(frozen=True)
+class ComplexityResult:
+    objective: str  # "period" | "latency"
+    layer: str  # "orchestration" | "minimization"
+    model: CommModel
+    complexity: str  # "polynomial" | "NP-hard"
+    paper_ref: str
+    artefact: str
+
+
+RESULTS: Tuple[ComplexityResult, ...] = (
+    ComplexityResult(
+        "period", "orchestration", CommModel.OVERLAP, "polynomial",
+        "Theorem 1 / Proposition 1",
+        "repro.scheduling.overlap.schedule_period_overlap",
+    ),
+    ComplexityResult(
+        "period", "orchestration", CommModel.OUTORDER, "NP-hard",
+        "Theorem 1 / Proposition 2 (Figure 9)",
+        "repro.reductions.orchestration_period",
+    ),
+    ComplexityResult(
+        "period", "orchestration", CommModel.INORDER, "NP-hard",
+        "Theorem 1 / Proposition 3 (Figure 9)",
+        "repro.reductions.orchestration_period",
+    ),
+    ComplexityResult(
+        "period", "minimization", CommModel.OVERLAP, "NP-hard",
+        "Theorem 2 / Proposition 5 (Figure 10)",
+        "repro.reductions.minperiod_overlap",
+    ),
+    ComplexityResult(
+        "period", "minimization", CommModel.OUTORDER, "NP-hard",
+        "Theorem 2 / Proposition 6 (Figure 11)",
+        "repro.reductions.minperiod_oneport",
+    ),
+    ComplexityResult(
+        "period", "minimization", CommModel.INORDER, "NP-hard",
+        "Theorem 2 / Proposition 7 (Figure 11)",
+        "repro.reductions.minperiod_oneport",
+    ),
+    ComplexityResult(
+        "latency", "orchestration", CommModel.OUTORDER, "NP-hard",
+        "Theorem 3 / Proposition 9 (Figure 12)",
+        "repro.reductions.orchestration_latency",
+    ),
+    ComplexityResult(
+        "latency", "orchestration", CommModel.INORDER, "NP-hard",
+        "Theorem 3 / Proposition 10 (Figure 12)",
+        "repro.reductions.orchestration_latency",
+    ),
+    ComplexityResult(
+        "latency", "orchestration", CommModel.OVERLAP, "NP-hard",
+        "Theorem 3 / Proposition 11 (Figure 12)",
+        "repro.reductions.orchestration_latency",
+    ),
+    ComplexityResult(
+        "latency", "minimization", CommModel.OUTORDER, "NP-hard",
+        "Theorem 4 / Proposition 13",
+        "repro.reductions.minlatency",
+    ),
+    ComplexityResult(
+        "latency", "minimization", CommModel.INORDER, "NP-hard",
+        "Theorem 4 / Proposition 14",
+        "repro.reductions.minlatency",
+    ),
+    ComplexityResult(
+        "latency", "minimization", CommModel.OVERLAP, "NP-hard",
+        "Theorem 4 / Proposition 15",
+        "repro.reductions.minlatency",
+    ),
+)
+
+#: Polynomial special cases (not part of the 12 headline results).
+SPECIAL_CASES: Tuple[Tuple[str, str, str], ...] = (
+    ("MinPeriod on linear chains, all models", "Proposition 8",
+     "repro.optimize.chains.minperiod_chain"),
+    ("MinLatency on linear chains, all models", "Proposition 16",
+     "repro.optimize.chains.minlatency_chain"),
+    ("Latency orchestration on trees", "Proposition 12 (Algorithm 1)",
+     "repro.scheduling.latency.tree_latency"),
+    ("Optimal MinPeriod plan can be a forest", "Proposition 4",
+     "repro.optimize.exhaustive (forest vs DAG search)"),
+    ("MinLatency restricted to forests is NP-hard", "Proposition 17",
+     "repro.reductions.forest_latency"),
+)
+
+
+def render_table() -> str:
+    """The 12-result table as aligned text (regenerated, not hard-coded)."""
+    header = f"{'objective':<9} {'layer':<14} {'model':<9} {'complexity':<11} reference"
+    lines = [header, "-" * len(header)]
+    for r in RESULTS:
+        lines.append(
+            f"{r.objective:<9} {r.layer:<14} {str(r.model):<9} "
+            f"{r.complexity:<11} {r.paper_ref}"
+        )
+    return "\n".join(lines)
+
+
+def count_by_complexity() -> Tuple[int, int]:
+    """``(n_polynomial, n_np_hard)`` — the paper reports (1, 11)."""
+    poly = sum(1 for r in RESULTS if r.complexity == "polynomial")
+    return poly, len(RESULTS) - poly
+
+
+__all__ = [
+    "ComplexityResult",
+    "RESULTS",
+    "SPECIAL_CASES",
+    "count_by_complexity",
+    "render_table",
+]

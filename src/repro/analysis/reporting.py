@@ -1,0 +1,53 @@
+"""Aligned text tables for benchmark output and EXPERIMENTS.md rows."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, Fraction]
+
+
+def format_value(value: Cell, *, digits: int = 4) -> str:
+    """Human-readable rendering: exact for small fractions, float otherwise."""
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        if value.denominator <= 1000:
+            return f"{value.numerator}/{value.denominator}"
+        return f"{float(value):.{digits}g}"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def text_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Monospace table with per-column alignment (first column left)."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([format_value(c) for c in row])
+    widths = [
+        max(len(r[i]) for r in rendered) for i in range(len(headers))
+    ]
+    lines = []
+    for ri, row in enumerate(rendered):
+        cells = [
+            row[0].ljust(widths[0]),
+            *(row[i].rjust(widths[i]) for i in range(1, len(row))),
+        ]
+        lines.append("  ".join(cells))
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(format_value(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+__all__ = ["format_value", "markdown_table", "text_table"]

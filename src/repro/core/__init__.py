@@ -1,0 +1,67 @@
+"""Core data model: services, execution graphs, costs, operation lists.
+
+This subpackage is a faithful executable rendition of Section 2 and
+Appendix A of the paper.  Everything downstream (schedulers, optimisers,
+reductions, benchmarks) is built on these types.
+"""
+
+from .constants import INPUT, OUTPUT
+from .costs import CostModel, comm_edges
+from .graph import CycleError, Edge, ExecutionGraph, PrecedenceError
+from .models import ALL_MODELS, ONE_PORT_MODELS, CommModel
+from .operation_list import (
+    COMM,
+    COMP,
+    Operation,
+    OperationList,
+    comm_op,
+    comp_op,
+    is_comm,
+    is_comp,
+    modular_overlap,
+    modular_residue,
+    op_servers,
+)
+from .plan import Plan
+from .service import Application, Numeric, Service, as_fraction, make_application
+from .validation import (
+    InvalidScheduleError,
+    ValidationReport,
+    assert_valid,
+    validate,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "Application",
+    "COMM",
+    "COMP",
+    "CommModel",
+    "CostModel",
+    "CycleError",
+    "Edge",
+    "ExecutionGraph",
+    "INPUT",
+    "InvalidScheduleError",
+    "Numeric",
+    "ONE_PORT_MODELS",
+    "OUTPUT",
+    "Operation",
+    "OperationList",
+    "Plan",
+    "PrecedenceError",
+    "Service",
+    "ValidationReport",
+    "as_fraction",
+    "assert_valid",
+    "comm_edges",
+    "comm_op",
+    "comp_op",
+    "is_comm",
+    "is_comp",
+    "make_application",
+    "modular_overlap",
+    "modular_residue",
+    "op_servers",
+    "validate",
+]

@@ -1,0 +1,20 @@
+"""Shared sentinel constants for the core data model.
+
+The paper's execution graphs contain, besides the service nodes, synthetic
+*input* and *output* nodes that model communication with the outside world
+(Section 2.1).  We never materialise those nodes inside
+:class:`~repro.core.graph.ExecutionGraph`; instead, operations referencing
+them use the two sentinels below.
+"""
+
+from __future__ import annotations
+
+#: Sentinel used as the source endpoint of an input communication
+#: (outside world -> entry service).
+INPUT: str = "__input__"
+
+#: Sentinel used as the destination endpoint of an output communication
+#: (exit service -> outside world).
+OUTPUT: str = "__output__"
+
+__all__ = ["INPUT", "OUTPUT"]

@@ -1,0 +1,172 @@
+"""Cost formulas of Section 2.1 (normalised ``delta_0 = b = s = 1``).
+
+For an execution graph ``EG`` and a service ``C_k``:
+
+* ``ancestor_selectivity(k) = prod_{j in Ancest_k(EG)} sigma_j`` — the size
+  of the data set that ``C_k`` actually processes;
+* ``outsize(k) = ancestor_selectivity(k) * sigma_k`` — the size of the data
+  ``C_k`` emits, and hence the size of every message ``C_k -> C_j``;
+* ``Cin(k)`` — total incoming communication volume (entry nodes receive one
+  unit-size message from the synthetic input node);
+* ``Ccomp(k) = ancestor_selectivity(k) * c_k``;
+* ``Cout(k)`` — total outgoing volume; exit nodes emit one extra message of
+  size ``outsize(k)`` to the synthetic output node.
+
+.. note::
+   Appendix A of the paper writes the message size on an edge
+   ``(C_i, C_j)`` as ``prod_{k in Ancest_i} sigma_k`` (without ``sigma_i``),
+   but every worked example (B.1, B.2, B.3) and the ``Cout`` formula require
+   the message to be the *output* of the sender, i.e. including ``sigma_i``.
+   We follow the examples; see DESIGN.md "Known paper slips".
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from .constants import INPUT, OUTPUT
+from .graph import ExecutionGraph
+from .models import CommModel
+
+CommEdge = Tuple[str, str]
+
+ONE = Fraction(1)
+
+
+def comm_edges(graph: ExecutionGraph) -> List[CommEdge]:
+    """All communications of a plan built on *graph*, in a stable order.
+
+    Includes one ``(INPUT, k)`` edge per entry node and one ``(k, OUTPUT)``
+    edge per exit node, besides the graph's own edges.
+    """
+    edges: List[CommEdge] = [(INPUT, k) for k in graph.entry_nodes]
+    edges.extend(sorted(graph.edges))
+    edges.extend((k, OUTPUT) for k in graph.exit_nodes)
+    return edges
+
+
+class CostModel:
+    """Cached evaluation of all Section-2.1 quantities for one graph."""
+
+    __slots__ = ("graph", "_anc_sel", "_outsize")
+
+    def __init__(self, graph: ExecutionGraph) -> None:
+        self.graph = graph
+        app = graph.application
+        anc_sel: Dict[str, Fraction] = {}
+        outsize: Dict[str, Fraction] = {}
+        for node in graph.topological_order:
+            prod = ONE
+            for j in graph.ancestors(node):
+                prod *= app.selectivity(j)
+            anc_sel[node] = prod
+            outsize[node] = prod * app.selectivity(node)
+        self._anc_sel = anc_sel
+        self._outsize = outsize
+
+    # -- sizes ---------------------------------------------------------------
+    def ancestor_selectivity(self, node: str) -> Fraction:
+        """``prod_{j in Ancest(node)} sigma_j`` — input data-set size of *node*."""
+        return self._anc_sel[node]
+
+    def input_size(self, node: str) -> Fraction:
+        """Alias of :meth:`ancestor_selectivity` (size the service processes)."""
+        return self._anc_sel[node]
+
+    def outsize(self, node: str) -> Fraction:
+        """Size of the data emitted by *node* (its input size times ``sigma``)."""
+        return self._outsize[node]
+
+    def message_size(self, src: str, dst: str) -> Fraction:
+        """Size of the message carried by communication ``src -> dst``.
+
+        ``src = INPUT`` gives the unit-size initial data set; ``dst = OUTPUT``
+        carries the sender's output to the outside world.
+        """
+        if src == INPUT:
+            return ONE
+        size = self._outsize[src]
+        if dst != OUTPUT and (src, dst) not in self.graph.edges:
+            raise KeyError(f"({src!r}, {dst!r}) is not an edge of the execution graph")
+        return size
+
+    # -- the three Section-2.1 quantities -------------------------------------
+    def cin(self, node: str) -> Fraction:
+        """Total incoming communication time ``Cin(node)`` (lower bound)."""
+        preds = self.graph.predecessors(node)
+        if not preds:
+            return ONE  # message from the synthetic input node
+        return sum((self._outsize[p] for p in preds), Fraction(0))
+
+    def ccomp(self, node: str) -> Fraction:
+        """Computation time ``Ccomp(node)``."""
+        return self._anc_sel[node] * self.graph.application.cost(node)
+
+    def cout(self, node: str) -> Fraction:
+        """Total outgoing communication time ``Cout(node)`` (lower bound)."""
+        nsucc = len(self.graph.successors(node))
+        if nsucc == 0:
+            nsucc = 1  # message to the synthetic output node
+        return nsucc * self._outsize[node]
+
+    def cexec(self, node: str, model: CommModel) -> Fraction:
+        """Per-server execution time bound under *model* (Section 2.2)."""
+        cin, ccomp, cout = self.cin(node), self.ccomp(node), self.cout(node)
+        if model.overlaps_compute:
+            return max(cin, ccomp, cout)
+        return cin + ccomp + cout
+
+    # -- global lower bounds ---------------------------------------------------
+    def period_lower_bound(self, model: CommModel) -> Fraction:
+        """``max_k Cexec(k)`` — a period lower bound valid for *model*.
+
+        Achievable for OVERLAP (Theorem 1); not always achievable for the
+        one-port models (Section 2.3's ``23/3`` example).
+        """
+        return max(self.cexec(node, model) for node in self.graph.nodes)
+
+    def communication_period_bound(self) -> Fraction:
+        """``max_k max(Cin(k), Cout(k))`` — the communication-only bound.
+
+        This is the quantity the paper calls "the maximum time needed for
+        communications" in counter-example B.3.
+        """
+        return max(max(self.cin(n), self.cout(n)) for n in self.graph.nodes)
+
+    def latency_lower_bound(self) -> Fraction:
+        """Critical-path latency bound, valid for every model.
+
+        Each service starts no earlier than every predecessor's finish time
+        plus the corresponding (full-bandwidth) message time; exit nodes add
+        their output message.  Port contention is ignored, hence a lower
+        bound for one-port *and* multi-port schedules (a multi-port transfer
+        at ratio ``r <= 1`` takes at least its size).
+        """
+        graph = self.graph
+        finish: Dict[str, Fraction] = {}
+        for node in graph.topological_order:
+            preds = graph.predecessors(node)
+            if preds:
+                start = max(finish[p] + self._outsize[p] for p in preds)
+            else:
+                start = ONE  # input message
+            finish[node] = start + self.ccomp(node)
+        return max(finish[x] + self._outsize[x] for x in graph.exit_nodes)
+
+    # -- convenience -----------------------------------------------------------
+    def comm_edges(self) -> List[CommEdge]:
+        return comm_edges(self.graph)
+
+    def total_work(self) -> Fraction:
+        """Sum of all computation times (a utilisation statistic)."""
+        return sum((self.ccomp(n) for n in self.graph.nodes), Fraction(0))
+
+    def total_communication(self) -> Fraction:
+        """Sum of all message sizes (input and output messages included)."""
+        return sum(
+            (self.message_size(a, b) for a, b in self.comm_edges()), Fraction(0)
+        )
+
+
+__all__ = ["CostModel", "CommEdge", "comm_edges"]

@@ -1,0 +1,247 @@
+"""Execution graphs (Section 2.1).
+
+An execution graph ``EG = (C, E)`` is a DAG over the services of an
+application.  Its edge set must contain every precedence constraint of the
+application *in its transitive closure* (edges may be added to filter data,
+and a precedence pair ``(i, j)`` is satisfied as soon as ``i`` is an
+ancestor of ``j``).  Entry nodes implicitly receive an input communication
+from the outside world; exit nodes implicitly emit one output
+communication (both are accounted for in :mod:`repro.core.costs`).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .service import Application
+
+Edge = Tuple[str, str]
+
+
+class CycleError(ValueError):
+    """Raised when a proposed execution graph contains a directed cycle."""
+
+
+class PrecedenceError(ValueError):
+    """Raised when an execution graph violates the application precedence."""
+
+
+class ExecutionGraph:
+    """Immutable DAG of services with cached structural queries."""
+
+    __slots__ = (
+        "application",
+        "edges",
+        "_preds",
+        "_succs",
+        "_topo",
+        "_ancestors",
+        "_descendants",
+    )
+
+    def __init__(
+        self,
+        application: Application,
+        edges: Iterable[Edge] = (),
+        *,
+        check_precedence: bool = True,
+    ) -> None:
+        self.application = application
+        edge_set = frozenset((str(a), str(b)) for a, b in edges)
+        names = set(application.names)
+        for a, b in edge_set:
+            if a not in names or b not in names:
+                raise KeyError(f"edge ({a!r}, {b!r}) references unknown service")
+            if a == b:
+                raise CycleError(f"self-loop on {a!r}")
+        self.edges: FrozenSet[Edge] = edge_set
+
+        preds: Dict[str, List[str]] = {n: [] for n in application.names}
+        succs: Dict[str, List[str]] = {n: [] for n in application.names}
+        for a, b in sorted(edge_set):
+            preds[b].append(a)
+            succs[a].append(b)
+        self._preds = {k: tuple(v) for k, v in preds.items()}
+        self._succs = {k: tuple(v) for k, v in succs.items()}
+        self._topo: Tuple[str, ...] = self._toposort()
+        self._ancestors: Optional[Dict[str, FrozenSet[str]]] = None
+        self._descendants: Optional[Dict[str, FrozenSet[str]]] = None
+        if check_precedence and application.precedence:
+            self._check_precedence()
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def chain(cls, application: Application, order: Sequence[str]) -> "ExecutionGraph":
+        """Linear chain visiting *order* (must cover all services exactly once)."""
+        if sorted(order) != sorted(application.names):
+            raise ValueError("chain order must be a permutation of the service names")
+        edges = [(order[i], order[i + 1]) for i in range(len(order) - 1)]
+        return cls(application, edges)
+
+    @classmethod
+    def from_parents(
+        cls, application: Application, parents: Mapping[str, Optional[str]]
+    ) -> "ExecutionGraph":
+        """Forest given by a parent map (``None`` marks a root)."""
+        edges = [(p, child) for child, p in parents.items() if p is not None]
+        return cls(application, edges)
+
+    @classmethod
+    def empty(cls, application: Application) -> "ExecutionGraph":
+        """All services independent (only valid without precedence constraints)."""
+        return cls(application, ())
+
+    # -- invariants -----------------------------------------------------------
+    def _toposort(self) -> Tuple[str, ...]:
+        indeg = {n: len(self._preds[n]) for n in self.application.names}
+        stack = sorted((n for n, d in indeg.items() if d == 0), reverse=True)
+        out: List[str] = []
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            for nxt in self._succs[node]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    stack.append(nxt)
+        if len(out) != len(indeg):
+            raise CycleError("execution graph contains a directed cycle")
+        return tuple(out)
+
+    def _check_precedence(self) -> None:
+        for src, dst in self.application.precedence:
+            if src not in self.ancestors(dst):
+                raise PrecedenceError(
+                    f"precedence constraint ({src!r} -> {dst!r}) not satisfied: "
+                    f"{src!r} is not an ancestor of {dst!r}"
+                )
+
+    # -- structural queries ---------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return self.application.names
+
+    @property
+    def topological_order(self) -> Tuple[str, ...]:
+        return self._topo
+
+    def predecessors(self, node: str) -> Tuple[str, ...]:
+        """Direct predecessors ``Sin(node)`` (service nodes only)."""
+        return self._preds[node]
+
+    def successors(self, node: str) -> Tuple[str, ...]:
+        """Direct successors ``Sout(node)`` (service nodes only)."""
+        return self._succs[node]
+
+    def ancestors(self, node: str) -> FrozenSet[str]:
+        """All (transitive) ancestors of *node*, excluding *node* itself."""
+        if self._ancestors is None:
+            anc: Dict[str, FrozenSet[str]] = {}
+            for n in self._topo:
+                acc: Set[str] = set()
+                for p in self._preds[n]:
+                    acc.add(p)
+                    acc |= anc[p]
+                anc[n] = frozenset(acc)
+            self._ancestors = anc
+        return self._ancestors[node]
+
+    def descendants(self, node: str) -> FrozenSet[str]:
+        """All (transitive) descendants of *node*, excluding *node* itself."""
+        if self._descendants is None:
+            desc: Dict[str, FrozenSet[str]] = {}
+            for n in reversed(self._topo):
+                acc: Set[str] = set()
+                for s in self._succs[n]:
+                    acc.add(s)
+                    acc |= desc[s]
+                desc[n] = frozenset(acc)
+            self._descendants = desc
+        return self._descendants[node]
+
+    @property
+    def entry_nodes(self) -> Tuple[str, ...]:
+        """Services with no predecessor (they read from the outside world)."""
+        return tuple(n for n in self._topo if not self._preds[n])
+
+    @property
+    def exit_nodes(self) -> Tuple[str, ...]:
+        """Services with no successor (they write to the outside world)."""
+        return tuple(n for n in self._topo if not self._succs[n])
+
+    # -- shape predicates -------------------------------------------------
+    @property
+    def is_forest(self) -> bool:
+        """Every node has at most one direct predecessor."""
+        return all(len(self._preds[n]) <= 1 for n in self.nodes)
+
+    @property
+    def is_tree(self) -> bool:
+        """A forest with a single root covering all nodes."""
+        return self.is_forest and len(self.entry_nodes) == 1
+
+    @property
+    def is_chain(self) -> bool:
+        """A single linear chain covering all nodes."""
+        return (
+            self.is_forest
+            and len(self.entry_nodes) == 1
+            and all(len(self._succs[n]) <= 1 for n in self.nodes)
+        )
+
+    def depth(self, node: str) -> int:
+        """Number of edges on the longest path from an entry node to *node*."""
+        depths: Dict[str, int] = {}
+        for n in self._topo:
+            depths[n] = max((depths[p] + 1 for p in self._preds[n]), default=0)
+        return depths[node]
+
+    # -- derived graphs ---------------------------------------------------
+    def with_edges(self, extra: Iterable[Edge]) -> "ExecutionGraph":
+        return ExecutionGraph(self.application, set(self.edges) | set(extra))
+
+    def without_edges(self, removed: Iterable[Edge]) -> "ExecutionGraph":
+        return ExecutionGraph(self.application, set(self.edges) - set(removed))
+
+    def components(self) -> List[FrozenSet[str]]:
+        """Weakly connected components (sets of service names)."""
+        parent = {n: n for n in self.nodes}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in self.edges:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+        groups: Dict[str, Set[str]] = {}
+        for n in self.nodes:
+            groups.setdefault(find(n), set()).add(n)
+        return [frozenset(g) for g in groups.values()]
+
+    # -- dunder ------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExecutionGraph):
+            return NotImplemented
+        return self.application is other.application and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((id(self.application), self.edges))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExecutionGraph({len(self.nodes)} nodes, {len(self.edges)} edges)"
+
+
+__all__ = ["Edge", "ExecutionGraph", "CycleError", "PrecedenceError"]

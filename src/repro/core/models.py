@@ -1,0 +1,57 @@
+"""The three communication models of the paper (Section 2.2).
+
+* :attr:`CommModel.OVERLAP` — multi-port communications with full
+  computation/communication overlap.  Concurrent communications on a
+  server share bandwidth with a constant ratio each; the per-direction
+  ratio sums may never exceed the (normalised) bandwidth ``b = 1``.
+* :attr:`CommModel.INORDER` — one-port, no overlap, and each server fully
+  processes data set ``n`` (all receives, then the computation, then all
+  sends) before touching data set ``n + 1``.
+* :attr:`CommModel.OUTORDER` — one-port, no overlap, but a server may
+  interleave operations belonging to different data sets, as long as no
+  two of its operations ever execute simultaneously.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class CommModel(enum.Enum):
+    """Communication model enumeration."""
+
+    OVERLAP = "overlap"
+    INORDER = "inorder"
+    OUTORDER = "outorder"
+
+    @property
+    def multiport(self) -> bool:
+        """Can a server drive several communications concurrently?"""
+        return self is CommModel.OVERLAP
+
+    @property
+    def overlaps_compute(self) -> bool:
+        """Can a server compute while communicating?"""
+        return self is CommModel.OVERLAP
+
+    @property
+    def in_order(self) -> bool:
+        """Must each server finish a data set before starting the next?"""
+        return self is CommModel.INORDER
+
+    def __str__(self) -> str:
+        return self.value.upper()
+
+
+#: All models, in the paper's order of presentation.
+ALL_MODELS: Tuple[CommModel, ...] = (
+    CommModel.OVERLAP,
+    CommModel.INORDER,
+    CommModel.OUTORDER,
+)
+
+#: The two one-port / no-overlap variants.
+ONE_PORT_MODELS: Tuple[CommModel, ...] = (CommModel.INORDER, CommModel.OUTORDER)
+
+__all__ = ["CommModel", "ALL_MODELS", "ONE_PORT_MODELS"]

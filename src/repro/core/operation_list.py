@@ -1,0 +1,227 @@
+"""Operation lists (Section 2 "Characterizing solutions" + Appendix A).
+
+An operation list records, for data set number 0, the begin and end
+time-steps of every computation and every communication, plus the period
+``lambda``; data set ``n`` repeats the same pattern shifted by
+``n * lambda``.  The paper's objectives follow directly:
+
+* period  ``P = lambda``;
+* latency ``L = max End of the output communications for data set 0``.
+
+Operations are identified by lightweight tuples:
+
+* ``("comp", node)`` — the computation of service *node*;
+* ``("comm", src, dst)`` — a communication; ``src`` may be
+  :data:`~repro.core.constants.INPUT` and ``dst`` may be
+  :data:`~repro.core.constants.OUTPUT`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from .constants import INPUT, OUTPUT
+from .service import Numeric, as_fraction
+
+CompOp = Tuple[str, str]
+CommOp = Tuple[str, str, str]
+Operation = Union[CompOp, CommOp]
+
+COMP = "comp"
+COMM = "comm"
+
+
+def comp_op(node: str) -> Operation:
+    """The computation operation of service *node*."""
+    return (COMP, node)
+
+
+def comm_op(src: str, dst: str) -> Operation:
+    """The communication operation for edge ``src -> dst``."""
+    return (COMM, src, dst)
+
+
+def is_comp(op: Operation) -> bool:
+    return op[0] == COMP
+
+
+def is_comm(op: Operation) -> bool:
+    return op[0] == COMM
+
+
+def op_servers(op: Operation) -> Tuple[str, ...]:
+    """The real servers an operation occupies (INPUT/OUTPUT are not servers)."""
+    if op[0] == COMP:
+        return (op[1],)
+    _, src, dst = op
+    servers = []
+    if src != INPUT:
+        servers.append(src)
+    if dst != OUTPUT:
+        servers.append(dst)
+    return tuple(servers)
+
+
+class OperationList:
+    """A cyclic schedule: begin/end times for data set 0 and a period.
+
+    Instances are value-like; times are exact :class:`fractions.Fraction`.
+    """
+
+    __slots__ = ("_times", "lam")
+
+    def __init__(
+        self,
+        times: Mapping[Operation, Tuple[Numeric, Numeric]],
+        lam: Numeric,
+    ) -> None:
+        self.lam: Fraction = as_fraction(lam)
+        if self.lam <= 0:
+            raise ValueError(f"period lambda must be positive, got {self.lam}")
+        converted: Dict[Operation, Tuple[Fraction, Fraction]] = {}
+        for op, (begin, end) in times.items():
+            b, e = as_fraction(begin), as_fraction(end)
+            if e < b:
+                raise ValueError(f"operation {op} ends before it begins: [{b}, {e}]")
+            converted[op] = (b, e)
+        self._times = converted
+
+    # -- access ---------------------------------------------------------------
+    def __contains__(self, op: Operation) -> bool:
+        return op in self._times
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._times)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def operations(self) -> List[Operation]:
+        return list(self._times)
+
+    def items(self) -> Iterable[Tuple[Operation, Tuple[Fraction, Fraction]]]:
+        return self._times.items()
+
+    def begin(self, op: Operation) -> Fraction:
+        return self._times[op][0]
+
+    def end(self, op: Operation) -> Fraction:
+        return self._times[op][1]
+
+    def duration(self, op: Operation) -> Fraction:
+        b, e = self._times[op]
+        return e - b
+
+    def begin_n(self, op: Operation, n: int) -> Fraction:
+        """Begin time for data set *n* (cyclic shift)."""
+        return self._times[op][0] + self.lam * n
+
+    def end_n(self, op: Operation, n: int) -> Fraction:
+        return self._times[op][1] + self.lam * n
+
+    # -- objectives -------------------------------------------------------------
+    @property
+    def period(self) -> Fraction:
+        return self.lam
+
+    @property
+    def latency(self) -> Fraction:
+        """``max End`` over the communications of data set 0 (paper Section 2).
+
+        Output nodes communicate to the outside world, so the maximum is
+        reached on such a final communication for any well-formed plan.
+        """
+        ends = [e for op, (_, e) in self._times.items() if is_comm(op)]
+        if not ends:  # degenerate single-service schedules in unit tests
+            ends = [e for _, e in self._times.values()]
+        return max(ends)
+
+    @property
+    def makespan(self) -> Fraction:
+        """Span of the data-set-0 operations (max end minus min begin)."""
+        begins = [b for b, _ in self._times.values()]
+        ends = [e for _, e in self._times.values()]
+        return max(ends) - min(begins)
+
+    # -- transformations ---------------------------------------------------------
+    def shifted(self, delta: Numeric) -> "OperationList":
+        """Shift every operation by *delta* (same period)."""
+        d = as_fraction(delta)
+        return OperationList(
+            {op: (b + d, e + d) for op, (b, e) in self._times.items()}, self.lam
+        )
+
+    def with_period(self, lam: Numeric) -> "OperationList":
+        """Same data-set-0 times with a different period ``lambda``.
+
+        The paper uses exactly this move in Section 2.3: keeping the latency
+        schedule and shrinking ``lambda`` from 21 to 5 for OVERLAP.
+        """
+        return OperationList(dict(self._times), lam)
+
+    def with_times(
+        self, updates: Mapping[Operation, Tuple[Numeric, Numeric]]
+    ) -> "OperationList":
+        merged: Dict[Operation, Tuple[Numeric, Numeric]] = dict(self._times)
+        merged.update(updates)
+        return OperationList(merged, self.lam)
+
+    def normalised(self) -> "OperationList":
+        """Shift so the earliest operation begins at time 0."""
+        start = min(b for b, _ in self._times.values())
+        return self.shifted(-start)
+
+    # -- dunder -------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OperationList):
+            return NotImplemented
+        return self.lam == other.lam and self._times == other._times
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OperationList({len(self._times)} ops, lambda={self.lam})"
+
+
+def modular_residue(x: Fraction, lam: Fraction) -> Fraction:
+    """``x mod lam`` for exact rationals, result in ``[0, lam)``."""
+    q = x / lam
+    floor_q = q.numerator // q.denominator
+    return x - lam * floor_q
+
+
+def modular_overlap(
+    b1: Fraction, d1: Fraction, b2: Fraction, d2: Fraction, lam: Fraction
+) -> bool:
+    """Do cyclic occurrences of two operations ever overlap?
+
+    Operation *i* occupies ``[b_i + n*lam, b_i + d_i + n*lam)`` for all
+    integers *n*.  Requires ``0 <= d_i <= lam`` (an operation longer than
+    the period always overlaps everything, including itself).
+    """
+    if d1 <= 0 or d2 <= 0:
+        return False
+    if d1 > lam or d2 > lam:
+        return True
+    # Place op1 at [0, d1) on the circle; op2 then starts at gap12.  They
+    # overlap iff op2 starts strictly inside op1 (gap12 < d1) or op2 wraps
+    # around into op1 (lam - gap12 = gap21 < d2).
+    gap12 = modular_residue(b2 - b1, lam)
+    gap21 = modular_residue(b1 - b2, lam)
+    if gap12 == 0:  # same residue: both positive-length, always overlap
+        return True
+    return gap12 < d1 or gap21 < d2
+
+
+__all__ = [
+    "COMP",
+    "COMM",
+    "Operation",
+    "OperationList",
+    "comp_op",
+    "comm_op",
+    "is_comp",
+    "is_comm",
+    "op_servers",
+    "modular_residue",
+    "modular_overlap",
+]

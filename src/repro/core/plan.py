@@ -1,0 +1,46 @@
+"""Plans: an execution graph together with an operation list (Section 2.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from .graph import ExecutionGraph
+from .models import CommModel
+from .operation_list import OperationList
+from .validation import ValidationReport, validate
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A complete solution ``PL = (EG, OL)`` for one communication model."""
+
+    graph: ExecutionGraph
+    operation_list: OperationList
+    model: CommModel
+
+    @property
+    def period(self) -> Fraction:
+        """The plan's period ``P = lambda``."""
+        return self.operation_list.period
+
+    @property
+    def latency(self) -> Fraction:
+        """The plan's latency (max end of a data-set-0 communication)."""
+        return self.operation_list.latency
+
+    def validate(self) -> ValidationReport:
+        return validate(self.graph, self.operation_list, self.model)
+
+    def is_valid(self) -> bool:
+        return self.validate().ok
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Plan(model={self.model}, period={self.period}, "
+            f"latency={self.latency}, |E|={len(self.graph.edges)})"
+        )
+
+
+__all__ = ["Plan"]

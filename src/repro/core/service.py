@@ -1,0 +1,203 @@
+"""Services, applications and exact-rational numeric coercion.
+
+A *service* (also called a filter or a query in the paper) is characterised
+by its elementary cost ``c_i`` and its selectivity ``sigma_i``; an
+*application* is a set of services together with precedence constraints
+(Section 2.1 of the paper).  After the paper's normalisation we may assume
+``delta_0 = b = s = 1`` without loss of generality, so costs and
+selectivities are plain dimensionless rationals.
+
+All numeric attributes are stored as :class:`fractions.Fraction` so that
+schedule arithmetic downstream is exact; the paper's optimal values are
+frequently non-integers (e.g. the period ``23/3`` of Section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple, Union
+
+Numeric = Union[int, float, str, Fraction]
+
+
+def as_fraction(value: Numeric) -> Fraction:
+    """Coerce *value* to an exact :class:`~fractions.Fraction`.
+
+    Floats are converted via ``Fraction(str(value))`` (decimal-literal
+    semantics) rather than binary expansion, so ``as_fraction(0.9999)`` is
+    exactly ``9999/10000`` — matching how the paper writes its instances.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"non-finite value {value!r} cannot become a Fraction")
+        return Fraction(str(value))
+    if isinstance(value, str):
+        return Fraction(value)
+    raise TypeError(f"cannot interpret {value!r} as a rational number")
+
+
+@dataclass(frozen=True)
+class Service:
+    """A single filtering service ``C_i``.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within an application.
+    cost:
+        Elementary cost ``c_i >= 0``: processing an input of size ``d``
+        takes ``c_i * d`` time units on a (normalised) unit-speed server.
+    selectivity:
+        Selectivity ``sigma_i > 0``: an input of size ``d`` produces an
+        output of size ``sigma_i * d``.  ``sigma_i < 1`` shrinks data (a
+        proper *filter*); ``sigma_i > 1`` expands it.
+    """
+
+    name: str
+    cost: Fraction
+    selectivity: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cost", as_fraction(self.cost))
+        object.__setattr__(self, "selectivity", as_fraction(self.selectivity))
+        if not self.name:
+            raise ValueError("service name must be a non-empty string")
+        if self.cost < 0:
+            raise ValueError(f"service {self.name!r}: cost must be >= 0, got {self.cost}")
+        if self.selectivity <= 0:
+            raise ValueError(
+                f"service {self.name!r}: selectivity must be > 0, got {self.selectivity}"
+            )
+
+    @property
+    def is_filter(self) -> bool:
+        """True when the service shrinks data (``sigma < 1``)."""
+        return self.selectivity < 1
+
+    @property
+    def is_expander(self) -> bool:
+        """True when the service expands data (``sigma > 1``)."""
+        return self.selectivity > 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Service({self.name!r}, c={self.cost}, sigma={self.selectivity})"
+
+
+@dataclass(frozen=True)
+class Application:
+    """An application ``A = (F, G)``: services plus precedence constraints.
+
+    ``precedence`` is a set of ordered pairs ``(i, j)`` meaning service
+    ``C_i`` must be an ancestor of ``C_j`` in every execution graph (the
+    paper requires ``G`` to be included in the transitive closure of the
+    execution graph's edge set).
+    """
+
+    services: Tuple[Service, ...]
+    precedence: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "services", tuple(self.services))
+        object.__setattr__(self, "precedence", frozenset(self.precedence))
+        names = [s.name for s in self.services]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate service names: {dupes}")
+        name_set = set(names)
+        for src, dst in self.precedence:
+            if src not in name_set or dst not in name_set:
+                raise ValueError(f"precedence edge ({src!r}, {dst!r}) references unknown service")
+            if src == dst:
+                raise ValueError(f"self-loop precedence on {src!r}")
+        if self._has_precedence_cycle():
+            raise ValueError("precedence constraints contain a cycle")
+
+    def _has_precedence_cycle(self) -> bool:
+        succs: Dict[str, List[str]] = {s.name: [] for s in self.services}
+        indeg: Dict[str, int] = {s.name: 0 for s in self.services}
+        for src, dst in self.precedence:
+            succs[src].append(dst)
+            indeg[dst] += 1
+        queue = [n for n, d in indeg.items() if d == 0]
+        seen = 0
+        while queue:
+            node = queue.pop()
+            seen += 1
+            for nxt in succs[node]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        return seen != len(self.services)
+
+    # -- mapping-style access -------------------------------------------------
+    def __iter__(self) -> Iterator[Service]:
+        return iter(self.services)
+
+    def __len__(self) -> int:
+        return len(self.services)
+
+    def __getitem__(self, name: str) -> Service:
+        try:
+            return self.by_name[name]
+        except KeyError:
+            raise KeyError(f"no service named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.by_name
+
+    @property
+    def by_name(self) -> Mapping[str, Service]:
+        cached = getattr(self, "_by_name", None)
+        if cached is None:
+            cached = {s.name: s for s in self.services}
+            object.__setattr__(self, "_by_name", cached)
+        return cached
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.services)
+
+    @property
+    def has_precedence(self) -> bool:
+        return bool(self.precedence)
+
+    def cost(self, name: str) -> Fraction:
+        return self[name].cost
+
+    def selectivity(self, name: str) -> Fraction:
+        return self[name].selectivity
+
+    def filters(self) -> List[Service]:
+        """Services with selectivity strictly below one."""
+        return [s for s in self.services if s.selectivity < 1]
+
+    def expanders(self) -> List[Service]:
+        """Services with selectivity one or more."""
+        return [s for s in self.services if s.selectivity >= 1]
+
+    def restricted_to(self, names: Iterable[str]) -> "Application":
+        """Sub-application induced by *names* (precedence edges restricted)."""
+        keep: Set[str] = set(names)
+        unknown = keep - set(self.names)
+        if unknown:
+            raise KeyError(f"unknown services: {sorted(unknown)}")
+        services = tuple(s for s in self.services if s.name in keep)
+        precedence = frozenset((a, b) for a, b in self.precedence if a in keep and b in keep)
+        return Application(services, precedence)
+
+
+def make_application(
+    specs: Sequence[Tuple[str, Numeric, Numeric]],
+    precedence: Iterable[Tuple[str, str]] = (),
+) -> Application:
+    """Convenience constructor from ``(name, cost, selectivity)`` triples."""
+    services = tuple(Service(name, as_fraction(c), as_fraction(s)) for name, c, s in specs)
+    return Application(services, frozenset(precedence))
+
+
+__all__ = ["Numeric", "Service", "Application", "as_fraction", "make_application"]

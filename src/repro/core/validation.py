@@ -1,0 +1,330 @@
+"""Machine-checkable validity rules for operation lists (Appendix A).
+
+Given a plan ``(EG, OL)`` and a communication model, :func:`validate` checks
+every constraint the paper states:
+
+Common to all models
+    * exactly one computation per service and one communication per edge of
+      the plan (including the synthetic input/output communications);
+    * non-preemption (each operation is one contiguous interval) and exact
+      computation durations ``Ccomp``;
+    * per data set: every incoming communication ends before the
+      computation begins, which ends before every outgoing communication
+      begins.
+
+One-port models (INORDER, OUTORDER)
+    * communication durations equal message sizes (full bandwidth);
+    * on each server, no two operations (computation, incoming or outgoing
+      communications — across *all* data sets, i.e. modulo ``lambda``) may
+      ever overlap;
+    * INORDER only: every outgoing communication of data set ``n`` ends
+      before any incoming communication of data set ``n + 1`` begins
+      (constraint (1) of Appendix A).
+
+Multi-port model (OVERLAP)
+    * a communication of size ``s`` scheduled over a window of length ``d``
+      uses the constant bandwidth ratio ``s / d``, which must be ``<= 1``;
+    * at every instant, the ratios of a server's active *incoming*
+      communications sum to at most 1, and likewise for *outgoing*;
+    * a server computes at most one thing at a time (its computation must
+      not overlap itself across periods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from .constants import INPUT, OUTPUT
+from .costs import CostModel, comm_edges
+from .graph import ExecutionGraph
+from .models import CommModel
+from .operation_list import (
+    Operation,
+    OperationList,
+    comm_op,
+    comp_op,
+    is_comm,
+    modular_overlap,
+    modular_residue,
+)
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation run: a (possibly empty) list of violations."""
+
+    model: CommModel
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    def raise_if_invalid(self) -> None:
+        if not self.ok:
+            details = "\n  - ".join(self.violations)
+            raise InvalidScheduleError(
+                f"invalid {self.model} operation list:\n  - {details}"
+            )
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class InvalidScheduleError(ValueError):
+    """Raised by :meth:`ValidationReport.raise_if_invalid`."""
+
+
+def _expected_operations(graph: ExecutionGraph) -> List[Operation]:
+    ops: List[Operation] = [comp_op(n) for n in graph.nodes]
+    ops.extend(comm_op(a, b) for a, b in comm_edges(graph))
+    return ops
+
+
+def _check_coverage(
+    graph: ExecutionGraph, ol: OperationList, report: ValidationReport
+) -> bool:
+    expected = set(_expected_operations(graph))
+    actual = set(ol.operations())
+    missing = expected - actual
+    extra = actual - expected
+    for op in sorted(missing):
+        report.add(f"missing operation {op}")
+    for op in sorted(extra):
+        report.add(f"unexpected operation {op}")
+    return not missing and not extra
+
+
+def _check_durations(
+    costs: CostModel, ol: OperationList, model: CommModel, report: ValidationReport
+) -> None:
+    graph = costs.graph
+    for node in graph.nodes:
+        op = comp_op(node)
+        if op not in ol:
+            continue
+        want = costs.ccomp(node)
+        got = ol.duration(op)
+        if got != want:
+            report.add(f"computation of {node!r} lasts {got}, expected Ccomp={want}")
+        if got > ol.lam:
+            report.add(
+                f"computation of {node!r} ({got}) exceeds the period {ol.lam}: "
+                "consecutive data sets would compute simultaneously"
+            )
+    for a, b in comm_edges(graph):
+        op = comm_op(a, b)
+        if op not in ol:
+            continue
+        size = costs.message_size(a, b)
+        got = ol.duration(op)
+        if model.multiport:
+            if got < size:
+                report.add(
+                    f"communication {a!r}->{b!r} lasts {got} < size {size}: "
+                    "bandwidth ratio would exceed 1"
+                )
+        else:
+            if got != size:
+                report.add(
+                    f"communication {a!r}->{b!r} lasts {got}, expected {size} "
+                    "(one-port communications run at full bandwidth)"
+                )
+            if got > ol.lam:
+                report.add(
+                    f"communication {a!r}->{b!r} ({got}) exceeds the period {ol.lam}"
+                )
+
+
+def _check_precedence(
+    graph: ExecutionGraph, ol: OperationList, report: ValidationReport
+) -> None:
+    for node in graph.nodes:
+        cop = comp_op(node)
+        if cop not in ol:
+            continue
+        preds = graph.predecessors(node) or (INPUT,)
+        for p in preds:
+            op = comm_op(p, node)
+            if op in ol and ol.end(op) > ol.begin(cop):
+                report.add(
+                    f"incoming communication {p!r}->{node!r} ends at {ol.end(op)} "
+                    f"after the computation of {node!r} begins at {ol.begin(cop)}"
+                )
+        succs = graph.successors(node) or (OUTPUT,)
+        for s in succs:
+            op = comm_op(node, s)
+            if op in ol and ol.begin(op) < ol.end(cop):
+                report.add(
+                    f"outgoing communication {node!r}->{s!r} begins at {ol.begin(op)} "
+                    f"before the computation of {node!r} ends at {ol.end(cop)}"
+                )
+
+
+def _server_operations(graph: ExecutionGraph, node: str) -> List[Operation]:
+    """All operations occupying server *node* (comp + incident comms)."""
+    ops: List[Operation] = []
+    preds = graph.predecessors(node) or (INPUT,)
+    ops.extend(comm_op(p, node) for p in preds)
+    ops.append(comp_op(node))
+    succs = graph.successors(node) or (OUTPUT,)
+    ops.extend(comm_op(node, s) for s in succs)
+    return ops
+
+
+def _check_oneport_exclusion(
+    graph: ExecutionGraph, ol: OperationList, report: ValidationReport
+) -> None:
+    for node in graph.nodes:
+        ops = [op for op in _server_operations(graph, node) if op in ol]
+        for i in range(len(ops)):
+            bi, ei = ol.begin(ops[i]), ol.end(ops[i])
+            for j in range(i + 1, len(ops)):
+                bj, ej = ol.begin(ops[j]), ol.end(ops[j])
+                if modular_overlap(bi, ei - bi, bj, ej - bj, ol.lam):
+                    report.add(
+                        f"server {node!r}: operations {ops[i]} [{bi}, {ei}] and "
+                        f"{ops[j]} [{bj}, {ej}] overlap modulo lambda={ol.lam}"
+                    )
+
+
+def _check_inorder_rule(
+    graph: ExecutionGraph, ol: OperationList, report: ValidationReport
+) -> None:
+    for node in graph.nodes:
+        in_ops = [
+            comm_op(p, node) for p in (graph.predecessors(node) or (INPUT,))
+        ]
+        out_ops = [
+            comm_op(node, s) for s in (graph.successors(node) or (OUTPUT,))
+        ]
+        for oin in in_ops:
+            if oin not in ol:
+                continue
+            for oout in out_ops:
+                if oout not in ol:
+                    continue
+                if ol.end(oout) > ol.begin(oin) + ol.lam:
+                    report.add(
+                        f"INORDER violated on server {node!r}: outgoing {oout} ends at "
+                        f"{ol.end(oout)} after the next data set's incoming {oin} "
+                        f"begins at {ol.begin(oin) + ol.lam}"
+                    )
+
+
+def _bandwidth_profile_ok(
+    intervals: Sequence[Tuple[Fraction, Fraction, Fraction]], lam: Fraction
+) -> Tuple[bool, Fraction]:
+    """Check that ratio-weighted cyclic intervals never stack above 1.
+
+    ``intervals`` holds ``(begin, duration, ratio)`` triples; each interval
+    repeats every ``lam``.  Returns ``(ok, worst_load)``.
+    """
+    # Baseline load from operations whose duration covers >= 1 full period.
+    base = ZERO
+    events: List[Tuple[Fraction, Fraction]] = []
+    for begin, duration, ratio in intervals:
+        if duration <= 0:
+            continue
+        whole = int(duration / lam)  # occurrences always active
+        base += ratio * whole
+        rem = duration - lam * whole
+        if rem > 0:
+            r = modular_residue(begin, lam)
+            endr = r + rem
+            if endr <= lam:
+                events.append((r, ratio))
+                events.append((endr, -ratio))
+            else:  # wraps around the period boundary
+                events.append((r, ratio))
+                events.append((lam, -ratio))
+                events.append((ZERO, ratio))
+                events.append((endr - lam, -ratio))
+    events.sort(key=lambda t: (t[0], t[1] > 0))
+    load = base
+    worst = base
+    for _, delta in events:
+        load += delta
+        if load > worst:
+            worst = load
+    return worst <= ONE, worst
+
+
+def _check_overlap_bandwidth(
+    costs: CostModel, ol: OperationList, report: ValidationReport
+) -> None:
+    graph = costs.graph
+    for node in graph.nodes:
+        incoming: List[Tuple[Fraction, Fraction, Fraction]] = []
+        for p in graph.predecessors(node) or (INPUT,):
+            op = comm_op(p, node)
+            if op not in ol:
+                continue
+            d = ol.duration(op)
+            if d > 0:
+                incoming.append((ol.begin(op), d, costs.message_size(p, node) / d))
+        ok, worst = _bandwidth_profile_ok(incoming, ol.lam)
+        if not ok:
+            report.add(
+                f"server {node!r}: incoming bandwidth peaks at {worst} > 1"
+            )
+        outgoing: List[Tuple[Fraction, Fraction, Fraction]] = []
+        for s in graph.successors(node) or (OUTPUT,):
+            op = comm_op(node, s)
+            if op not in ol:
+                continue
+            d = ol.duration(op)
+            if d > 0:
+                outgoing.append((ol.begin(op), d, costs.message_size(node, s) / d))
+        ok, worst = _bandwidth_profile_ok(outgoing, ol.lam)
+        if not ok:
+            report.add(
+                f"server {node!r}: outgoing bandwidth peaks at {worst} > 1"
+            )
+
+
+def validate(
+    graph: ExecutionGraph, ol: OperationList, model: CommModel
+) -> ValidationReport:
+    """Validate *ol* as an operation list for *graph* under *model*."""
+    report = ValidationReport(model)
+    costs = CostModel(graph)
+    covered = _check_coverage(graph, ol, report)
+    _check_durations(costs, ol, model, report)
+    _check_precedence(graph, ol, report)
+    if model.multiport:
+        _check_overlap_bandwidth(costs, ol, report)
+        if covered:
+            # One computation per server: it must not overlap itself (checked
+            # in _check_durations via duration <= lambda); nothing else to do,
+            # computation overlaps communications freely in this model.
+            pass
+    else:
+        _check_oneport_exclusion(graph, ol, report)
+        if model.in_order:
+            _check_inorder_rule(graph, ol, report)
+    return report
+
+
+def assert_valid(
+    graph: ExecutionGraph, ol: OperationList, model: CommModel
+) -> OperationList:
+    """Validate and return *ol*, raising :class:`InvalidScheduleError` if bad."""
+    validate(graph, ol, model).raise_if_invalid()
+    return ol
+
+
+__all__ = [
+    "ValidationReport",
+    "InvalidScheduleError",
+    "validate",
+    "assert_valid",
+]

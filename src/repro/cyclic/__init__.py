@@ -1,0 +1,20 @@
+"""Periodic (cyclic) scheduling substrate: event graphs + max cycle ratio."""
+
+from .eventgraph import ConstraintEdge, EventGraph
+from .mcr import (
+    InfeasibleScheduleError,
+    brute_force_mcr,
+    earliest_times,
+    is_feasible,
+    minimum_period,
+)
+
+__all__ = [
+    "ConstraintEdge",
+    "EventGraph",
+    "InfeasibleScheduleError",
+    "brute_force_mcr",
+    "earliest_times",
+    "is_feasible",
+    "minimum_period",
+]

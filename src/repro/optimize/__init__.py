@@ -1,0 +1,66 @@
+"""Full MinPeriod / MinLatency optimisation: exact search and heuristics."""
+
+from .chains import (
+    brute_force_chain_latency,
+    brute_force_chain_period,
+    chain_latency,
+    chain_period,
+    greedy_chain_latency_order,
+    greedy_chain_period_order,
+    minlatency_chain,
+    minperiod_chain,
+)
+from .evaluation import (
+    Effort,
+    latency_objective,
+    make_latency_objective,
+    make_period_objective,
+    period_objective,
+)
+from .exhaustive import (
+    exhaustive_minlatency,
+    exhaustive_minperiod,
+    iter_dags,
+    iter_forests,
+)
+from .greedy import greedy_minlatency, greedy_minperiod
+from .local_search import (
+    local_search_forest,
+    local_search_minlatency,
+    local_search_minperiod,
+)
+from .nocomm import (
+    nocomm_latency,
+    nocomm_optimal_latency_chain,
+    nocomm_optimal_period_plan,
+    nocomm_period,
+)
+
+__all__ = [
+    "Effort",
+    "brute_force_chain_latency",
+    "brute_force_chain_period",
+    "chain_latency",
+    "chain_period",
+    "exhaustive_minlatency",
+    "exhaustive_minperiod",
+    "greedy_chain_latency_order",
+    "greedy_chain_period_order",
+    "greedy_minlatency",
+    "greedy_minperiod",
+    "iter_dags",
+    "iter_forests",
+    "latency_objective",
+    "local_search_forest",
+    "local_search_minlatency",
+    "local_search_minperiod",
+    "make_latency_objective",
+    "make_period_objective",
+    "minlatency_chain",
+    "minperiod_chain",
+    "nocomm_latency",
+    "nocomm_optimal_latency_chain",
+    "nocomm_optimal_period_plan",
+    "nocomm_period",
+    "period_objective",
+]

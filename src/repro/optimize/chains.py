@@ -1,0 +1,147 @@
+"""Chain-restricted MinPeriod and MinLatency (Propositions 8 and 16).
+
+When the execution graph is forced to be a single linear chain, both
+objectives become polynomial for all three models:
+
+* **Period** (Prop 8): with ``c'_k = 1 + c_k + sigma_k`` (one-port models)
+  or ``c'_k = max(1, c_k, sigma_k)`` (OVERLAP), place the services of
+  selectivity < 1 by increasing ``c'_k``, followed by the services of
+  selectivity >= 1 by increasing ``sigma_k / c'_k``.
+* **Latency** (Prop 16): order all services by decreasing
+  ``(1 - sigma_k) / (1 + c_k)``.
+
+Both orders arise from adjacent-exchange arguments; the test-suite checks
+them against brute force over all permutations on random instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Tuple
+
+from ..core import Application, CommModel, ExecutionGraph
+
+ONE = Fraction(1)
+
+
+def chain_period(app: Application, order: Sequence[str], model: CommModel) -> Fraction:
+    """Exact optimal period of the chain visiting *order* under *model*.
+
+    On a chain the one-port lower bound ``max_k P_k (1 + c_k + sigma_k)``
+    is achievable (no synchronisation conflicts: every cross-server cycle
+    of the event graph is dominated by a single-server cycle), and the
+    OVERLAP bound is always achievable (Theorem 1).
+    """
+    prefix = ONE
+    best = Fraction(0)
+    for name in order:
+        c = app.cost(name)
+        s = app.selectivity(name)
+        if model.overlaps_compute:
+            local = prefix * max(ONE, c, s)
+        else:
+            local = prefix * (ONE + c + s)
+        if local > best:
+            best = local
+        prefix *= s
+    return best
+
+
+def chain_latency(app: Application, order: Sequence[str]) -> Fraction:
+    """Exact latency of the chain visiting *order* (same for all models)."""
+    prefix = ONE
+    total = Fraction(0)
+    for name in order:
+        total += prefix * (ONE + app.cost(name))
+        prefix *= app.selectivity(name)
+    return total + prefix  # final output communication
+
+
+def greedy_chain_period_order(app: Application, model: CommModel) -> List[str]:
+    """The Proposition-8 greedy order."""
+
+    def cprime(name: str) -> Fraction:
+        c, s = app.cost(name), app.selectivity(name)
+        if model.overlaps_compute:
+            return max(ONE, c, s)
+        return ONE + c + s
+
+    filters = sorted(
+        (s.name for s in app.services if s.selectivity < 1),
+        key=lambda n: (cprime(n), n),
+    )
+    expanders = sorted(
+        (s.name for s in app.services if s.selectivity >= 1),
+        key=lambda n: (app.selectivity(n) / cprime(n), n),
+    )
+    return filters + expanders
+
+
+def greedy_chain_latency_order(app: Application) -> List[str]:
+    """The Proposition-16 greedy order: decreasing ``(1 - sigma)/(1 + c)``."""
+    return sorted(
+        (s.name for s in app.services),
+        key=lambda n: (
+            -(ONE - app.selectivity(n)) / (ONE + app.cost(n)),
+            n,
+        ),
+    )
+
+
+def minperiod_chain(
+    app: Application, model: CommModel
+) -> Tuple[Fraction, ExecutionGraph]:
+    """Optimal chain plan for the period (greedy, Proposition 8)."""
+    if app.precedence:
+        raise ValueError("chain optimisation assumes no precedence constraints")
+    order = greedy_chain_period_order(app, model)
+    return chain_period(app, order, model), ExecutionGraph.chain(app, order)
+
+
+def minlatency_chain(app: Application) -> Tuple[Fraction, ExecutionGraph]:
+    """Optimal chain plan for the latency (greedy, Proposition 16)."""
+    if app.precedence:
+        raise ValueError("chain optimisation assumes no precedence constraints")
+    order = greedy_chain_latency_order(app)
+    return chain_latency(app, order), ExecutionGraph.chain(app, order)
+
+
+def brute_force_chain_period(
+    app: Application, model: CommModel
+) -> Tuple[Fraction, Tuple[str, ...]]:
+    """Reference: try every permutation (tests only)."""
+    best = None
+    best_order: Tuple[str, ...] = ()
+    for perm in itertools.permutations(app.names):
+        val = chain_period(app, perm, model)
+        if best is None or val < best:
+            best, best_order = val, perm
+    assert best is not None
+    return best, best_order
+
+
+def brute_force_chain_latency(
+    app: Application,
+) -> Tuple[Fraction, Tuple[str, ...]]:
+    """Reference: try every permutation (tests only)."""
+    best = None
+    best_order: Tuple[str, ...] = ()
+    for perm in itertools.permutations(app.names):
+        val = chain_latency(app, perm)
+        if best is None or val < best:
+            best, best_order = val, perm
+    assert best is not None
+    return best, best_order
+
+
+__all__ = [
+    "brute_force_chain_latency",
+    "brute_force_chain_period",
+    "chain_latency",
+    "chain_period",
+    "greedy_chain_latency_order",
+    "greedy_chain_period_order",
+    "minlatency_chain",
+    "minperiod_chain",
+]

@@ -1,0 +1,114 @@
+"""Objective evaluators shared by the optimisers.
+
+The full minimisation problems need a per-graph objective.  Depending on
+the model this is exact-and-cheap (OVERLAP period, forest latency), exact
+but exponential (one-port orchestration), or an upper bound from a
+heuristic scheduler.  The :class:`Effort` knob picks the trade-off so
+exhaustive searches stay honest about what they optimise.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from typing import Callable
+
+from ..core import CommModel, CostModel, ExecutionGraph
+from ..scheduling.inorder import (
+    exact_inorder_period,
+    greedy_orders,
+    inorder_period_for_orders,
+    order_space_size,
+)
+from ..scheduling.latency import (
+    exact_oneport_latency,
+    oneport_latency_schedule,
+    overlap_latency_layered,
+    tree_latency,
+)
+from ..scheduling.outorder import outorder_schedule
+
+
+class Effort(enum.Enum):
+    """How hard evaluators work: a bound, a heuristic, or exact search."""
+
+    BOUND = "bound"
+    HEURISTIC = "heuristic"
+    EXACT = "exact"
+
+
+def period_objective(
+    graph: ExecutionGraph, model: CommModel, effort: Effort = Effort.HEURISTIC
+) -> Fraction:
+    """Period of the best known operation list for *graph* under *model*.
+
+    * OVERLAP: always exact (Theorem 1 — the bound is achievable).
+    * INORDER: ``BOUND`` returns ``max_k Cexec``; ``HEURISTIC`` uses greedy
+      orders + MCR (achievable); ``EXACT`` enumerates orders when feasible.
+    * OUTORDER: ``BOUND`` as above; otherwise the repair scheduler's value
+      (achievable, certified when it meets the bound).
+    """
+    costs = CostModel(graph)
+    if model is CommModel.OVERLAP:
+        return costs.period_lower_bound(model)
+    if effort is Effort.BOUND:
+        return costs.period_lower_bound(model)
+    if model is CommModel.INORDER:
+        if effort is Effort.EXACT and order_space_size(graph) <= 50_000:
+            lam, _ = exact_inorder_period(graph, max_configs=50_000)
+            return lam
+        return inorder_period_for_orders(graph, greedy_orders(graph))
+    # OUTORDER
+    return outorder_schedule(graph).period
+
+
+def latency_objective(
+    graph: ExecutionGraph, model: CommModel, effort: Effort = Effort.HEURISTIC
+) -> Fraction:
+    """Latency of the best known operation list for *graph* under *model*.
+
+    Forests are exact for every effort level (Algorithm 1 / Prop 12).
+    General DAGs use the critical-path bound (``BOUND``), the greedy
+    serialized scheduler plus — for OVERLAP — the layered bandwidth-sharing
+    scheduler (``HEURISTIC``), or branch-and-bound (``EXACT``, one-port;
+    an upper bound for OVERLAP where multi-port can be strictly better).
+    """
+    if graph.is_forest:
+        return tree_latency(graph)
+    costs = CostModel(graph)
+    if effort is Effort.BOUND:
+        return costs.latency_lower_bound()
+    if effort is Effort.EXACT and len(graph.nodes) <= 7:
+        value = exact_oneport_latency(graph)
+    else:
+        value = oneport_latency_schedule(graph).latency
+    if model is CommModel.OVERLAP:
+        layered = overlap_latency_layered(graph)
+        if layered is not None and layered.latency < value:
+            value = layered.latency
+    return value
+
+
+Objective = Callable[[ExecutionGraph], Fraction]
+
+
+def make_period_objective(
+    model: CommModel, effort: Effort = Effort.HEURISTIC
+) -> Objective:
+    return lambda graph: period_objective(graph, model, effort)
+
+
+def make_latency_objective(
+    model: CommModel, effort: Effort = Effort.HEURISTIC
+) -> Objective:
+    return lambda graph: latency_objective(graph, model, effort)
+
+
+__all__ = [
+    "Effort",
+    "Objective",
+    "latency_objective",
+    "make_latency_objective",
+    "make_period_objective",
+    "period_objective",
+]

@@ -1,0 +1,134 @@
+"""Exhaustive search over execution graphs (exact references, small n).
+
+Both MinPeriod and MinLatency are NP-hard in the full generality of the
+paper (Theorems 2 and 4); these enumerations are the exact references the
+heuristics and reductions are tested against.
+
+* :func:`iter_forests` — all forests, via parent maps (``(n+1)^n`` with
+  cycle filtering).  Proposition 4 guarantees some optimal MinPeriod plan
+  is a forest when there are no precedence constraints.
+* :func:`iter_dags` — all DAGs (deduplicated), for very small ``n``; used
+  to verify Proposition 4 empirically and for latency where optimal plans
+  need not be forests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core import Application, CommModel, ExecutionGraph
+from .evaluation import Effort, latency_objective, period_objective
+
+
+def iter_forests(app: Application) -> Iterator[ExecutionGraph]:
+    """All forest execution graphs of *app* (no precedence constraints)."""
+    if app.precedence:
+        raise ValueError("forest enumeration assumes no precedence constraints")
+    names = list(app.names)
+    n = len(names)
+    choices = [[None] + [p for p in names if p != child] for child in names]
+    for combo in itertools.product(*choices):
+        parents: Dict[str, Optional[str]] = dict(zip(names, combo))
+        # reject parent cycles (follow pointers with a step bound)
+        ok = True
+        for start in names:
+            node, steps = start, 0
+            while node is not None:
+                node = parents[node]
+                steps += 1
+                if steps > n:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            yield ExecutionGraph.from_parents(app, parents)
+
+
+def iter_dags(app: Application) -> Iterator[ExecutionGraph]:
+    """All DAG execution graphs of *app*, deduplicated (tiny n only)."""
+    names = list(app.names)
+    n = len(names)
+    if n > 5:
+        raise ValueError(f"DAG enumeration is unreasonable for n={n} > 5")
+    seen = set()
+    for perm in itertools.permutations(names):
+        # predecessors of perm[j] are any subset of perm[:j]
+        subset_lists = []
+        for j in range(n):
+            preds = perm[:j]
+            subset_lists.append(
+                list(
+                    itertools.chain.from_iterable(
+                        itertools.combinations(preds, k) for k in range(j + 1)
+                    )
+                )
+            )
+        for combo in itertools.product(*subset_lists):
+            edges = frozenset(
+                (p, perm[j]) for j in range(n) for p in combo[j]
+            )
+            if edges in seen:
+                continue
+            seen.add(edges)
+            graph = ExecutionGraph(app, edges, check_precedence=False)
+            if app.precedence:
+                try:
+                    graph._check_precedence()
+                except Exception:
+                    continue
+            yield graph
+
+
+def _search(
+    graphs: Iterable[ExecutionGraph],
+    objective,
+) -> Tuple[Fraction, ExecutionGraph]:
+    best_val: Optional[Fraction] = None
+    best_graph: Optional[ExecutionGraph] = None
+    for graph in graphs:
+        val = objective(graph)
+        if best_val is None or val < best_val:
+            best_val, best_graph = val, graph
+    if best_graph is None:
+        raise ValueError("no candidate execution graph")
+    return best_val, best_graph
+
+
+def exhaustive_minperiod(
+    app: Application,
+    model: CommModel,
+    *,
+    forests_only: bool = True,
+    effort: Effort = Effort.EXACT,
+) -> Tuple[Fraction, ExecutionGraph]:
+    """Exact MinPeriod by enumeration (forests by default — Prop 4)."""
+    graphs = iter_forests(app) if forests_only else iter_dags(app)
+    return _search(graphs, lambda g: period_objective(g, model, effort))
+
+
+def exhaustive_minlatency(
+    app: Application,
+    model: CommModel,
+    *,
+    forests_only: bool = False,
+    effort: Effort = Effort.EXACT,
+) -> Tuple[Fraction, ExecutionGraph]:
+    """Exact MinLatency by enumeration.
+
+    Optimal latency plans are *not* always forests (the Prop-13 gadget is a
+    fork-join), so the default enumerates DAGs; ``forests_only=True`` gives
+    the Proposition-17 restricted problem.
+    """
+    graphs = iter_forests(app) if forests_only else iter_dags(app)
+    return _search(graphs, lambda g: latency_objective(g, model, effort))
+
+
+__all__ = [
+    "exhaustive_minlatency",
+    "exhaustive_minperiod",
+    "iter_dags",
+    "iter_forests",
+]

@@ -1,0 +1,79 @@
+"""Greedy forest construction heuristics for MinPeriod / MinLatency.
+
+Services are inserted one at a time (filters by increasing cost first,
+then expanders); each one attaches to the existing node — or becomes a new
+root — that minimises the objective of the partial forest.  This is the
+natural incremental generalisation of the paper's chain greedy (Prop 8) to
+forest-shaped plans, which Proposition 4 shows are sufficient for
+MinPeriod.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..core import Application, CommModel, ExecutionGraph
+from .evaluation import Effort, latency_objective, period_objective
+
+
+def _insertion_order(app: Application) -> List[str]:
+    filters = sorted(
+        (s.name for s in app.services if s.selectivity < 1),
+        key=lambda n: (app.cost(n), n),
+    )
+    expanders = sorted(
+        (s.name for s in app.services if s.selectivity >= 1),
+        key=lambda n: (-app.cost(n), n),
+    )
+    return filters + expanders
+
+
+def _greedy_forest(
+    app: Application,
+    objective,
+) -> Tuple[Fraction, ExecutionGraph]:
+    if app.precedence:
+        raise ValueError("greedy forest construction assumes no precedence")
+    order = _insertion_order(app)
+    parents: Dict[str, Optional[str]] = {}
+    placed: List[str] = []
+    for name in order:
+        best_val: Optional[Fraction] = None
+        best_parent: Optional[str] = None
+        candidates: List[Optional[str]] = [None] + placed
+        for parent in candidates:
+            trial = dict(parents)
+            trial[name] = parent
+            sub = app.restricted_to(placed + [name])
+            graph = ExecutionGraph.from_parents(sub, trial)
+            val = objective(graph)
+            if best_val is None or val < best_val:
+                best_val, best_parent = val, parent
+        parents[name] = best_parent
+        placed.append(name)
+    graph = ExecutionGraph.from_parents(app, parents)
+    return objective(graph), graph
+
+
+def greedy_minperiod(
+    app: Application,
+    model: CommModel,
+    *,
+    effort: Effort = Effort.HEURISTIC,
+) -> Tuple[Fraction, ExecutionGraph]:
+    """Greedy forest heuristic for MinPeriod."""
+    return _greedy_forest(app, lambda g: period_objective(g, model, effort))
+
+
+def greedy_minlatency(
+    app: Application,
+    model: CommModel,
+    *,
+    effort: Effort = Effort.HEURISTIC,
+) -> Tuple[Fraction, ExecutionGraph]:
+    """Greedy forest heuristic for MinLatency."""
+    return _greedy_forest(app, lambda g: latency_objective(g, model, effort))
+
+
+__all__ = ["greedy_minlatency", "greedy_minperiod"]

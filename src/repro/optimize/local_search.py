@@ -1,0 +1,100 @@
+"""Reparenting local search over forest execution graphs.
+
+Starting from any forest (e.g. the greedy construction's output or the
+communication-free baseline), repeatedly move one node under a different
+parent (or make it a root) whenever that strictly improves the objective.
+First-improvement with a deterministic scan order; terminates because the
+objective strictly decreases and the neighbourhood is finite.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core import Application, CommModel, ExecutionGraph
+from .evaluation import (
+    Effort,
+    Objective,
+    make_latency_objective,
+    make_period_objective,
+)
+
+
+def _parents_of(graph: ExecutionGraph) -> Dict[str, Optional[str]]:
+    parents: Dict[str, Optional[str]] = {}
+    for node in graph.nodes:
+        preds = graph.predecessors(node)
+        if len(preds) > 1:
+            raise ValueError("local search requires a forest execution graph")
+        parents[node] = preds[0] if preds else None
+    return parents
+
+
+def local_search_forest(
+    graph: ExecutionGraph,
+    objective: Objective,
+    *,
+    max_moves: int = 200,
+) -> Tuple[Fraction, ExecutionGraph]:
+    """First-improvement reparenting search from *graph* (a forest)."""
+    app = graph.application
+    if app.precedence:
+        raise ValueError("local search assumes no precedence constraints")
+    parents = _parents_of(graph)
+    current = objective(graph)
+    moves = 0
+    improved = True
+    while improved and moves < max_moves:
+        improved = False
+        for node in app.names:
+            original = parents[node]
+            for candidate in [None] + [p for p in app.names if p != node]:
+                if candidate == original:
+                    continue
+                trial = dict(parents)
+                trial[node] = candidate
+                try:
+                    trial_graph = ExecutionGraph.from_parents(app, trial)
+                except Exception:
+                    continue  # candidate creates a cycle
+                val = objective(trial_graph)
+                if val < current:
+                    parents, current = trial, val
+                    moves += 1
+                    improved = True
+                    break
+            if improved:
+                break
+    return current, ExecutionGraph.from_parents(app, parents)
+
+
+def local_search_minperiod(
+    graph: ExecutionGraph,
+    model: CommModel,
+    *,
+    effort: Effort = Effort.HEURISTIC,
+    max_moves: int = 200,
+) -> Tuple[Fraction, ExecutionGraph]:
+    return local_search_forest(
+        graph, make_period_objective(model, effort), max_moves=max_moves
+    )
+
+
+def local_search_minlatency(
+    graph: ExecutionGraph,
+    model: CommModel,
+    *,
+    effort: Effort = Effort.HEURISTIC,
+    max_moves: int = 200,
+) -> Tuple[Fraction, ExecutionGraph]:
+    return local_search_forest(
+        graph, make_latency_objective(model, effort), max_moves=max_moves
+    )
+
+
+__all__ = [
+    "local_search_forest",
+    "local_search_minlatency",
+    "local_search_minperiod",
+]

@@ -1,0 +1,95 @@
+"""The communication-free baseline of Srivastava et al. [1] (paper's [1, 2]).
+
+Without communication costs and on homogeneous servers, MinPeriod is
+polynomial: some optimal plan chains all services of selectivity < 1
+(by increasing cost) and attaches every service of selectivity >= 1 as an
+independent leaf after the whole chain.  Appendix B.1 shows this structure
+stops being optimal the moment communications are charged — this module
+provides the baseline so the benchmarks can measure that effect.
+"""
+
+from __future__ import annotations
+
+import functools
+from fractions import Fraction
+from typing import List, Tuple
+
+from ..core import Application, CostModel, ExecutionGraph
+
+ONE = Fraction(1)
+
+
+def nocomm_period(graph: ExecutionGraph) -> Fraction:
+    """Period of *graph* when communications are free: ``max_k Ccomp(k)``."""
+    costs = CostModel(graph)
+    return max(costs.ccomp(n) for n in graph.nodes)
+
+
+def nocomm_latency(graph: ExecutionGraph) -> Fraction:
+    """Latency of *graph* when communications are free (critical path)."""
+    costs = CostModel(graph)
+    finish = {}
+    for node in graph.topological_order:
+        start = max(
+            (finish[p] for p in graph.predecessors(node)), default=Fraction(0)
+        )
+        finish[node] = start + costs.ccomp(node)
+    return max(finish.values())
+
+
+def nocomm_optimal_period_plan(app: Application) -> Tuple[Fraction, ExecutionGraph]:
+    """The [1]-style optimal plan ignoring communications.
+
+    Filters (selectivity < 1) are chained by increasing cost; every other
+    service hangs off the end of the chain.  Returns the *communication-free*
+    period together with the graph (which can then be re-evaluated under
+    any communication model).
+    """
+    if app.precedence:
+        raise ValueError("the baseline assumes no precedence constraints")
+    filters = sorted(
+        (s.name for s in app.services if s.selectivity < 1),
+        key=lambda n: (app.cost(n), n),
+    )
+    others = [s.name for s in app.services if s.selectivity >= 1]
+    edges: List[Tuple[str, str]] = list(zip(filters, filters[1:]))
+    if filters:
+        tail = filters[-1]
+        edges.extend((tail, o) for o in others)
+    graph = ExecutionGraph(app, edges)
+    return nocomm_period(graph), graph
+
+
+def _latency_cmp(app: Application):
+    def cmp(i: str, j: str) -> int:
+        # i before j iff c_i (1 - sigma_j) <= c_j (1 - sigma_i)
+        lhs = app.cost(i) * (ONE - app.selectivity(j))
+        rhs = app.cost(j) * (ONE - app.selectivity(i))
+        if lhs < rhs:
+            return -1
+        if lhs > rhs:
+            return 1
+        return -1 if i < j else 1
+
+    return cmp
+
+
+def nocomm_optimal_latency_chain(app: Application) -> Tuple[Fraction, ExecutionGraph]:
+    """Optimal *chain* for the communication-free latency ``sum_k P_k c_k``.
+
+    Adjacent exchange gives the classical ratio rule ``c_i (1 - sigma_j)
+    <= c_j (1 - sigma_i)`` (the ``c/(1 - sigma)`` rule of [1]).
+    """
+    if app.precedence:
+        raise ValueError("the baseline assumes no precedence constraints")
+    order = sorted(app.names, key=functools.cmp_to_key(_latency_cmp(app)))
+    graph = ExecutionGraph.chain(app, order)
+    return nocomm_latency(graph), graph
+
+
+__all__ = [
+    "nocomm_latency",
+    "nocomm_optimal_latency_chain",
+    "nocomm_optimal_period_plan",
+    "nocomm_period",
+]

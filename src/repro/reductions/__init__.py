@@ -1,0 +1,27 @@
+"""Executable NP-hardness reductions (Figures 9-12 and Proposition 17)."""
+
+from . import (
+    forest_latency,
+    minlatency,
+    minperiod_oneport,
+    minperiod_overlap,
+    orchestration_latency,
+    orchestration_period,
+)
+from .partition import PartitionInstance
+from .rn3dm import RN3DMInstance, is_solvable, solvable_instance, solve, unsolvable_instance
+
+__all__ = [
+    "PartitionInstance",
+    "RN3DMInstance",
+    "forest_latency",
+    "is_solvable",
+    "minlatency",
+    "minperiod_oneport",
+    "minperiod_overlap",
+    "orchestration_latency",
+    "orchestration_period",
+    "solvable_instance",
+    "solve",
+    "unsolvable_instance",
+]

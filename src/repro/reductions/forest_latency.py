@@ -1,0 +1,176 @@
+"""Proposition 17: 2-Partition -> forest-restricted MinLatency.
+
+Given integers ``x_1..x_n`` with sum ``S`` and a large scale ``A``, the
+gadget builds ``n + 1`` services:
+
+* ``C_i``: cost ``x_i / A``, selectivity ``1 - x_i/A + beta (x_i/A)^2``
+  with ``beta = (A - S) / (2A + S)``;
+* ``C_{n+1}``: cost ``(2A + S) / (2A - 2S)``, selectivity 1.
+
+A forest plan chains a subset ``I`` of the ``C_i`` in front of
+``C_{n+1}`` and leaves the rest as isolated roots.  The chained prefix
+multiplies ``C_{n+1}``'s huge cost by ``prod_I sigma_i``; the second-order
+``beta`` term is tuned so the latency is (up to vanishing corrections) a
+quadratic in ``S/2 - sum_I x_i`` — minimal exactly at a perfect partition.
+
+.. note::
+   **Reproduction finding (negative).**  The gadget as printed does *not*
+   discriminate, under either latency accounting:
+
+   * the paper's own chain algebra drops the per-hop communication terms
+     (its ``L`` sums only ``prod(sigma) * c`` terms) — adding them
+     perturbs the latency at ``Theta(1/A)``, above the claimed
+     ``Theta(1/A^2)`` separation signal;
+   * even under the paper's communication-free accounting, exact
+     second-order expansion of ``L(I) = sum_I P_i c_i + P_I c_{n+1}``
+     gives ``L - c_{n+1} = (1 - c_{n+1}) * Sx/A + O((Sx/A)^2)`` with
+     ``c_{n+1} > 1``: *monotone decreasing* in the chained sum ``Sx``, so
+     chaining everything is optimal regardless of balance.  The pairwise
+     coefficient needed for the claimed square ``(S/2 - Sx)^2`` is
+     ``3/(A(A-S))``, but the printed constants only produce
+     ``3S/(2A^2(A-S))`` — a factor ``S/(2A)`` short.
+
+   The module keeps the printed construction and exposes measurement
+   tools (:func:`full_profile`, :func:`decision`,
+   :func:`latency_is_monotone_in_imbalance`) so the benchmarks can report
+   the measured behaviour; see ``EXPERIMENTS.md`` for the write-up.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core import Application, ExecutionGraph, make_application
+from ..scheduling.latency import tree_latency
+from .partition import PartitionInstance, solve
+
+F = Fraction
+
+
+@dataclass(frozen=True)
+class ForestLatencyGadget:
+    instance: PartitionInstance
+    application: Application
+    A: int
+    beta: Fraction
+
+
+def build(instance: PartitionInstance, A: Optional[int] = None) -> ForestLatencyGadget:
+    xs = instance.xs
+    n = len(xs)
+    S = instance.total
+    xm = max(xs)
+    if A is None:
+        # paper: A > (4/3) n 3^n beta^n x_M^3; beta < 1/2 so this suffices
+        A = max(2 * S, 2 * n * 3**n * xm**3)
+    if A <= S:
+        raise ValueError("A must exceed the total sum S")
+    beta = F(A - S, 2 * A + S)
+    specs: List[Tuple[str, Fraction, Fraction]] = []
+    for i, x in enumerate(xs, start=1):
+        r = F(x, A)
+        specs.append((f"C{i}", r, 1 - r + beta * r * r))
+    specs.append((f"C{n + 1}", F(2 * A + S, 2 * A - 2 * S), F(1)))
+    return ForestLatencyGadget(instance, make_application(specs), A, beta)
+
+
+def subset_plan(
+    gadget: ForestLatencyGadget, subset: Sequence[int]
+) -> ExecutionGraph:
+    """Chain the (0-based) *subset* before ``C_{n+1}``; rest are roots."""
+    n = len(gadget.instance.xs)
+    chain = [f"C{i + 1}" for i in sorted(subset)] + [f"C{n + 1}"]
+    edges = list(zip(chain, chain[1:]))
+    return ExecutionGraph(gadget.application, edges)
+
+
+def subset_latency(
+    gadget: ForestLatencyGadget,
+    subset: Sequence[int],
+    *,
+    include_comm: bool = False,
+) -> Fraction:
+    """Latency of the subset plan.
+
+    ``include_comm=False`` (default) uses the paper's accounting — the
+    communication-free critical path, under which the reduction's algebra
+    is exact.  ``include_comm=True`` charges the Section-2.1 communication
+    terms (see the module docstring).
+    """
+    graph = subset_plan(gadget, subset)
+    if include_comm:
+        return tree_latency(graph)
+    from ..optimize.nocomm import nocomm_latency
+
+    return nocomm_latency(graph)
+
+
+def imbalance(gadget: ForestLatencyGadget, subset: Sequence[int]) -> int:
+    """``|S - 2 * sum_I|`` (0 iff *subset* realises a perfect partition)."""
+    s = sum(gadget.instance.xs[i] for i in subset)
+    return abs(gadget.instance.total - 2 * s)
+
+
+def full_profile(
+    gadget: ForestLatencyGadget, *, include_comm: bool = False
+) -> List[Tuple[int, Fraction]]:
+    """``(imbalance, latency)`` over *all* subsets, sorted by imbalance."""
+    n = len(gadget.instance.xs)
+    rows = []
+    for size in range(n + 1):
+        for subset in itertools.combinations(range(n), size):
+            rows.append(
+                (
+                    imbalance(gadget, subset),
+                    subset_latency(gadget, subset, include_comm=include_comm),
+                )
+            )
+    rows.sort()
+    return rows
+
+
+def decision(gadget: ForestLatencyGadget, *, include_comm: bool = False) -> bool:
+    """Does the minimum-latency subset realise a perfect partition?
+
+    Under the paper's accounting (``include_comm=False``) this is exact:
+    the subset minimising the forest latency has zero imbalance iff the
+    2-Partition instance is solvable.
+    """
+    profile = full_profile(gadget, include_comm=include_comm)
+    best_latency = min(lat for _, lat in profile)
+    achieved = sorted(imb for imb, lat in profile if lat == best_latency)
+    return achieved[0] == 0
+
+
+def latency_is_monotone_in_imbalance(
+    gadget: ForestLatencyGadget, *, include_comm: bool = False
+) -> bool:
+    """Does lower imbalance always give (weakly) lower optimal latency?
+
+    This is the mechanism of the reduction: the latency of the best subset
+    at each imbalance level increases with the imbalance.
+    """
+    profile = full_profile(gadget, include_comm=include_comm)
+    best_at: Dict[int, Fraction] = {}
+    for imb, lat in profile:
+        if imb not in best_at or lat < best_at[imb]:
+            best_at[imb] = lat
+    levels = sorted(best_at)
+    return all(
+        best_at[a] <= best_at[b] for a, b in zip(levels, levels[1:])
+    )
+
+
+__all__ = [
+    "ForestLatencyGadget",
+    "build",
+    "decision",
+    "full_profile",
+    "imbalance",
+    "latency_is_monotone_in_imbalance",
+    "subset_latency",
+    "subset_plan",
+]

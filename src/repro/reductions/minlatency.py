@@ -1,0 +1,146 @@
+"""Propositions 13-15: RN3DM -> MinLatency (fork-join emerges from optimality).
+
+The gadget has ``n + 2`` services:
+
+* a fork ``F`` with ``c_F = sigma_F = 1/(20n)``;
+* ``C_i`` with cost ``10n - A[i]`` and selectivity ``sigma = 1 - 1/(2n)``;
+* a join ``J`` with ``c_J = 1`` and ``sigma_J = 200 n^2 - 1``.
+
+The paper shows every latency-optimal plan is the fork-join
+``F -> {C_i} -> J`` and that the optimal latency is reached iff the send /
+receive orders encode an RN3DM solution.  In the paper's accounting the
+initial input message is dropped; our model charges it, which shifts every
+latency by the constant 1 and leaves the reduction untouched — we use
+``K = 1 + c_F + 10n * sigma_F + sigma_F sigma^n (c_J + sigma_J)
+= 3/2 + 1/(20n) + 10n (1 - 1/2n)^n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from ..core import Application, ExecutionGraph, make_application
+from ..scheduling.latency import minmax_two_permutations
+from .rn3dm import RN3DMInstance, solve
+
+F = Fraction
+
+
+@dataclass(frozen=True)
+class MinLatencyGadget:
+    instance: RN3DMInstance
+    application: Application
+    K: Fraction
+
+    @property
+    def fork_join_graph(self) -> ExecutionGraph:
+        n = self.instance.n
+        edges = [("F", f"C{i}") for i in range(1, n + 1)]
+        edges += [(f"C{i}", "J") for i in range(1, n + 1)]
+        return ExecutionGraph(self.application, edges)
+
+
+def build(instance: RN3DMInstance) -> MinLatencyGadget:
+    n = instance.n
+    sf = F(1, 20 * n)
+    sigma = 1 - F(1, 2 * n)
+    specs: List[Tuple[str, Fraction, Fraction]] = [("F", sf, sf)]
+    for i in range(1, n + 1):
+        specs.append((f"C{i}", F(10 * n - instance.A[i - 1]), sigma))
+    specs.append(("J", F(1), F(200 * n * n - 1)))
+    app = make_application(specs)
+    K = 1 + sf + 10 * n * sf + sf * sigma**n * (1 + (200 * n * n - 1))
+    return MinLatencyGadget(instance, app, K)
+
+
+def fork_join_latency(
+    gadget: MinLatencyGadget,
+    lambda1: List[int],
+    lambda2: List[int],
+) -> Fraction:
+    """Exact latency of the fork-join plan under the given orders.
+
+    ``L = 1 + c_F + sigma_F * max_i (lambda1(i) + c_i + sigma lambda2(i))
+    + sigma_F sigma^n (c_J + sigma_J)`` — input message, fork computation,
+    the packed send/receive pipeline, join computation and output message.
+    """
+    app = gadget.application
+    n = gadget.instance.n
+    sf = app.selectivity("F")
+    sigma = app.selectivity("C1")
+    inner = max(
+        lambda1[i - 1] + app.cost(f"C{i}") + sigma * lambda2[i - 1]
+        for i in range(1, n + 1)
+    )
+    tail = sf * sigma**n * (app.cost("J") + app.selectivity("J"))
+    return 1 + app.cost("F") + sf * inner + tail
+
+
+def optimal_fork_join_latency(gadget: MinLatencyGadget) -> Fraction:
+    """Exact optimum over both orders (two-permutation min-max)."""
+    app = gadget.application
+    n = gadget.instance.n
+    sf = app.selectivity("F")
+    sigma = app.selectivity("C1")
+    costs = [app.cost(f"C{i}") for i in range(1, n + 1)]
+    inner, _, _ = minmax_two_permutations(costs, second_scale=sigma)
+    tail = sf * sigma**n * (app.cost("J") + app.selectivity("J"))
+    return 1 + app.cost("F") + sf * inner + tail
+
+
+def forward_latency(gadget: MinLatencyGadget) -> Optional[Fraction]:
+    sol = solve(gadget.instance)
+    if sol is None:
+        return None
+    return fork_join_latency(gadget, *sol)
+
+
+def decision(gadget: MinLatencyGadget) -> bool:
+    """Fork-join-restricted MinLatency ``<= K``?  (Exact; the paper's
+    Observations force optimal plans into this very structure.)"""
+    return optimal_fork_join_latency(gadget) <= gadget.K
+
+
+def structure_penalties(gadget: MinLatencyGadget) -> List[Tuple[str, Fraction]]:
+    """The proof's 'wrong structure' latencies, all strictly above ``K``.
+
+    Returns labelled lower bounds for: a branch service without a
+    predecessor, the join without predecessors, the join directly after
+    the fork, and two chained branch services.
+    """
+    app = gadget.application
+    n = gadget.instance.n
+    sf = app.selectivity("F")
+    sigma = app.selectivity("C1")
+    cmin = min(app.cost(f"C{i}") for i in range(1, n + 1))
+    join_tail = app.cost("J") + app.selectivity("J")  # = 200 n^2
+    out: List[Tuple[str, Fraction]] = []
+    out.append(("branch service as entry node", 1 + cmin))
+    out.append(("join as entry node", 1 + join_tail))
+    out.append(
+        ("join directly after fork", 1 + app.cost("F") + sf * (1 + join_tail))
+    )
+    # two chained branch services: both computations pay their cost, the
+    # join tail is filtered by at most sigma^n (paper's L').
+    out.append(
+        (
+            "two chained branch services",
+            1
+            + app.cost("F")
+            + sf * (cmin + sigma * cmin + sigma**n * join_tail),
+        )
+    )
+    return out
+
+
+__all__ = [
+    "MinLatencyGadget",
+    "build",
+    "decision",
+    "fork_join_latency",
+    "forward_latency",
+    "optimal_fork_join_latency",
+    "structure_penalties",
+]

@@ -1,0 +1,178 @@
+"""Proposition 5 (Figure 10): RN3DM -> MinPeriod-OVERLAP.
+
+The gadget has ``3n`` services in three families (``K = 3/2``):
+
+* ``C1_i``: cost ``K``, selectivity ``a * gamma^i``;
+* ``C2_i``: cost ``2K / (b + 1)``, selectivity ``a * gamma^i``;
+* ``C3_i``: cost ``(K / a^2) * gamma^(-A[i])``, selectivity ``K / b^2``;
+
+with rationals ``a < b < 1 < gamma`` chosen so that (paper's conditions)
+``3/4 < a^{2n} < b^{2n} < 3.2/4`` and ``gamma^n < b / a``.  A plan of
+period ``<= K`` must arrange the services into ``n`` independent chains
+``C1_* -> C2_* -> C3_i`` (Observations in the proof), and chain ``i`` meets
+the bound iff ``lambda1(i) + lambda2(i) <= A[i]``, which by the sum
+constraint forces equality — i.e. a solution of RN3DM.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import Application, CommModel, CostModel, ExecutionGraph, make_application
+from .rn3dm import RN3DMInstance, solve
+
+F = Fraction
+
+
+def find_parameters(n: int) -> Tuple[Fraction, Fraction, Fraction]:
+    """Exact rationals ``(a, b, gamma)`` satisfying the gadget inequalities.
+
+    The paper proves existence with denominators ``2^n`` for large ``n``;
+    for the small instances the tests use we search increasing denominators
+    ``2^m`` (``m >= n``) and verify every inequality exactly.
+    """
+    lo, hi = F(3, 4), F(16, 20)  # 3/4 < a^{2n} < b^{2n} < 3.2/4
+    exp = 2 * n
+    for m in range(max(n, 3), n + 40):
+        denom = 2**m
+        # Bisect the smallest p with (p / denom)^{2n} > 3/4 (monotone in p).
+        low, high = 1, denom  # (denom/denom)^{2n} = 1 > 3/4
+        while low < high:
+            mid = (low + high) // 2
+            if F(mid, denom) ** exp > lo:
+                high = mid
+            else:
+                low = mid + 1
+        a_num = low
+        b_num = a_num + 1
+        if F(a_num, denom) ** exp >= hi or F(b_num, denom) ** exp >= hi:
+            continue  # the grid is too coarse at this denominator
+        a, b = F(a_num, denom), F(b_num, denom)
+        # gamma just above 1 with gamma^n < b/a; a finer denominator than
+        # a and b is required (the paper's shared-2^n-denominator claim
+        # fails for small n — see DESIGN.md "Known paper slips").
+        for mg in range(m, m + 64):
+            gdenom = 2**mg
+            gamma = F(gdenom + 1, gdenom)
+            if gamma**n < b / a:
+                return a, b, gamma
+    raise ValueError(f"could not find gadget parameters for n={n}")
+
+
+@dataclass(frozen=True)
+class MinPeriodOverlapGadget:
+    instance: RN3DMInstance
+    application: Application
+    K: Fraction
+    a: Fraction
+    b: Fraction
+    gamma: Fraction
+
+    def names(self, family: int) -> List[str]:
+        return [f"C{family}_{i}" for i in range(1, self.instance.n + 1)]
+
+
+def build(instance: RN3DMInstance) -> MinPeriodOverlapGadget:
+    n = instance.n
+    a, b, gamma = find_parameters(n)
+    K = F(3, 2)
+    specs: List[Tuple[str, Fraction, Fraction]] = []
+    for i in range(1, n + 1):
+        specs.append((f"C1_{i}", K, a * gamma**i))
+    for i in range(1, n + 1):
+        specs.append((f"C2_{i}", K * 2 / (b + 1), a * gamma**i))
+    for i in range(1, n + 1):
+        specs.append(
+            (f"C3_{i}", (K / a**2) * gamma ** (-instance.A[i - 1]), K / b**2)
+        )
+    app = make_application(specs)
+    return MinPeriodOverlapGadget(instance, app, K, a, b, gamma)
+
+
+def chain_plan(
+    gadget: MinPeriodOverlapGadget,
+    lambda1: Sequence[int],
+    lambda2: Sequence[int],
+) -> ExecutionGraph:
+    """The Figure-10 plan: chains ``C1_{l1(i)} -> C2_{l2(i)} -> C3_i``."""
+    edges = []
+    for i in range(1, gadget.instance.n + 1):
+        edges.append((f"C1_{lambda1[i - 1]}", f"C2_{lambda2[i - 1]}"))
+        edges.append((f"C2_{lambda2[i - 1]}", f"C3_{i}"))
+    return ExecutionGraph(gadget.application, edges)
+
+
+def plan_period(gadget: MinPeriodOverlapGadget, graph: ExecutionGraph) -> Fraction:
+    """OVERLAP period of a plan (exact — Theorem 1)."""
+    return CostModel(graph).period_lower_bound(CommModel.OVERLAP)
+
+
+def forward_period(gadget: MinPeriodOverlapGadget) -> Optional[Fraction]:
+    """Period of the forward construction (``None`` if unsolvable)."""
+    sol = solve(gadget.instance)
+    if sol is None:
+        return None
+    return plan_period(gadget, chain_plan(gadget, *sol))
+
+
+def structure_restricted_decision(gadget: MinPeriodOverlapGadget) -> bool:
+    """Minimum period over all Figure-10 chain assignments, vs ``K``.
+
+    The proof's Observations force optimal plans into this structure;
+    enumerating the two permutations is then exact for the restricted
+    problem (and equivalent to RN3DM).
+    """
+    n = gadget.instance.n
+    indices = list(range(1, n + 1))
+    for l1 in itertools.permutations(indices):
+        for l2 in itertools.permutations(indices):
+            if plan_period(gadget, chain_plan(gadget, l1, l2)) <= gadget.K:
+                return True
+    return False
+
+
+def verify_observations(gadget: MinPeriodOverlapGadget) -> List[str]:
+    """Check the proof's structural observations numerically (exact).
+
+    Returns a list of violated observations (empty = all hold):
+    1. no service may be an entry node except the ``C1`` family;
+    2. every ``C3_i`` needs at least two proper ancestors;
+    3. ``C3`` services cannot feed other ``C3`` services;
+    4. no ``C1``/``C2`` service can have two successors.
+    """
+    app = gadget.application
+    K, a, b, n = gadget.K, gadget.a, gadget.b, gadget.instance.n
+    gamma = gadget.gamma
+    problems: List[str] = []
+    for i in range(1, n + 1):
+        c2 = app.cost(f"C2_{i}")
+        if not 1 + c2 + app.selectivity(f"C2_{i}") > K:
+            problems.append(f"C2_{i} could be an entry node")
+        c3 = app.cost(f"C3_{i}")
+        if not 1 + c3 + app.selectivity(f"C3_{i}") > K:
+            problems.append(f"C3_{i} could be an entry node")
+        # one single C1/C2 ancestor is not enough for C3_i
+        for j in range(1, n + 1):
+            sel = app.selectivity(f"C1_{j}")
+            if not sel * c3 > K:
+                problems.append(f"C3_{i} could hang below C1_{j} alone")
+    # two successors of a C1/C2 service exceed the outgoing capacity
+    min_sel = min(app.selectivity(f"C1_{i}") for i in range(1, n + 1))
+    if not 2 * min_sel * min_sel > K:
+        problems.append("a C1/C2 service could feed two successors")
+    return problems
+
+
+__all__ = [
+    "MinPeriodOverlapGadget",
+    "build",
+    "chain_plan",
+    "find_parameters",
+    "forward_period",
+    "plan_period",
+    "structure_restricted_decision",
+    "verify_observations",
+]

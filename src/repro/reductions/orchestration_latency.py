@@ -1,0 +1,108 @@
+"""Propositions 9-11 (Figure 12): RN3DM -> latency orchestration.
+
+The gadget is a fork-join of ``n + 2`` unit-selectivity services:
+``C0`` (cost 1) fans out to ``C_i`` of cost ``B[i] = n - A[i] + n^2``
+(``i = 1..n``), which join into ``C_{n+1}`` (cost 1).  With a send order
+``lambda1`` at ``C0`` and a receive order ``n + 1 - lambda2`` at the join,
+the latency is ``4 + max_i (lambda1(i) + B[i] + lambda2(i))``; an
+operation list of latency ``K = n + 4 + n^2`` exists iff the RN3DM
+instance is solvable.  The same gadget serves OUTORDER (Prop 9), INORDER
+(Prop 10) and OVERLAP (Prop 11 — one-port schedules dominate multi-port
+ones on fork-joins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import Application, ExecutionGraph, make_application
+from ..scheduling.latency import exact_oneport_latency, minmax_two_permutations
+from .rn3dm import RN3DMInstance, solve
+
+
+@dataclass(frozen=True)
+class LatencyOrchestrationGadget:
+    instance: RN3DMInstance
+    application: Application
+    graph: ExecutionGraph
+    K: Fraction
+
+    @property
+    def branch_costs(self) -> List[Fraction]:
+        n = self.instance.n
+        return [self.application.cost(f"C{i}") for i in range(1, n + 1)]
+
+
+def build(instance: RN3DMInstance) -> LatencyOrchestrationGadget:
+    """Construct the Figure-12 fork-join gadget."""
+    n = instance.n
+    specs: List[Tuple[str, int, int]] = [("C0", 1, 1)]
+    for i in range(1, n + 1):
+        cost = n - instance.A[i - 1] + n * n
+        if cost <= 0:
+            raise ValueError("gadget requires n - A[i] + n^2 > 0")
+        specs.append((f"C{i}", cost, 1))
+    specs.append((f"C{n + 1}", 1, 1))
+    app = make_application(specs)
+    edges = [("C0", f"C{i}") for i in range(1, n + 1)]
+    edges += [(f"C{i}", f"C{n + 1}") for i in range(1, n + 1)]
+    graph = ExecutionGraph(app, edges)
+    return LatencyOrchestrationGadget(
+        instance, app, graph, Fraction(n + 4 + n * n)
+    )
+
+
+def optimal_latency(gadget: LatencyOrchestrationGadget) -> Fraction:
+    """Exact optimal fork-join latency via the two-permutation solver.
+
+    For a fork-join with unit fork/join costs and unit messages, the
+    one-port latency under orders ``(lambda1, lambda2)`` is
+    ``4 + max_i (lambda1(i) + B_i + lambda2(i))`` — in-message, fork
+    computation, per-slot sends, branch computation, per-slot receives,
+    join computation, out-message.  Optimising over orders is exactly the
+    two-permutation min-max problem.
+    """
+    val, _, _ = minmax_two_permutations(gadget.branch_costs)
+    return val + 4
+
+
+def optimal_latency_branch_and_bound(
+    gadget: LatencyOrchestrationGadget,
+) -> Fraction:
+    """Independent check through the generic B&B scheduler (small n)."""
+    return exact_oneport_latency(gadget.graph)
+
+
+def decision(gadget: LatencyOrchestrationGadget) -> bool:
+    """Does an operation list of latency ``<= K`` exist?  (Exact.)"""
+    return optimal_latency(gadget) <= gadget.K
+
+
+def forward_latency(gadget: LatencyOrchestrationGadget) -> Optional[Fraction]:
+    """Latency of the forward construction (``None`` if unsolvable).
+
+    With ``lambda1(i) + lambda2(i) = A[i]`` every branch satisfies
+    ``lambda1(i) + B[i] + lambda2(i) = n + n^2``, so the latency is exactly
+    ``K``.
+    """
+    sol = solve(gadget.instance)
+    if sol is None:
+        return None
+    lambda1, lambda2 = sol
+    n = gadget.instance.n
+    vals = [
+        lambda1[i] + gadget.branch_costs[i] + lambda2[i] for i in range(n)
+    ]
+    return Fraction(max(vals) + 4)
+
+
+__all__ = [
+    "LatencyOrchestrationGadget",
+    "build",
+    "decision",
+    "forward_latency",
+    "optimal_latency",
+    "optimal_latency_branch_and_bound",
+]

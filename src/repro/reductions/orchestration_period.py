@@ -1,0 +1,186 @@
+"""Propositions 2-3 (Figure 9): RN3DM -> one-port period orchestration.
+
+Given RN3DM vector ``A`` of size ``n``, the gadget has ``2n + 5`` unit-
+selectivity services arranged as a fork at ``C1`` into ``n + 2`` branches
+joining at ``C_{2n+5}``:
+
+* ``C1`` (cost ``n``) feeds ``C_{2i}`` (cost ``2n+1``, ``i = 1..n+1``) and
+  ``C_{2n+4}`` (cost ``2n+1``);
+* each ``C_{2i}`` (``i <= n``) feeds ``C_{2i+1}`` (cost ``2n+1-A[i]``);
+  ``C_{2n+2}`` feeds ``C_{2n+3}`` (cost ``2n+1``);
+* all ``C_{2i+1}``, ``C_{2n+3}`` and ``C_{2n+4}`` feed ``C_{2n+5}``
+  (cost ``n``).
+
+Servers ``C1`` and ``C_{2n+5}`` are *saturated*: their cycle time is
+exactly ``K = 2n + 3``, so a period-``K`` operation list exists iff the
+send order at ``C1`` and the receive order at ``C_{2n+5}`` realise
+permutations solving the RN3DM instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import Application, CommModel, ExecutionGraph, INPUT, OUTPUT, make_application
+from ..scheduling.inorder import (
+    CommOrders,
+    exact_inorder_period,
+    inorder_period_for_orders,
+)
+from .rn3dm import RN3DMInstance, solve
+
+
+@dataclass(frozen=True)
+class PeriodOrchestrationGadget:
+    instance: RN3DMInstance
+    application: Application
+    graph: ExecutionGraph
+    K: Fraction
+
+
+def build(instance: RN3DMInstance) -> PeriodOrchestrationGadget:
+    """Construct the Figure-9 gadget for *instance*."""
+    n = instance.n
+    A = instance.A
+    specs: List[Tuple[str, int, int]] = [("C1", n, 1)]
+    for i in range(1, n + 2):  # C2, C4, ..., C_{2n+2}
+        specs.append((f"C{2 * i}", 2 * n + 1, 1))
+    for i in range(1, n + 1):  # C3, C5, ..., C_{2n+1}
+        specs.append((f"C{2 * i + 1}", 2 * n + 1 - A[i - 1], 1))
+    specs.append((f"C{2 * n + 3}", 2 * n + 1, 1))
+    specs.append((f"C{2 * n + 4}", 2 * n + 1, 1))
+    specs.append((f"C{2 * n + 5}", n, 1))
+    app = make_application(specs)
+    edges: List[Tuple[str, str]] = []
+    for i in range(1, n + 2):
+        edges.append(("C1", f"C{2 * i}"))
+    edges.append(("C1", f"C{2 * n + 4}"))
+    for i in range(1, n + 1):
+        edges.append((f"C{2 * i}", f"C{2 * i + 1}"))
+        edges.append((f"C{2 * i + 1}", f"C{2 * n + 5}"))
+    edges.append((f"C{2 * n + 2}", f"C{2 * n + 3}"))
+    edges.append((f"C{2 * n + 3}", f"C{2 * n + 5}"))
+    edges.append((f"C{2 * n + 4}", f"C{2 * n + 5}"))
+    graph = ExecutionGraph(app, edges)
+    return PeriodOrchestrationGadget(instance, app, graph, Fraction(2 * n + 3))
+
+
+def forward_orders(
+    gadget: PeriodOrchestrationGadget,
+    lambda1: Sequence[int],
+    lambda2: Sequence[int],
+) -> CommOrders:
+    """The paper's forward construction: orders realising period ``K``.
+
+    ``C1`` feeds ``C_{2n+2}``, then the branches ``C_{2i}`` in the order
+    given by ``lambda1``, and finally ``C_{2n+4}`` (the paper's "first
+    communicates with C_{2n+4}" — the send sequence is cyclic, so first
+    and last coincide).  ``C_{2n+5}`` receives from ``C_{2n+4}``, then the
+    branch ends in the order ``n + 1 - lambda2``, and finally ``C_{2n+3}``.
+    """
+    n = gadget.instance.n
+    graph = gadget.graph
+    by_l1 = sorted(range(1, n + 1), key=lambda i: lambda1[i - 1])
+    out_c1 = (
+        [f"C{2 * n + 2}"]
+        + [f"C{2 * i}" for i in by_l1]
+        + [f"C{2 * n + 4}"]
+    )
+    by_l2 = sorted(range(1, n + 1), key=lambda i: n + 1 - lambda2[i - 1])
+    in_join = (
+        [f"C{2 * n + 4}"]
+        + [f"C{2 * i + 1}" for i in by_l2]
+        + [f"C{2 * n + 3}"]
+    )
+    incoming: Dict[str, Tuple[str, ...]] = {}
+    outgoing: Dict[str, Tuple[str, ...]] = {}
+    for node in graph.nodes:
+        incoming[node] = tuple(graph.predecessors(node)) or (INPUT,)
+        outgoing[node] = tuple(graph.successors(node)) or (OUTPUT,)
+    outgoing["C1"] = tuple(out_c1)
+    incoming[f"C{2 * n + 5}"] = tuple(in_join)
+    return CommOrders(incoming, outgoing)
+
+
+def forward_period(gadget: PeriodOrchestrationGadget) -> Optional[Fraction]:
+    """Period of the forward construction (``None`` if RN3DM unsolvable)."""
+    sol = solve(gadget.instance)
+    if sol is None:
+        return None
+    orders = forward_orders(gadget, *sol)
+    return inorder_period_for_orders(gadget.graph, orders)
+
+
+def decision(gadget: PeriodOrchestrationGadget) -> bool:
+    """Does an INORDER operation list of period ``<= K`` exist?  (Exact.)
+
+    Only the send order at ``C1`` and the receive order at ``C_{2n+5}``
+    carry any freedom (every other server has at most one predecessor and
+    successor), so the search enumerates those two permutations —
+    deduplicated over equal-cost branches — and runs one Bellman–Ford
+    feasibility check at ``K`` each.
+    """
+    import itertools
+
+    from ..cyclic import is_feasible
+    from ..scheduling.inorder import CommOrders, inorder_event_graph
+
+    # Fast path: a solvable instance yields a period-K list constructively.
+    sol = solve(gadget.instance)
+    if sol is not None:
+        orders = forward_orders(gadget, *sol)
+        if inorder_period_for_orders(gadget.graph, orders) <= gadget.K:
+            return True
+    n = gadget.instance.n
+    graph = gadget.graph
+    join = f"C{2 * n + 5}"
+    out_candidates = list(graph.successors("C1"))
+    in_candidates = list(graph.predecessors(join))
+
+    def branch_key(name: str):
+        """Branches with equal A[i] are interchangeable; specials are not."""
+        idx = int(name[1:])
+        if idx in (2 * n + 2, 2 * n + 3, 2 * n + 4):
+            return name
+        i = idx // 2  # C_{2i} and C_{2i+1} both belong to branch i
+        return ("branch", gadget.instance.A[i - 1])
+
+    def cost_pattern(names):
+        return tuple(branch_key(x) for x in names)
+
+    base_in = {
+        node: tuple(graph.predecessors(node)) or (INPUT,) for node in graph.nodes
+    }
+    base_out = {
+        node: tuple(graph.successors(node)) or (OUTPUT,) for node in graph.nodes
+    }
+    seen_out = set()
+    for out_perm in itertools.permutations(out_candidates):
+        pat = cost_pattern(out_perm)
+        if pat in seen_out:
+            continue
+        seen_out.add(pat)
+        seen_in = set()
+        for in_perm in itertools.permutations(in_candidates):
+            pat_in = cost_pattern(in_perm)
+            if pat_in in seen_in:
+                continue
+            seen_in.add(pat_in)
+            orders = CommOrders(
+                {**base_in, join: in_perm}, {**base_out, "C1": out_perm}
+            )
+            eg = inorder_event_graph(graph, orders)
+            if is_feasible(eg, gadget.K):
+                return True
+    return False
+
+
+__all__ = [
+    "PeriodOrchestrationGadget",
+    "build",
+    "decision",
+    "forward_orders",
+    "forward_period",
+]

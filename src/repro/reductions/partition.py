@@ -1,0 +1,74 @@
+"""2-Partition (Garey & Johnson [18]) — source problem of Proposition 17."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PartitionInstance:
+    """Integers ``x_1..x_n``: is there ``I`` with ``sum_I = sum/2``?"""
+
+    xs: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "xs", tuple(int(x) for x in self.xs))
+        if not self.xs or any(x <= 0 for x in self.xs):
+            raise ValueError("2-Partition requires positive integers")
+
+    @property
+    def total(self) -> int:
+        return sum(self.xs)
+
+
+def solve(instance: PartitionInstance) -> Optional[List[int]]:
+    """Subset-sum DP: indices of a half-sum subset, or ``None``."""
+    total = instance.total
+    if total % 2:
+        return None
+    target = total // 2
+    reachable = {0: []}
+    for i, x in enumerate(instance.xs):
+        updates = {}
+        for s, idxs in reachable.items():
+            t = s + x
+            if t <= target and t not in reachable and t not in updates:
+                updates[t] = idxs + [i]
+        reachable.update(updates)
+        if target in reachable:
+            return reachable[target]
+    return reachable.get(target)
+
+
+def is_solvable(instance: PartitionInstance) -> bool:
+    return solve(instance) is not None
+
+
+def solvable_instance(n: int, seed: int = 0, hi: int = 50) -> PartitionInstance:
+    """Random instance made solvable by mirroring a random half."""
+    if n < 2 or n % 2:
+        raise ValueError("need an even n >= 2")
+    rng = np.random.default_rng(seed)
+    half = [int(rng.integers(1, hi)) for _ in range(n // 2)]
+    return PartitionInstance(tuple(half + half))
+
+
+def unsolvable_instance(n: int, seed: int = 1, hi: int = 50) -> PartitionInstance:
+    """Random unsolvable instance (odd total forces unsolvability)."""
+    rng = np.random.default_rng(seed)
+    while True:
+        xs = [int(rng.integers(1, hi)) for _ in range(n)]
+        if sum(xs) % 2 == 1:
+            return PartitionInstance(tuple(xs))
+
+
+__all__ = [
+    "PartitionInstance",
+    "is_solvable",
+    "solvable_instance",
+    "solve",
+    "unsolvable_instance",
+]

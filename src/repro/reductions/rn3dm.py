@@ -1,0 +1,159 @@
+"""RN3DM — the permutation sums problem (Yu, Hoogeveen, Lenstra [22]).
+
+Given an integer vector ``A`` of size ``n``, do two permutations
+``lambda1, lambda2`` of ``{1..n}`` exist with ``lambda1(i) + lambda2(i) =
+A[i]`` for all ``i``?  This restricted numerical 3-dimensional matching is
+NP-complete and is the source problem of every RN3DM reduction in the
+paper (Propositions 2, 3, 5, 6, 7, 9, 10, 11, 13, 14, 15).
+
+Necessary conditions used by the paper ("we can suppose"): ``2 <= A[i] <=
+2n`` and ``sum A = n (n + 1)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RN3DMInstance:
+    """An RN3DM instance (the integer vector ``A``)."""
+
+    A: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "A", tuple(int(a) for a in self.A))
+        if not self.A:
+            raise ValueError("empty RN3DM instance")
+
+    @property
+    def n(self) -> int:
+        return len(self.A)
+
+    def is_well_formed(self) -> bool:
+        """The paper's necessary conditions (not sufficient)."""
+        n = self.n
+        return all(2 <= a <= 2 * n for a in self.A) and sum(self.A) == n * (n + 1)
+
+    def check(self, lambda1: Sequence[int], lambda2: Sequence[int]) -> bool:
+        """Is ``(lambda1, lambda2)`` a certificate (1-based permutations)?"""
+        n = self.n
+        return (
+            sorted(lambda1) == list(range(1, n + 1))
+            and sorted(lambda2) == list(range(1, n + 1))
+            and all(lambda1[i] + lambda2[i] == self.A[i] for i in range(n))
+        )
+
+
+def solve(instance: RN3DMInstance) -> Optional[Tuple[List[int], List[int]]]:
+    """Backtracking solver: returns ``(lambda1, lambda2)`` or ``None``.
+
+    Positions are assigned in order; both value pools are tracked.  The
+    problem is NP-complete, but instances of the size the gadget tests use
+    (n <= 10) solve instantly.
+    """
+    if not instance.is_well_formed():
+        return None
+    n = instance.n
+    lambda1 = [0] * n
+    lambda2 = [0] * n
+    used1 = [False] * (n + 1)
+    used2 = [False] * (n + 1)
+
+    # Assign most-constrained positions first (fewest feasible v values).
+    def domain_size(i: int) -> int:
+        return sum(
+            1
+            for v in range(1, n + 1)
+            if not used1[v] and 1 <= instance.A[i] - v <= n and not used2[instance.A[i] - v]
+        )
+
+    order = sorted(range(n), key=lambda i: (min(instance.A[i] - 1, n) - max(instance.A[i] - n, 1)))
+
+    def backtrack(k: int) -> bool:
+        if k == n:
+            return True
+        i = order[k]
+        a = instance.A[i]
+        for v in range(max(1, a - n), min(n, a - 1) + 1):
+            w = a - v
+            if used1[v] or used2[w]:
+                continue
+            used1[v] = used2[w] = True
+            lambda1[i], lambda2[i] = v, w
+            if backtrack(k + 1):
+                return True
+            used1[v] = used2[w] = False
+        return False
+
+    if backtrack(0):
+        return lambda1, lambda2
+    return None
+
+
+def is_solvable(instance: RN3DMInstance) -> bool:
+    return solve(instance) is not None
+
+
+def brute_force_solve(
+    instance: RN3DMInstance,
+) -> Optional[Tuple[List[int], List[int]]]:
+    """Reference solver enumerating all permutations (tests only)."""
+    n = instance.n
+    if not instance.is_well_formed():
+        return None
+    for perm in itertools.permutations(range(1, n + 1)):
+        lambda2 = [instance.A[i] - perm[i] for i in range(n)]
+        if sorted(lambda2) == list(range(1, n + 1)):
+            return list(perm), lambda2
+    return None
+
+
+def solvable_instance(n: int, seed: int = 0) -> RN3DMInstance:
+    """A random solvable instance: ``A = lambda1 + lambda2`` by construction."""
+    rng = np.random.default_rng(seed)
+    l1 = rng.permutation(n) + 1
+    l2 = rng.permutation(n) + 1
+    return RN3DMInstance(tuple(int(a + b) for a, b in zip(l1, l2)))
+
+
+def unsolvable_instance(n: int, seed: int = 0, max_tries: int = 10_000) -> RN3DMInstance:
+    """A random well-formed but unsolvable instance (exists for n >= 4).
+
+    E.g. ``A = (2, 2, 8, 8)`` is well-formed for ``n = 4`` yet unsolvable:
+    two positions demanding ``1 + 1`` collide.
+    """
+    if n < 4:
+        raise ValueError("all well-formed instances with n <= 3 are solvable")
+    rng = np.random.default_rng(seed)
+    target = n * (n + 1)
+    for _ in range(max_tries):
+        a = rng.integers(2, 2 * n + 1, size=n)
+        diff = target - int(a.sum())
+        # greedy repair of the sum
+        idx = 0
+        while diff != 0 and idx < 10 * n:
+            j = int(rng.integers(0, n))
+            step = 1 if diff > 0 else -1
+            if 2 <= a[j] + step <= 2 * n:
+                a[j] += step
+                diff -= step
+            idx += 1
+        inst = RN3DMInstance(tuple(int(x) for x in a))
+        if inst.is_well_formed() and not is_solvable(inst):
+            return inst
+    return RN3DMInstance((2, 2, 2 * n, 2 * n) + tuple([n + 1] * (n - 4)))
+
+
+__all__ = [
+    "RN3DMInstance",
+    "brute_force_solve",
+    "is_solvable",
+    "solvable_instance",
+    "solve",
+    "unsolvable_instance",
+]

@@ -1,0 +1,444 @@
+"""Latency orchestration (Section 5 + Appendix D).
+
+Latency concerns a *single* data set, so the overlap/no-overlap distinction
+disappears (the paper serialises data sets); what matters is one-port
+versus multi-port communications.  This module provides:
+
+* :func:`oneport_latency_schedule` — greedy serialized list scheduling for
+  arbitrary execution graphs (valid for all three models);
+* :func:`exact_oneport_latency` — branch-and-bound over activity orders
+  (the problem is NP-hard, Theorem 3; exact for small graphs);
+* :func:`tree_latency` / :func:`tree_latency_schedule` — the paper's
+  Algorithm 1 (Proposition 12), ``O(n log n)``, optimal on forests;
+* :func:`minmax_two_permutations` — the fork-join inner problem
+  ``min over permutations of max_i lambda1(i) + B_i + lambda2(i)``
+  (exact + greedy heuristic), the combinatorial heart of Propositions 9-15;
+* :func:`overlap_latency_layered` — the bandwidth-sharing window scheduler
+  that achieves the multi-port latency 20 on counter-example B.2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import (
+    CommModel,
+    CostModel,
+    ExecutionGraph,
+    INPUT,
+    OUTPUT,
+    Operation,
+    OperationList,
+    Plan,
+    comm_op,
+    comp_op,
+    is_comm,
+)
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+# ---------------------------------------------------------------------------
+# Operation-level DAG shared by the serialized schedulers
+# ---------------------------------------------------------------------------
+
+class _OpDag:
+    """Operations, durations, op-level precedence and server incidence."""
+
+    def __init__(self, graph: ExecutionGraph) -> None:
+        costs = CostModel(graph)
+        self.graph = graph
+        self.ops: List[Operation] = []
+        self.duration: Dict[Operation, Fraction] = {}
+        self.op_preds: Dict[Operation, List[Operation]] = {}
+        self.servers: Dict[Operation, Tuple[str, ...]] = {}
+        for node in graph.topological_order:
+            in_ops = []
+            for p in graph.predecessors(node) or (INPUT,):
+                op = comm_op(p, node)
+                self.ops.append(op)
+                self.duration[op] = costs.message_size(p, node)
+                self.op_preds[op] = [] if p == INPUT else [comp_op(p)]
+                self.servers[op] = tuple(s for s in (p, node) if s != INPUT)
+                in_ops.append(op)
+            cop = comp_op(node)
+            self.ops.append(cop)
+            self.duration[cop] = costs.ccomp(node)
+            self.op_preds[cop] = in_ops
+            self.servers[cop] = (node,)
+        for node in graph.topological_order:
+            for s in graph.successors(node) or (OUTPUT,):
+                op = comm_op(node, s)
+                if op not in self.duration:
+                    self.ops.append(op)
+                    self.duration[op] = costs.message_size(node, s)
+                    self.op_preds[op] = [comp_op(node)]
+                    self.servers[op] = tuple(x for x in (node, s) if x != OUTPUT)
+        self.bottom: Dict[Operation, Fraction] = self._bottom_levels()
+
+    def _bottom_levels(self) -> Dict[Operation, Fraction]:
+        """Longest downstream duration chain from each op (inclusive)."""
+        op_succs: Dict[Operation, List[Operation]] = {op: [] for op in self.ops}
+        for op, preds in self.op_preds.items():
+            for p in preds:
+                op_succs[p].append(op)
+        bottom: Dict[Operation, Fraction] = {}
+        # ops were appended respecting precedence order, so reverse works
+        for op in reversed(self.ops):
+            tail = max((bottom[s] for s in op_succs[op]), default=ZERO)
+            bottom[op] = self.duration[op] + tail
+        return bottom
+
+
+def oneport_latency_schedule(
+    graph: ExecutionGraph, model: CommModel = CommModel.INORDER
+) -> Plan:
+    """Greedy serialized (one-port) schedule of a single data set.
+
+    Non-delay list scheduling: repeatedly start the ready operation with
+    the earliest possible start time, breaking ties by the longest
+    downstream critical path.  The resulting operation list is valid for
+    all three models with ``lambda`` equal to the makespan (data sets fully
+    serialised, as in the paper's latency discussion).
+    """
+    dag = _OpDag(graph)
+    unscheduled = set(dag.ops)
+    remaining_preds = {op: set(ps) for op, ps in dag.op_preds.items()}
+    ready_at: Dict[Operation, Fraction] = {
+        op: ZERO for op in dag.ops if not dag.op_preds[op]
+    }
+    busy: Dict[str, Fraction] = {n: ZERO for n in graph.nodes}
+    times: Dict[Operation, Tuple[Fraction, Fraction]] = {}
+    while unscheduled:
+        best_op: Optional[Operation] = None
+        best_start: Fraction = ZERO
+        for op, ready in ready_at.items():
+            start = ready
+            for s in dag.servers[op]:
+                if busy[s] > start:
+                    start = busy[s]
+            if (
+                best_op is None
+                or start < best_start
+                or (
+                    start == best_start
+                    and (dag.bottom[op], op) > (dag.bottom[best_op], best_op)
+                )
+            ):
+                best_op, best_start = op, start
+        assert best_op is not None
+        end = best_start + dag.duration[best_op]
+        times[best_op] = (best_start, end)
+        for s in dag.servers[best_op]:
+            busy[s] = end
+        unscheduled.remove(best_op)
+        del ready_at[best_op]
+        for op in list(unscheduled):
+            if best_op in remaining_preds[op]:
+                remaining_preds[op].discard(best_op)
+                if not remaining_preds[op]:
+                    ready_at[op] = max(
+                        (times[p][1] for p in dag.op_preds[op]), default=ZERO
+                    )
+    lam = max(e for _, e in times.values())
+    return Plan(graph, OperationList(times, lam=lam), model)
+
+
+def exact_oneport_latency(
+    graph: ExecutionGraph, *, node_limit: int = 2_000_000
+) -> Fraction:
+    """Optimal one-port latency by branch and bound over activity orders.
+
+    Serial schedule generation enumerates all *active* schedules, one of
+    which is optimal for makespan.  Pruning: partial makespan plus the
+    largest remaining bottom level.  Exponential (Theorem 3 says NP-hard);
+    raises ``RuntimeError`` past *node_limit* states.
+    """
+    dag = _OpDag(graph)
+    ops = dag.ops
+    n = len(ops)
+    idx = {op: i for i, op in enumerate(ops)}
+    dur = [dag.duration[op] for op in ops]
+    preds = [[idx[p] for p in dag.op_preds[op]] for op in ops]
+    bottoms = [dag.bottom[op] for op in ops]
+    server_ids = {name: i for i, name in enumerate(graph.nodes)}
+    servers = [[server_ids[s] for s in dag.servers[op]] for op in ops]
+
+    greedy = oneport_latency_schedule(graph)
+    best = [greedy.latency]
+    visited = [0]
+
+    def dfs(done_mask: int, finish: List[Fraction], busy: List[Fraction], makespan: Fraction) -> None:
+        visited[0] += 1
+        if visited[0] > node_limit:
+            raise RuntimeError(
+                f"exact_oneport_latency exceeded node_limit={node_limit}"
+            )
+        if done_mask == (1 << n) - 1:
+            if makespan < best[0]:
+                best[0] = makespan
+            return
+        candidates = []
+        for i in range(n):
+            if done_mask & (1 << i):
+                continue
+            if any(not (done_mask >> p) & 1 for p in preds[i]):
+                continue
+            ready = max((finish[p] for p in preds[i]), default=ZERO)
+            start = ready
+            for s in servers[i]:
+                if busy[s] > start:
+                    start = busy[s]
+            lb = max(makespan, start + bottoms[i])
+            if lb >= best[0]:
+                # Any completion schedules i no earlier than `start`, so the
+                # whole subtree is at least `lb`: prune the entire state.
+                return
+            candidates.append((start, -bottoms[i], i))
+        candidates.sort()
+        for start, _, i in candidates:
+            if max(makespan, start + bottoms[i]) >= best[0]:
+                continue  # best improved while iterating siblings
+            end = start + dur[i]
+            new_finish = list(finish)
+            new_finish[i] = end
+            new_busy = list(busy)
+            for s in servers[i]:
+                new_busy[s] = end
+            dfs(done_mask | (1 << i), new_finish, new_busy, max(makespan, end))
+
+    dfs(0, [ZERO] * n, [ZERO] * len(server_ids), ZERO)
+    return best[0]
+
+
+# ---------------------------------------------------------------------------
+# Trees: Algorithm 1 (Proposition 12)
+# ---------------------------------------------------------------------------
+
+def tree_latency(
+    graph: ExecutionGraph, *, include_output: bool = True
+) -> Fraction:
+    """Optimal latency of a forest execution graph (Algorithm 1).
+
+    For each node, children subtrees are fed by non-increasing subtree
+    latency; the completion is ``input + comp + max_i (i * msg + L_(i))``.
+    ``include_output=False`` reproduces the paper's literal leaf case
+    ``L = c_i`` which ignores the exit nodes' output communication; the
+    default accounts for it (consistent with the model everywhere else).
+    """
+    if not graph.is_forest:
+        raise ValueError("tree_latency requires a forest execution graph")
+    app = graph.application
+
+    def solve(node: str, size: Fraction) -> Fraction:
+        base = size + size * app.cost(node)  # in-communication + computation
+        msg = size * app.selectivity(node)
+        children = graph.successors(node)
+        if not children:
+            return base + (msg if include_output else ZERO)
+        # Child subtree latencies include their incoming message; the i-th
+        # child (0-based, fed by non-increasing latency) waits for the i
+        # earlier sends before its own receive starts.
+        subs = sorted((solve(c, msg) for c in children), reverse=True)
+        return base + max(i * msg + sub for i, sub in enumerate(subs))
+
+    return max(solve(root, ONE) for root in graph.entry_nodes)
+
+
+def tree_latency_schedule(graph: ExecutionGraph) -> Plan:
+    """A concrete optimal one-port schedule realising :func:`tree_latency`."""
+    if not graph.is_forest:
+        raise ValueError("tree_latency_schedule requires a forest")
+    app = graph.application
+    times: Dict[Operation, Tuple[Fraction, Fraction]] = {}
+
+    def latency_of(node: str, size: Fraction) -> Fraction:
+        base = size + size * app.cost(node)
+        msg = size * app.selectivity(node)
+        children = graph.successors(node)
+        if not children:
+            return base + msg
+        subs = sorted((latency_of(c, msg) for c in children), reverse=True)
+        return base + max((i + 1) * msg + sub for i, sub in enumerate(subs))
+
+    def emit(node: str, size: Fraction, t: Fraction, src: str) -> Fraction:
+        times[comm_op(src, node)] = (t, t + size)
+        comp_start = t + size
+        comp_end = comp_start + size * app.cost(node)
+        times[comp_op(node)] = (comp_start, comp_end)
+        msg = size * app.selectivity(node)
+        children = sorted(
+            graph.successors(node),
+            key=lambda c: latency_of(c, msg),
+            reverse=True,
+        )
+        if not children:
+            times[comm_op(node, OUTPUT)] = (comp_end, comp_end + msg)
+            return comp_end + msg
+        finish = ZERO
+        send_end = comp_end
+        for child in children:
+            send_end = send_end + msg
+            finish = max(finish, emit(child, msg, send_end - msg, node))
+        return finish
+
+    total = max(emit(root, ONE, ZERO, INPUT) for root in graph.entry_nodes)
+    return Plan(graph, OperationList(times, lam=total), CommModel.INORDER)
+
+
+# ---------------------------------------------------------------------------
+# Fork-join inner problem (Propositions 9-15)
+# ---------------------------------------------------------------------------
+
+def greedy_second_permutation(
+    values: Sequence[Fraction], scale: Fraction = ONE
+) -> Tuple[Fraction, List[int]]:
+    """Given ``v_i``, the permutation ``mu`` minimising ``max v_i + scale*mu(i)``.
+
+    Pair the largest value with the smallest slot (rearrangement argument);
+    slots are ``1..n``.  Returns ``(optimal max, mu)`` with ``mu`` 1-based.
+    """
+    n = len(values)
+    order = sorted(range(n), key=lambda i: values[i], reverse=True)
+    mu = [0] * n
+    best: Optional[Fraction] = None
+    for slot, i in enumerate(order, start=1):
+        mu[i] = slot
+        cand = values[i] + scale * slot
+        if best is None or cand > best:
+            best = cand
+    assert best is not None
+    return best, mu
+
+
+def minmax_two_permutations(
+    b_values: Sequence[Fraction],
+    *,
+    second_scale: Fraction = ONE,
+    exact: bool = True,
+    max_n_exact: int = 9,
+) -> Tuple[Fraction, List[int], List[int]]:
+    """``min over perms of max_i lambda1(i) + B_i + scale * lambda2(i)``.
+
+    The decision version is exactly RN3DM (the paper's hardness source for
+    all latency results).  ``exact=True`` enumerates ``lambda1`` (with the
+    optimal greedy ``lambda2`` per choice) for up to *max_n_exact* items;
+    otherwise a sort-based heuristic is used.  Permutations are 1-based.
+    ``second_scale`` supports the Prop-13 gadget where the join-side slots
+    carry the filtered message size.
+    """
+    b = [Fraction(x) for x in b_values]
+    n = len(b)
+    if n == 0:
+        raise ValueError("empty instance")
+    if exact and n <= max_n_exact:
+        best_val: Optional[Fraction] = None
+        best_l1: List[int] = []
+        best_l2: List[int] = []
+        for perm in itertools.permutations(range(1, n + 1)):
+            vals = [b[i] + perm[i] for i in range(n)]
+            cand, mu = greedy_second_permutation(vals, second_scale)
+            if best_val is None or cand < best_val:
+                best_val, best_l1, best_l2 = cand, list(perm), mu
+        assert best_val is not None
+        return best_val, best_l1, best_l2
+    # Heuristic: biggest B first in both directions.
+    order = sorted(range(n), key=lambda i: b[i], reverse=True)
+    l1 = [0] * n
+    for slot, i in enumerate(order, start=1):
+        l1[i] = slot
+    vals = [b[i] + l1[i] for i in range(n)]
+    val, l2 = greedy_second_permutation(vals, second_scale)
+    return val, l1, l2
+
+
+# ---------------------------------------------------------------------------
+# Layered bandwidth-sharing OVERLAP schedule (counter-example B.2)
+# ---------------------------------------------------------------------------
+
+def _levels(graph: ExecutionGraph) -> Optional[List[List[str]]]:
+    level: Dict[str, int] = {}
+    for node in graph.topological_order:
+        preds = graph.predecessors(node)
+        level[node] = max((level[p] + 1 for p in preds), default=0)
+    depth = max(level.values(), default=0)
+    for a, b in graph.edges:
+        if level[b] != level[a] + 1:
+            return None  # not strictly layered
+    for x in graph.exit_nodes:
+        if level[x] != depth:
+            return None
+    for e in graph.entry_nodes:
+        if level[e] != 0:
+            return None
+    out: List[List[str]] = [[] for _ in range(depth + 1)]
+    for node in graph.topological_order:
+        out[level[node]].append(node)
+    return out
+
+
+def overlap_latency_layered(graph: ExecutionGraph) -> Optional[Plan]:
+    """Bandwidth-sharing window schedule for strictly layered graphs.
+
+    All communications between consecutive layers share one window whose
+    length is the worst per-server directional load across the cut; every
+    message gets the constant ratio ``size / window``.  On counter-example
+    B.2 this achieves the multi-port latency 20, which no one-port schedule
+    can reach.  Returns ``None`` when the graph is not strictly layered.
+    """
+    layers = _levels(graph)
+    if layers is None:
+        return None
+    costs = CostModel(graph)
+    times: Dict[Operation, Tuple[Fraction, Fraction]] = {}
+    t = ZERO
+    # input window (all entry messages have size 1)
+    for node in layers[0]:
+        times[comm_op(INPUT, node)] = (t, t + ONE)
+    t += ONE
+    for li, layer in enumerate(layers):
+        comp_window = max(costs.ccomp(n) for n in layer)
+        for node in layer:
+            times[comp_op(node)] = (t, t + costs.ccomp(node))
+        t += comp_window
+        if li + 1 < len(layers):
+            window = ZERO
+            for node in layer:
+                window = max(window, costs.cout(node))
+            for node in layers[li + 1]:
+                window = max(window, costs.cin(node))
+            for node in layer:
+                for s in graph.successors(node):
+                    times[comm_op(node, s)] = (t, t + window)
+            t += window
+        else:
+            out_window = max(costs.outsize(n) for n in layer)
+            for node in layer:
+                times[comm_op(node, OUTPUT)] = (t, t + costs.outsize(node))
+            t += out_window
+    ol = OperationList(times, lam=t)
+    return Plan(graph, ol, CommModel.OVERLAP)
+
+
+def best_latency_schedule(graph: ExecutionGraph) -> Plan:
+    """Best available OVERLAP latency schedule (window vs serialized)."""
+    serialized = oneport_latency_schedule(graph, CommModel.OVERLAP)
+    layered = overlap_latency_layered(graph)
+    if layered is not None and layered.latency < serialized.latency:
+        return layered
+    return serialized
+
+
+__all__ = [
+    "best_latency_schedule",
+    "exact_oneport_latency",
+    "greedy_second_permutation",
+    "minmax_two_permutations",
+    "oneport_latency_schedule",
+    "overlap_latency_layered",
+    "tree_latency",
+    "tree_latency_schedule",
+]

@@ -1,0 +1,87 @@
+"""Period-optimal orchestration for the OVERLAP model (Theorem 1 / Prop 1).
+
+Given an execution graph, the optimal period equals the lower bound
+``T = max_k max(Cin(k), Ccomp(k), Cout(k))`` and is reached by a simple
+construction: every communication of size ``s`` is assigned the constant
+bandwidth ratio ``s / T`` — it therefore lasts exactly ``T`` time units —
+and data set 0 traverses the graph greedily (each communication starts as
+soon as the producer's computation finishes; each computation starts as
+soon as the last incoming communication finishes).  On any server the
+incoming ratios sum to ``Cin(k) / T <= 1`` and the outgoing ratios to
+``Cout(k) / T <= 1``, so the multi-port capacity is never exceeded and the
+pattern repeats every ``T`` time units without conflict.
+
+The construction optimises the *period only*; the resulting latency is
+inflated (every message is stretched to ``T``).  Latency-oriented OVERLAP
+schedules live in :mod:`repro.scheduling.latency`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional, Tuple
+
+from ..core import (
+    CommModel,
+    CostModel,
+    ExecutionGraph,
+    INPUT,
+    OUTPUT,
+    Operation,
+    OperationList,
+    Plan,
+    comm_op,
+    comp_op,
+)
+
+ZERO = Fraction(0)
+
+
+def overlap_period_bound(graph: ExecutionGraph) -> Fraction:
+    """The optimal OVERLAP period ``T`` of *graph* (Theorem 1)."""
+    return CostModel(graph).period_lower_bound(CommModel.OVERLAP)
+
+
+def schedule_period_overlap(
+    graph: ExecutionGraph, period: Optional[Fraction] = None
+) -> Plan:
+    """Build the Theorem-1 operation list achieving the optimal period.
+
+    *period* may stretch the schedule to any value ``>= T`` (useful when a
+    caller wants a common period across plans); by default the optimal
+    ``T`` is used.
+    """
+    costs = CostModel(graph)
+    T = costs.period_lower_bound(CommModel.OVERLAP)
+    if period is not None:
+        if period < T:
+            raise ValueError(f"period {period} below the optimal bound {T}")
+        T = period
+    if T <= 0:
+        raise ValueError("degenerate instance: optimal period is 0")
+
+    times: Dict[Operation, Tuple[Fraction, Fraction]] = {}
+    comp_end: Dict[str, Fraction] = {}
+    for node in graph.topological_order:
+        preds = graph.predecessors(node)
+        if preds:
+            ready = ZERO
+            for p in preds:
+                op = comm_op(p, node)
+                begin = comp_end[p]
+                times[op] = (begin, begin + T)
+                ready = max(ready, begin + T)
+        else:
+            times[comm_op(INPUT, node)] = (ZERO, T)
+            ready = T
+        times[comp_op(node)] = (ready, ready + costs.ccomp(node))
+        comp_end[node] = ready + costs.ccomp(node)
+    for node in graph.exit_nodes:
+        begin = comp_end[node]
+        times[comm_op(node, OUTPUT)] = (begin, begin + T)
+
+    ol = OperationList(times, lam=T)
+    return Plan(graph, ol, CommModel.OVERLAP)
+
+
+__all__ = ["overlap_period_bound", "schedule_period_overlap"]

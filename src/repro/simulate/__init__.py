@@ -1,0 +1,11 @@
+"""Discrete-event simulation: plan replay and runtime policies."""
+
+from .engine import SimulationResult, simulate_plan
+from .policies import PolicyTrace, simulate_inorder_policy
+
+__all__ = [
+    "PolicyTrace",
+    "SimulationResult",
+    "simulate_inorder_policy",
+    "simulate_plan",
+]

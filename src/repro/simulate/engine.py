@@ -1,0 +1,198 @@
+"""Discrete-event execution of a plan over a finite stream of data sets.
+
+The validators in :mod:`repro.core.validation` check the Appendix-A rules
+symbolically (modulo ``lambda``).  This engine is the corresponding
+*digital twin*: it expands the cyclic operation list into concrete
+occurrences for ``n`` data sets, replays them on simulated servers and
+links, and independently re-checks every constraint on the expanded
+timeline — no modular arithmetic involved.  It also measures what the
+paper defines operationally:
+
+* the **empirical period**: the interval between completions of
+  consecutive data sets in steady state;
+* the **latency of each data set**: completion minus the data set's
+  release ``n * lambda``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import (
+    CommModel,
+    CostModel,
+    ExecutionGraph,
+    INPUT,
+    OUTPUT,
+    Operation,
+    OperationList,
+    Plan,
+    comm_op,
+    comp_op,
+    is_comm,
+)
+
+ZERO = Fraction(0)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of replaying a plan for ``n_datasets`` consecutive data sets."""
+
+    n_datasets: int
+    completion_times: List[Fraction]
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def empirical_period(self) -> Optional[Fraction]:
+        """Completion-to-completion gap (constant for a cyclic schedule)."""
+        if len(self.completion_times) < 2:
+            return None
+        gaps = {
+            b - a
+            for a, b in zip(self.completion_times, self.completion_times[1:])
+        }
+        if len(gaps) == 1:
+            return gaps.pop()
+        return None  # non-constant completion gaps
+
+    @property
+    def latencies(self) -> List[Fraction]:
+        """Per-data-set latency relative to the cyclic release times."""
+        return [
+            t - i * (self.completion_times[1] - self.completion_times[0])
+            if len(self.completion_times) > 1
+            else t
+            for i, t in enumerate(self.completion_times)
+        ]
+
+
+def _server_occurrences(
+    graph: ExecutionGraph,
+    ol: OperationList,
+    node: str,
+    n_datasets: int,
+) -> List[Tuple[Fraction, Fraction, Operation, int]]:
+    ops: List[Operation] = [
+        comm_op(p, node) for p in (graph.predecessors(node) or (INPUT,))
+    ]
+    ops.append(comp_op(node))
+    ops.extend(comm_op(node, s) for s in (graph.successors(node) or (OUTPUT,)))
+    occ: List[Tuple[Fraction, Fraction, Operation, int]] = []
+    for op in ops:
+        if op not in ol:
+            continue
+        for n in range(n_datasets):
+            occ.append((ol.begin_n(op, n), ol.end_n(op, n), op, n))
+    occ.sort(key=lambda t: (t[0], t[1]))
+    return occ
+
+
+def simulate_plan(plan: Plan, n_datasets: int = 8) -> SimulationResult:
+    """Replay *plan* for *n_datasets* data sets and re-check all constraints."""
+    graph, ol, model = plan.graph, plan.operation_list, plan.model
+    violations: List[str] = []
+
+    # 1. per-data-set precedence on the expanded timeline
+    for n in range(n_datasets):
+        for node in graph.nodes:
+            cop = comp_op(node)
+            for p in graph.predecessors(node) or (INPUT,):
+                op = comm_op(p, node)
+                if op in ol and cop in ol and ol.end_n(op, n) > ol.begin_n(cop, n):
+                    violations.append(
+                        f"data set {n}: {op} ends after computation of {node!r} begins"
+                    )
+            for s in graph.successors(node) or (OUTPUT,):
+                op = comm_op(node, s)
+                if op in ol and cop in ol and ol.begin_n(op, n) < ol.end_n(cop, n):
+                    violations.append(
+                        f"data set {n}: {op} begins before computation of {node!r} ends"
+                    )
+
+    # 2. resource exclusion / bandwidth on the expanded timeline
+    if model.multiport:
+        costs = CostModel(graph)
+        for node in graph.nodes:
+            for direction in ("in", "out"):
+                events: List[Tuple[Fraction, int, Fraction]] = []
+                if direction == "in":
+                    edges = [(p, node) for p in graph.predecessors(node) or (INPUT,)]
+                else:
+                    edges = [(node, s) for s in graph.successors(node) or (OUTPUT,)]
+                for a, b in edges:
+                    op = comm_op(a, b)
+                    if op not in ol:
+                        continue
+                    d = ol.duration(op)
+                    if d <= 0:
+                        continue
+                    ratio = costs.message_size(a, b) / d
+                    for n in range(n_datasets):
+                        events.append((ol.begin_n(op, n), 1, ratio))
+                        events.append((ol.end_n(op, n), -1, ratio))
+                events.sort(key=lambda t: (t[0], t[1]))
+                load = ZERO
+                for _, sign, ratio in events:
+                    load += sign * ratio
+                    if load > 1:
+                        violations.append(
+                            f"server {node!r}: {direction} bandwidth exceeded"
+                        )
+                        break
+    else:
+        for node in graph.nodes:
+            occ = _server_occurrences(graph, ol, node, n_datasets)
+            for (b1, e1, op1, n1), (b2, e2, op2, n2) in zip(occ, occ[1:]):
+                if b2 < e1:
+                    violations.append(
+                        f"server {node!r}: {op1} (data set {n1}) overlaps "
+                        f"{op2} (data set {n2}) on the expanded timeline"
+                    )
+                    break
+        if model.in_order:
+            for node in graph.nodes:
+                in_ops = [
+                    comm_op(p, node)
+                    for p in (graph.predecessors(node) or (INPUT,))
+                    if comm_op(p, node) in ol
+                ]
+                out_ops = [
+                    comm_op(node, s)
+                    for s in (graph.successors(node) or (OUTPUT,))
+                    if comm_op(node, s) in ol
+                ]
+                for n in range(n_datasets - 1):
+                    last_out = max(
+                        (ol.end_n(op, n) for op in out_ops), default=None
+                    )
+                    first_in = min(
+                        (ol.begin_n(op, n + 1) for op in in_ops), default=None
+                    )
+                    if (
+                        last_out is not None
+                        and first_in is not None
+                        and last_out > first_in
+                    ):
+                        violations.append(
+                            f"server {node!r}: data set {n + 1} starts before "
+                            f"data set {n} is fully emitted (INORDER)"
+                        )
+                        break
+
+    completions = []
+    final_ops = [op for op in ol.operations() if is_comm(op) and op[2] == OUTPUT]
+    if not final_ops:
+        final_ops = list(ol.operations())
+    for n in range(n_datasets):
+        completions.append(max(ol.end_n(op, n) for op in final_ops))
+    return SimulationResult(n_datasets, completions, violations)
+
+
+__all__ = ["SimulationResult", "simulate_plan"]

@@ -1,0 +1,242 @@
+"""Seeded synthetic workload generators.
+
+The paper evaluates on abstract service collections; these generators
+produce the families its motivation describes (query optimisation over web
+services, stream filtering): mixtures of *filters* (``sigma < 1``) and
+*expanders* (``sigma >= 1``) with log-uniform-ish costs, random precedence
+DAGs, plus structured families (chains, stars, fork-joins, layered
+bipartite graphs) used by the benchmarks.
+
+All randomness flows through :class:`numpy.random.Generator` seeded
+explicitly; all emitted numbers are exact rationals with bounded
+denominators so downstream scheduling stays exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import Application, ExecutionGraph, make_application
+
+DEFAULT_DENOMINATOR = 16
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_services(
+    n: int,
+    seed=0,
+    *,
+    filter_fraction: float = 0.6,
+    cost_range: Tuple[int, int] = (1, 64),
+    denominator: int = DEFAULT_DENOMINATOR,
+    prefix: str = "C",
+) -> List[Tuple[str, Fraction, Fraction]]:
+    """``n`` random ``(name, cost, selectivity)`` triples.
+
+    Costs are drawn log-uniformly over ``cost_range`` (quantised to
+    ``1/denominator``); a ``filter_fraction`` share of services get a
+    selectivity in ``(0, 1)``, the rest in ``[1, 4)``.
+    """
+    rng = _rng(seed)
+    if n <= 0:
+        raise ValueError("n must be positive")
+    lo, hi = cost_range
+    if not (0 < lo <= hi):
+        raise ValueError(f"invalid cost range {cost_range}")
+    out: List[Tuple[str, Fraction, Fraction]] = []
+    for i in range(n):
+        log_cost = rng.uniform(np.log(lo), np.log(hi))
+        cost = Fraction(
+            max(1, round(float(np.exp(log_cost)) * denominator)), denominator
+        )
+        if rng.random() < filter_fraction:
+            sel = Fraction(int(rng.integers(1, denominator)), denominator)
+        else:
+            sel = 1 + Fraction(int(rng.integers(0, 3 * denominator)), denominator)
+        out.append((f"{prefix}{i}", cost, sel))
+    return out
+
+
+def random_application(
+    n: int,
+    seed=0,
+    *,
+    filter_fraction: float = 0.6,
+    cost_range: Tuple[int, int] = (1, 64),
+    precedence_density: float = 0.0,
+    denominator: int = DEFAULT_DENOMINATOR,
+) -> Application:
+    """A random application, optionally with random precedence constraints.
+
+    Precedence edges are sampled forward along a random order with the
+    given density, guaranteeing acyclicity.
+    """
+    rng = _rng(seed)
+    specs = random_services(
+        n,
+        rng,
+        filter_fraction=filter_fraction,
+        cost_range=cost_range,
+        denominator=denominator,
+    )
+    precedence: List[Tuple[str, str]] = []
+    if precedence_density > 0:
+        order = rng.permutation(n)
+        for bi in range(1, n):
+            for ai in range(bi):
+                if rng.random() < precedence_density:
+                    precedence.append(
+                        (f"C{order[ai]}", f"C{order[bi]}")
+                    )
+    return make_application(specs, precedence)
+
+
+def random_execution_graph(
+    app: Application, seed=0, *, density: float = 0.3
+) -> ExecutionGraph:
+    """A random DAG execution graph over *app*.
+
+    Precedence constraints are always included; random forward edges are
+    sampled along a randomised topological order of the precedence graph
+    so the result stays acyclic.
+    """
+    rng = _rng(seed)
+    names = list(app.names)
+    # Randomised topological order consistent with the precedence edges.
+    succs = {n: [] for n in names}
+    indeg = {n: 0 for n in names}
+    for a, b in app.precedence:
+        succs[a].append(b)
+        indeg[b] += 1
+    ready = [n for n in names if indeg[n] == 0]
+    order: List[str] = []
+    while ready:
+        pick = int(rng.integers(0, len(ready)))
+        node = ready.pop(pick)
+        order.append(node)
+        for nxt in succs[node]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+    edges: List[Tuple[str, str]] = []
+    for j in range(1, len(order)):
+        for i in range(j):
+            if rng.random() < density:
+                edges.append((order[i], order[j]))
+    base = set(app.precedence)
+    return ExecutionGraph(app, base | set(edges))
+
+
+def random_forest(app: Application, seed=0, *, root_prob: float = 0.3) -> ExecutionGraph:
+    """A random forest execution graph (every node has <= 1 predecessor)."""
+    rng = _rng(seed)
+    if app.precedence:
+        raise ValueError("random_forest does not support precedence constraints")
+    names = list(app.names)
+    order = [names[i] for i in rng.permutation(len(names))]
+    parents = {}
+    for idx, node in enumerate(order):
+        if idx == 0 or rng.random() < root_prob:
+            parents[node] = None
+        else:
+            parents[node] = order[int(rng.integers(0, idx))]
+    return ExecutionGraph.from_parents(app, parents)
+
+
+def random_chain(app: Application, seed=0) -> ExecutionGraph:
+    """A uniformly random chain over all services of *app*."""
+    rng = _rng(seed)
+    if app.precedence:
+        raise ValueError("random_chain does not support precedence constraints")
+    names = list(app.names)
+    order = [names[i] for i in rng.permutation(len(names))]
+    return ExecutionGraph.chain(app, order)
+
+
+# ---------------------------------------------------------------------------
+# Structured families
+# ---------------------------------------------------------------------------
+
+def fork_join_instance(
+    n_branches: int,
+    seed=0,
+    *,
+    branch_cost_range: Tuple[int, int] = (1, 32),
+) -> Tuple[Application, ExecutionGraph]:
+    """A fork-join: one source, ``n_branches`` parallel services, one sink.
+
+    This is the shape of the paper's latency-hardness gadgets (Figure 12).
+    """
+    rng = _rng(seed)
+    specs = [("fork", 1, 1)]
+    lo, hi = branch_cost_range
+    for i in range(n_branches):
+        specs.append((f"B{i}", int(rng.integers(lo, hi + 1)), 1))
+    specs.append(("join", 1, 1))
+    app = make_application(specs)
+    edges = [("fork", f"B{i}") for i in range(n_branches)]
+    edges += [(f"B{i}", "join") for i in range(n_branches)]
+    return app, ExecutionGraph(app, edges)
+
+
+def layered_instance(
+    widths: Sequence[int],
+    seed=0,
+    *,
+    denominator: int = 8,
+) -> Tuple[Application, ExecutionGraph]:
+    """A layered graph: every node feeds every node of the next layer."""
+    rng = _rng(seed)
+    specs: List[Tuple[str, Fraction, Fraction]] = []
+    layers: List[List[str]] = []
+    for li, width in enumerate(widths):
+        layer = []
+        for wi in range(width):
+            name = f"L{li}N{wi}"
+            cost = Fraction(int(rng.integers(1, 4 * denominator)), denominator)
+            sel = Fraction(int(rng.integers(1, 2 * denominator)), denominator)
+            specs.append((name, cost, sel))
+            layer.append(name)
+        layers.append(layer)
+    app = make_application(specs)
+    edges = [
+        (a, b)
+        for la, lb in zip(layers, layers[1:])
+        for a in la
+        for b in lb
+    ]
+    return app, ExecutionGraph(app, edges)
+
+
+def star_instance(
+    n_leaves: int, seed=0, *, hub_selectivity: Fraction = Fraction(1, 2)
+) -> Tuple[Application, ExecutionGraph]:
+    """One cheap filtering hub feeding ``n_leaves`` expensive services."""
+    rng = _rng(seed)
+    specs = [("hub", 1, hub_selectivity)]
+    specs += [
+        (f"S{i}", int(rng.integers(4, 32)), 1 + Fraction(int(rng.integers(0, 8)), 8))
+        for i in range(n_leaves)
+    ]
+    app = make_application(specs)
+    return app, ExecutionGraph(app, [("hub", f"S{i}") for i in range(n_leaves)])
+
+
+__all__ = [
+    "random_services",
+    "random_application",
+    "random_execution_graph",
+    "random_forest",
+    "random_chain",
+    "fork_join_instance",
+    "layered_instance",
+    "star_instance",
+]

@@ -1,0 +1,286 @@
+"""Every named instance of the paper, as executable fixtures.
+
+* :func:`fig1_example` — the Section 2.3 example (five services of cost 4,
+  selectivity 1) together with the paper's hand-built operation lists:
+  the latency-21 schedule, the OVERLAP period-4 schedule, the OUTORDER
+  period-7 schedule and the INORDER period-``23/3`` schedule.
+* :func:`b1_counterexample` — Appendix B.1 (Figure 4): 202 services showing
+  that the communication-free optimal structure (a chain of filters feeding
+  all expanders) is no longer optimal once communications are modelled.
+* :func:`b2_latency_ports` — Appendix B.2 (Figure 5): 12 services whose
+  multi-port latency (20) beats every one-port schedule.
+* :func:`b3_period_ports` — Appendix B.3 (Figure 6): 8 services whose
+  multi-port period (12) beats every one-port schedule.  The paper sets all
+  costs to 1, which makes ``Ccomp`` of the join services 72 and contradicts
+  the claimed period of 12 (a slip — the argument is purely about
+  communications).  ``corrected=True`` (default) sets the join costs to
+  ``1/6`` so that computations exactly match the communication bound and 12
+  is the genuine OVERLAP optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..core import (
+    Application,
+    ExecutionGraph,
+    INPUT,
+    OUTPUT,
+    OperationList,
+    comm_op,
+    comp_op,
+    make_application,
+)
+
+F = Fraction
+
+
+@dataclass(frozen=True)
+class PaperInstance:
+    """A named instance: application + execution graph + expected values."""
+
+    name: str
+    description: str
+    application: Application
+    graph: ExecutionGraph
+    expected: Dict[str, Fraction] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Section 2.3 / Figure 1
+# ---------------------------------------------------------------------------
+
+def fig1_example() -> PaperInstance:
+    """Five services of cost 4 and selectivity 1; the Figure-1 graph."""
+    app = make_application([(f"C{i}", 4, 1) for i in range(1, 6)])
+    graph = ExecutionGraph(
+        app,
+        [("C1", "C2"), ("C1", "C4"), ("C2", "C3"), ("C3", "C5"), ("C4", "C5")],
+    )
+    return PaperInstance(
+        name="fig1",
+        description="Section 2.3 example (Figure 1)",
+        application=app,
+        graph=graph,
+        expected={
+            "latency": F(21),
+            "period_overlap": F(4),
+            "period_outorder": F(7),
+            "period_inorder": F(23, 3),
+        },
+    )
+
+
+def _fig1_latency_times() -> Dict[object, Tuple[Fraction, Fraction]]:
+    return {
+        comm_op(INPUT, "C1"): (F(0), F(1)),
+        comp_op("C1"): (F(1), F(5)),
+        comm_op("C1", "C2"): (F(5), F(6)),
+        comm_op("C1", "C4"): (F(6), F(7)),
+        comp_op("C2"): (F(6), F(10)),
+        comm_op("C2", "C3"): (F(10), F(11)),
+        comp_op("C3"): (F(11), F(15)),
+        comm_op("C3", "C5"): (F(15), F(16)),
+        comp_op("C4"): (F(7), F(11)),
+        comm_op("C4", "C5"): (F(11), F(12)),
+        comp_op("C5"): (F(16), F(20)),
+        comm_op("C5", OUTPUT): (F(20), F(21)),
+    }
+
+
+def fig1_latency_operation_list() -> OperationList:
+    """The paper's latency-21 schedule (valid for all three models)."""
+    return OperationList(_fig1_latency_times(), lam=F(21))
+
+
+def fig1_overlap_period5_operation_list() -> OperationList:
+    """Same times, ``lambda = 5``: a period-5 OVERLAP schedule (paper text)."""
+    return OperationList(_fig1_latency_times(), lam=F(5))
+
+
+def fig1_overlap_period4_operation_list() -> OperationList:
+    """The paper's optimal OVERLAP schedule: period 4.
+
+    Relative to the latency schedule, ``lambda = 4`` and the communication
+    ``C4 -> C5`` moves to ``[12, 13]``.
+    """
+    times = _fig1_latency_times()
+    times[comm_op("C4", "C5")] = (F(12), F(13))
+    return OperationList(times, lam=F(4))
+
+
+def fig1_outorder_period7_operation_list() -> OperationList:
+    """The paper's optimal OUTORDER schedule: period 7.
+
+    ``BeginComm(4,5) = 14`` and ``BeginCalc(4) = 8``; C4 then has idle time
+    but every server's operations fit the period, out of data-set order.
+    """
+    times = _fig1_latency_times()
+    times[comm_op("C4", "C5")] = (F(14), F(15))
+    times[comp_op("C4")] = (F(8), F(12))
+    return OperationList(times, lam=F(7))
+
+
+def fig1_inorder_period_23_3_operation_list() -> OperationList:
+    """The paper's optimal INORDER schedule: period 23/3.
+
+    The idle time is split between C1, C4 and C5 (2/3, 1+2/3 and 2/3), which
+    is what makes the optimal period fractional — the paper calls the value
+    "surprising".
+    """
+    times = _fig1_latency_times()
+    times[comm_op("C1", "C4")] = (F(6) + F(2, 3), F(7) + F(2, 3))
+    times[comp_op("C4")] = (F(7) + F(2, 3), F(11) + F(2, 3))
+    times[comm_op("C4", "C5")] = (F(13) + F(1, 3), F(14) + F(1, 3))
+    return OperationList(times, lam=F(23, 3))
+
+
+# ---------------------------------------------------------------------------
+# Appendix B.1 / Figure 4
+# ---------------------------------------------------------------------------
+
+def b1_application() -> Application:
+    """202 services: two near-unit filters and 200 heavy expanders."""
+    sigma = F(9999, 10000)
+    specs: List[Tuple[str, Fraction, Fraction]] = [
+        ("C1", F(100), sigma),
+        ("C2", F(100), sigma),
+    ]
+    specs += [(f"C{i}", F(100) / sigma, F(100)) for i in range(3, 203)]
+    return make_application(specs)
+
+
+def b1_counterexample() -> PaperInstance:
+    """The optimal plan *with* communication costs (Figure 4): two fans."""
+    app = b1_application()
+    edges = [("C1", f"C{i}") for i in range(3, 103)]
+    edges += [("C2", f"C{i}") for i in range(103, 203)]
+    return PaperInstance(
+        name="b1",
+        description="Appendix B.1 (Figure 4): communication costs change the optimum",
+        application=app,
+        graph=ExecutionGraph(app, edges),
+        expected={"period_overlap": F(100)},
+    )
+
+
+def b1_nocomm_plan_graph() -> ExecutionGraph:
+    """The communication-free optimum: chain C1 -> C2, C2 feeds everyone.
+
+    Under the OVERLAP model this graph's period is ``200 * 0.9999^2`` — the
+    outgoing communications of C2 blow up, which is the paper's point.
+    """
+    app = b1_application()
+    edges = [("C1", "C2")] + [("C2", f"C{i}") for i in range(3, 203)]
+    return ExecutionGraph(app, edges)
+
+
+# ---------------------------------------------------------------------------
+# Appendix B.2 / Figure 5
+# ---------------------------------------------------------------------------
+
+def b2_latency_ports() -> PaperInstance:
+    """12 unit-cost services; multi-port latency 20, one-port latency > 20.
+
+    Selectivities: ``sigma_2 = sigma_3 = 2``, ``sigma_4 = sigma_5 = sigma_6
+    = 3``, all others 1.  Each join service C7..C12 reads from C1, from one
+    of {C2, C3} and from one of {C4, C5, C6}, so each receives messages of
+    sizes 1 + 2 + 3 = 6 and each sender emits a total volume of 6.
+    """
+    specs = [("C1", 1, 1), ("C2", 1, 2), ("C3", 1, 2)]
+    specs += [(f"C{i}", 1, 3) for i in (4, 5, 6)]
+    specs += [(f"C{i}", 1, 1) for i in range(7, 13)]
+    app = make_application(specs)
+    edges: List[Tuple[str, str]] = []
+    edges += [("C1", f"C{j}") for j in range(7, 13)]
+    edges += [("C2", "C7"), ("C2", "C8"), ("C2", "C9")]
+    edges += [("C3", "C10"), ("C3", "C11"), ("C3", "C12")]
+    edges += [("C4", "C7"), ("C4", "C10")]
+    edges += [("C5", "C8"), ("C5", "C11")]
+    edges += [("C6", "C9"), ("C6", "C12")]
+    return PaperInstance(
+        name="b2",
+        description="Appendix B.2 (Figure 5): multi-port beats one-port on latency",
+        application=app,
+        graph=ExecutionGraph(app, edges),
+        expected={"latency_multiport": F(20)},
+    )
+
+
+def b2_multiport_operation_list() -> OperationList:
+    """The latency-20 multi-port schedule described in B.2.
+
+    All C1..C6 computations run in [2, 3]... more precisely: input messages
+    in [0, 1], computations in [1, 2], all 18 cross communications share the
+    window [2, 8] (each at ratio size/6), joins compute in [8, 14] and the
+    output messages (size 6 each) occupy [14, 20].
+    """
+    inst = b2_latency_ports()
+    graph = inst.graph
+    times: Dict[object, Tuple[Fraction, Fraction]] = {}
+    for i in range(1, 7):
+        times[comm_op(INPUT, f"C{i}")] = (F(0), F(1))
+        times[comp_op(f"C{i}")] = (F(1), F(2))
+    for a, b in sorted(graph.edges):
+        times[comm_op(a, b)] = (F(2), F(8))
+    for j in range(7, 13):
+        times[comp_op(f"C{j}")] = (F(8), F(14))
+        times[comm_op(f"C{j}", OUTPUT)] = (F(14), F(20))
+    return OperationList(times, lam=F(20))
+
+
+# ---------------------------------------------------------------------------
+# Appendix B.3 / Figure 6
+# ---------------------------------------------------------------------------
+
+def b3_period_ports(corrected: bool = True) -> PaperInstance:
+    """8 services; multi-port period 12, one-port period > 12.
+
+    The paper's literal instance (``corrected=False``) sets every cost and
+    every join selectivity to 1, which makes ``Ccomp(C5..C7) = 72`` and the
+    join output messages 72 units — both above the claimed period 12.  The
+    separation argument only concerns the cross communications, so the
+    corrected instance (default) scales the join costs to ``1/6`` and join
+    selectivities to ``1/6`` (``2/3`` for C8) so that *every* ``Cexec``
+    equals at most 12 and 12 really is the optimal multi-port period, while
+    the one-port infeasibility argument is untouched (the binding Cin/Cout
+    loads of 12 on the cross edges are identical).
+    """
+    if corrected:
+        join = [("C5", F(1, 6), F(1, 6)), ("C6", F(1, 6), F(1, 6)),
+                ("C7", F(1, 6), F(1, 6)), ("C8", F(1, 6), F(2, 3))]
+    else:
+        join = [(f"C{i}", F(1), F(1)) for i in (5, 6, 7, 8)]
+    specs = [("C1", 1, 3), ("C2", 1, 3), ("C3", 1, 4), ("C4", 1, 2)] + join
+    app = make_application(specs)
+    edges: List[Tuple[str, str]] = []
+    for src in ("C1", "C2", "C4"):
+        edges += [(src, f"C{j}") for j in (5, 6, 7, 8)]
+    edges += [("C3", f"C{j}") for j in (5, 6, 7)]
+    return PaperInstance(
+        name="b3",
+        description="Appendix B.3 (Figure 6): multi-port beats one-port on period",
+        application=app,
+        graph=ExecutionGraph(app, edges),
+        expected={"period_multiport": F(12)},
+    )
+
+
+__all__ = [
+    "PaperInstance",
+    "fig1_example",
+    "fig1_latency_operation_list",
+    "fig1_overlap_period5_operation_list",
+    "fig1_overlap_period4_operation_list",
+    "fig1_outorder_period7_operation_list",
+    "fig1_inorder_period_23_3_operation_list",
+    "b1_application",
+    "b1_counterexample",
+    "b1_nocomm_plan_graph",
+    "b2_latency_ports",
+    "b2_multiport_operation_list",
+    "b3_period_ports",
+]

@@ -1,0 +1,228 @@
+"""Unit tests for repro.core.costs against the paper's worked numbers."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    INPUT,
+    OUTPUT,
+    CommModel,
+    CostModel,
+    ExecutionGraph,
+    comm_edges,
+    make_application,
+)
+
+
+@pytest.fixture
+def fig1():
+    app = make_application([(f"C{i}", 4, 1) for i in range(1, 6)])
+    g = ExecutionGraph(
+        app,
+        [("C1", "C2"), ("C1", "C4"), ("C2", "C3"), ("C3", "C5"), ("C4", "C5")],
+    )
+    return CostModel(g)
+
+
+class TestFig1Costs:
+    """Section 2.3: five unit-selectivity services of cost 4."""
+
+    def test_sizes(self, fig1):
+        for i in range(1, 6):
+            assert fig1.ancestor_selectivity(f"C{i}") == 1
+            assert fig1.outsize(f"C{i}") == 1
+
+    def test_cin(self, fig1):
+        assert fig1.cin("C1") == 1  # input node
+        assert fig1.cin("C2") == 1
+        assert fig1.cin("C5") == 2  # from C3 and C4
+
+    def test_cout(self, fig1):
+        assert fig1.cout("C1") == 2  # to C2 and C4
+        assert fig1.cout("C5") == 1  # output node
+        assert fig1.cout("C2") == 1
+
+    def test_ccomp(self, fig1):
+        for i in range(1, 6):
+            assert fig1.ccomp(f"C{i}") == 4
+
+    def test_overlap_period_bound_is_4(self, fig1):
+        assert fig1.period_lower_bound(CommModel.OVERLAP) == 4
+
+    def test_oneport_period_bound_is_7(self, fig1):
+        # C1: 1 + 4 + 2 = 7; C5: 2 + 4 + 1 = 7
+        assert fig1.period_lower_bound(CommModel.INORDER) == 7
+        assert fig1.period_lower_bound(CommModel.OUTORDER) == 7
+
+    def test_latency_lower_bound_is_21(self, fig1):
+        # in(1) + C1(4) + comm + C2(4) + comm + C3(4) + comm + C5(4) + out(1)
+        assert fig1.latency_lower_bound() == 21
+
+    def test_comm_edges(self, fig1):
+        edges = comm_edges(fig1.graph)
+        assert (INPUT, "C1") in edges
+        assert ("C5", OUTPUT) in edges
+        assert len(edges) == 5 + 2  # five graph edges + input + output
+
+
+class TestB1Costs:
+    """Counter-example B.1 (Figure 4): communication costs matter."""
+
+    @staticmethod
+    def app():
+        specs = [("C1", 100, Fraction(9999, 10000)), ("C2", 100, Fraction(9999, 10000))]
+        specs += [
+            (f"C{i}", Fraction(100, Fraction(9999, 10000)), 100)
+            for i in range(3, 203)
+        ]
+        return make_application(specs)
+
+    def test_two_chain_plan_has_period_100(self):
+        app = self.app()
+        edges = [("C1", f"C{i}") for i in range(3, 103)]
+        edges += [("C2", f"C{i}") for i in range(103, 203)]
+        costs = CostModel(ExecutionGraph(app, edges))
+        assert costs.period_lower_bound(CommModel.OVERLAP) == 100
+        # the binding constraints
+        assert costs.cout("C1") == Fraction(9999, 100)  # 100 * 0.9999
+        assert costs.ccomp("C3") == 100
+
+    def test_chain_plan_blows_up_on_outgoing_comm(self):
+        """Chaining C1 -> C2 and fanning out 200 successors: Cout(C2) = 200 sigma1 sigma2."""
+        app = self.app()
+        edges = [("C1", "C2")] + [("C2", f"C{i}") for i in range(3, 203)]
+        costs = CostModel(ExecutionGraph(app, edges))
+        expected = 200 * Fraction(9999, 10000) ** 2
+        assert costs.cout("C2") == expected
+        assert costs.period_lower_bound(CommModel.OVERLAP) == expected
+        assert expected > 100  # the whole point of the counter-example
+
+    def test_expander_chaining_exceeds_bound(self):
+        """Putting one expander after another breaks the 100 bound (paper's claim)."""
+        app = self.app()
+        edges = [("C1", f"C{i}") for i in range(3, 103)]
+        edges += [("C2", f"C{i}") for i in range(103, 202)]
+        edges += [("C201", "C202")]
+        costs = CostModel(ExecutionGraph(app, edges))
+        assert costs.ccomp("C202") > 100
+
+
+class TestB2Costs:
+    """Counter-example B.2 (Figure 5): the bipartite latency instance."""
+
+    @staticmethod
+    def cost_model():
+        from repro.workloads.paper import b2_latency_ports
+
+        inst = b2_latency_ports()
+        return CostModel(inst.graph)
+
+    def test_all_in_out_loads_are_six(self):
+        costs = self.cost_model()
+        for i in range(1, 7):
+            assert costs.cout(f"C{i}") == 6
+        for j in range(7, 13):
+            assert costs.cin(f"C{j}") == 6
+            assert costs.ccomp(f"C{j}") == 6
+
+
+class TestGeneralProperties:
+    @given(st.data())
+    def test_cin_is_sum_of_message_sizes(self, data):
+        n = data.draw(st.integers(2, 6))
+        costs_list = data.draw(
+            st.lists(
+                st.fractions(min_value=0, max_value=10),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        sels = data.draw(
+            st.lists(
+                st.fractions(min_value=Fraction(1, 10), max_value=5),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        app = make_application(
+            [(f"C{i}", costs_list[i], sels[i]) for i in range(n)]
+        )
+        edges = []
+        for j in range(1, n):
+            for i in range(j):
+                if data.draw(st.booleans()):
+                    edges.append((f"C{i}", f"C{j}"))
+        g = ExecutionGraph(app, edges)
+        cm = CostModel(g)
+        for node in g.nodes:
+            preds = g.predecessors(node)
+            if preds:
+                assert cm.cin(node) == sum(
+                    cm.message_size(p, node) for p in preds
+                )
+            else:
+                assert cm.cin(node) == 1
+
+    @given(st.data())
+    def test_cexec_relationship(self, data):
+        n = data.draw(st.integers(2, 5))
+        app = make_application(
+            [
+                (
+                    f"C{i}",
+                    data.draw(st.fractions(min_value=0, max_value=10)),
+                    data.draw(
+                        st.fractions(min_value=Fraction(1, 10), max_value=5)
+                    ),
+                )
+                for i in range(n)
+            ]
+        )
+        edges = [(f"C{i}", f"C{i+1}") for i in range(n - 1)]
+        cm = CostModel(ExecutionGraph(app, edges))
+        for node in app.names:
+            over = cm.cexec(node, CommModel.OVERLAP)
+            seq = cm.cexec(node, CommModel.INORDER)
+            assert seq == cm.cin(node) + cm.ccomp(node) + cm.cout(node)
+            assert over <= seq
+            assert cm.cexec(node, CommModel.OUTORDER) == seq
+
+    @given(st.data())
+    def test_period_bound_monotone_in_model(self, data):
+        n = data.draw(st.integers(2, 5))
+        app = make_application(
+            [
+                (
+                    f"C{i}",
+                    data.draw(st.fractions(min_value=0, max_value=10)),
+                    data.draw(
+                        st.fractions(min_value=Fraction(1, 10), max_value=5)
+                    ),
+                )
+                for i in range(n)
+            ]
+        )
+        edges = []
+        for j in range(1, n):
+            for i in range(j):
+                if data.draw(st.booleans()):
+                    edges.append((f"C{i}", f"C{j}"))
+        cm = CostModel(ExecutionGraph(app, edges))
+        assert cm.period_lower_bound(CommModel.OVERLAP) <= cm.period_lower_bound(
+            CommModel.INORDER
+        )
+
+    def test_message_size_unknown_edge_rejected(self):
+        app = make_application([("a", 1, 1), ("b", 1, 1)])
+        cm = CostModel(ExecutionGraph(app, []))
+        with pytest.raises(KeyError):
+            cm.message_size("a", "b")
+
+    def test_latency_bound_single_service(self):
+        app = make_application([("a", 3, Fraction(1, 2))])
+        cm = CostModel(ExecutionGraph(app, []))
+        # in(1) + comp(3) + out(1/2)
+        assert cm.latency_lower_bound() == Fraction(9, 2)

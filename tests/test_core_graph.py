@@ -1,0 +1,170 @@
+"""Unit tests for repro.core.graph (ExecutionGraph)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import CycleError, ExecutionGraph, PrecedenceError, make_application
+
+
+@pytest.fixture
+def app5():
+    return make_application([(f"C{i}", 4, 1) for i in range(1, 6)])
+
+
+@pytest.fixture
+def fig1_graph(app5):
+    """The execution graph of the paper's Section 2.3 example (Figure 1)."""
+    return ExecutionGraph(
+        app5,
+        [("C1", "C2"), ("C1", "C4"), ("C2", "C3"), ("C3", "C5"), ("C4", "C5")],
+    )
+
+
+class TestConstruction:
+    def test_unknown_node_rejected(self, app5):
+        with pytest.raises(KeyError):
+            ExecutionGraph(app5, [("C1", "Z")])
+
+    def test_self_loop_rejected(self, app5):
+        with pytest.raises(CycleError):
+            ExecutionGraph(app5, [("C1", "C1")])
+
+    def test_cycle_rejected(self, app5):
+        with pytest.raises(CycleError):
+            ExecutionGraph(app5, [("C1", "C2"), ("C2", "C3"), ("C3", "C1")])
+
+    def test_precedence_enforced(self):
+        app = make_application(
+            [("a", 1, 1), ("b", 1, 1)], precedence=[("a", "b")]
+        )
+        with pytest.raises(PrecedenceError):
+            ExecutionGraph(app, [])
+        g = ExecutionGraph(app, [("a", "b")])
+        assert g.edges == frozenset({("a", "b")})
+
+    def test_precedence_by_transitivity(self):
+        app = make_application(
+            [("a", 1, 1), ("b", 1, 1), ("c", 1, 1)], precedence=[("a", "c")]
+        )
+        # a -> b -> c satisfies (a, c) transitively
+        g = ExecutionGraph(app, [("a", "b"), ("b", "c")])
+        assert "a" in g.ancestors("c")
+
+    def test_chain_constructor(self, app5):
+        g = ExecutionGraph.chain(app5, ["C3", "C1", "C2", "C5", "C4"])
+        assert g.is_chain
+        assert g.topological_order == ("C3", "C1", "C2", "C5", "C4")
+
+    def test_chain_requires_permutation(self, app5):
+        with pytest.raises(ValueError):
+            ExecutionGraph.chain(app5, ["C1", "C2"])
+
+    def test_from_parents(self, app5):
+        g = ExecutionGraph.from_parents(
+            app5, {"C2": "C1", "C3": "C1", "C4": None, "C5": "C4", "C1": None}
+        )
+        assert g.is_forest and not g.is_tree
+        assert set(g.entry_nodes) == {"C1", "C4"}
+
+    def test_empty(self, app5):
+        g = ExecutionGraph.empty(app5)
+        assert g.edges == frozenset()
+        assert set(g.entry_nodes) == set(app5.names)
+        assert set(g.exit_nodes) == set(app5.names)
+
+
+class TestStructure:
+    def test_fig1_neighbours(self, fig1_graph):
+        g = fig1_graph
+        assert set(g.successors("C1")) == {"C2", "C4"}
+        assert set(g.predecessors("C5")) == {"C3", "C4"}
+        assert g.entry_nodes == ("C1",)
+        assert g.exit_nodes == ("C5",)
+
+    def test_fig1_ancestors(self, fig1_graph):
+        assert fig1_graph.ancestors("C5") == frozenset({"C1", "C2", "C3", "C4"})
+        assert fig1_graph.ancestors("C1") == frozenset()
+
+    def test_fig1_descendants(self, fig1_graph):
+        assert fig1_graph.descendants("C1") == frozenset({"C2", "C3", "C4", "C5"})
+        assert fig1_graph.descendants("C5") == frozenset()
+
+    def test_fig1_not_forest(self, fig1_graph):
+        assert not fig1_graph.is_forest
+        assert not fig1_graph.is_chain
+
+    def test_fig1_depth(self, fig1_graph):
+        assert fig1_graph.depth("C1") == 0
+        assert fig1_graph.depth("C5") == 3  # via C2, C3
+
+    def test_topological_order_consistent(self, fig1_graph):
+        topo = fig1_graph.topological_order
+        pos = {n: i for i, n in enumerate(topo)}
+        for a, b in fig1_graph.edges:
+            assert pos[a] < pos[b]
+
+    def test_components(self, app5):
+        g = ExecutionGraph(app5, [("C1", "C2"), ("C3", "C4")])
+        comps = {frozenset(c) for c in g.components()}
+        assert comps == {
+            frozenset({"C1", "C2"}),
+            frozenset({"C3", "C4"}),
+            frozenset({"C5"}),
+        }
+
+    def test_with_without_edges(self, app5):
+        g = ExecutionGraph(app5, [("C1", "C2")])
+        g2 = g.with_edges([("C2", "C3")])
+        assert ("C2", "C3") in g2.edges
+        g3 = g2.without_edges([("C1", "C2")])
+        assert ("C1", "C2") not in g3.edges
+
+    def test_equality_and_hash(self, app5):
+        g1 = ExecutionGraph(app5, [("C1", "C2")])
+        g2 = ExecutionGraph(app5, [("C1", "C2")])
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+        assert g1 != ExecutionGraph(app5, [])
+
+
+@st.composite
+def random_dag_edges(draw, n_nodes):
+    """Random DAG edges over C0..C{n-1} respecting index order."""
+    edges = []
+    for j in range(1, n_nodes):
+        for i in range(j):
+            if draw(st.booleans()):
+                edges.append((f"C{i}", f"C{j}"))
+    return edges
+
+
+class TestProperties:
+    @given(st.data())
+    def test_ancestors_closed_under_edges(self, data):
+        n = data.draw(st.integers(2, 7))
+        app = make_application([(f"C{i}", 1, 1) for i in range(n)])
+        edges = data.draw(random_dag_edges(n))
+        g = ExecutionGraph(app, edges)
+        for a, b in g.edges:
+            assert a in g.ancestors(b)
+            assert g.ancestors(a) <= g.ancestors(b)
+
+    @given(st.data())
+    def test_forest_iff_indegree_le_one(self, data):
+        n = data.draw(st.integers(2, 7))
+        app = make_application([(f"C{i}", 1, 1) for i in range(n)])
+        edges = data.draw(random_dag_edges(n))
+        g = ExecutionGraph(app, edges)
+        indeg_ok = all(len(g.predecessors(v)) <= 1 for v in g.nodes)
+        assert g.is_forest == indeg_ok
+
+    @given(st.data())
+    def test_descendants_mirror_ancestors(self, data):
+        n = data.draw(st.integers(2, 6))
+        app = make_application([(f"C{i}", 1, 1) for i in range(n)])
+        edges = data.draw(random_dag_edges(n))
+        g = ExecutionGraph(app, edges)
+        for u in g.nodes:
+            for v in g.nodes:
+                assert (u in g.ancestors(v)) == (v in g.descendants(u))

@@ -1,0 +1,179 @@
+"""Unit and property tests for OperationList and modular interval helpers."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    INPUT,
+    OUTPUT,
+    OperationList,
+    comm_op,
+    comp_op,
+    is_comm,
+    is_comp,
+    modular_overlap,
+    modular_residue,
+    op_servers,
+)
+
+F = Fraction
+
+
+class TestOpHelpers:
+    def test_kinds(self):
+        assert is_comp(comp_op("a"))
+        assert is_comm(comm_op("a", "b"))
+        assert not is_comp(comm_op("a", "b"))
+
+    def test_op_servers(self):
+        assert op_servers(comp_op("a")) == ("a",)
+        assert op_servers(comm_op("a", "b")) == ("a", "b")
+        assert op_servers(comm_op(INPUT, "b")) == ("b",)
+        assert op_servers(comm_op("a", OUTPUT)) == ("a",)
+
+
+class TestOperationList:
+    def make(self):
+        return OperationList(
+            {
+                comm_op(INPUT, "a"): (0, 1),
+                comp_op("a"): (1, 3),
+                comm_op("a", OUTPUT): (3, F(7, 2)),
+            },
+            lam=4,
+        )
+
+    def test_accessors(self):
+        ol = self.make()
+        assert ol.begin(comp_op("a")) == 1
+        assert ol.end(comp_op("a")) == 3
+        assert ol.duration(comp_op("a")) == 2
+        assert len(ol) == 3
+        assert comp_op("a") in ol
+
+    def test_period_latency_makespan(self):
+        ol = self.make()
+        assert ol.period == 4
+        assert ol.latency == F(7, 2)
+        assert ol.makespan == F(7, 2)
+
+    def test_shifts(self):
+        ol = self.make().shifted(2)
+        assert ol.begin(comp_op("a")) == 3
+        assert ol.begin_n(comp_op("a"), 2) == 3 + 8
+
+    def test_normalised(self):
+        ol = self.make().shifted(5).normalised()
+        assert ol.begin(comm_op(INPUT, "a")) == 0
+
+    def test_with_period(self):
+        assert self.make().with_period(10).period == 10
+
+    def test_with_times(self):
+        ol = self.make().with_times({comp_op("a"): (2, 4)})
+        assert ol.begin(comp_op("a")) == 2
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            OperationList({comp_op("a"): (3, 1)}, lam=4)
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ValueError):
+            OperationList({comp_op("a"): (0, 1)}, lam=0)
+
+    def test_equality(self):
+        assert self.make() == self.make()
+        assert self.make() != self.make().shifted(1)
+
+
+class TestModularResidue:
+    def test_basic(self):
+        assert modular_residue(F(10), F(7)) == 3
+        assert modular_residue(F(-1), F(7)) == 6
+        assert modular_residue(F(14), F(7)) == 0
+        assert modular_residue(F(23, 3), F(23, 3)) == 0
+
+    @given(
+        st.fractions(min_value=-100, max_value=100),
+        st.fractions(min_value=F(1, 10), max_value=50),
+    )
+    def test_residue_in_range(self, x, lam):
+        r = modular_residue(x, lam)
+        assert 0 <= r < lam
+        q = (x - r) / lam
+        assert q.denominator == 1  # integer multiple
+
+
+class TestModularOverlap:
+    def test_disjoint_same_period(self):
+        assert not modular_overlap(F(0), F(1), F(1), F(1), F(4))
+
+    def test_overlap_direct(self):
+        assert modular_overlap(F(0), F(2), F(1), F(1), F(4))
+
+    def test_overlap_wraparound(self):
+        # op2 at [3, 5) wraps into [0, 1) which hits op1 at [0, 1)
+        assert modular_overlap(F(0), F(1), F(3), F(2), F(4))
+
+    def test_wrap_side_only(self):
+        # Regression for the AND/OR bug: op1 [4, 5), op2 [2, 6) mod 7:
+        # forward gap from op1 to op2 is 5 (no hit) but op2 covers op1.
+        assert modular_overlap(F(4), F(1), F(2), F(4), F(7))
+
+    def test_distant_data_sets_same_residue(self):
+        assert modular_overlap(F(11), F(1), F(121), F(4), F(7))
+
+    def test_touching_is_fine(self):
+        assert not modular_overlap(F(0), F(2), F(2), F(2), F(4))
+
+    def test_zero_duration_never_overlaps(self):
+        assert not modular_overlap(F(0), F(0), F(0), F(3), F(4))
+
+    def test_longer_than_period_always_overlaps(self):
+        assert modular_overlap(F(0), F(5), F(2), F(1), F(4))
+
+    @given(
+        st.fractions(min_value=0, max_value=20),
+        st.fractions(min_value=F(1, 4), max_value=3),
+        st.fractions(min_value=0, max_value=20),
+        st.fractions(min_value=F(1, 4), max_value=3),
+        st.fractions(min_value=4, max_value=10),
+    )
+    def test_symmetry(self, b1, d1, b2, d2, lam):
+        assert modular_overlap(b1, d1, b2, d2, lam) == modular_overlap(
+            b2, d2, b1, d1, lam
+        )
+
+    @given(
+        st.fractions(min_value=0, max_value=20),
+        st.fractions(min_value=F(1, 4), max_value=3),
+        st.fractions(min_value=0, max_value=20),
+        st.fractions(min_value=F(1, 4), max_value=3),
+        st.fractions(min_value=4, max_value=10),
+        st.integers(-3, 3),
+    )
+    def test_period_shift_invariance(self, b1, d1, b2, d2, lam, k):
+        assert modular_overlap(b1, d1, b2 + k * lam, d2, lam) == modular_overlap(
+            b1, d1, b2, d2, lam
+        )
+
+    @given(
+        st.fractions(min_value=0, max_value=12),
+        st.fractions(min_value=F(1, 4), max_value=2),
+        st.fractions(min_value=0, max_value=12),
+        st.fractions(min_value=F(1, 4), max_value=2),
+        st.fractions(min_value=4, max_value=8),
+    )
+    def test_matches_brute_force_expansion(self, b1, d1, b2, d2, lam):
+        """Compare against explicitly expanding occurrences over many periods."""
+        expected = False
+        for n1 in range(-4, 5):
+            for n2 in range(-4, 5):
+                s1, e1 = b1 + n1 * lam, b1 + d1 + n1 * lam
+                s2, e2 = b2 + n2 * lam, b2 + d2 + n2 * lam
+                if s1 < e2 and s2 < e1:
+                    expected = True
+        assert modular_overlap(b1, d1, b2, d2, lam) == expected

@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.service."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Application, Service, as_fraction, make_application
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(23, 3)
+        assert as_fraction(f) is f
+
+    def test_float_uses_decimal_literal(self):
+        assert as_fraction(0.9999) == Fraction(9999, 10000)
+
+    def test_string(self):
+        assert as_fraction("23/3") == Fraction(23, 3)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_fraction(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            as_fraction(float("inf"))
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(object())
+
+    @given(st.integers(-10**6, 10**6), st.integers(1, 10**6))
+    def test_rationals_roundtrip(self, num, den):
+        f = Fraction(num, den)
+        assert as_fraction(f) == f
+
+
+class TestService:
+    def test_basic(self):
+        s = Service("C1", Fraction(4), Fraction(1))
+        assert s.cost == 4
+        assert s.selectivity == 1
+        assert not s.is_filter
+        assert not s.is_expander
+
+    def test_filter_flag(self):
+        assert Service("f", 1, Fraction(1, 2)).is_filter
+        assert Service("e", 1, 2).is_expander
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Service("x", -1, 1)
+
+    def test_zero_selectivity_rejected(self):
+        with pytest.raises(ValueError):
+            Service("x", 1, 0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Service("", 1, 1)
+
+    def test_numeric_coercion(self):
+        s = Service("x", 0.5, "1/3")
+        assert s.cost == Fraction(1, 2)
+        assert s.selectivity == Fraction(1, 3)
+
+
+class TestApplication:
+    def test_lookup(self):
+        app = make_application([("a", 1, 1), ("b", 2, Fraction(1, 2))])
+        assert app["b"].cost == 2
+        assert len(app) == 2
+        assert "a" in app and "z" not in app
+        assert app.names == ("a", "b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_application([("a", 1, 1), ("a", 2, 2)])
+
+    def test_unknown_precedence_rejected(self):
+        with pytest.raises(ValueError):
+            make_application([("a", 1, 1)], precedence=[("a", "b")])
+
+    def test_self_loop_precedence_rejected(self):
+        with pytest.raises(ValueError):
+            make_application([("a", 1, 1)], precedence=[("a", "a")])
+
+    def test_precedence_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            make_application(
+                [("a", 1, 1), ("b", 1, 1)], precedence=[("a", "b"), ("b", "a")]
+            )
+
+    def test_unknown_service_keyerror(self):
+        app = make_application([("a", 1, 1)])
+        with pytest.raises(KeyError):
+            app["zzz"]
+
+    def test_filters_and_expanders(self):
+        app = make_application(
+            [("f", 1, Fraction(1, 2)), ("u", 1, 1), ("e", 1, 3)]
+        )
+        assert [s.name for s in app.filters()] == ["f"]
+        assert [s.name for s in app.expanders()] == ["u", "e"]
+
+    def test_restricted_to(self):
+        app = make_application(
+            [("a", 1, 1), ("b", 1, 1), ("c", 1, 1)],
+            precedence=[("a", "b"), ("b", "c")],
+        )
+        sub = app.restricted_to(["a", "b"])
+        assert sub.names == ("a", "b")
+        assert sub.precedence == frozenset({("a", "b")})
+
+    def test_restricted_to_unknown(self):
+        app = make_application([("a", 1, 1)])
+        with pytest.raises(KeyError):
+            app.restricted_to(["nope"])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 50),
+                st.fractions(min_value=0, max_value=100),
+                st.fractions(min_value=Fraction(1, 100), max_value=100),
+            ),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_property_construction(self, triples):
+        app = make_application([(f"C{i}", c, s) for i, c, s in triples])
+        assert len(app) == len(triples)
+        for i, c, s in triples:
+            assert app[f"C{i}"].cost == c
+            assert app[f"C{i}"].selectivity == s

@@ -1,0 +1,193 @@
+"""Unit tests for the Appendix-A validators (all three models)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    CommModel,
+    ExecutionGraph,
+    INPUT,
+    InvalidScheduleError,
+    OUTPUT,
+    OperationList,
+    assert_valid,
+    comm_op,
+    comp_op,
+    make_application,
+    validate,
+)
+
+F = Fraction
+
+
+@pytest.fixture
+def chain2():
+    app = make_application([("a", 2, F(1, 2)), ("b", 4, 1)])
+    return ExecutionGraph.chain(app, ["a", "b"])
+
+
+def good_times():
+    return {
+        comm_op(INPUT, "a"): (F(0), F(1)),
+        comp_op("a"): (F(1), F(3)),
+        comm_op("a", "b"): (F(3), F(7, 2)),
+        comp_op("b"): (F(7, 2), F(11, 2)),
+        comm_op("b", OUTPUT): (F(11, 2), F(6)),
+    }
+
+
+class TestCoverage:
+    def test_valid_serialized(self, chain2):
+        ol = OperationList(good_times(), lam=6)
+        for model in CommModel:
+            assert validate(chain2, ol, model).ok
+
+    def test_missing_operation(self, chain2):
+        times = good_times()
+        del times[comp_op("b")]
+        ol = OperationList(times, lam=6)
+        rep = validate(chain2, ol, CommModel.INORDER)
+        assert not rep.ok
+        assert any("missing" in v for v in rep.violations)
+
+    def test_unexpected_operation(self, chain2):
+        times = good_times()
+        times[comm_op("b", "a")] = (F(0), F(1))
+        ol = OperationList(times, lam=6)
+        rep = validate(chain2, ol, CommModel.INORDER)
+        assert any("unexpected" in v for v in rep.violations)
+
+    def test_assert_valid_raises(self, chain2):
+        times = good_times()
+        del times[comp_op("b")]
+        with pytest.raises(InvalidScheduleError):
+            assert_valid(chain2, OperationList(times, lam=6), CommModel.INORDER)
+
+
+class TestDurations:
+    def test_wrong_comp_duration(self, chain2):
+        times = good_times()
+        times[comp_op("a")] = (F(1), F(2))  # Ccomp(a) = 2, not 1
+        rep = validate(chain2, OperationList(times, lam=6), CommModel.INORDER)
+        assert any("Ccomp" in v for v in rep.violations)
+
+    def test_oneport_comm_must_be_full_rate(self, chain2):
+        times = good_times()
+        times[comm_op("a", "b")] = (F(3), F(4))  # size 1/2 stretched to 1
+        rep = validate(chain2, OperationList(times, lam=6), CommModel.INORDER)
+        assert not rep.ok
+
+    def test_overlap_comm_may_stretch(self, chain2):
+        times = good_times()
+        # stretch the message and move downstream ops later
+        times[comm_op("a", "b")] = (F(3), F(4))
+        times[comp_op("b")] = (F(4), F(6))
+        times[comm_op("b", OUTPUT)] = (F(6), F(13, 2))
+        ol = OperationList(times, lam=7)
+        assert validate(chain2, ol, CommModel.OVERLAP).ok
+
+    def test_overlap_comm_cannot_beat_bandwidth(self, chain2):
+        times = good_times()
+        times[comm_op(INPUT, "a")] = (F(0), F(1, 2))  # size 1 in 1/2 time
+        times[comp_op("a")] = (F(1, 2), F(5, 2))
+        times[comm_op("a", "b")] = (F(5, 2), F(3))
+        times[comp_op("b")] = (F(3), F(5))
+        times[comm_op("b", OUTPUT)] = (F(5), F(11, 2))
+        rep = validate(chain2, OperationList(times, lam=6), CommModel.OVERLAP)
+        assert any("ratio" in v for v in rep.violations)
+
+
+class TestPrecedence:
+    def test_comm_after_comp_required(self, chain2):
+        times = good_times()
+        times[comm_op("a", "b")] = (F(2), F(5, 2))  # before comp(a) ends
+        rep = validate(chain2, OperationList(times, lam=6), CommModel.INORDER)
+        assert any("before the computation" in v for v in rep.violations)
+
+    def test_comp_after_incomm_required(self, chain2):
+        times = good_times()
+        times[comp_op("b")] = (F(3), F(5))  # starts before message arrives
+        rep = validate(chain2, OperationList(times, lam=6), CommModel.INORDER)
+        assert not rep.ok
+
+
+class TestOnePortExclusion:
+    def test_cross_period_conflict_detected(self, chain2):
+        # comp(a) lasts 2; with lam = 2 the input message of the next data
+        # set would collide with it on server a.
+        ol = OperationList(good_times(), lam=2)
+        rep = validate(chain2, ol, CommModel.OUTORDER)
+        assert any("overlap" in v for v in rep.violations)
+
+    def test_fan_in_same_time_rejected(self):
+        app = make_application([("a", 1, 1), ("b", 1, 1), ("c", 1, 1)])
+        graph = ExecutionGraph(app, [("a", "c"), ("b", "c")])
+        times = {
+            comm_op(INPUT, "a"): (F(0), F(1)),
+            comm_op(INPUT, "b"): (F(0), F(1)),
+            comp_op("a"): (F(1), F(2)),
+            comp_op("b"): (F(1), F(2)),
+            comm_op("a", "c"): (F(2), F(3)),
+            comm_op("b", "c"): (F(2), F(3)),  # both received at once
+            comp_op("c"): (F(3), F(4)),
+            comm_op("c", OUTPUT): (F(4), F(5)),
+        }
+        rep = validate(graph, OperationList(times, lam=10), CommModel.OUTORDER)
+        assert not rep.ok
+        # multi-port accepts it (two incoming ratios of 1... no — sum 2)
+        rep_mp = validate(graph, OperationList(times, lam=10), CommModel.OVERLAP)
+        assert not rep_mp.ok  # exceeds incoming bandwidth too
+
+    def test_staggered_fan_in_ok_oneport(self):
+        app = make_application([("a", 1, 1), ("b", 1, 1), ("c", 1, 1)])
+        graph = ExecutionGraph(app, [("a", "c"), ("b", "c")])
+        times = {
+            comm_op(INPUT, "a"): (F(0), F(1)),
+            comm_op(INPUT, "b"): (F(0), F(1)),
+            comp_op("a"): (F(1), F(2)),
+            comp_op("b"): (F(1), F(2)),
+            comm_op("a", "c"): (F(2), F(3)),
+            comm_op("b", "c"): (F(3), F(4)),
+            comp_op("c"): (F(4), F(5)),
+            comm_op("c", OUTPUT): (F(5), F(6)),
+        }
+        rep = validate(graph, OperationList(times, lam=6), CommModel.OUTORDER)
+        assert rep.ok, rep.violations
+
+
+class TestInorderRule:
+    def test_constraint_one_enforced(self, chain2):
+        """Sending data set n after receiving data set n+1 violates INORDER
+        but not OUTORDER."""
+        times = {
+            comm_op(INPUT, "a"): (F(0), F(1)),
+            comp_op("a"): (F(1), F(3)),
+            comm_op("a", "b"): (F(12), F(25, 2)),  # sent 1.5 periods late
+            comp_op("b"): (F(25, 2), F(29, 2)),
+            comm_op("b", OUTPUT): (F(29, 2), F(15)),
+        }
+        ol = OperationList(times, lam=8)
+        assert validate(chain2, ol, CommModel.OUTORDER).ok
+        rep = validate(chain2, ol, CommModel.INORDER)
+        assert any("INORDER" in v for v in rep.violations)
+
+
+class TestOverlapBandwidthSweep:
+    def test_full_period_messages_allowed(self):
+        """Theorem-1 style schedules: every message stretched to lambda."""
+        app = make_application([("a", 1, 1), ("b", 1, 1), ("c", 1, 1)])
+        graph = ExecutionGraph(app, [("a", "c"), ("b", "c")])
+        T = F(2)  # Cin(c) = 2
+        times = {
+            comm_op(INPUT, "a"): (F(0), T),
+            comm_op(INPUT, "b"): (F(0), T),
+            comp_op("a"): (T, T + 1),
+            comp_op("b"): (T, T + 1),
+            comm_op("a", "c"): (T + 1, T + 1 + T),
+            comm_op("b", "c"): (T + 1, T + 1 + T),
+            comp_op("c"): (T + 1 + T, T + 2 + T),
+            comm_op("c", OUTPUT): (T + 2 + T, T + 2 + 2 * T),
+        }
+        ol = OperationList(times, lam=T)
+        assert validate(graph, ol, CommModel.OVERLAP).ok

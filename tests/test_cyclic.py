@@ -1,0 +1,177 @@
+"""Unit and property tests for the cyclic scheduling substrate (MCR)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cyclic import (
+    EventGraph,
+    InfeasibleScheduleError,
+    brute_force_mcr,
+    earliest_times,
+    is_feasible,
+    minimum_period,
+)
+
+F = Fraction
+
+
+def simple_cycle_graph(weights, heights):
+    """A single directed cycle with the given edge weights/heights."""
+    eg = EventGraph()
+    n = len(weights)
+    for i in range(n):
+        eg.add_constraint(i, (i + 1) % n, weights[i], heights[i])
+    return eg
+
+
+class TestEventGraph:
+    def test_idempotent_events(self):
+        eg = EventGraph()
+        assert eg.add_event("x") == eg.add_event("x")
+        assert len(eg) == 1
+        assert "x" in eg
+
+    def test_negative_height_rejected(self):
+        eg = EventGraph()
+        with pytest.raises(ValueError):
+            eg.add_constraint("a", "b", 1, height=-1)
+
+    def test_labels_roundtrip(self):
+        eg = EventGraph()
+        eg.add_constraint("a", "b", 1, 0)
+        assert eg.label(eg.index("a")) == "a"
+        assert set(eg.labels) == {"a", "b"}
+
+
+class TestMinimumPeriod:
+    def test_single_server_cycle(self):
+        # in(1) -> comp(4) -> out(1) -> wrap: period = 6
+        eg = EventGraph()
+        eg.add_constraint("in", "comp", 1, 0)
+        eg.add_constraint("comp", "out", 4, 0)
+        eg.add_constraint("out", "in", 1, 1)
+        assert minimum_period(eg) == 6
+
+    def test_independent_self_loops_take_max(self):
+        eg = EventGraph()
+        eg.add_constraint("s", "s", 5, 1)
+        eg.add_constraint("t", "t", 3, 1)
+        assert minimum_period(eg) == 5
+
+    def test_fractional_ratio(self):
+        eg = simple_cycle_graph([F(23)], [3])
+        assert minimum_period(eg) == F(23, 3)
+
+    def test_floor_respected(self):
+        eg = simple_cycle_graph([F(4)], [1])
+        assert minimum_period(eg, floor=10) == 10
+
+    def test_infeasible_zero_height(self):
+        eg = simple_cycle_graph([F(1), F(1)], [0, 0])
+        with pytest.raises(InfeasibleScheduleError):
+            minimum_period(eg)
+
+    def test_acyclic_graph_returns_floor(self):
+        eg = EventGraph()
+        eg.add_constraint("a", "b", 7, 0)
+        eg.add_constraint("b", "c", 3, 0)
+        assert minimum_period(eg) == 0
+        assert minimum_period(eg, floor=2) == 2
+
+    def test_negative_weights_ok(self):
+        eg = simple_cycle_graph([F(-1), F(5)], [1, 1])
+        assert minimum_period(eg) == 2
+
+    def test_is_feasible_monotone(self):
+        eg = simple_cycle_graph([F(10), F(4)], [1, 1])
+        assert not is_feasible(eg, 6)
+        assert is_feasible(eg, 7)
+        assert is_feasible(eg, 8)
+
+
+class TestEarliestTimes:
+    def test_chain_times(self):
+        eg = EventGraph()
+        eg.add_constraint("a", "b", 2, 0)
+        eg.add_constraint("b", "c", 3, 0)
+        times = earliest_times(eg, 10)
+        assert times["a"] == 0
+        assert times["b"] == 2
+        assert times["c"] == 5
+
+    def test_height_reduces_offset(self):
+        eg = EventGraph()
+        eg.add_constraint("a", "b", 12, 1)
+        times = earliest_times(eg, 10)
+        assert times["b"] == 2  # 12 - 10
+
+    def test_infeasible_raises(self):
+        eg = simple_cycle_graph([F(10)], [1])
+        with pytest.raises(InfeasibleScheduleError):
+            earliest_times(eg, 5)
+
+    def test_times_satisfy_constraints(self):
+        eg = EventGraph()
+        eg.add_constraint("a", "b", 3, 0)
+        eg.add_constraint("b", "c", 4, 1)
+        eg.add_constraint("c", "a", 2, 1)
+        lam = minimum_period(eg)
+        times = earliest_times(eg, lam)
+        for e in eg.edges:
+            u, v = eg.label(e.src), eg.label(e.dst)
+            assert times[v] >= times[u] + e.weight - lam * e.height
+
+
+@st.composite
+def random_event_graph(draw):
+    n = draw(st.integers(2, 6))
+    n_edges = draw(st.integers(1, 10))
+    eg = EventGraph()
+    for node in range(n):
+        eg.add_event(node)
+    height_one_somewhere = False
+    for _ in range(n_edges):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u == v:
+            h = 1  # self loops must advance data sets
+        else:
+            h = draw(st.integers(0, 2))
+        w = draw(st.fractions(min_value=0, max_value=10))
+        eg.add_constraint(u, v, w, h)
+        height_one_somewhere = height_one_somewhere or h > 0
+    return eg
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(random_event_graph())
+    def test_mcr_matches_cycle_enumeration(self, eg):
+        try:
+            expected = brute_force_mcr(eg)
+        except InfeasibleScheduleError:
+            with pytest.raises(InfeasibleScheduleError):
+                minimum_period(eg)
+            return
+        got = minimum_period(eg)
+        if expected is None or expected < 0:
+            assert got == 0  # floor
+        else:
+            assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_event_graph())
+    def test_earliest_times_valid_at_mcr(self, eg):
+        try:
+            lam = minimum_period(eg)
+        except InfeasibleScheduleError:
+            return
+        if lam == 0:
+            lam = Fraction(1)
+        times = earliest_times(eg, lam)
+        for e in eg.edges:
+            u, v = eg.label(e.src), eg.label(e.dst)
+            assert times[v] >= times[u] + e.weight - lam * e.height

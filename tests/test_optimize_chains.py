@@ -1,0 +1,107 @@
+"""Chain greedy algorithms (Props 8 and 16) versus brute force."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CommModel, CostModel, ExecutionGraph, make_application
+from repro.optimize import (
+    brute_force_chain_latency,
+    brute_force_chain_period,
+    chain_latency,
+    chain_period,
+    greedy_chain_latency_order,
+    greedy_chain_period_order,
+    minlatency_chain,
+    minperiod_chain,
+)
+from repro.scheduling import tree_latency
+
+F = Fraction
+
+
+@st.composite
+def rand_app(draw, max_n=5):
+    n = draw(st.integers(2, max_n))
+    specs = []
+    for i in range(n):
+        cost = draw(st.integers(0, 10))
+        sel = draw(
+            st.sampled_from(
+                [F(1, 4), F(1, 2), F(3, 4), F(1), F(3, 2), F(2), F(3)]
+            )
+        )
+        specs.append((f"C{i}", cost, sel))
+    return make_application(specs)
+
+
+class TestChainEvaluators:
+    def test_chain_period_matches_cost_model(self):
+        app = make_application([("a", 2, F(1, 2)), ("b", 4, 2), ("c", 1, 1)])
+        order = ["a", "b", "c"]
+        graph = ExecutionGraph.chain(app, order)
+        cm = CostModel(graph)
+        for model in (CommModel.OVERLAP, CommModel.INORDER):
+            assert chain_period(app, order, model) == cm.period_lower_bound(model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rand_app())
+    def test_chain_latency_matches_tree_algorithm(self, app):
+        order = list(app.names)
+        graph = ExecutionGraph.chain(app, order)
+        assert chain_latency(app, order) == tree_latency(graph)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rand_app())
+    def test_chain_latency_matches_critical_path(self, app):
+        order = list(app.names)
+        graph = ExecutionGraph.chain(app, order)
+        assert chain_latency(app, order) == CostModel(graph).latency_lower_bound()
+
+
+class TestProposition8:
+    @settings(max_examples=60, deadline=None)
+    @given(rand_app(), st.sampled_from(list(CommModel)))
+    def test_greedy_is_optimal(self, app, model):
+        greedy_order = greedy_chain_period_order(app, model)
+        greedy_val = chain_period(app, greedy_order, model)
+        best_val, _ = brute_force_chain_period(app, model)
+        assert greedy_val == best_val
+
+    def test_filters_before_expanders(self):
+        app = make_application(
+            [("e", 1, 2), ("f", 100, F(1, 2))]
+        )
+        order = greedy_chain_period_order(app, CommModel.INORDER)
+        assert order == ["f", "e"]
+
+    def test_minperiod_chain_returns_chain(self):
+        app = make_application([("a", 1, F(1, 2)), ("b", 2, 2), ("c", 3, 1)])
+        val, graph = minperiod_chain(app, CommModel.OVERLAP)
+        assert graph.is_chain
+        assert val == chain_period(app, graph.topological_order, CommModel.OVERLAP)
+
+
+class TestProposition16:
+    @settings(max_examples=60, deadline=None)
+    @given(rand_app())
+    def test_greedy_is_optimal(self, app):
+        greedy_order = greedy_chain_latency_order(app)
+        greedy_val = chain_latency(app, greedy_order)
+        best_val, _ = brute_force_chain_latency(app)
+        assert greedy_val == best_val
+
+    def test_ratio_rule_order(self):
+        # (1 - sigma)/(1 + c): strong filter cheap first
+        app = make_application(
+            [("weak", 1, F(9, 10)), ("strong", 1, F(1, 10))]
+        )
+        order = greedy_chain_latency_order(app)
+        assert order == ["strong", "weak"]
+
+    def test_minlatency_chain_returns_chain(self):
+        app = make_application([("a", 1, F(1, 2)), ("b", 2, 2)])
+        val, graph = minlatency_chain(app)
+        assert graph.is_chain
+        assert val == chain_latency(app, graph.topological_order)

@@ -1,0 +1,177 @@
+"""Exhaustive search, greedy forests, local search, no-comm baseline."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CommModel, CostModel, ExecutionGraph, make_application
+from repro.optimize import (
+    Effort,
+    exhaustive_minlatency,
+    exhaustive_minperiod,
+    greedy_minlatency,
+    greedy_minperiod,
+    iter_dags,
+    iter_forests,
+    local_search_minperiod,
+    nocomm_latency,
+    nocomm_optimal_latency_chain,
+    nocomm_optimal_period_plan,
+    nocomm_period,
+    period_objective,
+)
+
+F = Fraction
+
+
+@st.composite
+def rand_app(draw, max_n=4):
+    n = draw(st.integers(2, max_n))
+    return make_application(
+        [
+            (
+                f"C{i}",
+                draw(st.integers(0, 8)),
+                draw(st.sampled_from([F(1, 2), F(1), F(2)])),
+            )
+            for i in range(n)
+        ]
+    )
+
+
+class TestEnumerations:
+    def test_forest_count_n2(self):
+        app = make_application([("a", 1, 1), ("b", 1, 1)])
+        forests = list(iter_forests(app))
+        # parent maps: (None,None), (None,a), (b,None) -> 3 forests
+        assert len(forests) == 3
+
+    def test_forest_count_n3(self):
+        app = make_application([(f"C{i}", 1, 1) for i in range(3)])
+        # Cayley-like count: labelled forests of rooted trees on 3 nodes = 16
+        assert len(list(iter_forests(app))) == 16
+
+    def test_all_forests_are_forests(self):
+        app = make_application([(f"C{i}", 1, 1) for i in range(4)])
+        for g in iter_forests(app):
+            assert g.is_forest
+
+    def test_dag_count_n2(self):
+        app = make_application([("a", 1, 1), ("b", 1, 1)])
+        dags = list(iter_dags(app))
+        # {}, {a->b}, {b->a}
+        assert len(dags) == 3
+
+    def test_dag_count_n3(self):
+        app = make_application([(f"C{i}", 1, 1) for i in range(3)])
+        # labelled DAGs on 3 nodes = 25
+        assert len(list(iter_dags(app))) == 25
+
+    def test_dag_guard(self):
+        app = make_application([(f"C{i}", 1, 1) for i in range(6)])
+        with pytest.raises(ValueError):
+            list(iter_dags(app))
+
+    def test_forest_rejects_precedence(self):
+        app = make_application(
+            [("a", 1, 1), ("b", 1, 1)], precedence=[("a", "b")]
+        )
+        with pytest.raises(ValueError):
+            list(iter_forests(app))
+
+
+class TestProposition4:
+    """Some optimal MinPeriod plan is a forest (no precedence constraints)."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(rand_app(max_n=4), st.sampled_from(list(CommModel)))
+    def test_forest_matches_dag_optimum(self, app, model):
+        effort = Effort.BOUND if model is not CommModel.OVERLAP else Effort.EXACT
+        forest_val, _ = exhaustive_minperiod(
+            app, model, forests_only=True, effort=effort
+        )
+        dag_val, _ = exhaustive_minperiod(
+            app, model, forests_only=False, effort=effort
+        )
+        assert forest_val == dag_val
+
+
+class TestHeuristics:
+    @settings(max_examples=10, deadline=None)
+    @given(rand_app(max_n=4))
+    def test_greedy_ge_exhaustive_overlap(self, app):
+        exact_val, _ = exhaustive_minperiod(app, CommModel.OVERLAP)
+        greedy_val, graph = greedy_minperiod(app, CommModel.OVERLAP)
+        assert graph.is_forest
+        assert greedy_val >= exact_val
+
+    @settings(max_examples=8, deadline=None)
+    @given(rand_app(max_n=4))
+    def test_local_search_improves_or_keeps(self, app):
+        _, start = nocomm_optimal_period_plan(app)
+        start_val = period_objective(start, CommModel.OVERLAP)
+        final_val, final = local_search_minperiod(start, CommModel.OVERLAP)
+        assert final_val <= start_val
+        exact_val, _ = exhaustive_minperiod(app, CommModel.OVERLAP)
+        assert final_val >= exact_val
+
+    @settings(max_examples=8, deadline=None)
+    @given(rand_app(max_n=4))
+    def test_greedy_latency_sane(self, app):
+        val, graph = greedy_minlatency(app, CommModel.INORDER)
+        assert graph.is_forest
+        exact_val, _ = exhaustive_minlatency(app, CommModel.INORDER)
+        assert val >= exact_val
+
+
+class TestNoCommBaseline:
+    def test_structure(self):
+        app = make_application(
+            [("f1", 3, F(1, 2)), ("f2", 1, F(1, 2)), ("e", 5, 2)]
+        )
+        val, graph = nocomm_optimal_period_plan(app)
+        # chain f2 (cost 1) -> f1 (cost 3), leaf e after f1
+        assert set(graph.edges) == {("f2", "f1"), ("f1", "e")}
+        assert val == max(
+            F(1), F(1, 2) * 3, F(1, 4) * 5
+        )
+
+    def test_all_expanders_stay_parallel(self):
+        app = make_application([("a", 2, 2), ("b", 3, 1)])
+        val, graph = nocomm_optimal_period_plan(app)
+        assert graph.edges == frozenset()
+        assert val == 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(rand_app(max_n=5))
+    def test_nocomm_period_le_any_forest(self, app):
+        """The baseline is optimal when communications are free."""
+        base_val, _ = nocomm_optimal_period_plan(app)
+        for graph in iter_forests(app):
+            assert nocomm_period(graph) >= base_val
+
+    def test_nocomm_latency_chain_rule(self):
+        app = make_application(
+            [("cheapstrong", 1, F(1, 10)), ("priceyweak", 10, F(9, 10))]
+        )
+        val, graph = nocomm_optimal_latency_chain(app)
+        assert graph.topological_order[0] == "cheapstrong"
+        assert val == nocomm_latency(graph)
+
+    def test_b1_counterexample_gap(self):
+        """Appendix B.1: the no-comm baseline collapses under OVERLAP."""
+        from repro.workloads.paper import b1_application, b1_counterexample
+
+        app = b1_application()
+        nocomm_val, nocomm_graph = nocomm_optimal_period_plan(app)
+        assert nocomm_val <= 100
+        overlap_of_nocomm = CostModel(nocomm_graph).period_lower_bound(
+            CommModel.OVERLAP
+        )
+        assert overlap_of_nocomm > 100  # approx 200
+        good = b1_counterexample()
+        assert (
+            CostModel(good.graph).period_lower_bound(CommModel.OVERLAP) == 100
+        )

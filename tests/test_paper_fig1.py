@@ -1,0 +1,129 @@
+"""Integration tests: the Section 2.3 example (Figure 1), end to end.
+
+The paper works this example out by hand; every number below is stated in
+the text:
+
+* latency 21 (optimal, all models);
+* OVERLAP period 4 (optimal);
+* OUTORDER period 7 (optimal, equals the lower bound);
+* INORDER period 23/3 (optimal — strictly above the lower bound 7).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import CommModel, validate
+from repro.scheduling import (
+    exact_inorder_period,
+    inorder_schedule,
+    oneport_latency_schedule,
+    outorder_schedule,
+    is_certified_optimal,
+    schedule_period_overlap,
+)
+from repro.workloads.paper import (
+    fig1_example,
+    fig1_inorder_period_23_3_operation_list,
+    fig1_latency_operation_list,
+    fig1_outorder_period7_operation_list,
+    fig1_overlap_period4_operation_list,
+    fig1_overlap_period5_operation_list,
+)
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return fig1_example()
+
+
+class TestPaperOperationLists:
+    """The paper's hand-built operation lists pass our validators."""
+
+    def test_latency_ol_valid_all_models(self, inst):
+        ol = fig1_latency_operation_list()
+        for model in (CommModel.OVERLAP, CommModel.INORDER, CommModel.OUTORDER):
+            report = validate(inst.graph, ol, model)
+            assert report.ok, (model, report.violations)
+        assert ol.latency == 21
+
+    def test_overlap_period5_valid(self, inst):
+        ol = fig1_overlap_period5_operation_list()
+        assert ol.period == 5
+        report = validate(inst.graph, ol, CommModel.OVERLAP)
+        assert report.ok, report.violations
+
+    def test_overlap_period4_valid_and_not_5(self, inst):
+        ol = fig1_overlap_period4_operation_list()
+        assert ol.period == 4
+        report = validate(inst.graph, ol, CommModel.OVERLAP)
+        assert report.ok, report.violations
+
+    def test_latency_ol_at_period4_is_invalid(self, inst):
+        """Shrinking the latency schedule to lambda=4 without moving C4->C5
+        creates a conflict (the paper moves that communication to [12,13])."""
+        ol = fig1_latency_operation_list().with_period(4)
+        report = validate(inst.graph, ol, CommModel.OVERLAP)
+        assert not report.ok
+
+    def test_outorder_period7_valid(self, inst):
+        ol = fig1_outorder_period7_operation_list()
+        assert ol.period == 7
+        report = validate(inst.graph, ol, CommModel.OUTORDER)
+        assert report.ok, report.violations
+
+    def test_outorder_period7_violates_inorder(self, inst):
+        """The period-7 schedule interleaves data sets: INORDER rejects it."""
+        ol = fig1_outorder_period7_operation_list()
+        report = validate(inst.graph, ol, CommModel.INORDER)
+        assert not report.ok
+
+    def test_inorder_23_3_valid(self, inst):
+        ol = fig1_inorder_period_23_3_operation_list()
+        assert ol.period == Fraction(23, 3)
+        report = validate(inst.graph, ol, CommModel.INORDER)
+        assert report.ok, report.violations
+        # and it is of course OUTORDER-valid as well
+        assert validate(inst.graph, ol, CommModel.OUTORDER).ok
+
+    def test_inorder_at_period7_invalid(self, inst):
+        """The INORDER lower bound 7 is not achievable (paper Section 2.3)."""
+        ol = fig1_inorder_period_23_3_operation_list().with_period(7)
+        report = validate(inst.graph, ol, CommModel.INORDER)
+        assert not report.ok
+
+
+class TestSchedulers:
+    """Our schedulers recover the paper's optimal values."""
+
+    def test_overlap_scheduler_period4(self, inst):
+        plan = schedule_period_overlap(inst.graph)
+        assert plan.period == 4
+        assert plan.validate().ok, plan.validate().violations
+
+    def test_exact_inorder_is_23_3(self, inst):
+        lam, plan = exact_inorder_period(inst.graph)
+        assert lam == Fraction(23, 3)
+        assert plan.period == Fraction(23, 3)
+        assert plan.validate().ok, plan.validate().violations
+
+    def test_inorder_schedule_helper(self, inst):
+        plan = inorder_schedule(inst.graph)
+        assert plan.period == Fraction(23, 3)
+        assert plan.validate().ok
+
+    def test_outorder_scheduler_reaches_lower_bound_7(self, inst):
+        plan = outorder_schedule(inst.graph)
+        assert plan.period == 7
+        assert plan.validate().ok, plan.validate().violations
+        assert is_certified_optimal(plan)
+
+    def test_greedy_latency_21(self, inst):
+        plan = oneport_latency_schedule(inst.graph)
+        assert plan.latency == 21
+        assert plan.validate().ok, plan.validate().violations
+
+    def test_latency_matches_lower_bound(self, inst):
+        from repro.core import CostModel
+
+        assert CostModel(inst.graph).latency_lower_bound() == 21

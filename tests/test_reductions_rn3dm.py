@@ -1,0 +1,118 @@
+"""RN3DM and 2-Partition source problems."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reductions.partition import (
+    PartitionInstance,
+    is_solvable as partition_solvable,
+    solvable_instance as partition_solvable_instance,
+    solve as partition_solve,
+    unsolvable_instance as partition_unsolvable_instance,
+)
+from repro.reductions.rn3dm import (
+    RN3DMInstance,
+    brute_force_solve,
+    is_solvable,
+    solvable_instance,
+    solve,
+    unsolvable_instance,
+)
+
+
+class TestRN3DM:
+    def test_simple_solvable(self):
+        inst = RN3DMInstance((2, 4, 6))
+        sol = solve(inst)
+        assert sol is not None
+        assert inst.check(*sol)
+
+    def test_known_unsolvable(self):
+        assert not is_solvable(RN3DMInstance((2, 2, 8, 8)))
+
+    def test_malformed_sum_rejected_by_solver(self):
+        assert solve(RN3DMInstance((2, 2, 2))) is None  # sum != n(n+1)
+
+    def test_out_of_range_rejected(self):
+        assert not RN3DMInstance((1, 5, 6)).is_well_formed()
+
+    def test_check_rejects_bad_certificates(self):
+        inst = RN3DMInstance((2, 4, 6))
+        assert not inst.check([1, 1, 3], [1, 3, 3])
+        assert not inst.check([1, 2, 3], [2, 1, 3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RN3DMInstance(())
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 7), st.integers(0, 1000))
+    def test_generated_solvable_instances(self, n, seed):
+        inst = solvable_instance(n, seed)
+        assert inst.is_well_formed()
+        sol = solve(inst)
+        assert sol is not None and inst.check(*sol)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 6), st.integers(0, 100))
+    def test_generated_unsolvable_instances(self, n, seed):
+        inst = unsolvable_instance(n, seed)
+        assert inst.is_well_formed()
+        assert not is_solvable(inst)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 500))
+    def test_solver_matches_brute_force(self, n, seed):
+        inst = solvable_instance(n, seed)
+        assert (solve(inst) is None) == (brute_force_solve(inst) is None)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(2, 12), min_size=2, max_size=6))
+    def test_solver_matches_brute_force_arbitrary(self, a):
+        inst = RN3DMInstance(tuple(a))
+        assert (solve(inst) is None) == (brute_force_solve(inst) is None)
+
+    def test_small_n_all_well_formed_are_solvable(self):
+        """For n <= 3 every well-formed instance is solvable (hence the
+        reduction tests need n >= 4 for the negative direction)."""
+        import itertools
+
+        for n in (2, 3):
+            for a in itertools.product(range(2, 2 * n + 1), repeat=n):
+                inst = RN3DMInstance(a)
+                if inst.is_well_formed():
+                    assert is_solvable(inst), a
+
+
+class TestPartition:
+    def test_simple(self):
+        sol = partition_solve(PartitionInstance((3, 5, 3, 5)))
+        assert sol is not None
+        assert sum(3 if i in (0, 2) else 5 for i in sol) in (8,)
+
+    def test_odd_total_unsolvable(self):
+        assert not partition_solvable(PartitionInstance((3, 5, 3, 6)))
+
+    def test_even_but_unsolvable(self):
+        assert not partition_solvable(PartitionInstance((2, 3, 4, 11)))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionInstance((1, 0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 4).map(lambda k: 2 * k), st.integers(0, 200))
+    def test_generators(self, n, seed):
+        s = partition_solvable_instance(n, seed)
+        assert partition_solvable(s)
+        u = partition_unsolvable_instance(n, seed)
+        assert not partition_solvable(u)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(1, 30), min_size=2, max_size=10))
+    def test_solution_is_half_sum(self, xs):
+        inst = PartitionInstance(tuple(xs))
+        sol = partition_solve(inst)
+        if sol is not None:
+            assert sum(xs[i] for i in sol) * 2 == inst.total

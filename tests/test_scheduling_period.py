@@ -1,0 +1,156 @@
+"""Tests for period orchestration: OVERLAP (Thm 1), INORDER (MCR), OUTORDER."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CommModel, CostModel, ExecutionGraph, make_application
+from repro.scheduling import (
+    CommOrders,
+    exact_inorder_period,
+    greedy_orders,
+    inorder_period_for_orders,
+    inorder_schedule,
+    inorder_schedule_for_orders,
+    order_space_size,
+    outorder_period_bound,
+    outorder_schedule,
+    overlap_period_bound,
+    schedule_period_overlap,
+)
+
+F = Fraction
+
+
+def small_app(n, data, max_cost=6):
+    return make_application(
+        [
+            (
+                f"C{i}",
+                data.draw(st.integers(0, max_cost)),
+                data.draw(st.sampled_from([F(1, 2), F(1), F(2)])),
+            )
+            for i in range(n)
+        ]
+    )
+
+
+def random_dag(app, data):
+    names = list(app.names)
+    edges = []
+    for j in range(1, len(names)):
+        for i in range(j):
+            if data.draw(st.booleans()):
+                edges.append((names[i], names[j]))
+    return ExecutionGraph(app, edges)
+
+
+class TestOverlapScheduler:
+    def test_single_service(self):
+        app = make_application([("a", 3, F(1, 2))])
+        plan = schedule_period_overlap(ExecutionGraph(app, []))
+        assert plan.period == 3
+        assert plan.validate().ok
+
+    def test_stretched_period(self):
+        app = make_application([("a", 3, F(1, 2))])
+        plan = schedule_period_overlap(ExecutionGraph(app, []), period=F(10))
+        assert plan.period == 10
+        assert plan.validate().ok
+
+    def test_below_bound_rejected(self):
+        app = make_application([("a", 3, F(1, 2))])
+        with pytest.raises(ValueError):
+            schedule_period_overlap(ExecutionGraph(app, []), period=F(1))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_achieves_bound_and_validates(self, data):
+        """Theorem 1: the bound is achieved on random DAGs."""
+        n = data.draw(st.integers(2, 6))
+        app = small_app(n, data)
+        graph = random_dag(app, data)
+        plan = schedule_period_overlap(graph)
+        assert plan.period == overlap_period_bound(graph)
+        report = plan.validate()
+        assert report.ok, report.violations
+
+
+class TestInorderScheduler:
+    def test_chain_meets_bound(self):
+        app = make_application([("a", 2, F(1, 2)), ("b", 4, 2)])
+        graph = ExecutionGraph.chain(app, ["a", "b"])
+        lam, plan = exact_inorder_period(graph)
+        assert lam == CostModel(graph).period_lower_bound(CommModel.INORDER)
+        assert plan.validate().ok
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_exact_schedules_validate(self, data):
+        n = data.draw(st.integers(2, 4))
+        app = small_app(n, data, max_cost=4)
+        graph = random_dag(app, data)
+        lam, plan = exact_inorder_period(graph)
+        report = plan.validate()
+        assert report.ok, report.violations
+        assert lam >= CostModel(graph).period_lower_bound(CommModel.INORDER)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_greedy_orders_ge_exact(self, data):
+        n = data.draw(st.integers(2, 4))
+        app = small_app(n, data, max_cost=4)
+        graph = random_dag(app, data)
+        exact_lam, _ = exact_inorder_period(graph)
+        greedy_lam = inorder_period_for_orders(graph, greedy_orders(graph))
+        assert greedy_lam >= exact_lam
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_chains_always_meet_bound(self, data):
+        """Prop 8's premise: on chains the one-port bound is achievable."""
+        n = data.draw(st.integers(2, 5))
+        app = small_app(n, data)
+        graph = ExecutionGraph.chain(app, list(app.names))
+        lam = inorder_period_for_orders(graph, CommOrders.canonical(graph))
+        assert lam == CostModel(graph).period_lower_bound(CommModel.INORDER)
+
+    def test_order_space_size(self):
+        app = make_application([(f"C{i}", 1, 1) for i in range(4)])
+        graph = ExecutionGraph(
+            app, [("C0", "C1"), ("C0", "C2"), ("C1", "C3"), ("C2", "C3")]
+        )
+        # C0: 2 successors (2!), C3: 2 predecessors (2!) -> 4
+        assert order_space_size(graph) == 4
+
+    def test_exact_guard(self):
+        app = make_application([(f"C{i}", 1, 1) for i in range(9)])
+        graph = ExecutionGraph(app, [("C0", f"C{i}") for i in range(1, 9)])
+        with pytest.raises(ValueError):
+            exact_inorder_period(graph, max_configs=10)
+
+
+class TestOutorderScheduler:
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_valid_and_bounded(self, data):
+        n = data.draw(st.integers(2, 4))
+        app = small_app(n, data, max_cost=4)
+        graph = random_dag(app, data)
+        plan = outorder_schedule(graph)
+        report = plan.validate()
+        assert report.ok, report.violations
+        assert plan.period >= outorder_period_bound(graph)
+        # never worse than INORDER
+        inorder_plan = inorder_schedule(graph)
+        assert plan.period <= inorder_plan.period
+
+    def test_inorder_list_is_outorder_valid(self):
+        from repro.core import validate
+
+        app = make_application([("a", 2, 1), ("b", 3, 1), ("c", 1, 1)])
+        graph = ExecutionGraph(app, [("a", "b"), ("a", "c")])
+        plan = inorder_schedule(graph)
+        assert validate(graph, plan.operation_list, CommModel.OUTORDER).ok

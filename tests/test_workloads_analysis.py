@@ -1,0 +1,166 @@
+"""Workload generators, analysis helpers and the complexity table."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    RESULTS,
+    SPECIAL_CASES,
+    PeriodBounds,
+    bound_summary,
+    count_by_complexity,
+    format_value,
+    latency_gap,
+    markdown_table,
+    period_gap,
+    render_table,
+    text_table,
+)
+from repro.core import CommModel, CostModel, ExecutionGraph
+from repro.scheduling import inorder_schedule, schedule_period_overlap
+from repro.workloads.generators import (
+    fork_join_instance,
+    layered_instance,
+    random_application,
+    random_chain,
+    random_execution_graph,
+    random_forest,
+    random_services,
+    star_instance,
+)
+
+F = Fraction
+
+
+class TestGenerators:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 20), st.integers(0, 1000))
+    def test_random_services_shape(self, n, seed):
+        specs = random_services(n, seed)
+        assert len(specs) == n
+        for name, cost, sel in specs:
+            assert cost >= F(1, 16)
+            assert sel > 0
+
+    def test_seed_determinism(self):
+        a = random_services(5, 42)
+        b = random_services(5, 42)
+        assert a == b
+
+    def test_random_application_precedence(self):
+        app = random_application(6, seed=1, precedence_density=0.5)
+        assert app.has_precedence
+
+    def test_random_graph_respects_precedence(self):
+        app = random_application(5, seed=2, precedence_density=0.4)
+        g = random_execution_graph(app, seed=3)
+        for a, b in app.precedence:
+            assert a in g.ancestors(b)
+
+    def test_random_forest_is_forest(self):
+        app = random_application(8, seed=4)
+        assert random_forest(app, seed=5).is_forest
+
+    def test_random_chain_is_chain(self):
+        app = random_application(6, seed=6)
+        assert random_chain(app, seed=7).is_chain
+
+    def test_forest_rejects_precedence(self):
+        app = random_application(4, seed=8, precedence_density=0.9)
+        with pytest.raises(ValueError):
+            random_forest(app)
+
+    def test_fork_join_shape(self):
+        app, g = fork_join_instance(4, seed=9)
+        assert len(g.entry_nodes) == 1
+        assert len(g.exit_nodes) == 1
+        assert len(app) == 6
+
+    def test_layered_shape(self):
+        app, g = layered_instance([2, 3, 2], seed=10)
+        assert len(app) == 7
+        assert len(g.edges) == 2 * 3 + 3 * 2
+
+    def test_star_shape(self):
+        app, g = star_instance(5, seed=11)
+        assert len(g.successors("hub")) == 5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            random_services(0)
+        with pytest.raises(ValueError):
+            random_services(3, cost_range=(5, 1))
+
+
+class TestBounds:
+    def test_period_bounds_ordering(self):
+        app = random_application(5, seed=12)
+        g = random_execution_graph(app, seed=13)
+        b = PeriodBounds.of(g)
+        assert b.overlap <= b.inorder == b.outorder
+
+    def test_gaps_nonnegative(self):
+        app = random_application(4, seed=14)
+        g = random_forest(app, seed=15)
+        plan = schedule_period_overlap(g)
+        assert period_gap(plan) == 0  # Theorem 1: bound met
+        inplan = inorder_schedule(g)
+        assert period_gap(inplan) >= 0
+        assert latency_gap(inplan) >= 0
+
+    def test_bound_summary_keys(self):
+        app = random_application(4, seed=16)
+        g = random_forest(app, seed=17)
+        summary = bound_summary(g)
+        assert set(summary) == {
+            "period_lb_overlap",
+            "period_lb_oneport",
+            "period_lb_comm_only",
+            "latency_lb",
+            "total_work",
+            "total_communication",
+        }
+        assert summary["period_lb_overlap"] <= summary["period_lb_oneport"]
+
+
+class TestComplexityTable:
+    def test_twelve_results(self):
+        assert len(RESULTS) == 12
+        assert count_by_complexity() == (1, 11)
+
+    def test_every_combination_present(self):
+        combos = {(r.objective, r.layer, r.model) for r in RESULTS}
+        assert len(combos) == 12
+
+    def test_render(self):
+        table = render_table()
+        assert "OVERLAP" in table and "NP-hard" in table
+        assert len(table.splitlines()) == 14  # header + rule + 12 rows
+
+    def test_special_cases_listed(self):
+        names = [ref for _, ref, _ in SPECIAL_CASES]
+        assert any("Proposition 8" in r for r in names)
+        assert any("Proposition 12" in r for r in names)
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(F(23, 3)) == "23/3"
+        assert format_value(F(4, 1)) == "4"
+        assert format_value(F(10**7, 3 * 10**6 + 1)).startswith("3.33")
+        assert format_value("x") == "x"
+        assert format_value(2.5) == "2.5"
+
+    def test_text_table_alignment(self):
+        out = text_table(["k", "v"], [["a", F(1, 2)], ["bb", 10]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("k")
+
+    def test_markdown_table(self):
+        out = markdown_table(["a", "b"], [[1, 2]])
+        assert out.splitlines()[0] == "| a | b |"
+        assert "| 1 | 2 |" in out
