@@ -1,0 +1,24 @@
+# Development targets. `make test` is the tier-1 gate.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench docs gallery install
+
+test:            ## unit + integration tests and benchmark assertions
+	$(PYTHON) -m pytest -x -q
+
+bench:           ## regenerate the paper tables under benchmarks/results/
+	$(PYTHON) -m pytest benchmarks -q
+
+docs:            ## execute the documented examples (doctests + quickstarts)
+	$(PYTHON) -m pytest tests/test_docs.py -q
+	$(PYTHON) examples/quickstart.py > /dev/null
+	$(PYTHON) -m repro gallery > /dev/null
+	@echo "docs examples OK"
+
+gallery:         ## batch-solve the paper's named instances
+	$(PYTHON) -m repro gallery
+
+install:         ## editable install with the `repro` console script
+	$(PYTHON) -m pip install -e .

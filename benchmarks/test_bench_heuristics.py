@@ -2,44 +2,54 @@
 
 Exhaustive forest search (exact, Prop 4) versus the chain greedy (Prop 8),
 the communication-free baseline re-evaluated with communications, the
-greedy forest builder and local search — on random OVERLAP instances.
+greedy forest builder and local search — on random OVERLAP instances, all
+dispatched through the planner facade with one shared evaluation cache.
 """
 
 from fractions import Fraction
 
 from repro.analysis import text_table
-from repro.core import CommModel, CostModel
-from repro.optimize import (
-    exhaustive_minperiod,
-    greedy_minperiod,
-    local_search_minperiod,
-    minperiod_chain,
-    nocomm_optimal_period_plan,
-    period_objective,
-)
+from repro.planner import EvaluationCache, solve
 from repro.workloads.generators import random_application
 
 from conftest import record
 
 F = Fraction
 
+METHODS = ("exhaustive", "chain", "greedy", "local-search", "nocomm")
+
 
 def sweep(n_instances=6, n=4):
+    cache = EvaluationCache()
     rows = []
     for seed in range(n_instances):
         app = random_application(n, seed=seed * 7 + 1)
-        exact, _ = exhaustive_minperiod(app, CommModel.OVERLAP)
-        chain_val, _ = minperiod_chain(app, CommModel.OVERLAP)
-        greedy_val, greedy_graph = greedy_minperiod(app, CommModel.OVERLAP)
-        ls_val, _ = local_search_minperiod(greedy_graph, CommModel.OVERLAP)
-        _, base_graph = nocomm_optimal_period_plan(app)
-        base_val = period_objective(base_graph, CommModel.OVERLAP)
-        rows.append((seed, exact, chain_val, greedy_val, ls_val, base_val))
-    return rows
+        values = {
+            method: solve(
+                app,
+                objective="period",
+                model="overlap",
+                method=method,
+                cache=cache,
+                schedule=False,
+            ).value
+            for method in METHODS
+        }
+        rows.append(
+            (
+                seed,
+                values["exhaustive"],
+                values["chain"],
+                values["greedy"],
+                values["local-search"],
+                values["nocomm"],
+            )
+        )
+    return rows, cache
 
 
 def test_heuristic_quality(benchmark):
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows, cache = benchmark.pedantic(sweep, rounds=1, iterations=1)
     table = [
         (
             f"seed {seed}",
@@ -57,9 +67,13 @@ def test_heuristic_quality(benchmark):
             ["instance", "exact", "chain greedy", "forest greedy",
              "greedy+LS", "no-comm baseline"],
             table,
-        ),
+        )
+        + f"\nevaluation cache: {cache.misses} computed, {cache.hits} memo hits",
     )
     for _, exact, chain_val, greedy_val, ls_val, base_val in rows:
         assert exact <= ls_val <= greedy_val
         assert exact <= chain_val
         assert exact <= base_val  # baseline never beats the exact optimum
+    # Sharing one cache across methods must save recomputation: local
+    # search re-scores graphs the exhaustive sweep already evaluated.
+    assert cache.hits > 0

@@ -1,6 +1,6 @@
 """Extension experiment: period/latency across models on random workloads.
 
-The paper's qualitative claims, measured at scale:
+The paper's qualitative claims, measured at scale via the planner facade:
 
 * ``P(OVERLAP) <= P(OUTORDER) <= P(INORDER)`` on every graph;
 * the one-port lower bound is not always achieved by INORDER (the 23/3
@@ -12,7 +12,7 @@ from fractions import Fraction
 
 from repro.analysis import text_table
 from repro.core import CommModel, CostModel
-from repro.scheduling import inorder_schedule, outorder_schedule, schedule_period_overlap
+from repro.planner import solve
 from repro.workloads.generators import random_application, random_execution_graph
 
 from conftest import record
@@ -27,9 +27,9 @@ def sweep(n_instances=8, n_services=5):
         app = random_application(n_services, seed=seed)
         graph = random_execution_graph(app, seed=seed + 100, density=0.4)
         costs = CostModel(graph)
-        p_over = schedule_period_overlap(graph).period
-        p_in = inorder_schedule(graph).period
-        p_out = outorder_schedule(graph).period
+        p_over = solve(graph, objective="period", model=CommModel.OVERLAP).value
+        p_in = solve(graph, objective="period", model=CommModel.INORDER).value
+        p_out = solve(graph, objective="period", model=CommModel.OUTORDER).value
         lb = costs.period_lower_bound(CommModel.INORDER)
         if p_in > lb:
             gaps += 1

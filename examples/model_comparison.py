@@ -1,24 +1,18 @@
 #!/usr/bin/env python
 """Compare the three communication models on synthetic streaming workloads.
 
-For each random execution graph we compute the achieved period under
-OVERLAP (optimal, Theorem 1), INORDER (exact/greedy MCR orchestration) and
-OUTORDER (repair scheduler), plus the one-port lower bound — showing both
-the model ordering and the occasional "23/3 phenomenon" where INORDER
-cannot meet its bound.
+For each random execution graph the planner facade computes the achieved
+period under OVERLAP (optimal, Theorem 1), INORDER (exact/greedy MCR
+orchestration) and OUTORDER (repair scheduler), plus the one-port lower
+bound — showing both the model ordering and the occasional "23/3
+phenomenon" where INORDER cannot meet its bound.
 
 Run:  python examples/model_comparison.py
 """
 
-from fractions import Fraction
-
 from repro.analysis import text_table
-from repro.core import CommModel, CostModel
-from repro.scheduling import (
-    inorder_schedule,
-    outorder_schedule,
-    schedule_period_overlap,
-)
+from repro.core import ALL_MODELS, CommModel, CostModel
+from repro.planner import solve
 from repro.simulate import simulate_plan
 from repro.workloads.generators import layered_instance, random_application, random_execution_graph
 
@@ -30,15 +24,22 @@ def random_sweep() -> None:
         app = random_application(5, seed=seed)
         graph = random_execution_graph(app, seed=seed + 50, density=0.4)
         lb = CostModel(graph).period_lower_bound(CommModel.INORDER)
-        p_over = schedule_period_overlap(graph)
-        p_in = inorder_schedule(graph)
-        p_out = outorder_schedule(graph)
-        # Cross-check each plan on the discrete-event engine.
-        for plan in (p_over, p_in, p_out):
-            sim = simulate_plan(plan, n_datasets=4)
+        by_model = {
+            model: solve(graph, objective="period", model=model)
+            for model in ALL_MODELS
+        }
+        # Cross-check each scheduled plan on the discrete-event engine.
+        for result in by_model.values():
+            sim = simulate_plan(result.plan, n_datasets=4)
             assert sim.ok, sim.violations
         rows.append(
-            (f"seed {seed}", p_over.period, p_out.period, p_in.period, lb)
+            (
+                f"seed {seed}",
+                by_model[CommModel.OVERLAP].value,
+                by_model[CommModel.OUTORDER].value,
+                by_model[CommModel.INORDER].value,
+                lb,
+            )
         )
     print(
         text_table(
@@ -53,13 +54,12 @@ def layered_workload() -> None:
     print("Layered (stage-parallel) workload, 3 x 3 x 3 services:\n")
     app, graph = layered_instance([3, 3, 3], seed=4)
     rows = []
-    for label, plan in (
-        ("OVERLAP", schedule_period_overlap(graph)),
-        ("INORDER", inorder_schedule(graph)),
-        ("OUTORDER", outorder_schedule(graph)),
-    ):
-        lb = CostModel(graph).period_lower_bound(plan.model)
-        rows.append((label, lb, plan.period, str(plan.validate().ok)))
+    for model in ALL_MODELS:
+        result = solve(graph, objective="period", model=model)
+        lb = CostModel(graph).period_lower_bound(model)
+        rows.append(
+            (str(model), lb, result.value, str(result.plan.validate().ok))
+        )
     print(text_table(["model", "bound", "achieved", "valid"], rows))
 
 

@@ -3,52 +3,53 @@
 
 A stream of records is filtered by independent web-service predicates
 (Srivastava et al.'s setting, the paper's reference [1]).  We compare four
-MinPeriod strategies under the OVERLAP model:
+MinPeriod strategies under the OVERLAP model, all through the planner
+facade (one solver registry, one shared evaluation cache):
 
-* the communication-free optimum of [1] (chain of filters + parallel
-  expanders), re-evaluated with communication costs;
-* the chain greedy of Proposition 8;
-* the greedy forest builder with local search;
-* the exact exhaustive forest optimum (Proposition 4) as ground truth.
+* ``nocomm`` — the communication-free optimum of [1] (chain of filters +
+  parallel expanders), re-evaluated with communication costs;
+* ``chain`` — the chain greedy of Proposition 8;
+* ``local-search`` — the greedy forest builder with reparenting search;
+* ``exhaustive`` — the exact forest optimum (Proposition 4), ground truth.
 
 Run:  python examples/query_optimization.py
 """
 
 from repro.analysis import text_table
-from repro.core import CommModel
-from repro.optimize import (
-    exhaustive_minperiod,
-    greedy_minperiod,
-    local_search_minperiod,
-    minperiod_chain,
-    nocomm_optimal_period_plan,
-    period_objective,
-)
+from repro.planner import EvaluationCache, solve
 from repro.workloads.generators import random_application
 
 
 def main() -> None:
     rows = []
+    cache = EvaluationCache()  # shared across methods: identical graphs score once
     for seed in range(5):
         # Random predicate services: mostly selective (filters), a few
         # result-enriching joins (expanders).
         app = random_application(
             5, seed=seed, filter_fraction=0.7, cost_range=(1, 32)
         )
-        exact_val, _ = exhaustive_minperiod(app, CommModel.OVERLAP)
-        chain_val, _ = minperiod_chain(app, CommModel.OVERLAP)
-        greedy_val, greedy_graph = greedy_minperiod(app, CommModel.OVERLAP)
-        ls_val, _ = local_search_minperiod(greedy_graph, CommModel.OVERLAP)
-        _, base_graph = nocomm_optimal_period_plan(app)
-        base_val = period_objective(base_graph, CommModel.OVERLAP)
+        by_method = {
+            method: solve(
+                app,
+                objective="period",
+                model="overlap",
+                method=method,
+                cache=cache,
+                schedule=False,
+            )
+            for method in ("exhaustive", "chain", "local-search", "nocomm")
+        }
+        exact = by_method["exhaustive"].value
+        base = by_method["nocomm"].value
         rows.append(
             (
                 f"workload {seed}",
-                exact_val,
-                chain_val,
-                ls_val,
-                base_val,
-                f"{float(base_val / exact_val):.2f}x",
+                exact,
+                by_method["chain"].value,
+                by_method["local-search"].value,
+                base,
+                f"{float(base / exact):.2f}x",
             )
         )
     print("MinPeriod under OVERLAP (lower is better):\n")
@@ -64,6 +65,10 @@ def main() -> None:
             ],
             rows,
         )
+    )
+    print(
+        f"\nshared evaluation cache: {cache.misses} objective computations, "
+        f"{cache.hits} served from memo"
     )
     print(
         "\nThe communication-free structure of [1] can be arbitrarily bad "

@@ -1,23 +1,21 @@
 #!/usr/bin/env python
-"""Quickstart: define a filtering application, schedule it, inspect plans.
+"""Quickstart: define a filtering application and solve it via the facade.
 
-Builds a five-service filtering workflow, maps it under the paper's three
-communication models, and prints the resulting periods/latencies together
-with their lower bounds.
+Builds a five-service filtering workflow, orchestrates a hand-chosen
+execution graph under the paper's three communication models through
+``repro.planner.solve``, and then lets the planner *search* for a better
+graph (the mapping problem).
 
 Run:  python examples/quickstart.py
+      (the CLI offers the same facade over named paper instances,
+      e.g.: python -m repro solve fig1 --model all)
 """
 
 from fractions import Fraction
 
 from repro import CommModel, CostModel, ExecutionGraph, make_application
 from repro.analysis import text_table
-from repro.scheduling import (
-    inorder_schedule,
-    oneport_latency_schedule,
-    outorder_schedule,
-    schedule_period_overlap,
-)
+from repro.planner import compare, solve
 
 
 def main() -> None:
@@ -49,42 +47,35 @@ def main() -> None:
     print("Execution graph:", sorted(graph.edges))
     print()
 
+    # Orchestration: the graph is fixed; solve() runs each model's
+    # scheduler and returns the achieved period with a validated plan.
     rows = []
-    overlap = schedule_period_overlap(graph)
-    rows.append(
-        (
-            "OVERLAP",
-            costs.period_lower_bound(CommModel.OVERLAP),
-            overlap.period,
-            "yes" if overlap.validate().ok else "NO",
+    for result in compare(graph, objectives=["period"]):
+        rows.append(
+            (
+                str(result.model),
+                costs.period_lower_bound(result.model),
+                result.value,
+                "yes" if result.plan.is_valid() else "NO",
+            )
         )
-    )
-    inorder = inorder_schedule(graph)
-    rows.append(
-        (
-            "INORDER",
-            costs.period_lower_bound(CommModel.INORDER),
-            inorder.period,
-            "yes" if inorder.validate().ok else "NO",
-        )
-    )
-    outorder = outorder_schedule(graph)
-    rows.append(
-        (
-            "OUTORDER",
-            costs.period_lower_bound(CommModel.OUTORDER),
-            outorder.period,
-            "yes" if outorder.validate().ok else "NO",
-        )
-    )
     print(text_table(["model", "period bound", "achieved", "valid"], rows))
     print()
 
-    latency_plan = oneport_latency_schedule(graph)
+    latency = solve(graph, objective="latency", model="overlap")
     print(
         f"latency: critical-path bound {costs.latency_lower_bound()} — "
-        f"serialized schedule achieves {latency_plan.latency} "
-        f"(valid: {latency_plan.validate().ok})"
+        f"scheduled plan achieves {latency.value} "
+        f"(valid: {latency.plan.is_valid()})"
+    )
+    print()
+
+    # Mapping: hand the *application* to the planner and it searches over
+    # execution graphs (exhaustive here, since n = 5 is small).
+    mapped = solve(app, objective="period", model="overlap")
+    print(
+        f"planner ({mapped.method}) finds period {mapped.value} "
+        f"with edges {sorted(mapped.graph.edges)}"
     )
 
 

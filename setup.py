@@ -1,4 +1,39 @@
-"""Legacy shim so `python setup.py develop` works offline (no wheel pkg)."""
-from setuptools import setup
+"""Package metadata for the SPAA 2009 reproduction.
 
-setup()
+Installing in editable mode puts ``repro`` on the path (no more
+``PYTHONPATH=src``) and installs the ``repro`` console script::
+
+    pip install -e .
+    repro solve fig1 --model inorder
+"""
+
+import pathlib
+
+from setuptools import find_packages, setup
+
+HERE = pathlib.Path(__file__).parent
+README = HERE / "README.md"
+
+setup(
+    name="repro-filtering-streams",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Mapping Filtering Streaming Applications with "
+        "Communication Costs' (Agrawal, Benoit, Dufosse, Robert; SPAA 2009)"
+    ),
+    long_description=README.read_text() if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={"test": ["pytest", "pytest-benchmark"]},
+    entry_points={"console_scripts": ["repro=repro.__main__:main"]},
+    classifiers=[
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+    ],
+)

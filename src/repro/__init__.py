@@ -8,15 +8,29 @@ polynomial orchestration/optimisation algorithms, executable NP-hardness
 reductions, and the benchmark harness regenerating every worked example
 and counter-example of the paper.
 
-Quickstart::
+Quickstart — the planner facade is the front door (see
+:mod:`repro.planner` and ``docs/api.md``)::
 
-    from repro import make_application, ExecutionGraph
-    from repro.scheduling import schedule_period_overlap, inorder_schedule
+    >>> from repro import make_application, solve
 
-    app = make_application([("C1", 4, 1), ("C2", 4, 1)])
-    graph = ExecutionGraph.chain(app, ["C1", "C2"])
-    plan = schedule_period_overlap(graph)
-    print(plan.period, plan.latency)
+    >>> app = make_application([("C1", 4, "1/2"), ("C2", 4, 1), ("C3", 1, 2)])
+
+    Mapping: search over execution graphs for the best OVERLAP period.
+
+    >>> result = solve(app, objective="period", model="overlap")
+    >>> result.value, result.method
+    (Fraction(4, 1), 'exhaustive')
+
+    Orchestration: keep the chosen graph, schedule it under INORDER.
+
+    >>> inorder = solve(result.graph, objective="period", model="inorder")
+    >>> inorder.plan.is_valid()
+    True
+
+The same facade drives the CLI: ``python -m repro solve fig1 --model all``.
+Low-level building blocks remain available in :mod:`repro.scheduling`
+(orchestration of a fixed graph) and :mod:`repro.optimize` (search
+strategies over graphs).
 """
 
 from .core import (
@@ -36,8 +50,9 @@ from .core import (
     make_application,
     validate,
 )
+from .planner import PlanResult, compare, solve
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_MODELS",
@@ -49,11 +64,14 @@ __all__ = [
     "OUTPUT",
     "OperationList",
     "Plan",
+    "PlanResult",
     "Service",
     "__version__",
     "as_fraction",
     "comm_op",
     "comp_op",
+    "compare",
     "make_application",
+    "solve",
     "validate",
 ]

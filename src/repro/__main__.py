@@ -1,0 +1,249 @@
+"""``python -m repro`` — command-line front end to the planner facade.
+
+Subcommands
+-----------
+``solve``    Solve one workload for one objective/model/method.
+``compare``  Solve a workload over a grid of objectives × models × methods.
+``gallery``  Batch-solve the paper's named instances and report achieved
+             versus expected values.
+``list``     Show the known workload specs and registered solvers.
+
+Examples::
+
+    python -m repro solve fig1 --objective period --model inorder
+    python -m repro solve random:n=6,seed=3 --method local-search
+    python -m repro compare fig1 --objectives period,latency
+    python -m repro gallery --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .core import ALL_MODELS
+from .analysis.reporting import format_value, text_table
+from .planner import (
+    PlanResult,
+    Workload,
+    load_workload,
+    registry,
+    solve,
+    workload_names,
+)
+
+
+def _split(text: str, *, all_values: Sequence[str]) -> List[str]:
+    """Parse a comma list, expanding the ``all`` shorthand."""
+    items = [t.strip() for t in text.split(",") if t.strip()]
+    if items == ["all"]:
+        return list(all_values)
+    return items
+
+
+def _result_row(result: PlanResult) -> list:
+    scheduled = result.scheduled_value
+    return [
+        result.objective,
+        str(result.model),
+        result.method,
+        result.value,
+        scheduled if scheduled is not None else "-",
+        ("yes" if result.plan.is_valid() else "NO")
+        if result.plan is not None
+        else "-",
+        result.stats.evaluations,
+        result.stats.cache_hits,
+        f"{result.stats.wall_time * 1000:.1f}",
+    ]
+
+
+_HEADERS = [
+    "objective", "model", "method", "value", "scheduled", "valid",
+    "evals", "hits", "ms",
+]
+
+
+def _emit(results: List[PlanResult], workload: Workload, as_json: bool) -> None:
+    if as_json:
+        payload = {
+            "workload": workload.name,
+            "results": [r.as_dict() for r in results],
+        }
+        if workload.expected:
+            payload["expected"] = {k: str(v) for k, v in workload.expected.items()}
+        print(json.dumps(payload, indent=2))
+        return
+    print(f"workload: {workload.name} — {workload.description}")
+    if workload.expected:
+        expected = ", ".join(
+            f"{k}={format_value(v)}" for k, v in sorted(workload.expected.items())
+        )
+        print(f"expected (paper): {expected}")
+    print()
+    print(text_table(_HEADERS, [_result_row(r) for r in results]))
+
+
+def _problem(workload: Workload, remap: bool):
+    if remap or workload.graph is None:
+        return workload.application
+    return workload.graph
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    workload = load_workload(args.workload)
+    results = [
+        solve(
+            _problem(workload, args.remap),
+            objective=objective,
+            model=model,
+            method=args.method,
+            effort=args.effort,
+            schedule=not args.no_schedule,
+        )
+        for objective in _split(args.objective, all_values=["period", "latency"])
+        for model in _split(args.model, all_values=[m.value for m in ALL_MODELS])
+    ]
+    _emit(results, workload, args.json)
+    return 0
+
+
+#: Methods applicable to a fixed execution graph (orchestration).
+_GRAPH_METHODS = ["auto", "exhaustive", "heuristic", "bound"]
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = load_workload(args.workload)
+    problem = _problem(workload, args.remap)
+    # "all" must expand to methods the problem shape actually accepts:
+    # solver names for applications, orchestration efforts for graphs.
+    all_methods = _GRAPH_METHODS if problem is workload.graph \
+        else list(registry.names())
+    results = [
+        solve(
+            problem,
+            objective=objective,
+            model=model,
+            method=method,
+            schedule=not args.no_schedule,
+        )
+        for objective in _split(args.objectives, all_values=["period", "latency"])
+        for model in _split(args.models, all_values=[m.value for m in ALL_MODELS])
+        for method in _split(args.methods, all_values=all_methods)
+    ]
+    _emit(results, workload, args.json)
+    return 0
+
+
+#: What the gallery solves per instance: (objective, models) — restricted
+#: to what each appendix instance is about (and what stays fast at n=202).
+_GALLERY = [
+    ("fig1", [("period", ["overlap", "inorder", "outorder"]), ("latency", ["overlap"])]),
+    ("b1", [("period", ["overlap"])]),
+    ("b2", [("latency", ["overlap"])]),
+    ("b3", [("period", ["overlap"])]),
+]
+
+
+def cmd_gallery(args: argparse.Namespace) -> int:
+    payload = []
+    for spec, runs in _GALLERY:
+        workload = load_workload(spec)
+        results: List[PlanResult] = []
+        for objective, models in runs:
+            for model in models:
+                results.append(
+                    solve(workload.problem, objective=objective, model=model)
+                )
+        if args.json:
+            payload.append(
+                {
+                    "workload": workload.name,
+                    "description": workload.description,
+                    "expected": {k: str(v) for k, v in workload.expected.items()},
+                    "results": [r.as_dict(include_graph=False) for r in results],
+                }
+            )
+        else:
+            _emit(results, workload, as_json=False)
+            print()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("workloads (named instances take no options; families take key=value):")
+    for name in workload_names():
+        print(f"  {name}")
+    print("\nsolvers (for applications / --remap):")
+    for spec in sorted(registry, key=lambda s: s.name):
+        print(f"  {spec.name:<14} {spec.description}")
+    print("\norchestration methods (fixed graphs): auto, exhaustive, heuristic, bound")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Mapping filtering streaming applications with communication "
+            "costs (SPAA 2009) — planner CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("workload", help="workload spec, e.g. fig1 or random:n=6,seed=3")
+        p.add_argument("--json", action="store_true", help="emit JSON instead of text")
+        p.add_argument(
+            "--remap",
+            action="store_true",
+            help="search over execution graphs even when the workload fixes one",
+        )
+        p.add_argument(
+            "--no-schedule",
+            action="store_true",
+            help="skip building the concrete operation list",
+        )
+
+    p_solve = sub.add_parser("solve", help="solve one workload")
+    add_common(p_solve)
+    p_solve.add_argument("--objective", default="period", help="period, latency, a comma list, or all")
+    p_solve.add_argument("--model", default="overlap", help="overlap, inorder, outorder, a comma list, or all")
+    p_solve.add_argument("--method", default="auto", help="solver name or auto")
+    p_solve.add_argument("--effort", default=None, help="bound, heuristic, or exact")
+    p_solve.set_defaults(fn=cmd_solve)
+
+    p_cmp = sub.add_parser("compare", help="grid of objectives x models x methods")
+    add_common(p_cmp)
+    p_cmp.add_argument("--objectives", default="period", help="comma list or all")
+    p_cmp.add_argument("--models", default="all", help="comma list or all")
+    p_cmp.add_argument("--methods", default="auto", help="comma list or all")
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_gal = sub.add_parser("gallery", help="batch-solve the paper's named instances")
+    p_gal.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p_gal.set_defaults(fn=cmd_gallery)
+
+    p_list = sub.add_parser("list", help="show workloads and registered solvers")
+    p_list.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        return 0  # output piped into a pager/head that exited early
+    except (ValueError, KeyError, NotImplementedError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

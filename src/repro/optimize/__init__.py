@@ -23,7 +23,7 @@ from .exhaustive import (
     iter_dags,
     iter_forests,
 )
-from .greedy import greedy_minlatency, greedy_minperiod
+from .greedy import greedy_forest, greedy_minlatency, greedy_minperiod
 from .local_search import (
     local_search_forest,
     local_search_minlatency,
@@ -46,6 +46,7 @@ __all__ = [
     "exhaustive_minperiod",
     "greedy_chain_latency_order",
     "greedy_chain_period_order",
+    "greedy_forest",
     "greedy_minlatency",
     "greedy_minperiod",
     "iter_dags",

@@ -32,6 +32,15 @@ def chain_period(app: Application, order: Sequence[str], model: CommModel) -> Fr
     is achievable (no synchronisation conflicts: every cross-server cycle
     of the event graph is dominated by a single-server cycle), and the
     OVERLAP bound is always achievable (Theorem 1).
+
+    Example::
+
+        >>> from repro import CommModel, make_application
+        >>> app = make_application([("A", 2, "1/2"), ("B", 4, 1)])
+        >>> chain_period(app, ["A", "B"], CommModel.INORDER)   # max(7/2, 3)
+        Fraction(7, 2)
+        >>> chain_period(app, ["A", "B"], CommModel.OVERLAP)   # max(2, 2)
+        Fraction(2, 1)
     """
     prefix = ONE
     best = Fraction(0)
@@ -49,7 +58,15 @@ def chain_period(app: Application, order: Sequence[str], model: CommModel) -> Fr
 
 
 def chain_latency(app: Application, order: Sequence[str]) -> Fraction:
-    """Exact latency of the chain visiting *order* (same for all models)."""
+    """Exact latency of the chain visiting *order* (same for all models).
+
+    Example::
+
+        >>> from repro import make_application
+        >>> app = make_application([("A", 2, "1/2"), ("B", 4, 1)])
+        >>> chain_latency(app, ["A", "B"])   # 1+2, then (1+4)/2, then 1/2
+        Fraction(6, 1)
+    """
     prefix = ONE
     total = Fraction(0)
     for name in order:
@@ -59,7 +76,17 @@ def chain_latency(app: Application, order: Sequence[str]) -> Fraction:
 
 
 def greedy_chain_period_order(app: Application, model: CommModel) -> List[str]:
-    """The Proposition-8 greedy order."""
+    """The Proposition-8 greedy order.
+
+    Filters by increasing ``c'_k``, then expanders by increasing
+    ``sigma_k / c'_k``.  Example::
+
+        >>> from repro import CommModel, make_application
+        >>> app = make_application(
+        ...     [("big", 9, "1/2"), ("small", 1, "1/2"), ("exp", 1, 2)])
+        >>> greedy_chain_period_order(app, CommModel.OVERLAP)
+        ['small', 'big', 'exp']
+    """
 
     def cprime(name: str) -> Fraction:
         c, s = app.cost(name), app.selectivity(name)
@@ -79,7 +106,15 @@ def greedy_chain_period_order(app: Application, model: CommModel) -> List[str]:
 
 
 def greedy_chain_latency_order(app: Application) -> List[str]:
-    """The Proposition-16 greedy order: decreasing ``(1 - sigma)/(1 + c)``."""
+    """The Proposition-16 greedy order: decreasing ``(1 - sigma)/(1 + c)``.
+
+    Example::
+
+        >>> from repro import make_application
+        >>> app = make_application([("slow", 9, "1/2"), ("fast", 1, "1/2")])
+        >>> greedy_chain_latency_order(app)
+        ['fast', 'slow']
+    """
     return sorted(
         (s.name for s in app.services),
         key=lambda n: (
@@ -92,7 +127,17 @@ def greedy_chain_latency_order(app: Application) -> List[str]:
 def minperiod_chain(
     app: Application, model: CommModel
 ) -> Tuple[Fraction, ExecutionGraph]:
-    """Optimal chain plan for the period (greedy, Proposition 8)."""
+    """Optimal chain plan for the period (greedy, Proposition 8).
+
+    Returns ``(value, graph)``; the planner facade exposes this as
+    ``solve(app, method="chain")``.  Example::
+
+        >>> from repro import CommModel, make_application
+        >>> app = make_application([("A", 2, "1/2"), ("B", 4, 1)])
+        >>> value, graph = minperiod_chain(app, CommModel.OVERLAP)
+        >>> value, graph.is_chain
+        (Fraction(2, 1), True)
+    """
     if app.precedence:
         raise ValueError("chain optimisation assumes no precedence constraints")
     order = greedy_chain_period_order(app, model)
@@ -100,7 +145,15 @@ def minperiod_chain(
 
 
 def minlatency_chain(app: Application) -> Tuple[Fraction, ExecutionGraph]:
-    """Optimal chain plan for the latency (greedy, Proposition 16)."""
+    """Optimal chain plan for the latency (greedy, Proposition 16).
+
+    Example::
+
+        >>> from repro import make_application
+        >>> app = make_application([("A", 2, "1/2"), ("B", 4, 1)])
+        >>> minlatency_chain(app)[0]
+        Fraction(6, 1)
+    """
     if app.precedence:
         raise ValueError("chain optimisation assumes no precedence constraints")
     order = greedy_chain_latency_order(app)
@@ -110,7 +163,15 @@ def minlatency_chain(app: Application) -> Tuple[Fraction, ExecutionGraph]:
 def brute_force_chain_period(
     app: Application, model: CommModel
 ) -> Tuple[Fraction, Tuple[str, ...]]:
-    """Reference: try every permutation (tests only)."""
+    """Reference: try every permutation (tests only).
+
+    Example::
+
+        >>> from repro import CommModel, make_application
+        >>> app = make_application([("A", 2, "1/2"), ("B", 4, 1)])
+        >>> brute_force_chain_period(app, CommModel.OVERLAP)[0]
+        Fraction(2, 1)
+    """
     best = None
     best_order: Tuple[str, ...] = ()
     for perm in itertools.permutations(app.names):
@@ -124,7 +185,15 @@ def brute_force_chain_period(
 def brute_force_chain_latency(
     app: Application,
 ) -> Tuple[Fraction, Tuple[str, ...]]:
-    """Reference: try every permutation (tests only)."""
+    """Reference: try every permutation (tests only).
+
+    Example::
+
+        >>> from repro import make_application
+        >>> app = make_application([("A", 2, "1/2"), ("B", 4, 1)])
+        >>> brute_force_chain_latency(app)[0]
+        Fraction(6, 1)
+    """
     best = None
     best_order: Tuple[str, ...] = ()
     for perm in itertools.permutations(app.names):

@@ -47,6 +47,19 @@ def period_objective(
       orders + MCR (achievable); ``EXACT`` enumerates orders when feasible.
     * OUTORDER: ``BOUND`` as above; otherwise the repair scheduler's value
       (achievable, certified when it meets the bound).
+
+    The Section 2.3 instance shows the INORDER bound/exact gap::
+
+        >>> from repro.core import CommModel
+        >>> from repro.workloads import fig1_example
+        >>> graph = fig1_example().graph
+        >>> period_objective(graph, CommModel.INORDER, Effort.BOUND)
+        Fraction(7, 1)
+        >>> period_objective(graph, CommModel.INORDER, Effort.EXACT)
+        Fraction(23, 3)
+
+    The planner memoizes this function through
+    :class:`repro.planner.EvaluationCache`.
     """
     costs = CostModel(graph)
     if model is CommModel.OVERLAP:
@@ -72,6 +85,13 @@ def latency_objective(
     serialized scheduler plus — for OVERLAP — the layered bandwidth-sharing
     scheduler (``HEURISTIC``), or branch-and-bound (``EXACT``, one-port;
     an upper bound for OVERLAP where multi-port can be strictly better).
+
+    Example (the Figure-1 graph; the paper's hand schedule achieves 21)::
+
+        >>> from repro.core import CommModel
+        >>> from repro.workloads import fig1_example
+        >>> latency_objective(fig1_example().graph, CommModel.INORDER)
+        Fraction(21, 1)
     """
     if graph.is_forest:
         return tree_latency(graph)
@@ -95,12 +115,35 @@ Objective = Callable[[ExecutionGraph], Fraction]
 def make_period_objective(
     model: CommModel, effort: Effort = Effort.HEURISTIC
 ) -> Objective:
+    """Bind :func:`period_objective` to a fixed model/effort.
+
+    Example::
+
+        >>> from repro.core import CommModel, ExecutionGraph, make_application
+        >>> obj = make_period_objective(CommModel.OVERLAP)
+        >>> app = make_application([("A", 4, 1), ("B", 4, 1)])
+        >>> obj(ExecutionGraph.chain(app, ["A", "B"]))
+        Fraction(4, 1)
+
+    For a memoized equivalent use
+    ``repro.planner.EvaluationCache.objective("period", model, effort)``.
+    """
     return lambda graph: period_objective(graph, model, effort)
 
 
 def make_latency_objective(
     model: CommModel, effort: Effort = Effort.HEURISTIC
 ) -> Objective:
+    """Bind :func:`latency_objective` to a fixed model/effort.
+
+    Example::
+
+        >>> from repro.core import CommModel, ExecutionGraph, make_application
+        >>> obj = make_latency_objective(CommModel.OVERLAP)
+        >>> app = make_application([("A", 4, 1), ("B", 4, 1)])
+        >>> obj(ExecutionGraph.chain(app, ["A", "B"]))   # 1+4+1+4+1
+        Fraction(11, 1)
+    """
     return lambda graph: latency_objective(graph, model, effort)
 
 

@@ -21,9 +21,21 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 from ..core import Application, CommModel, ExecutionGraph
 from .evaluation import Effort, latency_objective, period_objective
 
+#: :func:`iter_dags` refuses applications larger than this (the DAG space
+#: explodes combinatorially); auto-selection thresholds derive from it.
+MAX_DAG_SERVICES = 5
+
 
 def iter_forests(app: Application) -> Iterator[ExecutionGraph]:
-    """All forest execution graphs of *app* (no precedence constraints)."""
+    """All forest execution graphs of *app* (no precedence constraints).
+
+    Example (two services: both independent, A->B, B->A)::
+
+        >>> from repro import make_application
+        >>> app = make_application([("A", 1, 1), ("B", 1, 1)])
+        >>> sum(1 for _ in iter_forests(app))
+        3
+    """
     if app.precedence:
         raise ValueError("forest enumeration assumes no precedence constraints")
     names = list(app.names)
@@ -48,11 +60,21 @@ def iter_forests(app: Application) -> Iterator[ExecutionGraph]:
 
 
 def iter_dags(app: Application) -> Iterator[ExecutionGraph]:
-    """All DAG execution graphs of *app*, deduplicated (tiny n only)."""
+    """All DAG execution graphs of *app*, deduplicated (tiny n only).
+
+    Example (the 3 labelled 2-node DAGs: empty, A->B, B->A)::
+
+        >>> from repro import make_application
+        >>> app = make_application([("A", 1, 1), ("B", 1, 1)])
+        >>> sum(1 for _ in iter_dags(app))
+        3
+    """
     names = list(app.names)
     n = len(names)
-    if n > 5:
-        raise ValueError(f"DAG enumeration is unreasonable for n={n} > 5")
+    if n > MAX_DAG_SERVICES:
+        raise ValueError(
+            f"DAG enumeration is unreasonable for n={n} > {MAX_DAG_SERVICES}"
+        )
     seen = set()
     for perm in itertools.permutations(names):
         # predecessors of perm[j] are any subset of perm[:j]
@@ -82,19 +104,26 @@ def iter_dags(app: Application) -> Iterator[ExecutionGraph]:
             yield graph
 
 
-def _search(
+def scan_best(
     graphs: Iterable[ExecutionGraph],
     objective,
-) -> Tuple[Fraction, ExecutionGraph]:
+) -> Tuple[Fraction, ExecutionGraph, int]:
+    """Scan *graphs*, returning ``(best value, best graph, count scanned)``.
+
+    Shared by the exhaustive searches here and the planner's exhaustive
+    solver.  Ties keep the first graph in enumeration order.
+    """
     best_val: Optional[Fraction] = None
     best_graph: Optional[ExecutionGraph] = None
+    count = 0
     for graph in graphs:
+        count += 1
         val = objective(graph)
         if best_val is None or val < best_val:
             best_val, best_graph = val, graph
-    if best_graph is None:
+    if best_graph is None or best_val is None:
         raise ValueError("no candidate execution graph")
-    return best_val, best_graph
+    return best_val, best_graph, count
 
 
 def exhaustive_minperiod(
@@ -104,9 +133,22 @@ def exhaustive_minperiod(
     forests_only: bool = True,
     effort: Effort = Effort.EXACT,
 ) -> Tuple[Fraction, ExecutionGraph]:
-    """Exact MinPeriod by enumeration (forests by default — Prop 4)."""
+    """Exact MinPeriod by enumeration (forests by default — Prop 4).
+
+    Example (a filter in front of an expensive service halves its load;
+    the facade equivalent is ``solve(app, method="exhaustive")``)::
+
+        >>> from repro import CommModel, make_application
+        >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+        >>> value, graph = exhaustive_minperiod(app, CommModel.OVERLAP)
+        >>> value, sorted(graph.edges)
+        (Fraction(4, 1), [('A', 'B')])
+    """
     graphs = iter_forests(app) if forests_only else iter_dags(app)
-    return _search(graphs, lambda g: period_objective(g, model, effort))
+    value, graph, _ = scan_best(
+        graphs, lambda g: period_objective(g, model, effort)
+    )
+    return value, graph
 
 
 def exhaustive_minlatency(
@@ -121,14 +163,27 @@ def exhaustive_minlatency(
     Optimal latency plans are *not* always forests (the Prop-13 gadget is a
     fork-join), so the default enumerates DAGs; ``forests_only=True`` gives
     the Proposition-17 restricted problem.
+
+    Example (serial beats parallel here: filtering pays for the extra hop)::
+
+        >>> from repro import CommModel, make_application
+        >>> app = make_application([("A", 1, "1/4"), ("B", 8, 1)])
+        >>> value, graph = exhaustive_minlatency(app, CommModel.OVERLAP)
+        >>> value, sorted(graph.edges)
+        (Fraction(9, 2), [('A', 'B')])
     """
     graphs = iter_forests(app) if forests_only else iter_dags(app)
-    return _search(graphs, lambda g: latency_objective(g, model, effort))
+    value, graph, _ = scan_best(
+        graphs, lambda g: latency_objective(g, model, effort)
+    )
+    return value, graph
 
 
 __all__ = [
+    "MAX_DAG_SERVICES",
     "exhaustive_minlatency",
     "exhaustive_minperiod",
     "iter_dags",
     "iter_forests",
+    "scan_best",
 ]

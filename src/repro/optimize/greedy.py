@@ -29,10 +29,29 @@ def _insertion_order(app: Application) -> List[str]:
     return filters + expanders
 
 
-def _greedy_forest(
+def greedy_forest(
     app: Application,
     objective,
 ) -> Tuple[Fraction, ExecutionGraph]:
+    """Incrementally build a forest minimising *objective* at each insertion.
+
+    *objective* is any ``ExecutionGraph -> Fraction`` callable — e.g. one
+    produced by :meth:`repro.planner.EvaluationCache.objective` so partial
+    evaluations are memoized.  Services are inserted in the
+    :func:`_insertion_order`; each attaches wherever the partial forest's
+    objective is smallest.  Returns ``(value, graph)``.
+
+    Example::
+
+        >>> from repro import CommModel, make_application
+        >>> from repro.optimize import greedy_forest, make_period_objective
+        >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+        >>> value, graph = greedy_forest(app, make_period_objective(CommModel.OVERLAP))
+        >>> value
+        Fraction(4, 1)
+        >>> sorted(graph.edges)
+        [('A', 'B')]
+    """
     if app.precedence:
         raise ValueError("greedy forest construction assumes no precedence")
     order = _insertion_order(app)
@@ -62,8 +81,16 @@ def greedy_minperiod(
     *,
     effort: Effort = Effort.HEURISTIC,
 ) -> Tuple[Fraction, ExecutionGraph]:
-    """Greedy forest heuristic for MinPeriod."""
-    return _greedy_forest(app, lambda g: period_objective(g, model, effort))
+    """Greedy forest heuristic for MinPeriod.
+
+    Example (facade equivalent: ``solve(app, method="greedy")``)::
+
+        >>> from repro import CommModel, make_application
+        >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+        >>> greedy_minperiod(app, CommModel.OVERLAP)[0]
+        Fraction(4, 1)
+    """
+    return greedy_forest(app, lambda g: period_objective(g, model, effort))
 
 
 def greedy_minlatency(
@@ -72,8 +99,16 @@ def greedy_minlatency(
     *,
     effort: Effort = Effort.HEURISTIC,
 ) -> Tuple[Fraction, ExecutionGraph]:
-    """Greedy forest heuristic for MinLatency."""
-    return _greedy_forest(app, lambda g: latency_objective(g, model, effort))
+    """Greedy forest heuristic for MinLatency.
+
+    Example::
+
+        >>> from repro import CommModel, make_application
+        >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+        >>> greedy_minlatency(app, CommModel.OVERLAP)[0]
+        Fraction(7, 1)
+    """
+    return greedy_forest(app, lambda g: latency_objective(g, model, effort))
 
 
-__all__ = ["greedy_minlatency", "greedy_minperiod"]
+__all__ = ["greedy_forest", "greedy_minlatency", "greedy_minperiod"]

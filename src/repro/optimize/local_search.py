@@ -37,7 +37,22 @@ def local_search_forest(
     *,
     max_moves: int = 200,
 ) -> Tuple[Fraction, ExecutionGraph]:
-    """First-improvement reparenting search from *graph* (a forest)."""
+    """First-improvement reparenting search from *graph* (a forest).
+
+    *objective* is any ``ExecutionGraph -> Fraction`` callable; pass a
+    memoized one (``repro.planner.EvaluationCache.objective``) to avoid
+    re-scoring graphs revisited across passes.  Example — starting from
+    the empty forest, the search discovers the filter-first chain::
+
+        >>> from repro import CommModel, ExecutionGraph, make_application
+        >>> from repro.optimize import make_period_objective
+        >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+        >>> value, graph = local_search_forest(
+        ...     ExecutionGraph.empty(app),
+        ...     make_period_objective(CommModel.OVERLAP))
+        >>> value, sorted(graph.edges)
+        (Fraction(4, 1), [('A', 'B')])
+    """
     app = graph.application
     if app.precedence:
         raise ValueError("local search assumes no precedence constraints")
@@ -76,6 +91,16 @@ def local_search_minperiod(
     effort: Effort = Effort.HEURISTIC,
     max_moves: int = 200,
 ) -> Tuple[Fraction, ExecutionGraph]:
+    """Reparenting local search on the period objective.
+
+    Example::
+
+        >>> from repro import CommModel, ExecutionGraph, make_application
+        >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+        >>> local_search_minperiod(
+        ...     ExecutionGraph.empty(app), CommModel.OVERLAP)[0]
+        Fraction(4, 1)
+    """
     return local_search_forest(
         graph, make_period_objective(model, effort), max_moves=max_moves
     )
@@ -88,6 +113,16 @@ def local_search_minlatency(
     effort: Effort = Effort.HEURISTIC,
     max_moves: int = 200,
 ) -> Tuple[Fraction, ExecutionGraph]:
+    """Reparenting local search on the latency objective.
+
+    Example::
+
+        >>> from repro import CommModel, ExecutionGraph, make_application
+        >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+        >>> local_search_minlatency(
+        ...     ExecutionGraph.empty(app), CommModel.OVERLAP)[0]
+        Fraction(7, 1)
+    """
     return local_search_forest(
         graph, make_latency_objective(model, effort), max_moves=max_moves
     )

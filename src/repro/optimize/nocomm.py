@@ -20,13 +20,29 @@ ONE = Fraction(1)
 
 
 def nocomm_period(graph: ExecutionGraph) -> Fraction:
-    """Period of *graph* when communications are free: ``max_k Ccomp(k)``."""
+    """Period of *graph* when communications are free: ``max_k Ccomp(k)``.
+
+    Example::
+
+        >>> from repro import ExecutionGraph, make_application
+        >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+        >>> nocomm_period(ExecutionGraph.chain(app, ["A", "B"]))
+        Fraction(4, 1)
+    """
     costs = CostModel(graph)
     return max(costs.ccomp(n) for n in graph.nodes)
 
 
 def nocomm_latency(graph: ExecutionGraph) -> Fraction:
-    """Latency of *graph* when communications are free (critical path)."""
+    """Latency of *graph* when communications are free (critical path).
+
+    Example::
+
+        >>> from repro import ExecutionGraph, make_application
+        >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+        >>> nocomm_latency(ExecutionGraph.chain(app, ["A", "B"]))
+        Fraction(5, 1)
+    """
     costs = CostModel(graph)
     finish = {}
     for node in graph.topological_order:
@@ -43,7 +59,17 @@ def nocomm_optimal_period_plan(app: Application) -> Tuple[Fraction, ExecutionGra
     Filters (selectivity < 1) are chained by increasing cost; every other
     service hangs off the end of the chain.  Returns the *communication-free*
     period together with the graph (which can then be re-evaluated under
-    any communication model).
+    any communication model; the planner does exactly that as
+    ``solve(app, method="nocomm")``).
+
+    Example::
+
+        >>> from repro import make_application
+        >>> app = make_application(
+        ...     [("f1", 2, "1/2"), ("f2", 1, "1/2"), ("x", 8, 1)])
+        >>> value, graph = nocomm_optimal_period_plan(app)
+        >>> value, sorted(graph.edges)
+        (Fraction(2, 1), [('f1', 'x'), ('f2', 'f1')])
     """
     if app.precedence:
         raise ValueError("the baseline assumes no precedence constraints")
@@ -79,6 +105,14 @@ def nocomm_optimal_latency_chain(app: Application) -> Tuple[Fraction, ExecutionG
 
     Adjacent exchange gives the classical ratio rule ``c_i (1 - sigma_j)
     <= c_j (1 - sigma_i)`` (the ``c/(1 - sigma)`` rule of [1]).
+
+    Example::
+
+        >>> from repro import make_application
+        >>> app = make_application([("slow", 9, "1/2"), ("fast", 1, "1/2")])
+        >>> value, graph = nocomm_optimal_latency_chain(app)
+        >>> value, sorted(graph.edges)
+        (Fraction(11, 2), [('fast', 'slow')])
     """
     if app.precedence:
         raise ValueError("the baseline assumes no precedence constraints")

@@ -1,0 +1,56 @@
+"""Unified planner facade: one front door for mapping and orchestration.
+
+:func:`solve` dispatches a MinPeriod/MinLatency instance to a registered
+solver (exhaustive enumeration, greedy forest construction, local search,
+chain closed forms, the communication-free baseline — or your own), routes
+every objective evaluation through a shared memo cache, schedules a
+concrete operation list for the winning graph and returns a
+:class:`PlanResult` with the value, the plan and solver statistics.
+
+    >>> from repro import make_application
+    >>> from repro.planner import solve
+    >>> app = make_application([("A", 1, "1/2"), ("B", 4, "1/2"), ("C", 16, 1)])
+    >>> solve(app, objective="period", model="overlap").value
+    Fraction(4, 1)
+
+See :mod:`repro.planner.facade` for the full API and
+:mod:`repro.planner.registry` for registering custom solvers.
+"""
+
+from .cache import (
+    CachedObjective,
+    EvaluationCache,
+    clear_default_cache,
+    default_cache,
+    graph_key,
+)
+from .catalog import Workload, load_workload, workload_names
+from .facade import AUTO_EXHAUSTIVE_MAX, build_schedule, compare, solve
+from .registry import (
+    SolverRegistry,
+    SolverSpec,
+    register_solver,
+    registry,
+)
+from .result import PlanResult, SolverStats
+
+__all__ = [
+    "AUTO_EXHAUSTIVE_MAX",
+    "CachedObjective",
+    "EvaluationCache",
+    "PlanResult",
+    "SolverRegistry",
+    "SolverSpec",
+    "SolverStats",
+    "Workload",
+    "build_schedule",
+    "clear_default_cache",
+    "compare",
+    "default_cache",
+    "graph_key",
+    "load_workload",
+    "register_solver",
+    "registry",
+    "solve",
+    "workload_names",
+]

@@ -1,0 +1,199 @@
+"""Memoized objective evaluation shared by every planner solver.
+
+The forest heuristics (greedy construction, reparenting local search) and
+the exhaustive enumerations all evaluate the same period/latency
+objectives over execution graphs, and they revisit identical graphs
+constantly: local search re-scores the incumbent on every pass, restarts
+re-walk earlier neighbourhoods, and ``compare`` runs several methods over
+one application.  :class:`EvaluationCache` memoizes those evaluations on a
+*canonical* key — the application content (services, costs, selectivities,
+precedence) plus the edge set, the communication model, and the effort
+level — so a value computed once is never recomputed, within a solve or
+across solves.
+
+Keys are content-based, not identity-based: :class:`~repro.core.Application`
+and :class:`~repro.core.Service` are frozen dataclasses, so two separately
+constructed but identical applications share cache entries.  That matters
+for the greedy builder, which evaluates sub-applications created through
+``Application.restricted_to``.
+
+Example::
+
+    >>> from fractions import Fraction
+    >>> from repro import CommModel, ExecutionGraph, make_application
+    >>> from repro.planner.cache import EvaluationCache
+    >>> cache = EvaluationCache()
+    >>> obj = cache.objective("period", CommModel.OVERLAP)
+    >>> app = make_application([("A", 4, 1), ("B", 4, 1)])
+    >>> graph = ExecutionGraph.chain(app, ["A", "B"])
+    >>> obj(graph)
+    Fraction(4, 1)
+    >>> obj(graph)                      # second call is a cache hit
+    Fraction(4, 1)
+    >>> (cache.hits, cache.misses)
+    (1, 1)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from fractions import Fraction
+from typing import Callable, Hashable, Optional, Tuple
+
+from ..core import CommModel, ExecutionGraph
+from ..optimize.evaluation import Effort, latency_objective, period_objective
+
+#: Objective kinds understood by the planner.
+OBJECTIVES: Tuple[str, ...] = ("period", "latency")
+
+#: Default bound on retained entries (entries are tiny; the bound only
+#: protects unbounded exhaustive sweeps from hoarding memory).
+DEFAULT_MAX_ENTRIES = 200_000
+
+
+def graph_key(graph: ExecutionGraph) -> Hashable:
+    """Canonical, content-based key for *graph*.
+
+    Two graphs over equal applications (same services, costs,
+    selectivities, precedence) with equal edge sets share a key even when
+    the :class:`~repro.core.Application` objects are distinct.
+    """
+    return (graph.application, graph.edges)
+
+
+class EvaluationCache:
+    """LRU-bounded memo table for period/latency objective evaluations.
+
+    Parameters
+    ----------
+    max_entries:
+        Retain at most this many values (least-recently-used eviction).
+        ``None`` disables eviction.
+    """
+
+    def __init__(self, max_entries: Optional[int] = DEFAULT_MAX_ENTRIES) -> None:
+        self._store: "OrderedDict[Hashable, Fraction]" = OrderedDict()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(
+        self,
+        kind: str,
+        graph: ExecutionGraph,
+        model: CommModel,
+        effort: Effort,
+        compute: Callable[[], Fraction],
+    ) -> Fraction:
+        """Return the memoized value for the canonical key, computing once."""
+        # The OVERLAP period is exact at every effort level (Theorem 1 —
+        # the bound is achievable), so all efforts share one entry.
+        if kind == "period" and model is CommModel.OVERLAP:
+            effort = Effort.EXACT
+        key = (kind, model, effort, graph_key(graph))
+        found = self._store.get(key)
+        if found is not None:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return found
+        self.misses += 1
+        value = compute()
+        self._store[key] = value
+        if self.max_entries is not None and len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return value
+
+    def objective(
+        self,
+        kind: str,
+        model: CommModel,
+        effort: Effort = Effort.HEURISTIC,
+    ) -> "CachedObjective":
+        """A cached ``graph -> Fraction`` evaluator for *kind* under *model*.
+
+        *kind* is ``"period"`` or ``"latency"``; the returned callable is a
+        drop-in :data:`repro.optimize.evaluation.Objective` and keeps its
+        own per-instance hit/miss counters (the cache-wide counters keep
+        counting too).
+        """
+        if kind not in OBJECTIVES:
+            raise ValueError(f"unknown objective {kind!r}; expected one of {OBJECTIVES}")
+        return CachedObjective(self, kind, model, effort)
+
+
+class CachedObjective:
+    """Callable objective bound to one (kind, model, effort) and a cache.
+
+    Tracks the hits/misses charged through *this* callable so a solver can
+    report per-solve statistics even when the cache is shared.
+    """
+
+    __slots__ = ("cache", "kind", "model", "effort", "hits", "misses")
+
+    def __init__(
+        self,
+        cache: EvaluationCache,
+        kind: str,
+        model: CommModel,
+        effort: Effort,
+    ) -> None:
+        self.cache = cache
+        self.kind = kind
+        self.model = model
+        self.effort = effort
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def evaluations(self) -> int:
+        """Total objective queries made through this callable."""
+        return self.hits + self.misses
+
+    def __call__(self, graph: ExecutionGraph) -> Fraction:
+        before = self.cache.misses
+        value = self.cache.get_or_compute(
+            self.kind, graph, self.model, self.effort, lambda: self._compute(graph)
+        )
+        if self.cache.misses == before:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return value
+
+    def _compute(self, graph: ExecutionGraph) -> Fraction:
+        if self.kind == "period":
+            return period_objective(graph, self.model, self.effort)
+        return latency_objective(graph, self.model, self.effort)
+
+
+_default_cache = EvaluationCache()
+
+
+def default_cache() -> EvaluationCache:
+    """The process-wide cache used when ``solve(..., cache=None)``."""
+    return _default_cache
+
+
+def clear_default_cache() -> None:
+    """Reset the process-wide cache (used between benchmark runs/tests)."""
+    _default_cache.clear()
+
+
+__all__ = [
+    "CachedObjective",
+    "DEFAULT_MAX_ENTRIES",
+    "EvaluationCache",
+    "OBJECTIVES",
+    "clear_default_cache",
+    "default_cache",
+    "graph_key",
+]

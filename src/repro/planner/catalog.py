@@ -1,0 +1,217 @@
+"""Named workload specs for the CLI: paper instances + generator families.
+
+A workload spec is a string: either a named paper instance (``fig1``,
+``b1``, ``b2``, ``b3``) or a generator family with ``key=value`` options
+after a colon, e.g. ``random:n=6,seed=3,filters=0.7`` or
+``layered:widths=3x3x3,seed=4``.  :func:`load_workload` parses a spec into
+a :class:`Workload` bundling the application, the fixed execution graph
+when the family defines one, and the paper's expected values when known.
+
+    >>> from repro.planner.catalog import load_workload
+    >>> wl = load_workload("fig1")
+    >>> len(wl.application), wl.graph is not None
+    (5, True)
+    >>> load_workload("random:n=6,seed=3").graph is None
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core import Application, ExecutionGraph
+from ..workloads.generators import (
+    fork_join_instance,
+    layered_instance,
+    random_application,
+    random_chain,
+    random_execution_graph,
+    star_instance,
+)
+from ..workloads.paper import (
+    b1_counterexample,
+    b2_latency_ports,
+    b3_period_ports,
+    fig1_example,
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A solvable workload: application, optional fixed graph, expectations."""
+
+    name: str
+    description: str
+    application: Application
+    graph: Optional[ExecutionGraph] = None
+    expected: Dict[str, Fraction] = field(default_factory=dict)
+
+    @property
+    def problem(self):
+        """What to hand to :func:`repro.planner.solve`: graph if fixed."""
+        return self.graph if self.graph is not None else self.application
+
+
+def _parse_options(text: str) -> Dict[str, str]:
+    options: Dict[str, str] = {}
+    if not text:
+        return options
+    for part in text.split(","):
+        if "=" not in part:
+            raise ValueError(f"malformed workload option {part!r} (expected key=value)")
+        key, value = part.split("=", 1)
+        options[key.strip()] = value.strip()
+    return options
+
+
+def _check_keys(options: Dict[str, str], allowed: Tuple[str, ...], family: str) -> None:
+    """Reject misspelled option keys — a typo must not change the workload."""
+    unknown = sorted(set(options) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown option(s) {unknown} for workload family {family!r}; "
+            f"accepted: {', '.join(allowed)}"
+        )
+
+
+def _int(options: Dict[str, str], key: str, default: int) -> int:
+    return int(options.get(key, default))
+
+
+def _float(options: Dict[str, str], key: str, default: float) -> float:
+    return float(options.get(key, default))
+
+
+def _from_paper(maker: Callable[[], object]) -> Workload:
+    inst = maker()
+    return Workload(
+        name=inst.name,
+        description=inst.description,
+        application=inst.application,
+        graph=inst.graph,
+        expected=dict(inst.expected),
+    )
+
+
+def _load_random(options: Dict[str, str]) -> Workload:
+    _check_keys(options, ("n", "seed", "filters", "precedence", "graph", "density"),
+                "random")
+    n = _int(options, "n", 5)
+    seed = _int(options, "seed", 0)
+    app = random_application(
+        n,
+        seed=seed,
+        filter_fraction=_float(options, "filters", 0.6),
+        precedence_density=_float(options, "precedence", 0.0),
+    )
+    graph = None
+    graph_opt = options.get("graph", "")
+    if graph_opt not in ("", "random"):
+        raise ValueError(
+            f"graph={graph_opt!r} is not supported for the random family; "
+            f"the only value is graph=random (fix a random execution graph)"
+        )
+    if graph_opt == "random":
+        graph = random_execution_graph(
+            app, seed=seed + 100, density=_float(options, "density", 0.4)
+        )
+    return Workload(
+        name=f"random(n={n}, seed={seed})",
+        description=f"{n} random services (seed {seed})",
+        application=app,
+        graph=graph,
+    )
+
+
+def _load_chain(options: Dict[str, str]) -> Workload:
+    _check_keys(options, ("n", "seed"), "chain")
+    n = _int(options, "n", 5)
+    seed = _int(options, "seed", 0)
+    app = random_application(n, seed=seed)
+    return Workload(
+        name=f"chain(n={n}, seed={seed})",
+        description=f"random chain over {n} random services",
+        application=app,
+        graph=random_chain(app, seed=seed + 1),
+    )
+
+
+def _load_star(options: Dict[str, str]) -> Workload:
+    _check_keys(options, ("leaves", "seed"), "star")
+    leaves = _int(options, "leaves", 5)
+    seed = _int(options, "seed", 0)
+    app, graph = star_instance(leaves, seed=seed)
+    return Workload(
+        name=f"star(leaves={leaves}, seed={seed})",
+        description=f"filtering hub feeding {leaves} services",
+        application=app,
+        graph=graph,
+    )
+
+
+def _load_forkjoin(options: Dict[str, str]) -> Workload:
+    _check_keys(options, ("branches", "seed"), "forkjoin")
+    branches = _int(options, "branches", 4)
+    seed = _int(options, "seed", 0)
+    app, graph = fork_join_instance(branches, seed=seed)
+    return Workload(
+        name=f"forkjoin(branches={branches}, seed={seed})",
+        description=f"fork-join with {branches} parallel branches",
+        application=app,
+        graph=graph,
+    )
+
+
+def _load_layered(options: Dict[str, str]) -> Workload:
+    _check_keys(options, ("widths", "seed"), "layered")
+    widths_text = options.get("widths", "3x3x3")
+    widths = [int(w) for w in widths_text.split("x")]
+    seed = _int(options, "seed", 0)
+    app, graph = layered_instance(widths, seed=seed)
+    return Workload(
+        name=f"layered({widths_text}, seed={seed})",
+        description=f"layered stage-parallel graph {widths_text}",
+        application=app,
+        graph=graph,
+    )
+
+
+_NAMED: Dict[str, Callable[[], Workload]] = {
+    "fig1": lambda: _from_paper(fig1_example),
+    "b1": lambda: _from_paper(b1_counterexample),
+    "b2": lambda: _from_paper(b2_latency_ports),
+    "b3": lambda: _from_paper(b3_period_ports),
+}
+
+_FAMILIES: Dict[str, Callable[[Dict[str, str]], Workload]] = {
+    "random": _load_random,
+    "chain": _load_chain,
+    "star": _load_star,
+    "forkjoin": _load_forkjoin,
+    "layered": _load_layered,
+}
+
+
+def workload_names() -> Tuple[str, ...]:
+    """Named instances plus generator family names (for ``--help``/errors)."""
+    return tuple(sorted(_NAMED)) + tuple(sorted(_FAMILIES))
+
+
+def load_workload(spec: str) -> Workload:
+    """Parse a workload *spec* string (see module docstring)."""
+    spec = spec.strip()
+    head, _, tail = spec.partition(":")
+    head = head.lower()
+    if head in _NAMED:
+        if tail:
+            raise ValueError(f"named instance {head!r} takes no options")
+        return _NAMED[head]()
+    if head in _FAMILIES:
+        return _FAMILIES[head](_parse_options(tail))
+    known = ", ".join(workload_names())
+    raise ValueError(f"unknown workload {spec!r}; known: {known}")
+
+
+__all__ = ["Workload", "load_workload", "workload_names"]

@@ -1,0 +1,378 @@
+"""`solve` / `compare`: the single front door to mapping and orchestration.
+
+Every consumer of the reproduction — examples, benchmarks, the CLI —
+states *what* it wants optimised (objective, communication model) and
+optionally *how* (method, effort); the facade picks a solver, routes all
+objective evaluations through the shared memo cache, schedules a concrete
+operation list for the winning graph, and returns a :class:`PlanResult`.
+
+Two problem shapes are accepted:
+
+* an :class:`~repro.core.Application` — the **mapping** problem: search
+  the space of execution graphs (NP-hard in general; Theorems 2 and 4);
+* an :class:`~repro.core.ExecutionGraph` — the **orchestration** problem:
+  the graph is fixed, find the best operation list for it (the setting of
+  the paper's Section 2.3 worked example).
+
+Quickstart::
+
+    >>> from repro import make_application
+    >>> from repro.planner import solve
+    >>> app = make_application([("A", 1, "1/2"), ("B", 4, "1/2"), ("C", 16, 1)])
+    >>> result = solve(app, objective="period", model="overlap")
+    >>> result.value
+    Fraction(4, 1)
+    >>> result.method
+    'exhaustive'
+    >>> result.plan.is_valid()
+    True
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..core import ALL_MODELS, Application, CommModel, ExecutionGraph, Plan
+from ..optimize.evaluation import Effort
+from ..scheduling.inorder import inorder_schedule
+from ..scheduling.latency import (
+    best_latency_schedule,
+    oneport_latency_schedule,
+    tree_latency_schedule,
+)
+from ..scheduling.outorder import outorder_schedule
+from ..scheduling.overlap import schedule_period_overlap
+from .cache import EvaluationCache, default_cache
+from .registry import MAX_DAG_SERVICES, SolverRegistry, registry as default_registry
+from .result import PlanResult, SolverStats
+
+Problem = Union[Application, ExecutionGraph]
+
+#: ``method="auto"`` uses exact enumeration up to these sizes (forests for
+#: period, DAGs for latency), heuristic search beyond them.
+AUTO_EXHAUSTIVE_MAX = {"period": 5, "latency": MAX_DAG_SERVICES - 1}
+
+#: Orchestration methods (fixed graph) and the evaluation effort they map to.
+_GRAPH_EFFORT = {
+    "exhaustive": Effort.EXACT,
+    "heuristic": Effort.HEURISTIC,
+    "bound": Effort.BOUND,
+}
+
+
+def _coerce_model(model: Union[str, CommModel]) -> CommModel:
+    if isinstance(model, CommModel):
+        return model
+    try:
+        return CommModel(str(model).lower())
+    except ValueError:
+        names = ", ".join(m.value for m in ALL_MODELS)
+        raise ValueError(f"unknown model {model!r}; expected one of: {names}") from None
+
+
+def _coerce_objective(objective: str) -> str:
+    obj = str(objective).lower()
+    if obj not in ("period", "latency"):
+        raise ValueError(
+            f"unknown objective {objective!r}; expected 'period' or 'latency'"
+        )
+    return obj
+
+
+def _coerce_effort(effort: Union[str, Effort, None], fallback: Effort) -> Effort:
+    if effort is None:
+        return fallback
+    if isinstance(effort, Effort):
+        return effort
+    try:
+        return Effort(str(effort).lower())
+    except ValueError:
+        names = ", ".join(e.value for e in Effort)
+        raise ValueError(f"unknown effort {effort!r}; expected one of: {names}") from None
+
+
+def build_schedule(graph: ExecutionGraph, objective: str, model: CommModel) -> Plan:
+    """A concrete operation list for *graph* optimised towards *objective*.
+
+    Period: Theorem-1 construction (OVERLAP), exact/greedy MCR
+    orchestration (INORDER), repair scheduler (OUTORDER).  Latency:
+    Algorithm 1 on forests, otherwise the greedy serialized one-port
+    schedule, improved by the layered bandwidth-sharing schedule under
+    OVERLAP.
+    """
+    if objective == "period":
+        if model is CommModel.OVERLAP:
+            return schedule_period_overlap(graph)
+        if model is CommModel.INORDER:
+            return inorder_schedule(graph)
+        return outorder_schedule(graph)
+    if graph.is_forest:
+        plan = tree_latency_schedule(graph)
+        return Plan(plan.graph, plan.operation_list, model)
+    if model is CommModel.OVERLAP:
+        return best_latency_schedule(graph)
+    return oneport_latency_schedule(graph, model)
+
+
+def _auto_method(app: Application, objective: str) -> str:
+    """Method selection for ``method="auto"`` on the mapping problem.
+
+    Small instances (``n <= AUTO_EXHAUSTIVE_MAX[objective]``) are solved
+    exactly by enumeration; larger ones fall back to greedy construction
+    plus reparenting local search.  Precedence-constrained applications
+    must fit the exact DAG enumeration (the forest heuristics assume
+    independent services).
+    """
+    n = len(app)
+    if app.precedence:
+        if n <= MAX_DAG_SERVICES:
+            return "exhaustive"
+        raise NotImplementedError(
+            f"no registered heuristic handles precedence constraints with "
+            f"n={n} > {MAX_DAG_SERVICES} services"
+        )
+    if n <= AUTO_EXHAUSTIVE_MAX[objective]:
+        return "exhaustive"
+    return "local-search"
+
+
+def solve(
+    problem: Problem,
+    *,
+    objective: str = "period",
+    model: Union[str, CommModel] = CommModel.OVERLAP,
+    method: str = "auto",
+    effort: Union[str, Effort, None] = None,
+    schedule: bool = True,
+    cache: Optional[EvaluationCache] = None,
+    registry: Optional[SolverRegistry] = None,
+    **solver_options,
+) -> PlanResult:
+    """Solve a mapping or orchestration problem; returns :class:`PlanResult`.
+
+    Parameters
+    ----------
+    problem:
+        An :class:`~repro.core.Application` (search over execution graphs)
+        or an :class:`~repro.core.ExecutionGraph` (graph fixed; evaluate
+        and schedule it).
+    objective:
+        ``"period"`` (throughput) or ``"latency"`` (response time).
+    model:
+        Communication model — a :class:`~repro.core.CommModel` or one of
+        ``"overlap"``, ``"inorder"``, ``"outorder"``.
+    method:
+        For applications: a registered solver name (``"exhaustive"``,
+        ``"greedy"``, ``"local-search"``, ``"chain"``, ``"nocomm"``, or a
+        custom registration), or ``"auto"`` to pick by instance size.  For
+        graphs: ``"auto"`` (model scheduler), ``"exhaustive"``,
+        ``"heuristic"`` or ``"bound"`` (evaluation efforts).
+    effort:
+        Evaluation effort for graph scoring inside mapping solvers
+        (default: ``EXACT`` for ``exhaustive``, ``HEURISTIC`` otherwise).
+    schedule:
+        Also build a concrete scheduled :class:`~repro.core.Plan` for the
+        chosen graph (on by default).
+    cache:
+        An :class:`EvaluationCache`; defaults to the process-wide shared
+        cache.
+    registry:
+        Solver registry; defaults to :data:`repro.planner.registry`.
+    solver_options:
+        Extra keyword arguments forwarded to the solver (e.g.
+        ``max_moves=500`` for ``local-search``).
+
+    Examples
+    --------
+    The Section 2.3 instance, orchestrated under INORDER (the "surprising"
+    fractional optimum)::
+
+        >>> from repro.planner import solve
+        >>> from repro.workloads import fig1_example
+        >>> solve(fig1_example().graph, objective="period", model="inorder",
+        ...       method="exhaustive").value
+        Fraction(23, 3)
+    """
+    started = time.perf_counter()
+    obj = _coerce_objective(objective)
+    mdl = _coerce_model(model)
+    cache = cache if cache is not None else default_cache()
+
+    if isinstance(problem, ExecutionGraph):
+        if solver_options:
+            raise TypeError(
+                f"unexpected keyword arguments for a fixed-graph problem: "
+                f"{sorted(solver_options)} (solver options only apply when "
+                f"solving an Application)"
+            )
+        result = _solve_graph(
+            problem, obj, mdl, method, effort, schedule, cache
+        )
+    elif isinstance(problem, Application):
+        result = _solve_application(
+            problem, obj, mdl, method, effort, schedule, cache,
+            registry if registry is not None else default_registry,
+            solver_options,
+        )
+    else:
+        raise TypeError(
+            f"problem must be an Application or ExecutionGraph, "
+            f"got {type(problem).__name__}"
+        )
+    result.stats.wall_time = time.perf_counter() - started
+    return result
+
+
+def _solve_application(
+    app: Application,
+    objective: str,
+    model: CommModel,
+    method: str,
+    effort: Union[str, Effort, None],
+    schedule: bool,
+    cache: EvaluationCache,
+    registry: SolverRegistry,
+    solver_options,
+) -> PlanResult:
+    requested = method
+    if method == "auto":
+        method = _auto_method(app, objective)
+    spec = registry.get(method)
+    if not spec.supports(app, objective):
+        raise ValueError(
+            f"solver {method!r} does not support this instance "
+            f"(objective={objective}, n={len(app)}, "
+            f"precedence={bool(app.precedence)})"
+        )
+    eff = _coerce_effort(
+        effort, Effort.EXACT if method == "exhaustive" else Effort.HEURISTIC
+    )
+    objective_fn = cache.objective(objective, model, eff)
+    value, graph, extras = spec.run(
+        app,
+        objective=objective,
+        model=model,
+        effort=eff,
+        objective_fn=objective_fn,
+        **solver_options,
+    )
+    stats = SolverStats(
+        evaluations=objective_fn.misses,
+        cache_hits=objective_fn.hits,
+        graphs_considered=extras.pop("graphs_considered", objective_fn.evaluations),
+        extras={"effort": eff.value, **extras},
+    )
+    plan = build_schedule(graph, objective, model) if schedule else None
+    return PlanResult(
+        objective=objective,
+        model=model,
+        method=method,
+        value=value,
+        graph=graph,
+        plan=plan,
+        stats=stats,
+        requested_method=requested,
+    )
+
+
+def _solve_graph(
+    graph: ExecutionGraph,
+    objective: str,
+    model: CommModel,
+    method: str,
+    effort: Union[str, Effort, None],
+    schedule: bool,
+    cache: EvaluationCache,
+) -> PlanResult:
+    requested = method
+    plan: Optional[Plan] = None
+    if method == "auto" and effort is not None:
+        # An explicit effort on a fixed graph means "evaluate at this
+        # effort", not "run the scheduler" — don't silently ignore it.
+        eff = _coerce_effort(effort, Effort.HEURISTIC)
+        method = {v: k for k, v in _GRAPH_EFFORT.items()}[eff]
+    if method == "auto":
+        # The model's scheduler is authoritative: its value is achieved by
+        # a concrete validated operation list.
+        plan = build_schedule(graph, objective, model)
+        value = plan.period if objective == "period" else plan.latency
+        method = "schedule"
+        stats = SolverStats(graphs_considered=1)
+        if not schedule:
+            plan = None
+    elif method in _GRAPH_EFFORT:
+        eff = _coerce_effort(effort, _GRAPH_EFFORT[method])
+        objective_fn = cache.objective(objective, model, eff)
+        value = objective_fn(graph)
+        stats = SolverStats(
+            evaluations=objective_fn.misses,
+            cache_hits=objective_fn.hits,
+            graphs_considered=1,
+            extras={"effort": eff.value},
+        )
+        if schedule:
+            plan = build_schedule(graph, objective, model)
+    else:
+        known = ", ".join(["auto", *_GRAPH_EFFORT])
+        raise ValueError(
+            f"unknown orchestration method {method!r} for a fixed execution "
+            f"graph; expected one of: {known}"
+        )
+    return PlanResult(
+        objective=objective,
+        model=model,
+        method=method,
+        value=value,
+        graph=graph,
+        plan=plan,
+        stats=stats,
+        requested_method=requested,
+    )
+
+
+def compare(
+    problem: Problem,
+    *,
+    objectives: Sequence[str] = ("period",),
+    models: Iterable[Union[str, CommModel]] = ALL_MODELS,
+    methods: Sequence[str] = ("auto",),
+    **kwargs,
+) -> List[PlanResult]:
+    """Solve *problem* over a grid of objectives × models × methods.
+
+    Returns the flat list of :class:`PlanResult` in grid order (objective
+    outermost, method innermost).  All solves share one evaluation cache,
+    so methods re-scoring the same graphs hit the memo table.
+
+    Example::
+
+        >>> from repro.planner import compare
+        >>> from repro.workloads import fig1_example
+        >>> results = compare(fig1_example().graph, objectives=["period"])
+        >>> [(str(r.model), str(r.value)) for r in results]
+        [('OVERLAP', '4'), ('INORDER', '23/3'), ('OUTORDER', '7')]
+    """
+    results: List[PlanResult] = []
+    for objective in objectives:
+        for model in models:
+            for method in methods:
+                results.append(
+                    solve(
+                        problem,
+                        objective=objective,
+                        model=model,
+                        method=method,
+                        **kwargs,
+                    )
+                )
+    return results
+
+
+__all__ = [
+    "AUTO_EXHAUSTIVE_MAX",
+    "Problem",
+    "build_schedule",
+    "compare",
+    "solve",
+]

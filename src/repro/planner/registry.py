@@ -1,0 +1,301 @@
+"""Pluggable solver registry backing :func:`repro.planner.solve`.
+
+A *solver* turns an :class:`~repro.core.Application` into an execution
+graph optimised for a period or latency objective.  The built-in solvers
+wrap the strategies of :mod:`repro.optimize`:
+
+========================  =====================================================
+``exhaustive``            Enumerate forests (MinPeriod, Proposition 4) or DAGs
+                          (MinLatency) and keep the best — exact, exponential.
+``greedy``                Incremental forest construction (cost-ordered
+                          insertion, best attachment point).
+``local-search``          Greedy seed + first-improvement reparenting search.
+``chain``                 Optimal *chain* plan in closed form (Propositions 8
+                          and 16) — polynomial, restricted structure.
+``nocomm``                The communication-free optimum of Srivastava et al.,
+                          re-evaluated with communication costs (baseline).
+========================  =====================================================
+
+Registering a custom solver::
+
+    >>> from repro.planner import SolverRegistry, registry
+    >>> from repro.core import ExecutionGraph
+    >>> def star_solver(app, *, objective, model, effort, objective_fn):
+    ...     hub = min(app.names, key=app.cost)
+    ...     graph = ExecutionGraph(app, [(hub, n) for n in app.names if n != hub])
+    ...     return objective_fn(graph), graph, {"hub": hub}
+    >>> reg = SolverRegistry()
+    >>> spec = reg.register("star", star_solver,
+    ...                     description="cheapest service feeds all")
+    >>> "star" in reg
+    True
+
+A solver callable receives the application plus keyword arguments
+``objective`` (``"period"``/``"latency"``), ``model``
+(:class:`~repro.core.CommModel`), ``effort``
+(:class:`~repro.optimize.Effort`) and ``objective_fn`` (a memoized
+``graph -> Fraction`` evaluator; route all scoring through it to benefit
+from the shared cache).  It returns ``(value, graph, extras)`` where
+*extras* is a dict merged into :attr:`PlanResult.stats.extras`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from ..core import Application, CommModel, ExecutionGraph
+from ..optimize.chains import minlatency_chain, minperiod_chain
+from ..optimize.evaluation import Effort
+from ..optimize.exhaustive import (
+    MAX_DAG_SERVICES,
+    iter_dags,
+    iter_forests,
+    scan_best,
+)
+from ..optimize.greedy import greedy_forest
+from ..optimize.local_search import local_search_forest
+from ..optimize.nocomm import (
+    nocomm_optimal_latency_chain,
+    nocomm_optimal_period_plan,
+)
+
+SolverOutcome = Tuple[Fraction, ExecutionGraph, Dict[str, Any]]
+SolverFn = Callable[..., SolverOutcome]
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """A registered solver plus the metadata ``auto`` selection needs."""
+
+    name: str
+    run: SolverFn
+    description: str = ""
+    objectives: Tuple[str, ...] = ("period", "latency")
+    supports_precedence: bool = False
+    #: ``None`` means unbounded; otherwise the solver refuses larger apps.
+    max_services: Optional[int] = None
+
+    def supports(
+        self, app: Application, objective: str
+    ) -> bool:
+        """Can this solver handle *app* for *objective*?"""
+        if objective not in self.objectives:
+            return False
+        if app.precedence and not self.supports_precedence:
+            return False
+        if self.max_services is not None and len(app) > self.max_services:
+            return False
+        return True
+
+
+class SolverRegistry:
+    """Name -> :class:`SolverSpec` mapping with registration helpers."""
+
+    def __init__(self) -> None:
+        self._solvers: Dict[str, SolverSpec] = {}
+
+    def register(
+        self,
+        name: str,
+        run: SolverFn,
+        *,
+        description: str = "",
+        objectives: Tuple[str, ...] = ("period", "latency"),
+        supports_precedence: bool = False,
+        max_services: Optional[int] = None,
+        replace: bool = False,
+    ) -> SolverSpec:
+        """Register *run* under *name*; returns the stored spec.
+
+        Raises :class:`ValueError` on duplicate names unless ``replace``.
+        """
+        if name in self._solvers and not replace:
+            raise ValueError(f"solver {name!r} is already registered")
+        spec = SolverSpec(
+            name=name,
+            run=run,
+            description=description,
+            objectives=tuple(objectives),
+            supports_precedence=supports_precedence,
+            max_services=max_services,
+        )
+        self._solvers[name] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        del self._solvers[name]
+
+    def get(self, name: str) -> SolverSpec:
+        try:
+            return self._solvers[name]
+        except KeyError:
+            known = ", ".join(sorted(self._solvers))
+            raise ValueError(
+                f"unknown solver {name!r}; registered: {known}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._solvers
+
+    def __iter__(self) -> Iterator[SolverSpec]:
+        return iter(self._solvers.values())
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._solvers))
+
+
+# ---------------------------------------------------------------------------
+# Built-in solvers
+# ---------------------------------------------------------------------------
+
+def _solve_exhaustive(
+    app: Application,
+    *,
+    objective: str,
+    model: CommModel,
+    effort: Effort,
+    objective_fn,
+    space: Optional[str] = None,
+) -> SolverOutcome:
+    """Exact enumeration: forests for period (Prop 4), DAGs for latency.
+
+    MinLatency optima need not be forests (the Prop-13 fork-join gadget),
+    so latency requires DAG enumeration, which is only feasible for
+    ``n <= 5``; larger latency instances are refused rather than silently
+    restricted.  *space* (a solver option: ``solve(app, method="exhaustive",
+    space="forests")``) forces ``"forests"`` (the Prop-17 restricted
+    problem) or ``"dags"`` explicitly.  Precedence-constrained
+    applications need DAG enumeration (forests cannot express multiple
+    predecessors' transitive requirements in general).
+    """
+    if space not in (None, "forests", "dags"):
+        raise ValueError(f"space must be 'forests' or 'dags', got {space!r}")
+    if space is None:
+        if objective == "period" and not app.precedence:
+            space = "forests"
+        elif len(app) <= MAX_DAG_SERVICES:
+            space = "dags"
+        elif app.precedence:
+            raise ValueError(
+                f"exhaustive search with precedence constraints requires "
+                f"n <= {MAX_DAG_SERVICES} services (DAG enumeration), got {len(app)}"
+            )
+        else:
+            raise ValueError(
+                f"exhaustive MinLatency needs n <= {MAX_DAG_SERVICES} for DAG "
+                f"enumeration (got n={len(app)}; optimal latency plans need "
+                f"not be forests — Prop 13); pass space='forests' for the "
+                f"forest-restricted problem or use method='local-search'"
+            )
+    graphs = iter_forests(app) if space == "forests" else iter_dags(app)
+    value, graph, count = scan_best(graphs, objective_fn)
+    return value, graph, {"space": space, "graphs_considered": count}
+
+
+def _solve_greedy(
+    app: Application,
+    *,
+    objective: str,
+    model: CommModel,
+    effort: Effort,
+    objective_fn,
+) -> SolverOutcome:
+    value, graph = greedy_forest(app, objective_fn)
+    return value, graph, {}
+
+
+def _solve_local_search(
+    app: Application,
+    *,
+    objective: str,
+    model: CommModel,
+    effort: Effort,
+    objective_fn,
+    max_moves: int = 200,
+) -> SolverOutcome:
+    seed_value, seed_graph = greedy_forest(app, objective_fn)
+    value, graph = local_search_forest(seed_graph, objective_fn, max_moves=max_moves)
+    return value, graph, {"seed_value": seed_value}
+
+
+def _solve_chain(
+    app: Application,
+    *,
+    objective: str,
+    model: CommModel,
+    effort: Effort,
+    objective_fn,
+) -> SolverOutcome:
+    if objective == "period":
+        value, graph = minperiod_chain(app, model)
+    else:
+        value, graph = minlatency_chain(app)
+    return value, graph, {}
+
+
+def _solve_nocomm(
+    app: Application,
+    *,
+    objective: str,
+    model: CommModel,
+    effort: Effort,
+    objective_fn,
+) -> SolverOutcome:
+    if objective == "period":
+        free_value, graph = nocomm_optimal_period_plan(app)
+    else:
+        free_value, graph = nocomm_optimal_latency_chain(app)
+    return objective_fn(graph), graph, {"nocomm_value": free_value}
+
+
+def _make_default_registry() -> SolverRegistry:
+    reg = SolverRegistry()
+    reg.register(
+        "exhaustive",
+        _solve_exhaustive,
+        description="exact enumeration (forests for period, DAGs for latency)",
+        supports_precedence=True,
+    )
+    reg.register(
+        "greedy",
+        _solve_greedy,
+        description="incremental greedy forest construction",
+    )
+    reg.register(
+        "local-search",
+        _solve_local_search,
+        description="greedy seed + first-improvement reparenting local search",
+    )
+    reg.register(
+        "chain",
+        _solve_chain,
+        description="optimal linear chain (Propositions 8 / 16)",
+    )
+    reg.register(
+        "nocomm",
+        _solve_nocomm,
+        description="communication-free baseline structure, re-evaluated",
+    )
+    return reg
+
+
+#: The default registry consulted by :func:`repro.planner.solve`.
+registry: SolverRegistry = _make_default_registry()
+
+
+def register_solver(name: str, run: SolverFn, **kwargs: Any) -> SolverSpec:
+    """Register *run* in the default registry (see :class:`SolverRegistry`)."""
+    return registry.register(name, run, **kwargs)
+
+
+__all__ = [
+    "MAX_DAG_SERVICES",
+    "SolverFn",
+    "SolverOutcome",
+    "SolverRegistry",
+    "SolverSpec",
+    "register_solver",
+    "registry",
+]

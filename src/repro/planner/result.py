@@ -1,0 +1,145 @@
+"""The planner's result types: :class:`PlanResult` and :class:`SolverStats`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, Optional
+
+from ..core import CommModel, ExecutionGraph, Plan
+
+
+@dataclass
+class SolverStats:
+    """Bookkeeping attached to every :class:`PlanResult`.
+
+    Attributes
+    ----------
+    evaluations:
+        Objective computations actually performed for this solve (cache
+        misses — the work the solver paid for).
+    cache_hits:
+        Objective queries answered from the evaluation cache.
+    graphs_considered:
+        Candidate execution graphs the solver scored (0 for closed-form
+        methods such as ``chain``).
+    wall_time:
+        Wall-clock seconds for the whole solve (search + scheduling).
+    extras:
+        Method-specific details (e.g. the local-search solver's
+        ``seed_value``, the exhaustive solver's ``space``).
+    """
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    graphs_considered: int = 0
+    wall_time: float = 0.0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def objective_queries(self) -> int:
+        """Total objective lookups: computed plus cache-served."""
+        return self.evaluations + self.cache_hits
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "graphs_considered": self.graphs_considered,
+            "wall_time": self.wall_time,
+            "extras": {k: _jsonable(v) for k, v in self.extras.items()},
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, Fraction):
+        return {"fraction": str(value), "float": float(value)}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass
+class PlanResult:
+    """Everything :func:`repro.planner.solve` knows about one solution.
+
+    Attributes
+    ----------
+    objective:
+        ``"period"`` or ``"latency"``.
+    model:
+        The communication model the solution was optimised for.
+    method:
+        The *resolved* solver name (``"auto"`` never appears here; see
+        ``requested_method`` for what the caller asked).
+    value:
+        The optimiser's objective value — exact or best-known depending on
+        the method/effort, as documented by the solver.
+    graph:
+        The chosen execution graph.
+    plan:
+        A concrete scheduled :class:`~repro.core.Plan` (operation list)
+        realising *graph* under *model*, or ``None`` when scheduling was
+        disabled.  Its achieved period/latency may differ from ``value``
+        when the optimiser's evaluation effort and the scheduler disagree;
+        ``scheduled_value`` exposes it.
+    stats:
+        :class:`SolverStats` for this solve.
+    requested_method:
+        The method string originally passed to ``solve`` (e.g. ``"auto"``).
+    """
+
+    objective: str
+    model: CommModel
+    method: str
+    value: Fraction
+    graph: ExecutionGraph
+    plan: Optional[Plan] = None
+    stats: SolverStats = field(default_factory=SolverStats)
+    requested_method: str = ""
+
+    @property
+    def scheduled_value(self) -> Optional[Fraction]:
+        """The achieved objective of ``plan`` (``None`` without a plan)."""
+        if self.plan is None:
+            return None
+        return self.plan.period if self.objective == "period" else self.plan.latency
+
+    def summary(self) -> str:
+        """One human-readable line, e.g. for CLI output."""
+        sched = ""
+        if self.plan is not None and self.scheduled_value != self.value:
+            sched = f" (scheduled {self.scheduled_value})"
+        return (
+            f"{self.objective} under {self.model} via {self.method}: "
+            f"{self.value}{sched} "
+            f"[{self.stats.evaluations} evals, {self.stats.cache_hits} cache hits, "
+            f"{self.stats.wall_time * 1000:.1f} ms]"
+        )
+
+    def as_dict(self, *, include_graph: bool = True) -> Dict[str, Any]:
+        """JSON-serialisable rendition (fractions as string + float)."""
+        out: Dict[str, Any] = {
+            "objective": self.objective,
+            "model": str(self.model),
+            "method": self.method,
+            "requested_method": self.requested_method,
+            "value": str(self.value),
+            "value_float": float(self.value),
+            "stats": self.stats.as_dict(),
+        }
+        if self.plan is not None:
+            out["scheduled_value"] = str(self.scheduled_value)
+            out["plan_valid"] = self.plan.is_valid()
+        if include_graph:
+            out["graph_edges"] = sorted(list(e) for e in self.graph.edges)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlanResult({self.objective}, {self.model}, method={self.method!r}, "
+            f"value={self.value})"
+        )
+
+
+__all__ = ["PlanResult", "SolverStats"]

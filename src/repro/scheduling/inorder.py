@@ -117,7 +117,18 @@ def inorder_event_graph(
 def inorder_period_for_orders(
     graph: ExecutionGraph, orders: CommOrders
 ) -> Fraction:
-    """Optimal INORDER period for fixed communication orders (exact, MCR)."""
+    """Optimal INORDER period for fixed communication orders (exact, MCR).
+
+    Example (on the Figure-1 graph the critical-path greedy orders reach
+    the overall optimum 23/3; the canonical sorted orders only reach 9)::
+
+        >>> from repro.workloads import fig1_example
+        >>> graph = fig1_example().graph
+        >>> inorder_period_for_orders(graph, greedy_orders(graph))
+        Fraction(23, 3)
+        >>> inorder_period_for_orders(graph, CommOrders.canonical(graph))
+        Fraction(9, 1)
+    """
     eg = inorder_event_graph(graph, orders)
     return minimum_period(eg)
 
@@ -125,7 +136,16 @@ def inorder_period_for_orders(
 def inorder_schedule_for_orders(
     graph: ExecutionGraph, orders: CommOrders
 ) -> Plan:
-    """Concrete operation list at the orders' optimal period."""
+    """Concrete operation list at the orders' optimal period.
+
+    Example::
+
+        >>> from repro.workloads import fig1_example
+        >>> graph = fig1_example().graph
+        >>> plan = inorder_schedule_for_orders(graph, greedy_orders(graph))
+        >>> plan.period, plan.is_valid()
+        (Fraction(23, 3), True)
+    """
     costs = CostModel(graph)
     dur = _durations(costs)
     eg = inorder_event_graph(graph, orders)
@@ -204,7 +224,14 @@ def iter_all_orders(graph: ExecutionGraph) -> Iterator[CommOrders]:
 
 
 def order_space_size(graph: ExecutionGraph) -> int:
-    """Number of order combinations :func:`iter_all_orders` would yield."""
+    """Number of order combinations :func:`iter_all_orders` would yield.
+
+    Example::
+
+        >>> from repro.workloads import fig1_example
+        >>> order_space_size(fig1_example().graph)   # C1 and C5 have degree 2
+        4
+    """
     total = 1
     for node in graph.nodes:
         total *= math.factorial(max(1, len(graph.predecessors(node))))
@@ -234,6 +261,15 @@ def exact_inorder_period(
     Theorem 1); guarded by *max_configs*.  Order combinations that deadlock
     (rendezvous cycles: a positive height-0 constraint cycle) are skipped —
     they admit no schedule at any period.
+
+    Example (the paper's "surprising" fractional optimum, above the
+    lower bound of 7; the facade path is ``solve(graph, model="inorder",
+    method="exhaustive")``)::
+
+        >>> from repro.workloads import fig1_example
+        >>> lam, plan = exact_inorder_period(fig1_example().graph)
+        >>> lam, plan.is_valid()
+        (Fraction(23, 3), True)
     """
     space = order_space_size(graph)
     if space > max_configs:
@@ -267,6 +303,12 @@ def inorder_schedule(
     Uses exhaustive order search when the order space is small, the greedy
     critical-path orders otherwise; falls back to a fully serialized
     schedule if the heuristic orders deadlock.
+
+    Example (what ``solve(graph, model="inorder")`` runs)::
+
+        >>> from repro.workloads import fig1_example
+        >>> inorder_schedule(fig1_example().graph).period
+        Fraction(23, 3)
     """
     if order_space_size(graph) <= exact_threshold:
         _, plan = exact_inorder_period(graph, max_configs=exact_threshold)

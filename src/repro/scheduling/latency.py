@@ -103,6 +103,13 @@ def oneport_latency_schedule(
     downstream critical path.  The resulting operation list is valid for
     all three models with ``lambda`` equal to the makespan (data sets fully
     serialised, as in the paper's latency discussion).
+
+    Example (matches the paper's hand-built latency-21 schedule)::
+
+        >>> from repro.workloads import fig1_example
+        >>> plan = oneport_latency_schedule(fig1_example().graph)
+        >>> plan.latency, plan.is_valid()
+        (Fraction(21, 1), True)
     """
     dag = _OpDag(graph)
     unscheduled = set(dag.ops)
@@ -156,6 +163,13 @@ def exact_oneport_latency(
     which is optimal for makespan.  Pruning: partial makespan plus the
     largest remaining bottom level.  Exponential (Theorem 3 says NP-hard);
     raises ``RuntimeError`` past *node_limit* states.
+
+    Example (on Figure 1 the greedy serialized schedule is already
+    optimal)::
+
+        >>> from repro.workloads import fig1_example
+        >>> exact_oneport_latency(fig1_example().graph)
+        Fraction(21, 1)
     """
     dag = _OpDag(graph)
     ops = dag.ops
@@ -228,6 +242,13 @@ def tree_latency(
     ``include_output=False`` reproduces the paper's literal leaf case
     ``L = c_i`` which ignores the exit nodes' output communication; the
     default accounts for it (consistent with the model everywhere else).
+
+    Example (a chain: input + costs + messages, sizes shrinking)::
+
+        >>> from repro import ExecutionGraph, make_application
+        >>> app = make_application([("A", 2, "1/2"), ("B", 4, 1)])
+        >>> tree_latency(ExecutionGraph.chain(app, ["A", "B"]))
+        Fraction(6, 1)
     """
     if not graph.is_forest:
         raise ValueError("tree_latency requires a forest execution graph")
@@ -249,7 +270,16 @@ def tree_latency(
 
 
 def tree_latency_schedule(graph: ExecutionGraph) -> Plan:
-    """A concrete optimal one-port schedule realising :func:`tree_latency`."""
+    """A concrete optimal one-port schedule realising :func:`tree_latency`.
+
+    Example::
+
+        >>> from repro import ExecutionGraph, make_application
+        >>> app = make_application([("A", 2, "1/2"), ("B", 4, 1)])
+        >>> plan = tree_latency_schedule(ExecutionGraph.chain(app, ["A", "B"]))
+        >>> plan.latency == tree_latency(plan.graph), plan.is_valid()
+        (True, True)
+    """
     if not graph.is_forest:
         raise ValueError("tree_latency_schedule requires a forest")
     app = graph.application
@@ -300,6 +330,14 @@ def greedy_second_permutation(
 
     Pair the largest value with the smallest slot (rearrangement argument);
     slots are ``1..n``.  Returns ``(optimal max, mu)`` with ``mu`` 1-based.
+
+    Example::
+
+        >>> from fractions import Fraction
+        >>> best, mu = greedy_second_permutation(
+        ...     [Fraction(5), Fraction(1), Fraction(3)])
+        >>> best, mu                       # 5+1, 1+3, 3+2 -> max is 6
+        (Fraction(6, 1), [1, 3, 2])
     """
     n = len(values)
     order = sorted(range(n), key=lambda i: values[i], reverse=True)
@@ -329,6 +367,13 @@ def minmax_two_permutations(
     otherwise a sort-based heuristic is used.  Permutations are 1-based.
     ``second_scale`` supports the Prop-13 gadget where the join-side slots
     carry the filtered message size.
+
+    Example::
+
+        >>> from fractions import Fraction
+        >>> val, l1, l2 = minmax_two_permutations([Fraction(4), Fraction(4)])
+        >>> val                            # 4+1+2 or 4+2+1 either way
+        Fraction(7, 1)
     """
     b = [Fraction(x) for x in b_values]
     n = len(b)
@@ -424,7 +469,15 @@ def overlap_latency_layered(graph: ExecutionGraph) -> Optional[Plan]:
 
 
 def best_latency_schedule(graph: ExecutionGraph) -> Plan:
-    """Best available OVERLAP latency schedule (window vs serialized)."""
+    """Best available OVERLAP latency schedule (window vs serialized).
+
+    Example (Appendix B.2: the layered multi-port schedule reaches 20,
+    strictly below every one-port schedule)::
+
+        >>> from repro.workloads import b2_latency_ports
+        >>> best_latency_schedule(b2_latency_ports().graph).latency
+        Fraction(20, 1)
+    """
     serialized = oneport_latency_schedule(graph, CommModel.OVERLAP)
     layered = overlap_latency_layered(graph)
     if layered is not None and layered.latency < serialized.latency:

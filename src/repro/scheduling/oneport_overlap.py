@@ -86,7 +86,15 @@ def _dur(costs: CostModel, op) -> Fraction:
 def oneport_overlap_period(
     graph: ExecutionGraph, orders: Optional[CommOrders] = None
 ) -> Fraction:
-    """Achievable one-port-overlap period for the given (or greedy) orders."""
+    """Achievable one-port-overlap period for the given (or greedy) orders.
+
+    Example (Figure 1 under one-port with overlap: computations hide the
+    communications, so the bound ``max(Cin, Ccomp, Cout) = 4`` is met)::
+
+        >>> from repro.workloads import fig1_example
+        >>> oneport_overlap_period(fig1_example().graph)
+        Fraction(4, 1)
+    """
     return minimum_period(oneport_overlap_event_graph(graph, orders))
 
 

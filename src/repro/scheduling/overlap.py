@@ -38,7 +38,14 @@ ZERO = Fraction(0)
 
 
 def overlap_period_bound(graph: ExecutionGraph) -> Fraction:
-    """The optimal OVERLAP period ``T`` of *graph* (Theorem 1)."""
+    """The optimal OVERLAP period ``T`` of *graph* (Theorem 1).
+
+    Example (the Section 2.3 instance)::
+
+        >>> from repro.workloads import fig1_example
+        >>> overlap_period_bound(fig1_example().graph)
+        Fraction(4, 1)
+    """
     return CostModel(graph).period_lower_bound(CommModel.OVERLAP)
 
 
@@ -50,6 +57,13 @@ def schedule_period_overlap(
     *period* may stretch the schedule to any value ``>= T`` (useful when a
     caller wants a common period across plans); by default the optimal
     ``T`` is used.
+
+    Example (``solve(graph, model="overlap")`` calls this scheduler)::
+
+        >>> from repro.workloads import fig1_example
+        >>> plan = schedule_period_overlap(fig1_example().graph)
+        >>> plan.period, plan.is_valid()
+        (Fraction(4, 1), True)
     """
     costs = CostModel(graph)
     T = costs.period_lower_bound(CommModel.OVERLAP)
