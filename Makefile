@@ -3,13 +3,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench docs gallery install
+.PHONY: test bench bench-platform docs gallery install
 
 test:            ## unit + integration tests and benchmark assertions
 	$(PYTHON) -m pytest -x -q
 
 bench:           ## regenerate the paper tables under benchmarks/results/
 	$(PYTHON) -m pytest benchmarks -q
+
+bench-platform:  ## heterogeneous-platform scaling table (platform_scaling.txt)
+	$(PYTHON) -m pytest benchmarks/test_bench_platform.py -q
 
 docs:            ## execute the documented examples (doctests + quickstarts)
 	$(PYTHON) -m pytest tests/test_docs.py -q

@@ -1,0 +1,91 @@
+"""Platform-layer benchmark: cost of heterogeneity across instance sizes.
+
+Measures, on star instances of growing size, (a) the Theorem-1 scheduler
+on the unit platform versus an alternating-speed heterogeneous platform
+with a pinned mapping — the per-solve overhead of bandwidth/speed-scaled
+arithmetic — and (b) the placement optimiser's exhaustive-versus-search
+regimes on small fan graphs.  Asserts the structural facts (unit parity,
+placement never worse than the positional default) and records the timing
+table to ``benchmarks/results/platform_scaling.txt`` (the ``make
+bench-platform`` target).
+"""
+
+import time
+from fractions import Fraction
+
+from repro.analysis import text_table
+from repro.core import CommModel, CostModel, Mapping, Platform
+from repro.optimize import optimize_mapping
+from repro.optimize.evaluation import Effort
+from repro.scheduling.overlap import schedule_period_overlap
+from repro.workloads.generators import alternating_platform, star_instance
+
+from conftest import record
+
+F = Fraction
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, (time.perf_counter() - start) * 1000
+
+
+def test_platform_scaling_table():
+    rows = []
+    for leaves in (4, 16, 64, 128):
+        app, graph = star_instance(leaves, seed=leaves)
+        n = len(app)
+        unit = Platform.homogeneous(n)
+        het = alternating_platform(n)
+        mapping = Mapping.default(graph.nodes, het)
+
+        plan_unit, ms_unit = _timed(lambda: schedule_period_overlap(graph, platform=unit))
+        plan_het, ms_het = _timed(
+            lambda: schedule_period_overlap(graph, platform=het, mapping=mapping)
+        )
+        # Unit platform is bit-for-bit the normalised model.
+        assert plan_unit.period == CostModel(graph).period_lower_bound(CommModel.OVERLAP)
+        # The het schedule still meets its own Theorem-1 bound exactly.
+        assert plan_het.period == CostModel(graph, het, mapping).period_lower_bound(
+            CommModel.OVERLAP
+        )
+        overhead = ms_het / ms_unit if ms_unit > 0 else float("inf")
+        rows.append(
+            (n, plan_unit.period, plan_het.period,
+             f"{ms_unit:.2f}", f"{ms_het:.2f}", f"{overhead:.2f}x")
+        )
+    table = text_table(
+        ["services", "unit period", "het period", "unit ms", "het ms", "overhead"],
+        rows,
+    )
+
+    # Placement search: exhaustive for small spaces, greedy+LS beyond.
+    place_rows = []
+    for leaves in (2, 3, 5, 8):
+        app, graph = star_instance(leaves, seed=7)
+        het = alternating_platform(len(app))
+        default = Mapping.default(graph.nodes, het)
+        default_value = CostModel(graph, het, default).period_lower_bound(
+            CommModel.OVERLAP
+        )
+        (value, _), ms = _timed(
+            lambda: optimize_mapping(
+                graph, "period", CommModel.OVERLAP, Effort.HEURISTIC, het
+            )
+        )
+        assert value <= default_value  # the optimiser never loses to positional
+        place_rows.append(
+            (len(app), default_value, value, f"{ms:.1f}")
+        )
+    place_table = text_table(
+        ["services", "positional period", "optimised period", "placement ms"],
+        place_rows,
+    )
+    record(
+        "platform_scaling",
+        "Theorem-1 scheduler: unit vs heterogeneous platform (star graphs)\n"
+        + table
+        + "\n\nPlacement optimiser (alternating speeds, star graphs)\n"
+        + place_table,
+    )

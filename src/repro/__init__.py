@@ -40,9 +40,13 @@ from .core import (
     CostModel,
     ExecutionGraph,
     INPUT,
+    Link,
+    Mapping,
     OUTPUT,
     OperationList,
     Plan,
+    Platform,
+    Server,
     Service,
     as_fraction,
     comm_op,
@@ -61,10 +65,14 @@ __all__ = [
     "CostModel",
     "ExecutionGraph",
     "INPUT",
+    "Link",
+    "Mapping",
     "OUTPUT",
     "OperationList",
     "Plan",
     "PlanResult",
+    "Platform",
+    "Server",
     "Service",
     "__version__",
     "as_fraction",

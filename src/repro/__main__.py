@@ -11,9 +11,10 @@ Subcommands
 Examples::
 
     python -m repro solve fig1 --objective period --model inorder
+    python -m repro solve fig1 --platform het4
     python -m repro solve random:n=6,seed=3 --method local-search
     python -m repro compare fig1 --objectives period,latency
-    python -m repro gallery --json
+    python -m repro gallery --platform --json
 """
 
 from __future__ import annotations
@@ -28,7 +29,9 @@ from .analysis.reporting import format_value, text_table
 from .planner import (
     PlanResult,
     Workload,
+    load_platform,
     load_workload,
+    platform_names,
     registry,
     solve,
     workload_names,
@@ -49,6 +52,7 @@ def _result_row(result: PlanResult) -> list:
         result.objective,
         str(result.model),
         result.method,
+        result.platform_label,
         result.value,
         scheduled if scheduled is not None else "-",
         ("yes" if result.plan.is_valid() else "NO")
@@ -61,7 +65,7 @@ def _result_row(result: PlanResult) -> list:
 
 
 _HEADERS = [
-    "objective", "model", "method", "value", "scheduled", "valid",
+    "objective", "model", "method", "platform", "value", "scheduled", "valid",
     "evals", "hits", "ms",
 ]
 
@@ -92,8 +96,21 @@ def _problem(workload: Workload, remap: bool):
     return workload.graph
 
 
+def _platform_args(workload: Workload, spec):
+    """Resolve (platform, mapping) for a solve.
+
+    An explicit ``--platform`` spec wins (and drops the workload's pinned
+    mapping, which only makes sense on its bundled platform); otherwise the
+    workload's bundled platform/mapping apply.
+    """
+    if spec:
+        return load_platform(spec), None
+    return workload.platform, workload.mapping
+
+
 def cmd_solve(args: argparse.Namespace) -> int:
     workload = load_workload(args.workload)
+    platform, mapping = _platform_args(workload, args.platform)
     results = [
         solve(
             _problem(workload, args.remap),
@@ -102,6 +119,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
             method=args.method,
             effort=args.effort,
             schedule=not args.no_schedule,
+            platform=platform,
+            mapping=mapping,
         )
         for objective in _split(args.objective, all_values=["period", "latency"])
         for model in _split(args.model, all_values=[m.value for m in ALL_MODELS])
@@ -117,6 +136,7 @@ _GRAPH_METHODS = ["auto", "exhaustive", "heuristic", "bound"]
 def cmd_compare(args: argparse.Namespace) -> int:
     workload = load_workload(args.workload)
     problem = _problem(workload, args.remap)
+    platform, mapping = _platform_args(workload, args.platform)
     # "all" must expand to methods the problem shape actually accepts:
     # solver names for applications, orchestration efforts for graphs.
     all_methods = _GRAPH_METHODS if problem is workload.graph \
@@ -128,6 +148,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
             model=model,
             method=method,
             schedule=not args.no_schedule,
+            platform=platform,
+            mapping=mapping,
         )
         for objective in _split(args.objectives, all_values=["period", "latency"])
         for model in _split(args.models, all_values=[m.value for m in ALL_MODELS])
@@ -146,16 +168,33 @@ _GALLERY = [
     ("b3", [("period", ["overlap"])]),
 ]
 
+#: The heterogeneous wing (``gallery --platform``): the paper instances on
+#: their alternating-speed variants plus the platform-dependent-optimum
+#: demo, each bundling its own platform (and pinned mapping when large).
+_GALLERY_HET = [
+    ("hetdemo", [("period", ["overlap"])]),
+    ("b1het", [("period", ["overlap"])]),
+    ("b2het", [("latency", ["overlap"])]),
+    ("b3het", [("period", ["overlap"])]),
+]
+
 
 def cmd_gallery(args: argparse.Namespace) -> int:
     payload = []
-    for spec, runs in _GALLERY:
+    gallery = _GALLERY + (_GALLERY_HET if args.platform else [])
+    for spec, runs in gallery:
         workload = load_workload(spec)
         results: List[PlanResult] = []
         for objective, models in runs:
             for model in models:
                 results.append(
-                    solve(workload.problem, objective=objective, model=model)
+                    solve(
+                        workload.problem,
+                        objective=objective,
+                        model=model,
+                        platform=workload.platform,
+                        mapping=workload.mapping,
+                    )
                 )
         if args.json:
             payload.append(
@@ -177,6 +216,9 @@ def cmd_gallery(args: argparse.Namespace) -> int:
 def cmd_list(args: argparse.Namespace) -> int:
     print("workloads (named instances take no options; families take key=value):")
     for name in workload_names():
+        print(f"  {name}")
+    print("\nplatforms (--platform; named or family:key=value):")
+    for name in platform_names():
         print(f"  {name}")
     print("\nsolvers (for applications / --remap):")
     for spec in sorted(registry, key=lambda s: s.name):
@@ -208,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="skip building the concrete operation list",
         )
+        p.add_argument(
+            "--platform",
+            default=None,
+            help="platform spec, e.g. het4, demo2, hom:n=8 or het:n=6,seed=1 "
+            "(default: the workload's bundled platform, if any)",
+        )
 
     p_solve = sub.add_parser("solve", help="solve one workload")
     add_common(p_solve)
@@ -226,6 +274,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_gal = sub.add_parser("gallery", help="batch-solve the paper's named instances")
     p_gal.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p_gal.add_argument(
+        "--platform",
+        action="store_true",
+        help="also solve the heterogeneous variants (b1het/b2het/b3het, hetdemo)",
+    )
     p_gal.set_defaults(fn=cmd_gallery)
 
     p_list = sub.add_parser("list", help="show workloads and registered solvers")

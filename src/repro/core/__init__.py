@@ -9,6 +9,7 @@ from .constants import INPUT, OUTPUT
 from .costs import CostModel, comm_edges
 from .graph import CycleError, Edge, ExecutionGraph, PrecedenceError
 from .models import ALL_MODELS, ONE_PORT_MODELS, CommModel
+from .platform import Link, Mapping, Platform, Server, platform_fingerprint
 from .operation_list import (
     COMM,
     COMP,
@@ -43,13 +44,17 @@ __all__ = [
     "ExecutionGraph",
     "INPUT",
     "InvalidScheduleError",
+    "Link",
+    "Mapping",
     "Numeric",
     "ONE_PORT_MODELS",
     "OUTPUT",
     "Operation",
     "OperationList",
     "Plan",
+    "Platform",
     "PrecedenceError",
+    "Server",
     "Service",
     "ValidationReport",
     "as_fraction",
@@ -63,5 +68,6 @@ __all__ = [
     "modular_overlap",
     "modular_residue",
     "op_servers",
+    "platform_fingerprint",
     "validate",
 ]

@@ -1,4 +1,4 @@
-"""Cost formulas of Section 2.1 (normalised ``delta_0 = b = s = 1``).
+"""Cost formulas of Section 2.1, generalised to heterogeneous platforms.
 
 For an execution graph ``EG`` and a service ``C_k``:
 
@@ -6,11 +6,22 @@ For an execution graph ``EG`` and a service ``C_k``:
   of the data set that ``C_k`` actually processes;
 * ``outsize(k) = ancestor_selectivity(k) * sigma_k`` — the size of the data
   ``C_k`` emits, and hence the size of every message ``C_k -> C_j``;
-* ``Cin(k)`` — total incoming communication volume (entry nodes receive one
+* ``Cin(k)`` — total incoming communication time (entry nodes receive one
   unit-size message from the synthetic input node);
-* ``Ccomp(k) = ancestor_selectivity(k) * c_k``;
-* ``Cout(k)`` — total outgoing volume; exit nodes emit one extra message of
-  size ``outsize(k)`` to the synthetic output node.
+* ``Ccomp(k) = ancestor_selectivity(k) * c_k / s_u`` where ``u`` is the
+  server hosting ``C_k``;
+* ``Cout(k)`` — total outgoing communication time; exit nodes emit one
+  extra message of size ``outsize(k)`` to the synthetic output node.
+
+The paper normalises ``delta_0 = b = s = 1`` (Section 2.1), which makes
+communication *times* equal message *sizes* and computation times equal
+``P_k * c_k``.  Passing a :class:`~repro.core.platform.Platform` (plus a
+:class:`~repro.core.platform.Mapping` of services to servers) lifts the
+normalisation: :meth:`CostModel.comm_time` divides each message size by
+the bandwidth of the link it crosses, and :meth:`CostModel.ccomp` divides
+by the hosting server's speed.  With ``platform=None`` (or any *unit*
+platform such as ``Platform.homogeneous(n)``) every value is bit-for-bit
+the paper's.
 
 .. note::
    Appendix A of the paper writes the message size on an edge
@@ -23,11 +34,12 @@ For an execution graph ``EG`` and a service ``C_k``:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .constants import INPUT, OUTPUT
 from .graph import ExecutionGraph
 from .models import CommModel
+from .platform import Mapping, Platform
 
 CommEdge = Tuple[str, str]
 
@@ -47,12 +59,42 @@ def comm_edges(graph: ExecutionGraph) -> List[CommEdge]:
 
 
 class CostModel:
-    """Cached evaluation of all Section-2.1 quantities for one graph."""
+    """Cached evaluation of all Section-2.1 quantities for one graph.
 
-    __slots__ = ("graph", "_anc_sel", "_outsize")
+    Parameters
+    ----------
+    graph:
+        The execution graph.
+    platform:
+        Server speeds and link bandwidths; ``None`` means the paper's
+        normalised unit platform (``s = b = 1``).
+    mapping:
+        Which server hosts which service.  Defaults to the positional
+        one-to-one :meth:`~repro.core.platform.Mapping.default`; irrelevant
+        (and ignored) without a platform.
+    """
 
-    def __init__(self, graph: ExecutionGraph) -> None:
+    __slots__ = ("graph", "platform", "mapping", "_anc_sel", "_outsize", "_scaled")
+
+    def __init__(
+        self,
+        graph: ExecutionGraph,
+        platform: Optional[Platform] = None,
+        mapping: Optional[Mapping] = None,
+    ) -> None:
         self.graph = graph
+        if platform is not None:
+            if mapping is None:
+                mapping = Mapping.default(graph.nodes, platform)
+            else:
+                mapping.validate_on(graph.nodes, platform)
+        else:
+            mapping = None
+        self.platform = platform
+        self.mapping = mapping
+        # Unit platforms take the exact code path of the normalised paper
+        # model: no divisions, identical Fractions.
+        self._scaled = platform is not None and not platform.is_unit
         app = graph.application
         anc_sel: Dict[str, Fraction] = {}
         outsize: Dict[str, Fraction] = {}
@@ -64,6 +106,33 @@ class CostModel:
             outsize[node] = prod * app.selectivity(node)
         self._anc_sel = anc_sel
         self._outsize = outsize
+
+    # -- platform lookups ------------------------------------------------------
+    def server_of(self, node: str) -> str:
+        """The server hosting *node* (the node itself on the unit platform)."""
+        if self.mapping is None:
+            return node
+        return self.mapping.server(node)
+
+    def _endpoint(self, node: str) -> str:
+        """Map a service (or INPUT/OUTPUT) to its platform endpoint."""
+        if node in (INPUT, OUTPUT) or self.mapping is None:
+            return node
+        return self.mapping.server(node)
+
+    def link_bandwidth(self, src: str, dst: str) -> Fraction:
+        """``b_{u,v}`` of the link carrying the communication ``src -> dst``."""
+        if not self._scaled:
+            return ONE
+        assert self.platform is not None
+        return self.platform.bandwidth(self._endpoint(src), self._endpoint(dst))
+
+    def server_speed(self, node: str) -> Fraction:
+        """``s_u`` of the server hosting *node*."""
+        if not self._scaled:
+            return ONE
+        assert self.platform is not None
+        return self.platform.speed(self.server_of(node))
 
     # -- sizes ---------------------------------------------------------------
     def ancestor_selectivity(self, node: str) -> Fraction:
@@ -82,7 +151,8 @@ class CostModel:
         """Size of the message carried by communication ``src -> dst``.
 
         ``src = INPUT`` gives the unit-size initial data set; ``dst = OUTPUT``
-        carries the sender's output to the outside world.
+        carries the sender's output to the outside world.  Sizes are
+        platform-independent; :meth:`comm_time` is the transfer time.
         """
         if src == INPUT:
             return ONE
@@ -91,24 +161,43 @@ class CostModel:
             raise KeyError(f"({src!r}, {dst!r}) is not an edge of the execution graph")
         return size
 
+    def comm_time(self, src: str, dst: str) -> Fraction:
+        """Full-bandwidth transfer time of ``src -> dst``: size / ``b_{u,v}``.
+
+        Equals :meth:`message_size` on the unit platform.  This is the
+        duration of a one-port communication and the minimum duration of a
+        multi-port one (ratio 1).
+        """
+        size = self.message_size(src, dst)
+        if not self._scaled:
+            return size
+        return size / self.link_bandwidth(src, dst)
+
     # -- the three Section-2.1 quantities -------------------------------------
     def cin(self, node: str) -> Fraction:
         """Total incoming communication time ``Cin(node)`` (lower bound)."""
         preds = self.graph.predecessors(node)
         if not preds:
-            return ONE  # message from the synthetic input node
-        return sum((self._outsize[p] for p in preds), Fraction(0))
+            return self.comm_time(INPUT, node)
+        if not self._scaled:
+            return sum((self._outsize[p] for p in preds), Fraction(0))
+        return sum((self.comm_time(p, node) for p in preds), Fraction(0))
 
     def ccomp(self, node: str) -> Fraction:
-        """Computation time ``Ccomp(node)``."""
-        return self._anc_sel[node] * self.graph.application.cost(node)
+        """Computation time ``Ccomp(node) = P_k * c_k / s_u``."""
+        work = self._anc_sel[node] * self.graph.application.cost(node)
+        if not self._scaled:
+            return work
+        return work / self.server_speed(node)
 
     def cout(self, node: str) -> Fraction:
         """Total outgoing communication time ``Cout(node)`` (lower bound)."""
-        nsucc = len(self.graph.successors(node))
-        if nsucc == 0:
-            nsucc = 1  # message to the synthetic output node
-        return nsucc * self._outsize[node]
+        succs = self.graph.successors(node)
+        if not succs:
+            return self.comm_time(node, OUTPUT)
+        if not self._scaled:
+            return len(succs) * self._outsize[node]
+        return sum((self.comm_time(node, s) for s in succs), Fraction(0))
 
     def cexec(self, node: str, model: CommModel) -> Fraction:
         """Per-server execution time bound under *model* (Section 2.2)."""
@@ -121,8 +210,10 @@ class CostModel:
     def period_lower_bound(self, model: CommModel) -> Fraction:
         """``max_k Cexec(k)`` — a period lower bound valid for *model*.
 
-        Achievable for OVERLAP (Theorem 1); not always achievable for the
-        one-port models (Section 2.3's ``23/3`` example).
+        Achievable for OVERLAP (Theorem 1, which generalises verbatim to
+        heterogeneous platforms — every quantity is already a time); not
+        always achievable for the one-port models (Section 2.3's ``23/3``
+        example).
         """
         return max(self.cexec(node, model) for node in self.graph.nodes)
 
@@ -141,18 +232,18 @@ class CostModel:
         plus the corresponding (full-bandwidth) message time; exit nodes add
         their output message.  Port contention is ignored, hence a lower
         bound for one-port *and* multi-port schedules (a multi-port transfer
-        at ratio ``r <= 1`` takes at least its size).
+        at ratio ``r <= 1`` takes at least its full-bandwidth time).
         """
         graph = self.graph
         finish: Dict[str, Fraction] = {}
         for node in graph.topological_order:
             preds = graph.predecessors(node)
             if preds:
-                start = max(finish[p] + self._outsize[p] for p in preds)
+                start = max(finish[p] + self.comm_time(p, node) for p in preds)
             else:
-                start = ONE  # input message
+                start = self.comm_time(INPUT, node)
             finish[node] = start + self.ccomp(node)
-        return max(finish[x] + self._outsize[x] for x in graph.exit_nodes)
+        return max(finish[x] + self.comm_time(x, OUTPUT) for x in graph.exit_nodes)
 
     # -- convenience -----------------------------------------------------------
     def comm_edges(self) -> List[CommEdge]:
@@ -166,6 +257,12 @@ class CostModel:
         """Sum of all message sizes (input and output messages included)."""
         return sum(
             (self.message_size(a, b) for a, b in self.comm_edges()), Fraction(0)
+        )
+
+    def total_communication_time(self) -> Fraction:
+        """Sum of all full-bandwidth transfer times on this platform."""
+        return sum(
+            (self.comm_time(a, b) for a, b in self.comm_edges()), Fraction(0)
         )
 
 

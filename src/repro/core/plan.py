@@ -9,16 +9,24 @@ from typing import Optional
 from .graph import ExecutionGraph
 from .models import CommModel
 from .operation_list import OperationList
+from .platform import Mapping, Platform
 from .validation import ValidationReport, validate
 
 
 @dataclass(frozen=True)
 class Plan:
-    """A complete solution ``PL = (EG, OL)`` for one communication model."""
+    """A complete solution ``PL = (EG, OL)`` for one communication model.
+
+    ``platform``/``mapping`` record the platform the operation list was
+    built for; ``None`` means the paper's normalised unit platform.
+    Validation re-derives every duration from the same platform.
+    """
 
     graph: ExecutionGraph
     operation_list: OperationList
     model: CommModel
+    platform: Optional[Platform] = None
+    mapping: Optional[Mapping] = None
 
     @property
     def period(self) -> Fraction:
@@ -31,7 +39,13 @@ class Plan:
         return self.operation_list.latency
 
     def validate(self) -> ValidationReport:
-        return validate(self.graph, self.operation_list, self.model)
+        return validate(
+            self.graph,
+            self.operation_list,
+            self.model,
+            platform=self.platform,
+            mapping=self.mapping,
+        )
 
     def is_valid(self) -> bool:
         return self.validate().ok

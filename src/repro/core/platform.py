@@ -1,0 +1,410 @@
+"""Heterogeneous platforms: server speeds and link bandwidths.
+
+The paper normalises the platform away (``delta_0 = b = s = 1``, Section
+2.1): every server computes at unit speed and every link carries one unit
+of data per time unit.  Its sequels (Benoit, Casanova, Rehn-Sonigo &
+Robert, *Resource Allocation Strategies for In-Network Stream Processing*)
+study the un-normalised regime: a server ``u`` with speed ``s_u`` processes
+an input of size ``d`` through service ``C_i`` in ``c_i * d / s_u`` time
+units, and a message of size ``delta`` on a link of bandwidth ``b_{u,v}``
+takes ``delta / b_{u,v}`` time units.
+
+This module models that regime exactly (all quantities are
+:class:`~fractions.Fraction`):
+
+* :class:`Server` — a named server with a speed ``s_u > 0``;
+* :class:`Link` — a bandwidth override ``b_{u,v} > 0`` for one server pair
+  (links are symmetric unless both directions are given; the special
+  endpoints :data:`~repro.core.constants.INPUT` and
+  :data:`~repro.core.constants.OUTPUT` describe the outside world);
+* :class:`Platform` — servers + links + a default bandwidth, with
+  :meth:`Platform.homogeneous` producing the paper's normalised platform
+  (every existing paper value is reproduced bit-for-bit on it);
+* :class:`Mapping` — an injective assignment of services to servers (the
+  paper maps one service per server; a platform may have spare servers).
+
+Example::
+
+    >>> from fractions import Fraction
+    >>> p = Platform.of(speeds=[1, 2], links={("S1", "S2"): "1/2"})
+    >>> p.speed("S2"), p.bandwidth("S1", "S2"), p.bandwidth("S2", "S1")
+    (Fraction(2, 1), Fraction(1, 2), Fraction(1, 2))
+    >>> p.is_unit, Platform.homogeneous(3).is_unit
+    (False, True)
+    >>> m = Mapping({"A": "S2", "B": "S1"})
+    >>> m.server("A")
+    'S2'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+from typing import Mapping as TypingMapping
+
+from .constants import INPUT, OUTPUT
+
+Numeric = Union[int, float, str, Fraction]
+
+ONE = Fraction(1)
+
+
+def _fraction(value: Numeric, what: str) -> Fraction:
+    from .service import as_fraction
+
+    frac = as_fraction(value)
+    if frac <= 0:
+        raise ValueError(f"{what} must be > 0, got {frac}")
+    return frac
+
+
+@dataclass(frozen=True)
+class Server:
+    """A server ``u`` with speed ``s_u`` (unit speed = the paper's ``s = 1``)."""
+
+    name: str
+    speed: Fraction = ONE
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("server name must be a non-empty string")
+        object.__setattr__(self, "speed", _fraction(self.speed, f"server {self.name!r} speed"))
+
+
+@dataclass(frozen=True)
+class Link:
+    """A bandwidth override ``b_{u,v}`` for the pair ``(u, v)``.
+
+    Endpoints may be server names or the synthetic :data:`INPUT` /
+    :data:`OUTPUT` constants (the outside world).  A link is symmetric:
+    ``Link("S1", "S2", bw)`` also sets ``b_{S2,S1}`` unless a second link
+    gives that direction explicitly.
+    """
+
+    src: str
+    dst: str
+    bandwidth: Fraction = ONE
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"self-link on {self.src!r}")
+        object.__setattr__(
+            self, "bandwidth", _fraction(self.bandwidth, f"link {self.src!r}->{self.dst!r} bandwidth")
+        )
+
+
+class Platform:
+    """A set of servers plus link bandwidths (immutable, hashable).
+
+    Parameters
+    ----------
+    servers:
+        The :class:`Server` objects (order is the platform's canonical
+        server order, used by :meth:`Mapping.default`).
+    links:
+        :class:`Link` bandwidth overrides; pairs not listed use
+        *default_bandwidth*.
+    default_bandwidth:
+        ``b`` for every pair without an override (the paper's ``b = 1``).
+    """
+
+    __slots__ = ("servers", "default_bandwidth", "_links", "_by_name", "_key", "_unit")
+
+    def __init__(
+        self,
+        servers: Iterable[Server],
+        links: Iterable[Link] = (),
+        *,
+        default_bandwidth: Numeric = ONE,
+    ) -> None:
+        servers = tuple(servers)
+        if not servers:
+            raise ValueError("a platform needs at least one server")
+        names = [s.name for s in servers]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate server names: {dupes}")
+        by_name = {s.name: s for s in servers}
+        default_bw = _fraction(default_bandwidth, "default bandwidth")
+        directed: Dict[Tuple[str, str], Fraction] = {}
+        known = set(names) | {INPUT, OUTPUT}
+        for link in links:
+            for end in (link.src, link.dst):
+                if end not in known:
+                    raise KeyError(f"link endpoint {end!r} is not a server of the platform")
+            if (link.src, link.dst) in directed:
+                raise ValueError(f"duplicate link ({link.src!r}, {link.dst!r})")
+            directed[(link.src, link.dst)] = link.bandwidth
+        # Symmetric completion: a single direction sets both, explicit
+        # reverse links win.
+        for (a, b), bw in list(directed.items()):
+            directed.setdefault((b, a), bw)
+        self.servers: Tuple[Server, ...] = servers
+        self.default_bandwidth = default_bw
+        self._links: Dict[Tuple[str, str], Fraction] = directed
+        self._by_name = by_name
+        self._key = (
+            tuple((s.name, s.speed) for s in servers),
+            tuple(sorted(directed.items())),
+            default_bw,
+        )
+        self._unit = (
+            all(s.speed == ONE for s in servers)
+            and default_bw == ONE
+            and all(bw == ONE for bw in directed.values())
+        )
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls, n: int, *, speed: Numeric = ONE, bandwidth: Numeric = ONE, prefix: str = "S"
+    ) -> "Platform":
+        """``n`` identical servers — the default reproduces the paper exactly.
+
+        ``Platform.homogeneous(n)`` is the normalised platform of Section
+        2.1 (``s = b = 1``): every cost quantity equals its platform-free
+        value, so paper instances stay bit-for-bit identical on it.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        servers = tuple(Server(f"{prefix}{i}", _fraction(speed, "speed")) for i in range(1, n + 1))
+        return cls(servers, default_bandwidth=bandwidth)
+
+    @classmethod
+    def of(
+        cls,
+        *,
+        speeds: Sequence[Numeric],
+        links: Optional[TypingMapping[Tuple[str, str], Numeric]] = None,
+        default_bandwidth: Numeric = ONE,
+        prefix: str = "S",
+    ) -> "Platform":
+        """Shorthand: servers ``S1..Sn`` from *speeds* plus a link dict."""
+        servers = tuple(
+            Server(f"{prefix}{i}", _fraction(sp, "speed")) for i, sp in enumerate(speeds, start=1)
+        )
+        link_objs = tuple(
+            Link(a, b, _fraction(bw, "bandwidth")) for (a, b), bw in (links or {}).items()
+        )
+        return cls(servers, link_objs, default_bandwidth=default_bandwidth)
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(s.name for s in self.servers)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Server:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no server named {name!r}") from None
+
+    def speed(self, name: str) -> Fraction:
+        """``s_u`` of server *name*."""
+        return self[name].speed
+
+    def bandwidth(self, src: str, dst: str) -> Fraction:
+        """``b_{src,dst}``: link override if given, else the default.
+
+        *src*/*dst* may be :data:`INPUT`/:data:`OUTPUT` (the outside
+        world); pairs touching them default to *default_bandwidth* too.
+        """
+        override = self._links.get((src, dst))
+        if override is not None:
+            return override
+        for end in (src, dst):
+            if end not in self._by_name and end not in (INPUT, OUTPUT):
+                raise KeyError(f"no server named {end!r}")
+        return self.default_bandwidth
+
+    def require_capacity(self, n_services: int) -> None:
+        """Raise unless the platform has at least *n_services* servers."""
+        if n_services > len(self.servers):
+            raise ValueError(
+                f"{n_services} services need at least that many servers; "
+                f"platform has {len(self.servers)}"
+            )
+
+    @property
+    def is_unit(self) -> bool:
+        """True when every speed and bandwidth is 1 (the paper's platform).
+
+        On a unit platform every cost quantity equals its platform-free
+        value for *any* mapping, so unit platforms share evaluation-cache
+        entries with ``platform=None``.
+        """
+        return self._unit
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when all speeds are equal and all bandwidths are equal."""
+        speeds = {s.speed for s in self.servers}
+        bws = set(self._links.values()) | {self.default_bandwidth}
+        return len(speeds) == 1 and len(bws) == 1
+
+    def key(self) -> Tuple:
+        """Canonical hashable content key (used by the evaluation cache)."""
+        return self._key
+
+    def fingerprint(self) -> object:
+        """Cache fingerprint: the sentinel ``"unit"`` for unit platforms.
+
+        All unit platforms (any size) and ``platform=None`` produce
+        identical cost values, so they deliberately share the sentinel; any
+        non-unit platform fingerprints to its full content key, so a
+        heterogeneous solve can never hit a homogeneous cache entry.
+        """
+        return "unit" if self._unit else self._key
+
+    # -- dunder ---------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Platform):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "unit" if self._unit else ("homogeneous" if self.is_homogeneous else "heterogeneous")
+        return f"Platform({len(self.servers)} servers, {kind})"
+
+
+class Mapping:
+    """An injective assignment of services to servers.
+
+    The paper dedicates one server per service; on a platform with spare
+    servers the unused ones simply idle.  Immutable and hashable; iteration
+    order follows the sorted service names.
+
+    Example::
+
+        >>> m = Mapping({"B": "S1", "A": "S2"})
+        >>> m.items()
+        (('A', 'S2'), ('B', 'S1'))
+        >>> m.services(), m.used_servers()
+        (('A', 'B'), ('S1', 'S2'))
+    """
+
+    __slots__ = ("_assignment", "_items")
+
+    def __init__(self, assignment: TypingMapping[str, str]) -> None:
+        assignment = dict(assignment)
+        servers = list(assignment.values())
+        if len(set(servers)) != len(servers):
+            shared = sorted({s for s in servers if servers.count(s) > 1})
+            raise ValueError(
+                f"mapping must be injective (one service per server); "
+                f"servers {shared} host several services"
+            )
+        self._assignment: Dict[str, str] = assignment
+        self._items: Tuple[Tuple[str, str], ...] = tuple(sorted(assignment.items()))
+
+    @classmethod
+    def default(cls, services: Sequence[str], platform: Platform) -> "Mapping":
+        """Positional one-to-one mapping: i-th service on the i-th server."""
+        services = tuple(services)
+        platform.require_capacity(len(services))
+        return cls(dict(zip(services, platform.names)))
+
+    # -- queries --------------------------------------------------------------
+    def server(self, service: str) -> str:
+        """The server hosting *service*."""
+        try:
+            return self._assignment[service]
+        except KeyError:
+            raise KeyError(f"no mapping for service {service!r}") from None
+
+    def get(self, service: str) -> Optional[str]:
+        return self._assignment.get(service)
+
+    def services(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self._items)
+
+    def used_servers(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._assignment.values()))
+
+    def items(self) -> Tuple[Tuple[str, str], ...]:
+        return self._items
+
+    def reassigned(self, service: str, server: str) -> "Mapping":
+        """A copy with *service* moved to *server* (must stay injective)."""
+        assignment = dict(self._assignment)
+        assignment[service] = server
+        return Mapping(assignment)
+
+    def swapped(self, a: str, b: str) -> "Mapping":
+        """A copy with the servers of services *a* and *b* exchanged."""
+        assignment = dict(self._assignment)
+        assignment[a], assignment[b] = assignment[b], assignment[a]
+        return Mapping(assignment)
+
+    def validate_on(self, services: Iterable[str], platform: Platform) -> None:
+        """Raise unless every service is mapped onto a platform server."""
+        missing = sorted(set(services) - set(self._assignment))
+        if missing:
+            raise ValueError(f"mapping misses services: {missing}")
+        unknown = sorted(
+            {srv for srv in self._assignment.values() if srv not in platform}
+        )
+        if unknown:
+            raise ValueError(f"mapping uses unknown servers: {unknown}")
+
+    def key(self) -> Tuple[Tuple[str, str], ...]:
+        """Canonical hashable content key (used by the evaluation cache)."""
+        return self._items
+
+    # -- dunder ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{svc}->{srv}" for svc, srv in self._items)
+        return f"Mapping({inner})"
+
+
+def platform_fingerprint(
+    platform: Optional[Platform], mapping: Optional[Mapping] = None
+) -> object:
+    """Cache fingerprint of a ``(platform, mapping)`` pair.
+
+    ``None`` and unit platforms collapse to the ``"unit"`` sentinel (the
+    mapping is irrelevant there — all servers are identical); non-unit
+    platforms key on their full content plus the mapping (or ``"*"`` when
+    the mapping is left free for the placement optimiser).
+    """
+    if platform is None or platform.is_unit:
+        return "unit"
+    return (platform.key(), mapping.key() if mapping is not None else "*")
+
+
+__all__ = [
+    "Link",
+    "Mapping",
+    "Platform",
+    "Server",
+    "platform_fingerprint",
+]

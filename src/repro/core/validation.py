@@ -13,7 +13,9 @@ Common to all models
       begins.
 
 One-port models (INORDER, OUTORDER)
-    * communication durations equal message sizes (full bandwidth);
+    * communication durations equal the full-bandwidth transfer times
+      (message size over link bandwidth — equal to the size itself on the
+      paper's normalised unit platform);
     * on each server, no two operations (computation, incoming or outgoing
       communications — across *all* data sets, i.e. modulo ``lambda``) may
       ever overlap;
@@ -22,8 +24,9 @@ One-port models (INORDER, OUTORDER)
       (constraint (1) of Appendix A).
 
 Multi-port model (OVERLAP)
-    * a communication of size ``s`` scheduled over a window of length ``d``
-      uses the constant bandwidth ratio ``s / d``, which must be ``<= 1``;
+    * a communication with full-bandwidth transfer time ``t`` scheduled
+      over a window of length ``d`` uses the constant bandwidth ratio
+      ``t / d``, which must be ``<= 1``;
     * at every instant, the ratios of a server's active *incoming*
       communications sum to at most 1, and likewise for *outgoing*;
     * a server computes at most one thing at a time (its computation must
@@ -34,7 +37,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .constants import INPUT, OUTPUT
 from .costs import CostModel, comm_edges
@@ -49,6 +52,7 @@ from .operation_list import (
     modular_overlap,
     modular_residue,
 )
+from .platform import Mapping, Platform
 
 ZERO = Fraction(0)
 ONE = Fraction(1)
@@ -124,13 +128,13 @@ def _check_durations(
         op = comm_op(a, b)
         if op not in ol:
             continue
-        size = costs.message_size(a, b)
+        size = costs.comm_time(a, b)
         got = ol.duration(op)
         if model.multiport:
             if got < size:
                 report.add(
-                    f"communication {a!r}->{b!r} lasts {got} < size {size}: "
-                    "bandwidth ratio would exceed 1"
+                    f"communication {a!r}->{b!r} lasts {got} < transfer time "
+                    f"{size}: bandwidth ratio would exceed 1"
                 )
         else:
             if got != size:
@@ -270,7 +274,7 @@ def _check_overlap_bandwidth(
                 continue
             d = ol.duration(op)
             if d > 0:
-                incoming.append((ol.begin(op), d, costs.message_size(p, node) / d))
+                incoming.append((ol.begin(op), d, costs.comm_time(p, node) / d))
         ok, worst = _bandwidth_profile_ok(incoming, ol.lam)
         if not ok:
             report.add(
@@ -283,7 +287,7 @@ def _check_overlap_bandwidth(
                 continue
             d = ol.duration(op)
             if d > 0:
-                outgoing.append((ol.begin(op), d, costs.message_size(node, s) / d))
+                outgoing.append((ol.begin(op), d, costs.comm_time(node, s) / d))
         ok, worst = _bandwidth_profile_ok(outgoing, ol.lam)
         if not ok:
             report.add(
@@ -292,11 +296,21 @@ def _check_overlap_bandwidth(
 
 
 def validate(
-    graph: ExecutionGraph, ol: OperationList, model: CommModel
+    graph: ExecutionGraph,
+    ol: OperationList,
+    model: CommModel,
+    *,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> ValidationReport:
-    """Validate *ol* as an operation list for *graph* under *model*."""
+    """Validate *ol* as an operation list for *graph* under *model*.
+
+    *platform*/*mapping* determine the expected durations: computation
+    times scale with server speed, communication times with link bandwidth
+    (``None`` is the paper's normalised unit platform).
+    """
     report = ValidationReport(model)
-    costs = CostModel(graph)
+    costs = CostModel(graph, platform, mapping)
     covered = _check_coverage(graph, ol, report)
     _check_durations(costs, ol, model, report)
     _check_precedence(graph, ol, report)
@@ -315,10 +329,15 @@ def validate(
 
 
 def assert_valid(
-    graph: ExecutionGraph, ol: OperationList, model: CommModel
+    graph: ExecutionGraph,
+    ol: OperationList,
+    model: CommModel,
+    *,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> OperationList:
     """Validate and return *ol*, raising :class:`InvalidScheduleError` if bad."""
-    validate(graph, ol, model).raise_if_invalid()
+    validate(graph, ol, model, platform=platform, mapping=mapping).raise_if_invalid()
     return ol
 
 

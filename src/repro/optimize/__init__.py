@@ -28,6 +28,13 @@ from .local_search import (
     local_search_forest,
     local_search_minlatency,
     local_search_minperiod,
+    placement_local_search,
+)
+from .placement import (
+    greedy_mapping,
+    iter_mappings,
+    mapping_space_size,
+    optimize_mapping,
 )
 from .nocomm import (
     nocomm_latency,
@@ -47,18 +54,23 @@ __all__ = [
     "greedy_chain_latency_order",
     "greedy_chain_period_order",
     "greedy_forest",
+    "greedy_mapping",
     "greedy_minlatency",
     "greedy_minperiod",
     "iter_dags",
     "iter_forests",
+    "iter_mappings",
     "latency_objective",
     "local_search_forest",
     "local_search_minlatency",
     "local_search_minperiod",
     "make_latency_objective",
     "make_period_objective",
+    "mapping_space_size",
     "minlatency_chain",
     "minperiod_chain",
+    "optimize_mapping",
+    "placement_local_search",
     "nocomm_latency",
     "nocomm_optimal_latency_chain",
     "nocomm_optimal_period_plan",

@@ -5,15 +5,22 @@ the model this is exact-and-cheap (OVERLAP period, forest latency), exact
 but exponential (one-port orchestration), or an upper bound from a
 heuristic scheduler.  The :class:`Effort` knob picks the trade-off so
 exhaustive searches stay honest about what they optimise.
+
+On a heterogeneous :class:`~repro.core.Platform` the objectives take two
+extra knobs: a *mapping* pins services to servers and evaluates exactly
+that placement; ``mapping=None`` additionally optimises the placement
+(exhaustive for small instances, greedy + local search beyond — see
+:mod:`repro.optimize.placement`), so graph searches transparently become
+graph × server-assignment searches.
 """
 
 from __future__ import annotations
 
 import enum
 from fractions import Fraction
-from typing import Callable
+from typing import Callable, Optional
 
-from ..core import CommModel, CostModel, ExecutionGraph
+from ..core import CommModel, CostModel, ExecutionGraph, Mapping, Platform
 from ..scheduling.inorder import (
     exact_inorder_period,
     greedy_orders,
@@ -37,16 +44,38 @@ class Effort(enum.Enum):
     EXACT = "exact"
 
 
+def _normalise(
+    platform: Optional[Platform], mapping: Optional[Mapping]
+) -> "tuple[Optional[Platform], Optional[Mapping]]":
+    """Unit platforms evaluate exactly like ``platform=None`` — collapse them.
+
+    This keeps the fast normalised code path (and shared cache entries) for
+    ``Platform.homogeneous(n)``, the paper's platform.
+    """
+    if platform is not None and platform.is_unit:
+        return None, None
+    return platform, mapping
+
+
 def period_objective(
-    graph: ExecutionGraph, model: CommModel, effort: Effort = Effort.HEURISTIC
+    graph: ExecutionGraph,
+    model: CommModel,
+    effort: Effort = Effort.HEURISTIC,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Fraction:
     """Period of the best known operation list for *graph* under *model*.
 
-    * OVERLAP: always exact (Theorem 1 — the bound is achievable).
+    * OVERLAP: always exact (Theorem 1 — the bound is achievable, on any
+      platform).
     * INORDER: ``BOUND`` returns ``max_k Cexec``; ``HEURISTIC`` uses greedy
       orders + MCR (achievable); ``EXACT`` enumerates orders when feasible.
     * OUTORDER: ``BOUND`` as above; otherwise the repair scheduler's value
       (achievable, certified when it meets the bound).
+
+    With a non-unit *platform* and ``mapping=None`` the value is the best
+    over server assignments (the placement optimiser of
+    :mod:`repro.optimize.placement`).
 
     The Section 2.3 instance shows the INORDER bound/exact gap::
 
@@ -61,30 +90,51 @@ def period_objective(
     The planner memoizes this function through
     :class:`repro.planner.EvaluationCache`.
     """
-    costs = CostModel(graph)
+    platform, mapping = _normalise(platform, mapping)
+    if platform is not None and mapping is None:
+        from .placement import optimize_mapping
+
+        value, _ = optimize_mapping(graph, "period", model, effort, platform)
+        return value
+    costs = CostModel(graph, platform, mapping)
     if model is CommModel.OVERLAP:
         return costs.period_lower_bound(model)
     if effort is Effort.BOUND:
         return costs.period_lower_bound(model)
     if model is CommModel.INORDER:
         if effort is Effort.EXACT and order_space_size(graph) <= 50_000:
-            lam, _ = exact_inorder_period(graph, max_configs=50_000)
+            lam, _ = exact_inorder_period(
+                graph, max_configs=50_000, platform=platform, mapping=mapping
+            )
             return lam
-        return inorder_period_for_orders(graph, greedy_orders(graph))
+        return inorder_period_for_orders(
+            graph,
+            greedy_orders(graph, platform=platform, mapping=mapping),
+            platform=platform,
+            mapping=mapping,
+        )
     # OUTORDER
-    return outorder_schedule(graph).period
+    return outorder_schedule(graph, platform=platform, mapping=mapping).period
 
 
 def latency_objective(
-    graph: ExecutionGraph, model: CommModel, effort: Effort = Effort.HEURISTIC
+    graph: ExecutionGraph,
+    model: CommModel,
+    effort: Effort = Effort.HEURISTIC,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Fraction:
     """Latency of the best known operation list for *graph* under *model*.
 
-    Forests are exact for every effort level (Algorithm 1 / Prop 12).
+    Forests are exact for every effort level (Algorithm 1 / Prop 12, which
+    generalises to platforms via the delivery-time exchange argument).
     General DAGs use the critical-path bound (``BOUND``), the greedy
     serialized scheduler plus — for OVERLAP — the layered bandwidth-sharing
     scheduler (``HEURISTIC``), or branch-and-bound (``EXACT``, one-port;
     an upper bound for OVERLAP where multi-port can be strictly better).
+
+    With a non-unit *platform* and ``mapping=None`` the value is the best
+    over server assignments.
 
     Example (the Figure-1 graph; the paper's hand schedule achieves 21)::
 
@@ -93,17 +143,25 @@ def latency_objective(
         >>> latency_objective(fig1_example().graph, CommModel.INORDER)
         Fraction(21, 1)
     """
+    platform, mapping = _normalise(platform, mapping)
+    if platform is not None and mapping is None:
+        from .placement import optimize_mapping
+
+        value, _ = optimize_mapping(graph, "latency", model, effort, platform)
+        return value
     if graph.is_forest:
-        return tree_latency(graph)
-    costs = CostModel(graph)
+        return tree_latency(graph, platform=platform, mapping=mapping)
+    costs = CostModel(graph, platform, mapping)
     if effort is Effort.BOUND:
         return costs.latency_lower_bound()
     if effort is Effort.EXACT and len(graph.nodes) <= 7:
-        value = exact_oneport_latency(graph)
+        value = exact_oneport_latency(graph, platform=platform, mapping=mapping)
     else:
-        value = oneport_latency_schedule(graph).latency
+        value = oneport_latency_schedule(
+            graph, platform=platform, mapping=mapping
+        ).latency
     if model is CommModel.OVERLAP:
-        layered = overlap_latency_layered(graph)
+        layered = overlap_latency_layered(graph, platform=platform, mapping=mapping)
         if layered is not None and layered.latency < value:
             value = layered.latency
     return value
@@ -113,9 +171,12 @@ Objective = Callable[[ExecutionGraph], Fraction]
 
 
 def make_period_objective(
-    model: CommModel, effort: Effort = Effort.HEURISTIC
+    model: CommModel,
+    effort: Effort = Effort.HEURISTIC,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Objective:
-    """Bind :func:`period_objective` to a fixed model/effort.
+    """Bind :func:`period_objective` to a fixed model/effort/platform.
 
     Example::
 
@@ -128,13 +189,16 @@ def make_period_objective(
     For a memoized equivalent use
     ``repro.planner.EvaluationCache.objective("period", model, effort)``.
     """
-    return lambda graph: period_objective(graph, model, effort)
+    return lambda graph: period_objective(graph, model, effort, platform, mapping)
 
 
 def make_latency_objective(
-    model: CommModel, effort: Effort = Effort.HEURISTIC
+    model: CommModel,
+    effort: Effort = Effort.HEURISTIC,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Objective:
-    """Bind :func:`latency_objective` to a fixed model/effort.
+    """Bind :func:`latency_objective` to a fixed model/effort/platform.
 
     Example::
 
@@ -144,7 +208,7 @@ def make_latency_objective(
         >>> obj(ExecutionGraph.chain(app, ["A", "B"]))   # 1+4+1+4+1
         Fraction(11, 1)
     """
-    return lambda graph: latency_objective(graph, model, effort)
+    return lambda graph: latency_objective(graph, model, effort, platform, mapping)
 
 
 __all__ = [

@@ -1,10 +1,13 @@
-"""Reparenting local search over forest execution graphs.
+"""Local searches: reparenting over forests, reassignment over placements.
 
-Starting from any forest (e.g. the greedy construction's output or the
-communication-free baseline), repeatedly move one node under a different
-parent (or make it a root) whenever that strictly improves the objective.
-First-improvement with a deterministic scan order; terminates because the
-objective strictly decreases and the neighbourhood is finite.
+:func:`local_search_forest` starts from any forest (e.g. the greedy
+construction's output or the communication-free baseline) and repeatedly
+moves one node under a different parent (or makes it a root) whenever that
+strictly improves the objective.  :func:`placement_local_search` does the
+analogous walk over service-to-server assignments on a heterogeneous
+platform: move one service to an idle server, or swap two services.  Both
+are first-improvement with a deterministic scan order and terminate
+because the objective strictly decreases and the neighbourhood is finite.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Callable, Dict, Optional, Tuple
 
-from ..core import Application, CommModel, ExecutionGraph
+from ..core import Application, CommModel, ExecutionGraph, Mapping, Platform
 from .evaluation import (
     Effort,
     Objective,
@@ -128,8 +131,83 @@ def local_search_minlatency(
     )
 
 
+def placement_local_search(
+    graph: ExecutionGraph,
+    objective: Callable[[Mapping], Fraction],
+    start: Mapping,
+    platform: Platform,
+    *,
+    max_moves: int = 200,
+) -> Tuple[Fraction, Mapping]:
+    """First-improvement search over service-to-server assignments.
+
+    Neighbour moves, scanned deterministically:
+
+    * *reassign*: move one service to a server hosting nothing — in
+      particular, a strictly faster idle server is always tried, and a
+      strictly improving move is never rejected (first-improvement accepts
+      every strict decrease);
+    * *swap*: exchange the servers of two services.
+
+    *objective* maps a :class:`~repro.core.Mapping` to the value being
+    minimised (wire it to the memoized planner objective for free re-scores
+    of revisited placements).
+
+    Example (the heavy service walks onto the fast idle server)::
+
+        >>> from fractions import Fraction
+        >>> from repro import ExecutionGraph, Mapping, Platform, make_application
+        >>> from repro.core import CommModel, CostModel
+        >>> app = make_application([("A", 1, 1), ("B", 9, 1)])
+        >>> graph = ExecutionGraph.empty(app)
+        >>> platform = Platform.of(speeds=[1, 1, 3])
+        >>> objective = lambda m: CostModel(graph, platform, m).period_lower_bound(
+        ...     CommModel.OVERLAP)
+        >>> start = Mapping({"A": "S1", "B": "S2"})   # B on a slow server
+        >>> value, best = placement_local_search(graph, objective, start, platform)
+        >>> value, best.server("B")
+        (Fraction(3, 1), 'S3')
+    """
+    start.validate_on(graph.nodes, platform)
+    services = list(start.services())
+    current_value = objective(start)
+    current = start
+    moves = 0
+    improved = True
+    while improved and moves < max_moves:
+        improved = False
+        used = set(current.used_servers())
+        idle = [name for name in platform.names if name not in used]
+        for service in services:
+            for server in idle:
+                trial = current.reassigned(service, server)
+                value = objective(trial)
+                if value < current_value:
+                    current, current_value = trial, value
+                    moves += 1
+                    improved = True
+                    break
+            if improved:
+                break
+        if improved:
+            continue
+        for i, a in enumerate(services):
+            for b in services[i + 1 :]:
+                trial = current.swapped(a, b)
+                value = objective(trial)
+                if value < current_value:
+                    current, current_value = trial, value
+                    moves += 1
+                    improved = True
+                    break
+            if improved:
+                break
+    return current_value, current
+
+
 __all__ = [
     "local_search_forest",
     "local_search_minlatency",
     "local_search_minperiod",
+    "placement_local_search",
 ]

@@ -1,0 +1,159 @@
+"""Service-to-server placement search for heterogeneous platforms.
+
+On the paper's normalised platform every one-to-one assignment of services
+to servers is equivalent, so the mapping problem disappears.  With server
+speeds and link bandwidths it matters a great deal: putting the expensive
+service on the fast server, or keeping a chatty edge off a slow link, can
+change both the optimal value *and* the optimal execution graph.  This
+module optimises the assignment for a fixed graph:
+
+* :func:`iter_mappings` / :func:`mapping_space_size` — the injective
+  assignment space (``P(m, n)`` for ``n`` services on ``m`` servers);
+* :func:`greedy_mapping` — heaviest computational work onto the fastest
+  server (a communication-blind but strong seed);
+* :func:`optimize_mapping` — exhaustive enumeration when the space is
+  small, greedy seed plus reassignment/swap local search
+  (:func:`~repro.optimize.local_search.placement_local_search`) beyond.
+
+Graph searches compose with this transparently: the planner's objectives
+call :func:`optimize_mapping` per candidate graph when the mapping is left
+free, turning every solver into a graph × server-assignment search.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from fractions import Fraction
+from typing import Iterator, Optional, Sequence, Tuple
+
+from ..core import CommModel, CostModel, ExecutionGraph, Mapping, Platform
+
+#: Enumerate all assignments when the space is at most this large.
+DEFAULT_EXHAUSTIVE_LIMIT = 720
+
+#: Memo of ``optimize_mapping`` outcomes — the planner resolves the winning
+#: mapping after the cached objective already computed the value, and this
+#: table turns that second resolution into a lookup instead of re-running
+#: the whole placement search.
+_MEMO_MAX_ENTRIES = 50_000
+_memo: "OrderedDict[tuple, Tuple[Fraction, Mapping]]" = OrderedDict()
+
+
+def mapping_space_size(n_services: int, n_servers: int) -> int:
+    """Number of injective assignments: ``m * (m-1) * ... * (m-n+1)``."""
+    if n_services > n_servers:
+        return 0
+    size = 1
+    for k in range(n_servers, n_servers - n_services, -1):
+        size *= k
+    return size
+
+
+def iter_mappings(services: Sequence[str], platform: Platform) -> Iterator[Mapping]:
+    """All injective assignments of *services* onto the platform's servers."""
+    services = tuple(services)
+    for combo in itertools.permutations(platform.names, len(services)):
+        yield Mapping(dict(zip(services, combo)))
+
+
+def greedy_mapping(graph: ExecutionGraph, platform: Platform) -> Mapping:
+    """Heaviest computational work onto the fastest server.
+
+    Work is the platform-independent ``P_k * c_k`` (the data volume the
+    service processes per data set); servers are taken by decreasing speed,
+    ties broken by platform order so the result is deterministic.
+    """
+    platform.require_capacity(len(graph.nodes))
+    sizes = CostModel(graph)  # unit platform: exposes the raw work volumes
+    services = sorted(
+        graph.nodes,
+        key=lambda n: (-(sizes.ancestor_selectivity(n) * graph.application.cost(n)), n),
+    )
+    servers = sorted(
+        platform.servers, key=lambda s: (-s.speed, platform.names.index(s.name))
+    )
+    return Mapping({svc: srv.name for svc, srv in zip(services, servers)})
+
+
+def optimize_mapping(
+    graph: ExecutionGraph,
+    kind: str,
+    model: CommModel,
+    effort,
+    platform: Platform,
+    *,
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+    max_moves: int = 200,
+) -> Tuple[Fraction, Mapping]:
+    """Best ``(value, mapping)`` of *graph* on *platform* for one objective.
+
+    Enumerates every injective assignment while the space has at most
+    *exhaustive_limit* elements (exact); otherwise starts from
+    :func:`greedy_mapping` and runs the first-improvement
+    reassignment/swap local search.  *kind* is ``"period"`` or
+    ``"latency"``; *model*/*effort* are forwarded to the per-mapping
+    objective.
+
+    Example (the fast server should host the expensive service)::
+
+        >>> from repro import ExecutionGraph, Platform, make_application
+        >>> from repro.core import CommModel
+        >>> from repro.optimize.evaluation import Effort
+        >>> app = make_application([("A", 1, 1), ("B", 9, 1)])
+        >>> graph = ExecutionGraph.empty(app)
+        >>> platform = Platform.of(speeds=[1, 3])
+        >>> value, mapping = optimize_mapping(
+        ...     graph, "period", CommModel.OVERLAP, Effort.HEURISTIC, platform)
+        >>> value, mapping.server("B")
+        (Fraction(3, 1), 'S2')
+    """
+    from .evaluation import latency_objective, period_objective
+    from .local_search import placement_local_search
+
+    if kind not in ("period", "latency"):
+        raise ValueError(f"kind must be 'period' or 'latency', got {kind!r}")
+
+    memo_key = (
+        kind, model, effort, platform.key(), exhaustive_limit, max_moves,
+        graph.application, graph.edges,
+    )
+    found = _memo.get(memo_key)
+    if found is not None:
+        _memo.move_to_end(memo_key)
+        return found
+
+    def score(mapping: Mapping) -> Fraction:
+        if kind == "period":
+            return period_objective(graph, model, effort, platform, mapping)
+        return latency_objective(graph, model, effort, platform, mapping)
+
+    platform.require_capacity(len(graph.nodes))
+    space = mapping_space_size(len(graph.nodes), len(platform))
+    if space <= exhaustive_limit:
+        best_value: Optional[Fraction] = None
+        best_mapping: Optional[Mapping] = None
+        for mapping in iter_mappings(graph.nodes, platform):
+            value = score(mapping)
+            if best_value is None or value < best_value:
+                best_value, best_mapping = value, mapping
+        assert best_value is not None and best_mapping is not None
+        outcome = (best_value, best_mapping)
+    else:
+        seed = greedy_mapping(graph, platform)
+        outcome = placement_local_search(
+            graph, score, seed, platform, max_moves=max_moves
+        )
+    _memo[memo_key] = outcome
+    if len(_memo) > _MEMO_MAX_ENTRIES:
+        _memo.popitem(last=False)
+    return outcome
+
+
+__all__ = [
+    "DEFAULT_EXHAUSTIVE_LIMIT",
+    "greedy_mapping",
+    "iter_mappings",
+    "mapping_space_size",
+    "optimize_mapping",
+]

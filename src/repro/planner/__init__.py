@@ -22,9 +22,16 @@ from .cache import (
     EvaluationCache,
     clear_default_cache,
     default_cache,
+    evaluation_key,
     graph_key,
 )
-from .catalog import Workload, load_workload, workload_names
+from .catalog import (
+    Workload,
+    load_platform,
+    load_workload,
+    platform_names,
+    workload_names,
+)
 from .facade import AUTO_EXHAUSTIVE_MAX, build_schedule, compare, solve
 from .registry import (
     SolverRegistry,
@@ -47,8 +54,11 @@ __all__ = [
     "clear_default_cache",
     "compare",
     "default_cache",
+    "evaluation_key",
     "graph_key",
+    "load_platform",
     "load_workload",
+    "platform_names",
     "register_solver",
     "registry",
     "solve",

@@ -7,9 +7,12 @@ constantly: local search re-scores the incumbent on every pass, restarts
 re-walk earlier neighbourhoods, and ``compare`` runs several methods over
 one application.  :class:`EvaluationCache` memoizes those evaluations on a
 *canonical* key — the application content (services, costs, selectivities,
-precedence) plus the edge set, the communication model, and the effort
-level — so a value computed once is never recomputed, within a solve or
-across solves.
+precedence) plus the edge set, the communication model, the effort level,
+and the **platform fingerprint** (server speeds, link bandwidths and the
+service-to-server mapping, or the ``"unit"`` sentinel for the paper's
+normalised platform) — so a value computed once is never recomputed,
+within a solve or across solves, and a heterogeneous solve can never be
+answered from a homogeneous entry (or vice versa).
 
 Keys are content-based, not identity-based: :class:`~repro.core.Application`
 and :class:`~repro.core.Service` are frozen dataclasses, so two separately
@@ -40,7 +43,7 @@ from collections import OrderedDict
 from fractions import Fraction
 from typing import Callable, Hashable, Optional, Tuple
 
-from ..core import CommModel, ExecutionGraph
+from ..core import CommModel, ExecutionGraph, Mapping, Platform, platform_fingerprint
 from ..optimize.evaluation import Effort, latency_objective, period_objective
 
 #: Objective kinds understood by the planner.
@@ -59,6 +62,42 @@ def graph_key(graph: ExecutionGraph) -> Hashable:
     the :class:`~repro.core.Application` objects are distinct.
     """
     return (graph.application, graph.edges)
+
+
+def evaluation_key(
+    kind: str,
+    graph: ExecutionGraph,
+    model: CommModel,
+    effort: Effort,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Hashable:
+    """The full canonical cache key of one objective evaluation.
+
+    Every discriminating input is spelled out explicitly — the objective
+    kind, the communication model, the effort level, the platform/mapping
+    fingerprint and the graph content — so no two semantically different
+    evaluations can collide:
+
+    * the *model* is part of the key (an INORDER value is never served for
+      an OUTORDER query even though both share the one-port bound);
+    * the *platform fingerprint* separates every non-unit platform (and
+      every distinct mapping on it) from the unit/homogeneous sentinel, so
+      a heterogeneous solve can never hit a homogeneous entry.
+
+    The single deliberate collapse: the OVERLAP period is exact at every
+    effort level (Theorem 1 — the bound is achievable, on any platform),
+    so its three effort entries share one slot.
+    """
+    if kind == "period" and model is CommModel.OVERLAP:
+        effort = Effort.EXACT
+    return (
+        kind,
+        model.value,
+        effort.value,
+        platform_fingerprint(platform, mapping),
+        graph_key(graph),
+    )
 
 
 class EvaluationCache:
@@ -93,13 +132,11 @@ class EvaluationCache:
         model: CommModel,
         effort: Effort,
         compute: Callable[[], Fraction],
+        platform: Optional[Platform] = None,
+        mapping: Optional[Mapping] = None,
     ) -> Fraction:
         """Return the memoized value for the canonical key, computing once."""
-        # The OVERLAP period is exact at every effort level (Theorem 1 —
-        # the bound is achievable), so all efforts share one entry.
-        if kind == "period" and model is CommModel.OVERLAP:
-            effort = Effort.EXACT
-        key = (kind, model, effort, graph_key(graph))
+        key = evaluation_key(kind, graph, model, effort, platform, mapping)
         found = self._store.get(key)
         if found is not None:
             self.hits += 1
@@ -117,27 +154,31 @@ class EvaluationCache:
         kind: str,
         model: CommModel,
         effort: Effort = Effort.HEURISTIC,
+        platform: Optional[Platform] = None,
+        mapping: Optional[Mapping] = None,
     ) -> "CachedObjective":
         """A cached ``graph -> Fraction`` evaluator for *kind* under *model*.
 
         *kind* is ``"period"`` or ``"latency"``; the returned callable is a
         drop-in :data:`repro.optimize.evaluation.Objective` and keeps its
         own per-instance hit/miss counters (the cache-wide counters keep
-        counting too).
+        counting too).  Binding a non-unit *platform* with ``mapping=None``
+        evaluates the best server assignment per graph (see
+        :mod:`repro.optimize.placement`); binding a *mapping* pins it.
         """
         if kind not in OBJECTIVES:
             raise ValueError(f"unknown objective {kind!r}; expected one of {OBJECTIVES}")
-        return CachedObjective(self, kind, model, effort)
+        return CachedObjective(self, kind, model, effort, platform, mapping)
 
 
 class CachedObjective:
-    """Callable objective bound to one (kind, model, effort) and a cache.
+    """Callable objective bound to one (kind, model, effort, platform).
 
     Tracks the hits/misses charged through *this* callable so a solver can
     report per-solve statistics even when the cache is shared.
     """
 
-    __slots__ = ("cache", "kind", "model", "effort", "hits", "misses")
+    __slots__ = ("cache", "kind", "model", "effort", "platform", "mapping", "hits", "misses")
 
     def __init__(
         self,
@@ -145,11 +186,15 @@ class CachedObjective:
         kind: str,
         model: CommModel,
         effort: Effort,
+        platform: Optional[Platform] = None,
+        mapping: Optional[Mapping] = None,
     ) -> None:
         self.cache = cache
         self.kind = kind
         self.model = model
         self.effort = effort
+        self.platform = platform
+        self.mapping = mapping
         self.hits = 0
         self.misses = 0
 
@@ -161,7 +206,13 @@ class CachedObjective:
     def __call__(self, graph: ExecutionGraph) -> Fraction:
         before = self.cache.misses
         value = self.cache.get_or_compute(
-            self.kind, graph, self.model, self.effort, lambda: self._compute(graph)
+            self.kind,
+            graph,
+            self.model,
+            self.effort,
+            lambda: self._compute(graph),
+            self.platform,
+            self.mapping,
         )
         if self.cache.misses == before:
             self.hits += 1
@@ -171,8 +222,12 @@ class CachedObjective:
 
     def _compute(self, graph: ExecutionGraph) -> Fraction:
         if self.kind == "period":
-            return period_objective(graph, self.model, self.effort)
-        return latency_objective(graph, self.model, self.effort)
+            return period_objective(
+                graph, self.model, self.effort, self.platform, self.mapping
+            )
+        return latency_objective(
+            graph, self.model, self.effort, self.platform, self.mapping
+        )
 
 
 _default_cache = EvaluationCache()
@@ -195,5 +250,6 @@ __all__ = [
     "OBJECTIVES",
     "clear_default_cache",
     "default_cache",
+    "evaluation_key",
     "graph_key",
 ]

@@ -1,18 +1,27 @@
-"""Named workload specs for the CLI: paper instances + generator families.
+"""Named workload and platform specs for the CLI.
 
-A workload spec is a string: either a named paper instance (``fig1``,
-``b1``, ``b2``, ``b3``) or a generator family with ``key=value`` options
-after a colon, e.g. ``random:n=6,seed=3,filters=0.7`` or
-``layered:widths=3x3x3,seed=4``.  :func:`load_workload` parses a spec into
-a :class:`Workload` bundling the application, the fixed execution graph
-when the family defines one, and the paper's expected values when known.
+A workload spec is a string: either a named instance (``fig1``, ``b1``,
+``b2``, ``b3``, their heterogeneous variants ``b1het``/``b2het``/``b3het``
+and the ``hetdemo`` separation instance) or a generator family with
+``key=value`` options after a colon, e.g. ``random:n=6,seed=3,filters=0.7``
+or ``layered:widths=3x3x3,seed=4``.  :func:`load_workload` parses a spec
+into a :class:`Workload` bundling the application, the fixed execution
+graph when the family defines one, the paper's expected values when known,
+and — for the heterogeneous variants — a platform and (for the large
+instances) a pinned service-to-server mapping.
 
-    >>> from repro.planner.catalog import load_workload
+Platform specs work the same way through :func:`load_platform`: named
+platforms (``het4``, ``demo2``) or families (``hom:n=8``,
+``het:n=8,seed=0``).
+
+    >>> from repro.planner.catalog import load_platform, load_workload
     >>> wl = load_workload("fig1")
     >>> len(wl.application), wl.graph is not None
     (5, True)
     >>> load_workload("random:n=6,seed=3").graph is None
     True
+    >>> load_platform("hom:n=5").is_unit, load_platform("het4").is_unit
+    (True, False)
 """
 
 from __future__ import annotations
@@ -21,13 +30,15 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Callable, Dict, Optional, Tuple
 
-from ..core import Application, ExecutionGraph
+from ..core import Application, ExecutionGraph, Mapping, Platform, as_fraction
 from ..workloads.generators import (
+    alternating_platform,
     fork_join_instance,
     layered_instance,
     random_application,
     random_chain,
     random_execution_graph,
+    random_platform,
     star_instance,
 )
 from ..workloads.paper import (
@@ -40,13 +51,20 @@ from ..workloads.paper import (
 
 @dataclass(frozen=True)
 class Workload:
-    """A solvable workload: application, optional fixed graph, expectations."""
+    """A solvable workload: application, optional fixed graph, expectations.
+
+    Heterogeneous variants also carry a *platform* (and, for instances too
+    large to re-optimise the placement on every solve, a pinned *mapping*)
+    — pass both through to :func:`repro.planner.solve`.
+    """
 
     name: str
     description: str
     application: Application
     graph: Optional[ExecutionGraph] = None
     expected: Dict[str, Fraction] = field(default_factory=dict)
+    platform: Optional[Platform] = None
+    mapping: Optional[Mapping] = None
 
     @property
     def problem(self):
@@ -178,11 +196,147 @@ def _load_layered(options: Dict[str, str]) -> Workload:
     )
 
 
+# ---------------------------------------------------------------------------
+# Platforms
+# ---------------------------------------------------------------------------
+
+def _platform_het4() -> Platform:
+    """The documented 8-server reference platform with 4 speed classes.
+
+    Speeds cycle 1, 2, 1/2, 4; two link overrides (``S1-S2`` at 1/2,
+    ``S5-S6`` at 1/4) exercise bandwidth heterogeneity; everything else
+    runs at the default bandwidth 1.
+    """
+    speeds = [(Fraction(1), Fraction(2), Fraction(1, 2), Fraction(4))[i % 4] for i in range(8)]
+    return Platform.of(
+        speeds=speeds,
+        links={("S1", "S2"): Fraction(1, 2), ("S5", "S6"): Fraction(1, 4)},
+    )
+
+
+def _platform_demo2() -> Platform:
+    """Two servers (speeds 1 and 4) joined by a 1/100-bandwidth link.
+
+    The platform of the ``hetdemo`` workload: the slow link makes any
+    inter-server edge cost 100x its message size, so the homogeneous
+    optimum (a filter chain) loses to independent services.
+    """
+    return Platform.of(speeds=[1, 4], links={("S1", "S2"): Fraction(1, 100)})
+
+
+def _load_hom_platform(options: Dict[str, str]) -> Platform:
+    _check_keys(options, ("n", "speed", "bw"), "hom")
+    return Platform.homogeneous(
+        _int(options, "n", 4),
+        speed=as_fraction(options.get("speed", 1)),
+        bandwidth=as_fraction(options.get("bw", 1)),
+    )
+
+
+def _load_het_platform(options: Dict[str, str]) -> Platform:
+    _check_keys(options, ("n", "seed", "density"), "het")
+    return random_platform(
+        _int(options, "n", 4),
+        seed=_int(options, "seed", 0),
+        link_density=_float(options, "density", 0.3),
+    )
+
+
+_NAMED_PLATFORMS: Dict[str, Callable[[], Platform]] = {
+    "het4": _platform_het4,
+    "demo2": _platform_demo2,
+}
+
+_PLATFORM_FAMILIES: Dict[str, Callable[[Dict[str, str]], Platform]] = {
+    "hom": _load_hom_platform,
+    "het": _load_het_platform,
+}
+
+
+def platform_names() -> Tuple[str, ...]:
+    """Named platforms plus platform family names."""
+    return tuple(sorted(_NAMED_PLATFORMS)) + tuple(sorted(_PLATFORM_FAMILIES))
+
+
+def load_platform(spec: str) -> Platform:
+    """Parse a platform *spec* string (named or ``family:key=value,...``)."""
+    spec = spec.strip()
+    head, _, tail = spec.partition(":")
+    head = head.lower()
+    if head in _NAMED_PLATFORMS:
+        if tail:
+            raise ValueError(f"named platform {head!r} takes no options")
+        return _NAMED_PLATFORMS[head]()
+    if head in _PLATFORM_FAMILIES:
+        return _PLATFORM_FAMILIES[head](_parse_options(tail))
+    known = ", ".join(platform_names())
+    raise ValueError(f"unknown platform {spec!r}; known: {known}")
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous workload variants
+# ---------------------------------------------------------------------------
+
+def _het_variant(maker: Callable[[], object], suffix_desc: str) -> Workload:
+    """A paper instance on an alternating-speed platform, placement pinned.
+
+    The positional mapping is pinned so these large instances stay cheap
+    to solve (no per-solve placement search); the expected *unit-platform*
+    values no longer apply and are dropped.
+    """
+    inst = maker()
+    platform = alternating_platform(len(inst.application))
+    mapping = Mapping.default(inst.application.names, platform)
+    return Workload(
+        name=f"{inst.name}het",
+        description=f"{inst.description} — {suffix_desc}",
+        application=inst.application,
+        graph=inst.graph,
+        platform=platform,
+        mapping=mapping,
+    )
+
+
+def _load_hetdemo() -> Workload:
+    """The documented instance whose optimal graph depends on the platform.
+
+    Two services: a cheap filter A (cost 1, selectivity 1/2) and a heavy
+    B (cost 8).  On the unit platform the optimal execution graph is the
+    chain ``A -> B`` (period 4: A's filter halves B's load).  On ``demo2``
+    the 1/100 link makes the chain cost 50, while placing B alone on the
+    speed-4 server achieves period 2 — the optimal graph is the *empty*
+    forest.  Exercised by tests and ``python -m repro gallery --platform``.
+    """
+    from ..core import make_application
+
+    app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+    return Workload(
+        name="hetdemo",
+        description=(
+            "platform-dependent optimum: chain A->B on the unit platform, "
+            "independent services on demo2"
+        ),
+        application=app,
+        expected={"period_overlap_demo2": Fraction(2)},
+        platform=_platform_demo2(),
+    )
+
+
 _NAMED: Dict[str, Callable[[], Workload]] = {
     "fig1": lambda: _from_paper(fig1_example),
     "b1": lambda: _from_paper(b1_counterexample),
     "b2": lambda: _from_paper(b2_latency_ports),
     "b3": lambda: _from_paper(b3_period_ports),
+    "b1het": lambda: _het_variant(
+        b1_counterexample, "on 202 servers with alternating speeds"
+    ),
+    "b2het": lambda: _het_variant(
+        b2_latency_ports, "on 12 servers with alternating speeds"
+    ),
+    "b3het": lambda: _het_variant(
+        b3_period_ports, "on 8 servers with alternating speeds"
+    ),
+    "hetdemo": _load_hetdemo,
 }
 
 _FAMILIES: Dict[str, Callable[[Dict[str, str]], Workload]] = {
@@ -214,4 +368,10 @@ def load_workload(spec: str) -> Workload:
     raise ValueError(f"unknown workload {spec!r}; known: {known}")
 
 
-__all__ = ["Workload", "load_workload", "workload_names"]
+__all__ = [
+    "Workload",
+    "load_platform",
+    "load_workload",
+    "platform_names",
+    "workload_names",
+]

@@ -33,7 +33,15 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Optional, Sequence, Union
 
-from ..core import ALL_MODELS, Application, CommModel, ExecutionGraph, Plan
+from ..core import (
+    ALL_MODELS,
+    Application,
+    CommModel,
+    ExecutionGraph,
+    Mapping,
+    Plan,
+    Platform,
+)
 from ..optimize.evaluation import Effort
 from ..scheduling.inorder import inorder_schedule
 from ..scheduling.latency import (
@@ -44,6 +52,7 @@ from ..scheduling.latency import (
 from ..scheduling.outorder import outorder_schedule
 from ..scheduling.overlap import schedule_period_overlap
 from .cache import EvaluationCache, default_cache
+from .catalog import load_platform
 from .registry import MAX_DAG_SERVICES, SolverRegistry, registry as default_registry
 from .result import PlanResult, SolverStats
 
@@ -92,27 +101,84 @@ def _coerce_effort(effort: Union[str, Effort, None], fallback: Effort) -> Effort
         raise ValueError(f"unknown effort {effort!r}; expected one of: {names}") from None
 
 
-def build_schedule(graph: ExecutionGraph, objective: str, model: CommModel) -> Plan:
+def _coerce_platform(platform: Union[str, Platform, None]) -> Optional[Platform]:
+    """Accept a :class:`Platform`, a catalog spec string, or ``None``."""
+    if platform is None or isinstance(platform, Platform):
+        return platform
+    if isinstance(platform, str):
+        return load_platform(platform)
+    raise TypeError(
+        f"platform must be a Platform, a spec string, or None, "
+        f"got {type(platform).__name__}"
+    )
+
+
+def _coerce_mapping(
+    mapping, platform: Optional[Platform]
+) -> Optional[Mapping]:
+    """Accept a :class:`Mapping`, a plain service->server dict, or ``None``."""
+    if mapping is None:
+        return None
+    if platform is None:
+        raise ValueError("a mapping requires a platform")
+    if isinstance(mapping, Mapping):
+        return mapping
+    return Mapping(dict(mapping))
+
+
+def _resolve_mapping(
+    graph: ExecutionGraph,
+    objective: str,
+    model: CommModel,
+    effort: Effort,
+    platform: Optional[Platform],
+    mapping: Optional[Mapping],
+) -> Optional[Mapping]:
+    """The mapping a concrete schedule should use.
+
+    A pinned mapping wins; unit platforms keep the positional default
+    (every assignment is equivalent there); non-unit platforms run the
+    placement optimiser for the chosen graph.
+    """
+    if platform is None or mapping is not None or platform.is_unit:
+        return mapping
+    from ..optimize.placement import optimize_mapping
+
+    _, best = optimize_mapping(graph, objective, model, effort, platform)
+    return best
+
+
+def build_schedule(
+    graph: ExecutionGraph,
+    objective: str,
+    model: CommModel,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Plan:
     """A concrete operation list for *graph* optimised towards *objective*.
 
     Period: Theorem-1 construction (OVERLAP), exact/greedy MCR
     orchestration (INORDER), repair scheduler (OUTORDER).  Latency:
     Algorithm 1 on forests, otherwise the greedy serialized one-port
     schedule, improved by the layered bandwidth-sharing schedule under
-    OVERLAP.
+    OVERLAP.  *platform*/*mapping* scale every duration (``None`` is the
+    paper's unit platform).
     """
     if objective == "period":
         if model is CommModel.OVERLAP:
-            return schedule_period_overlap(graph)
+            return schedule_period_overlap(graph, platform=platform, mapping=mapping)
         if model is CommModel.INORDER:
-            return inorder_schedule(graph)
-        return outorder_schedule(graph)
+            return inorder_schedule(graph, platform=platform, mapping=mapping)
+        return outorder_schedule(graph, platform=platform, mapping=mapping)
     if graph.is_forest:
-        plan = tree_latency_schedule(graph)
-        return Plan(plan.graph, plan.operation_list, model)
+        plan = tree_latency_schedule(graph, platform=platform, mapping=mapping)
+        return Plan(
+            plan.graph, plan.operation_list, model,
+            platform=plan.platform, mapping=plan.mapping,
+        )
     if model is CommModel.OVERLAP:
-        return best_latency_schedule(graph)
-    return oneport_latency_schedule(graph, model)
+        return best_latency_schedule(graph, platform=platform, mapping=mapping)
+    return oneport_latency_schedule(graph, model, platform=platform, mapping=mapping)
 
 
 def _auto_method(app: Application, objective: str) -> str:
@@ -147,6 +213,8 @@ def solve(
     schedule: bool = True,
     cache: Optional[EvaluationCache] = None,
     registry: Optional[SolverRegistry] = None,
+    platform: Union[str, Platform, None] = None,
+    mapping=None,
     **solver_options,
 ) -> PlanResult:
     """Solve a mapping or orchestration problem; returns :class:`PlanResult`.
@@ -179,6 +247,16 @@ def solve(
         cache.
     registry:
         Solver registry; defaults to :data:`repro.planner.registry`.
+    platform:
+        Server speeds and link bandwidths — a
+        :class:`~repro.core.Platform`, a catalog spec string (``"het4"``,
+        ``"hom:n=8"``, ``"het:n=6,seed=1"``), or ``None`` for the paper's
+        normalised unit platform.  On a non-unit platform the solvers
+        search over graph x server-assignment.
+    mapping:
+        Pin services to servers (a :class:`~repro.core.Mapping` or a plain
+        ``{service: server}`` dict).  Default: the placement optimiser
+        chooses the assignment per candidate graph.
     solver_options:
         Extra keyword arguments forwarded to the solver (e.g.
         ``max_moves=500`` for ``local-search``).
@@ -197,7 +275,14 @@ def solve(
     started = time.perf_counter()
     obj = _coerce_objective(objective)
     mdl = _coerce_model(model)
+    plat = _coerce_platform(platform)
+    mapp = _coerce_mapping(mapping, plat)
     cache = cache if cache is not None else default_cache()
+
+    if plat is not None:
+        plat.require_capacity(
+            len(problem.nodes if isinstance(problem, ExecutionGraph) else problem)
+        )
 
     if isinstance(problem, ExecutionGraph):
         if solver_options:
@@ -207,13 +292,13 @@ def solve(
                 f"solving an Application)"
             )
         result = _solve_graph(
-            problem, obj, mdl, method, effort, schedule, cache
+            problem, obj, mdl, method, effort, schedule, cache, plat, mapp
         )
     elif isinstance(problem, Application):
         result = _solve_application(
             problem, obj, mdl, method, effort, schedule, cache,
             registry if registry is not None else default_registry,
-            solver_options,
+            plat, mapp, solver_options,
         )
     else:
         raise TypeError(
@@ -233,6 +318,8 @@ def _solve_application(
     schedule: bool,
     cache: EvaluationCache,
     registry: SolverRegistry,
+    platform: Optional[Platform],
+    mapping: Optional[Mapping],
     solver_options,
 ) -> PlanResult:
     requested = method
@@ -248,7 +335,7 @@ def _solve_application(
     eff = _coerce_effort(
         effort, Effort.EXACT if method == "exhaustive" else Effort.HEURISTIC
     )
-    objective_fn = cache.objective(objective, model, eff)
+    objective_fn = cache.objective(objective, model, eff, platform, mapping)
     value, graph, extras = spec.run(
         app,
         objective=objective,
@@ -263,7 +350,12 @@ def _solve_application(
         graphs_considered=extras.pop("graphs_considered", objective_fn.evaluations),
         extras={"effort": eff.value, **extras},
     )
-    plan = build_schedule(graph, objective, model) if schedule else None
+    resolved = _resolve_mapping(graph, objective, model, eff, platform, mapping)
+    plan = (
+        build_schedule(graph, objective, model, platform, resolved)
+        if schedule
+        else None
+    )
     return PlanResult(
         objective=objective,
         model=model,
@@ -273,6 +365,8 @@ def _solve_application(
         plan=plan,
         stats=stats,
         requested_method=requested,
+        platform=platform,
+        mapping=resolved,
     )
 
 
@@ -284,9 +378,12 @@ def _solve_graph(
     effort: Union[str, Effort, None],
     schedule: bool,
     cache: EvaluationCache,
+    platform: Optional[Platform],
+    mapping: Optional[Mapping],
 ) -> PlanResult:
     requested = method
     plan: Optional[Plan] = None
+    resolved = mapping
     if method == "auto" and effort is not None:
         # An explicit effort on a fixed graph means "evaluate at this
         # effort", not "run the scheduler" — don't silently ignore it.
@@ -295,7 +392,10 @@ def _solve_graph(
     if method == "auto":
         # The model's scheduler is authoritative: its value is achieved by
         # a concrete validated operation list.
-        plan = build_schedule(graph, objective, model)
+        resolved = _resolve_mapping(
+            graph, objective, model, Effort.HEURISTIC, platform, mapping
+        )
+        plan = build_schedule(graph, objective, model, platform, resolved)
         value = plan.period if objective == "period" else plan.latency
         method = "schedule"
         stats = SolverStats(graphs_considered=1)
@@ -303,7 +403,7 @@ def _solve_graph(
             plan = None
     elif method in _GRAPH_EFFORT:
         eff = _coerce_effort(effort, _GRAPH_EFFORT[method])
-        objective_fn = cache.objective(objective, model, eff)
+        objective_fn = cache.objective(objective, model, eff, platform, mapping)
         value = objective_fn(graph)
         stats = SolverStats(
             evaluations=objective_fn.misses,
@@ -311,8 +411,9 @@ def _solve_graph(
             graphs_considered=1,
             extras={"effort": eff.value},
         )
+        resolved = _resolve_mapping(graph, objective, model, eff, platform, mapping)
         if schedule:
-            plan = build_schedule(graph, objective, model)
+            plan = build_schedule(graph, objective, model, platform, resolved)
     else:
         known = ", ".join(["auto", *_GRAPH_EFFORT])
         raise ValueError(
@@ -328,6 +429,8 @@ def _solve_graph(
         plan=plan,
         stats=stats,
         requested_method=requested,
+        platform=platform,
+        mapping=resolved,
     )
 
 

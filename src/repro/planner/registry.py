@@ -232,6 +232,12 @@ def _solve_chain(
         value, graph = minperiod_chain(app, model)
     else:
         value, graph = minlatency_chain(app)
+    platform = getattr(objective_fn, "platform", None)
+    if platform is not None and not platform.is_unit:
+        # The closed forms assume the normalised unit platform; on a real
+        # platform the chain structure is kept as a heuristic but its value
+        # must be re-scored at its (best or pinned) placement.
+        return objective_fn(graph), graph, {"unit_chain_value": value}
     return value, graph, {}
 
 

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Dict, Optional
 
-from ..core import CommModel, ExecutionGraph, Plan
+from ..core import CommModel, ExecutionGraph, Mapping, Plan, Platform
 
 
 @dataclass
@@ -87,6 +87,14 @@ class PlanResult:
         :class:`SolverStats` for this solve.
     requested_method:
         The method string originally passed to ``solve`` (e.g. ``"auto"``).
+    platform:
+        The :class:`~repro.core.Platform` the solve targeted (``None`` for
+        the paper's normalised unit platform).
+    mapping:
+        The service-to-server :class:`~repro.core.Mapping` the plan uses —
+        pinned by the caller or chosen by the placement optimiser
+        (``None`` on the unit platform, where every assignment is
+        equivalent).
     """
 
     objective: str
@@ -97,6 +105,16 @@ class PlanResult:
     plan: Optional[Plan] = None
     stats: SolverStats = field(default_factory=SolverStats)
     requested_method: str = ""
+    platform: Optional[Platform] = None
+    mapping: Optional[Mapping] = None
+
+    @property
+    def platform_label(self) -> str:
+        """Short human label: ``unit``, ``hom(n)`` or ``het(n)``."""
+        if self.platform is None or self.platform.is_unit:
+            return "unit"
+        kind = "hom" if self.platform.is_homogeneous else "het"
+        return f"{kind}({len(self.platform)})"
 
     @property
     def scheduled_value(self) -> Optional[Fraction]:
@@ -131,6 +149,10 @@ class PlanResult:
         if self.plan is not None:
             out["scheduled_value"] = str(self.scheduled_value)
             out["plan_valid"] = self.plan.is_valid()
+        if self.platform is not None:
+            out["platform"] = self.platform_label
+        if self.mapping is not None:
+            out["mapping"] = {svc: srv for svc, srv in self.mapping.items()}
         if include_graph:
             out["graph_edges"] = sorted(list(e) for e in self.graph.edges)
         return out

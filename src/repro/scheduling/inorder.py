@@ -38,10 +38,12 @@ from ..core import (
     CostModel,
     ExecutionGraph,
     INPUT,
+    Mapping,
     OUTPUT,
     Operation,
     OperationList,
     Plan,
+    Platform,
     comm_op,
     comp_op,
 )
@@ -85,7 +87,7 @@ def _durations(costs: CostModel) -> Dict[Operation, Fraction]:
     for node in graph.nodes:
         dur[comp_op(node)] = costs.ccomp(node)
     for a, b in costs.comm_edges():
-        dur[comm_op(a, b)] = costs.message_size(a, b)
+        dur[comm_op(a, b)] = costs.comm_time(a, b)
     return dur
 
 
@@ -98,12 +100,16 @@ def server_sequence(node: str, orders: CommOrders) -> List[Operation]:
 
 
 def inorder_event_graph(
-    graph: ExecutionGraph, orders: Optional[CommOrders] = None
+    graph: ExecutionGraph,
+    orders: Optional[CommOrders] = None,
+    *,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> EventGraph:
     """Uniform constraint graph of the INORDER steady state."""
     if orders is None:
         orders = CommOrders.canonical(graph)
-    costs = CostModel(graph)
+    costs = CostModel(graph, platform, mapping)
     dur = _durations(costs)
     eg = EventGraph()
     for node in graph.nodes:
@@ -115,7 +121,11 @@ def inorder_event_graph(
 
 
 def inorder_period_for_orders(
-    graph: ExecutionGraph, orders: CommOrders
+    graph: ExecutionGraph,
+    orders: CommOrders,
+    *,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Fraction:
     """Optimal INORDER period for fixed communication orders (exact, MCR).
 
@@ -129,12 +139,16 @@ def inorder_period_for_orders(
         >>> inorder_period_for_orders(graph, CommOrders.canonical(graph))
         Fraction(9, 1)
     """
-    eg = inorder_event_graph(graph, orders)
+    eg = inorder_event_graph(graph, orders, platform=platform, mapping=mapping)
     return minimum_period(eg)
 
 
 def inorder_schedule_for_orders(
-    graph: ExecutionGraph, orders: CommOrders
+    graph: ExecutionGraph,
+    orders: CommOrders,
+    *,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Plan:
     """Concrete operation list at the orders' optimal period.
 
@@ -146,46 +160,51 @@ def inorder_schedule_for_orders(
         >>> plan.period, plan.is_valid()
         (Fraction(23, 3), True)
     """
-    costs = CostModel(graph)
+    costs = CostModel(graph, platform, mapping)
     dur = _durations(costs)
-    eg = inorder_event_graph(graph, orders)
+    eg = inorder_event_graph(graph, orders, platform=platform, mapping=mapping)
     lam = minimum_period(eg)
     begins = earliest_times(eg, lam)
     times = {op: (b, b + dur[op]) for op, b in begins.items()}
     ol = OperationList(times, lam=lam)
-    return Plan(graph, ol, CommModel.INORDER)
+    return Plan(graph, ol, CommModel.INORDER, platform=platform, mapping=costs.mapping)
 
 
 # ---------------------------------------------------------------------------
 # Order selection
 # ---------------------------------------------------------------------------
 
-def greedy_orders(graph: ExecutionGraph) -> CommOrders:
+def greedy_orders(
+    graph: ExecutionGraph,
+    *,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> CommOrders:
     """Critical-path heuristic orders.
 
     Outgoing messages are sent to the successor with the longest remaining
     downstream work first (feeding the critical path early); incoming
     messages are received from the earliest-available producer first.
     """
-    costs = CostModel(graph)
+    costs = CostModel(graph, platform, mapping)
     # downstream[k]: longest (comp + comm) path from the start of k's
     # computation to the end of the final output communication.
     downstream: Dict[str, Fraction] = {}
     for node in reversed(graph.topological_order):
         succs = graph.successors(node)
         if succs:
-            tail = max(costs.outsize(node) + downstream[s] for s in succs)
+            tail = max(costs.comm_time(node, s) + downstream[s] for s in succs)
         else:
-            tail = costs.outsize(node)
+            tail = costs.comm_time(node, OUTPUT)
         downstream[node] = costs.ccomp(node) + tail
     # upstream[k]: longest path from time 0 to the end of k's computation.
     upstream: Dict[str, Fraction] = {}
     for node in graph.topological_order:
         preds = graph.predecessors(node)
         if preds:
-            head = max(upstream[p] + costs.outsize(p) for p in preds)
+            head = max(upstream[p] + costs.comm_time(p, node) for p in preds)
         else:
-            head = Fraction(1)
+            head = costs.comm_time(INPUT, node)
         upstream[node] = head + costs.ccomp(node)
 
     incoming: Dict[str, Tuple[str, ...]] = {}
@@ -239,7 +258,11 @@ def order_space_size(graph: ExecutionGraph) -> int:
     return total
 
 
-def _serialized_fallback(graph: ExecutionGraph) -> Plan:
+def _serialized_fallback(
+    graph: ExecutionGraph,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Plan:
     """A trivially valid INORDER plan: one data set at a time.
 
     The greedy serialized latency schedule with ``lambda = makespan``
@@ -248,12 +271,18 @@ def _serialized_fallback(graph: ExecutionGraph) -> Plan:
     """
     from .latency import oneport_latency_schedule
 
-    plan = oneport_latency_schedule(graph, CommModel.INORDER)
+    plan = oneport_latency_schedule(
+        graph, CommModel.INORDER, platform=platform, mapping=mapping
+    )
     return plan
 
 
 def exact_inorder_period(
-    graph: ExecutionGraph, *, max_configs: int = 100_000
+    graph: ExecutionGraph,
+    *,
+    max_configs: int = 100_000,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Tuple[Fraction, Plan]:
     """Optimal INORDER orchestration by exhaustive order enumeration.
 
@@ -279,10 +308,12 @@ def exact_inorder_period(
         )
     best_lam: Optional[Fraction] = None
     best_orders: Optional[CommOrders] = None
-    floor = CostModel(graph).period_lower_bound(CommModel.INORDER)
+    floor = CostModel(graph, platform, mapping).period_lower_bound(CommModel.INORDER)
     for orders in iter_all_orders(graph):
         try:
-            lam = inorder_period_for_orders(graph, orders)
+            lam = inorder_period_for_orders(
+                graph, orders, platform=platform, mapping=mapping
+            )
         except InfeasibleScheduleError:
             continue
         if best_lam is None or lam < best_lam:
@@ -290,13 +321,19 @@ def exact_inorder_period(
             if lam == floor:
                 break  # cannot do better than the lower bound
     if best_orders is None:  # every ordering deadlocked (not expected)
-        plan = _serialized_fallback(graph)
+        plan = _serialized_fallback(graph, platform, mapping)
         return plan.period, plan
-    return best_lam, inorder_schedule_for_orders(graph, best_orders)
+    return best_lam, inorder_schedule_for_orders(
+        graph, best_orders, platform=platform, mapping=mapping
+    )
 
 
 def inorder_schedule(
-    graph: ExecutionGraph, *, exact_threshold: int = 5_000
+    graph: ExecutionGraph,
+    *,
+    exact_threshold: int = 5_000,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Plan:
     """Best-effort INORDER orchestration.
 
@@ -311,12 +348,19 @@ def inorder_schedule(
         Fraction(23, 3)
     """
     if order_space_size(graph) <= exact_threshold:
-        _, plan = exact_inorder_period(graph, max_configs=exact_threshold)
+        _, plan = exact_inorder_period(
+            graph, max_configs=exact_threshold, platform=platform, mapping=mapping
+        )
         return plan
     try:
-        return inorder_schedule_for_orders(graph, greedy_orders(graph))
+        return inorder_schedule_for_orders(
+            graph,
+            greedy_orders(graph, platform=platform, mapping=mapping),
+            platform=platform,
+            mapping=mapping,
+        )
     except InfeasibleScheduleError:
-        return _serialized_fallback(graph)
+        return _serialized_fallback(graph, platform, mapping)
 
 
 __all__ = [

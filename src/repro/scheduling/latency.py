@@ -28,10 +28,12 @@ from ..core import (
     CostModel,
     ExecutionGraph,
     INPUT,
+    Mapping,
     OUTPUT,
     Operation,
     OperationList,
     Plan,
+    Platform,
     comm_op,
     comp_op,
     is_comm,
@@ -48,8 +50,14 @@ ONE = Fraction(1)
 class _OpDag:
     """Operations, durations, op-level precedence and server incidence."""
 
-    def __init__(self, graph: ExecutionGraph) -> None:
-        costs = CostModel(graph)
+    def __init__(
+        self,
+        graph: ExecutionGraph,
+        platform: Optional[Platform] = None,
+        mapping: Optional[Mapping] = None,
+    ) -> None:
+        costs = CostModel(graph, platform, mapping)
+        self.costs = costs
         self.graph = graph
         self.ops: List[Operation] = []
         self.duration: Dict[Operation, Fraction] = {}
@@ -60,7 +68,7 @@ class _OpDag:
             for p in graph.predecessors(node) or (INPUT,):
                 op = comm_op(p, node)
                 self.ops.append(op)
-                self.duration[op] = costs.message_size(p, node)
+                self.duration[op] = costs.comm_time(p, node)
                 self.op_preds[op] = [] if p == INPUT else [comp_op(p)]
                 self.servers[op] = tuple(s for s in (p, node) if s != INPUT)
                 in_ops.append(op)
@@ -74,7 +82,7 @@ class _OpDag:
                 op = comm_op(node, s)
                 if op not in self.duration:
                     self.ops.append(op)
-                    self.duration[op] = costs.message_size(node, s)
+                    self.duration[op] = costs.comm_time(node, s)
                     self.op_preds[op] = [comp_op(node)]
                     self.servers[op] = tuple(x for x in (node, s) if x != OUTPUT)
         self.bottom: Dict[Operation, Fraction] = self._bottom_levels()
@@ -94,7 +102,11 @@ class _OpDag:
 
 
 def oneport_latency_schedule(
-    graph: ExecutionGraph, model: CommModel = CommModel.INORDER
+    graph: ExecutionGraph,
+    model: CommModel = CommModel.INORDER,
+    *,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Plan:
     """Greedy serialized (one-port) schedule of a single data set.
 
@@ -111,7 +123,7 @@ def oneport_latency_schedule(
         >>> plan.latency, plan.is_valid()
         (Fraction(21, 1), True)
     """
-    dag = _OpDag(graph)
+    dag = _OpDag(graph, platform, mapping)
     unscheduled = set(dag.ops)
     remaining_preds = {op: set(ps) for op, ps in dag.op_preds.items()}
     ready_at: Dict[Operation, Fraction] = {
@@ -151,11 +163,21 @@ def oneport_latency_schedule(
                         (times[p][1] for p in dag.op_preds[op]), default=ZERO
                     )
     lam = max(e for _, e in times.values())
-    return Plan(graph, OperationList(times, lam=lam), model)
+    return Plan(
+        graph,
+        OperationList(times, lam=lam),
+        model,
+        platform=platform,
+        mapping=dag.costs.mapping,
+    )
 
 
 def exact_oneport_latency(
-    graph: ExecutionGraph, *, node_limit: int = 2_000_000
+    graph: ExecutionGraph,
+    *,
+    node_limit: int = 2_000_000,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Fraction:
     """Optimal one-port latency by branch and bound over activity orders.
 
@@ -171,7 +193,7 @@ def exact_oneport_latency(
         >>> exact_oneport_latency(fig1_example().graph)
         Fraction(21, 1)
     """
-    dag = _OpDag(graph)
+    dag = _OpDag(graph, platform, mapping)
     ops = dag.ops
     n = len(ops)
     idx = {op: i for i, op in enumerate(ops)}
@@ -181,7 +203,7 @@ def exact_oneport_latency(
     server_ids = {name: i for i, name in enumerate(graph.nodes)}
     servers = [[server_ids[s] for s in dag.servers[op]] for op in ops]
 
-    greedy = oneport_latency_schedule(graph)
+    greedy = oneport_latency_schedule(graph, platform=platform, mapping=mapping)
     best = [greedy.latency]
     visited = [0]
 
@@ -233,15 +255,24 @@ def exact_oneport_latency(
 # ---------------------------------------------------------------------------
 
 def tree_latency(
-    graph: ExecutionGraph, *, include_output: bool = True
+    graph: ExecutionGraph,
+    *,
+    include_output: bool = True,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Fraction:
     """Optimal latency of a forest execution graph (Algorithm 1).
 
-    For each node, children subtrees are fed by non-increasing subtree
-    latency; the completion is ``input + comp + max_i (i * msg + L_(i))``.
-    ``include_output=False`` reproduces the paper's literal leaf case
-    ``L = c_i`` which ignores the exit nodes' output communication; the
-    default accounts for it (consistent with the model everywhere else).
+    For each node, children subtrees are fed in non-increasing order of
+    *remaining* latency (subtree latency minus the child's own message
+    time — the classic delivery-time exchange argument); the completion is
+    ``input + comp + max_i (sends before i + L_(i))``.  On the unit
+    platform every message to a child takes the same time, so the order
+    degenerates to the paper's "non-increasing subtree latency" and the
+    completion to ``max_i (i * msg + L_(i))``.  ``include_output=False``
+    reproduces the paper's literal leaf case ``L = c_i`` which ignores the
+    exit nodes' output communication; the default accounts for it
+    (consistent with the model everywhere else).
 
     Example (a chain: input + costs + messages, sizes shrinking)::
 
@@ -252,24 +283,40 @@ def tree_latency(
     """
     if not graph.is_forest:
         raise ValueError("tree_latency requires a forest execution graph")
-    app = graph.application
+    costs = CostModel(graph, platform, mapping)
 
-    def solve(node: str, size: Fraction) -> Fraction:
-        base = size + size * app.cost(node)  # in-communication + computation
-        msg = size * app.selectivity(node)
+    def solve(node: str, src: str) -> Fraction:
+        # in-communication + computation (both platform-scaled times)
+        base = costs.comm_time(src, node) + costs.ccomp(node)
         children = graph.successors(node)
         if not children:
-            return base + (msg if include_output else ZERO)
-        # Child subtree latencies include their incoming message; the i-th
-        # child (0-based, fed by non-increasing latency) waits for the i
-        # earlier sends before its own receive starts.
-        subs = sorted((solve(c, msg) for c in children), reverse=True)
-        return base + max(i * msg + sub for i, sub in enumerate(subs))
+            out = costs.comm_time(node, OUTPUT)
+            return base + (out if include_output else ZERO)
+        # Child subtree latencies include their incoming message; each
+        # child's receive waits for the sends sequenced before it on the
+        # (one-port) sender.  Sequencing by non-increasing remaining
+        # latency minimises the max completion.
+        subs = sorted(
+            ((solve(c, node), costs.comm_time(node, c)) for c in children),
+            key=lambda pair: pair[0] - pair[1],
+            reverse=True,
+        )
+        best = ZERO
+        sent = ZERO
+        for sub, send in subs:
+            best = max(best, sent + sub)
+            sent += send
+        return base + best
 
-    return max(solve(root, ONE) for root in graph.entry_nodes)
+    return max(solve(root, INPUT) for root in graph.entry_nodes)
 
 
-def tree_latency_schedule(graph: ExecutionGraph) -> Plan:
+def tree_latency_schedule(
+    graph: ExecutionGraph,
+    *,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Plan:
     """A concrete optimal one-port schedule realising :func:`tree_latency`.
 
     Example::
@@ -282,41 +329,57 @@ def tree_latency_schedule(graph: ExecutionGraph) -> Plan:
     """
     if not graph.is_forest:
         raise ValueError("tree_latency_schedule requires a forest")
-    app = graph.application
+    costs = CostModel(graph, platform, mapping)
     times: Dict[Operation, Tuple[Fraction, Fraction]] = {}
 
-    def latency_of(node: str, size: Fraction) -> Fraction:
-        base = size + size * app.cost(node)
-        msg = size * app.selectivity(node)
+    def remaining(node: str, src: str) -> Fraction:
+        """Subtree latency from the start of the ``src -> node`` message."""
+        base = costs.comm_time(src, node) + costs.ccomp(node)
         children = graph.successors(node)
         if not children:
-            return base + msg
-        subs = sorted((latency_of(c, msg) for c in children), reverse=True)
-        return base + max((i + 1) * msg + sub for i, sub in enumerate(subs))
+            return base + costs.comm_time(node, OUTPUT)
+        subs = sorted(
+            ((remaining(c, node), costs.comm_time(node, c)) for c in children),
+            key=lambda pair: pair[0] - pair[1],
+            reverse=True,
+        )
+        best = ZERO
+        sent = ZERO
+        for sub, send in subs:
+            best = max(best, sent + sub)
+            sent += send
+        return base + best
 
-    def emit(node: str, size: Fraction, t: Fraction, src: str) -> Fraction:
-        times[comm_op(src, node)] = (t, t + size)
-        comp_start = t + size
-        comp_end = comp_start + size * app.cost(node)
+    def emit(node: str, t: Fraction, src: str) -> Fraction:
+        in_time = costs.comm_time(src, node)
+        times[comm_op(src, node)] = (t, t + in_time)
+        comp_start = t + in_time
+        comp_end = comp_start + costs.ccomp(node)
         times[comp_op(node)] = (comp_start, comp_end)
-        msg = size * app.selectivity(node)
         children = sorted(
             graph.successors(node),
-            key=lambda c: latency_of(c, msg),
+            key=lambda c: remaining(c, node) - costs.comm_time(node, c),
             reverse=True,
         )
         if not children:
-            times[comm_op(node, OUTPUT)] = (comp_end, comp_end + msg)
-            return comp_end + msg
+            out = costs.comm_time(node, OUTPUT)
+            times[comm_op(node, OUTPUT)] = (comp_end, comp_end + out)
+            return comp_end + out
         finish = ZERO
-        send_end = comp_end
+        send_begin = comp_end
         for child in children:
-            send_end = send_end + msg
-            finish = max(finish, emit(child, msg, send_end - msg, node))
+            finish = max(finish, emit(child, send_begin, node))
+            send_begin = send_begin + costs.comm_time(node, child)
         return finish
 
-    total = max(emit(root, ONE, ZERO, INPUT) for root in graph.entry_nodes)
-    return Plan(graph, OperationList(times, lam=total), CommModel.INORDER)
+    total = max(emit(root, ZERO, INPUT) for root in graph.entry_nodes)
+    return Plan(
+        graph,
+        OperationList(times, lam=total),
+        CommModel.INORDER,
+        platform=platform,
+        mapping=costs.mapping,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -425,25 +488,31 @@ def _levels(graph: ExecutionGraph) -> Optional[List[List[str]]]:
     return out
 
 
-def overlap_latency_layered(graph: ExecutionGraph) -> Optional[Plan]:
+def overlap_latency_layered(
+    graph: ExecutionGraph,
+    *,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Optional[Plan]:
     """Bandwidth-sharing window schedule for strictly layered graphs.
 
     All communications between consecutive layers share one window whose
     length is the worst per-server directional load across the cut; every
-    message gets the constant ratio ``size / window``.  On counter-example
-    B.2 this achieves the multi-port latency 20, which no one-port schedule
-    can reach.  Returns ``None`` when the graph is not strictly layered.
+    message gets the constant ratio ``transfer time / window``.  On
+    counter-example B.2 this achieves the multi-port latency 20, which no
+    one-port schedule can reach.  Returns ``None`` when the graph is not
+    strictly layered.
     """
     layers = _levels(graph)
     if layers is None:
         return None
-    costs = CostModel(graph)
+    costs = CostModel(graph, platform, mapping)
     times: Dict[Operation, Tuple[Fraction, Fraction]] = {}
     t = ZERO
-    # input window (all entry messages have size 1)
+    # input window (each entry message at full bandwidth on its own link)
     for node in layers[0]:
-        times[comm_op(INPUT, node)] = (t, t + ONE)
-    t += ONE
+        times[comm_op(INPUT, node)] = (t, t + costs.comm_time(INPUT, node))
+    t += max(costs.comm_time(INPUT, node) for node in layers[0])
     for li, layer in enumerate(layers):
         comp_window = max(costs.ccomp(n) for n in layer)
         for node in layer:
@@ -460,15 +529,22 @@ def overlap_latency_layered(graph: ExecutionGraph) -> Optional[Plan]:
                     times[comm_op(node, s)] = (t, t + window)
             t += window
         else:
-            out_window = max(costs.outsize(n) for n in layer)
+            out_window = max(costs.comm_time(n, OUTPUT) for n in layer)
             for node in layer:
-                times[comm_op(node, OUTPUT)] = (t, t + costs.outsize(node))
+                times[comm_op(node, OUTPUT)] = (t, t + costs.comm_time(node, OUTPUT))
             t += out_window
     ol = OperationList(times, lam=t)
-    return Plan(graph, ol, CommModel.OVERLAP)
+    return Plan(
+        graph, ol, CommModel.OVERLAP, platform=platform, mapping=costs.mapping
+    )
 
 
-def best_latency_schedule(graph: ExecutionGraph) -> Plan:
+def best_latency_schedule(
+    graph: ExecutionGraph,
+    *,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Plan:
     """Best available OVERLAP latency schedule (window vs serialized).
 
     Example (Appendix B.2: the layered multi-port schedule reaches 20,
@@ -478,8 +554,10 @@ def best_latency_schedule(graph: ExecutionGraph) -> Plan:
         >>> best_latency_schedule(b2_latency_ports().graph).latency
         Fraction(20, 1)
     """
-    serialized = oneport_latency_schedule(graph, CommModel.OVERLAP)
-    layered = overlap_latency_layered(graph)
+    serialized = oneport_latency_schedule(
+        graph, CommModel.OVERLAP, platform=platform, mapping=mapping
+    )
+    layered = overlap_latency_layered(graph, platform=platform, mapping=mapping)
     if layered is not None and layered.latency < serialized.latency:
         return layered
     return serialized

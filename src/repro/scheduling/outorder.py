@@ -28,10 +28,12 @@ from ..core import (
     CostModel,
     ExecutionGraph,
     INPUT,
+    Mapping,
     OUTPUT,
     Operation,
     OperationList,
     Plan,
+    Platform,
     comm_op,
     comp_op,
     modular_residue,
@@ -43,7 +45,11 @@ from .latency import oneport_latency_schedule
 ZERO = Fraction(0)
 
 
-def outorder_period_bound(graph: ExecutionGraph) -> Fraction:
+def outorder_period_bound(
+    graph: ExecutionGraph,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Fraction:
     """``max_k (Cin + Ccomp + Cout)`` — the OUTORDER period lower bound.
 
     Example (Figure 1: every server works ``1 + 4 + 2`` or less)::
@@ -52,7 +58,7 @@ def outorder_period_bound(graph: ExecutionGraph) -> Fraction:
         >>> outorder_period_bound(fig1_example().graph)
         Fraction(7, 1)
     """
-    return CostModel(graph).period_lower_bound(CommModel.OUTORDER)
+    return CostModel(graph, platform, mapping).period_lower_bound(CommModel.OUTORDER)
 
 
 def _server_ops(graph: ExecutionGraph) -> Dict[str, List[Operation]]:
@@ -130,6 +136,8 @@ def repair_schedule(
     lam: Fraction,
     *,
     max_rounds: int = 2000,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Optional[OperationList]:
     """Wrap *base* at period *lam*, resolving modular conflicts by search.
 
@@ -168,7 +176,9 @@ def repair_schedule(
             ol = OperationList(
                 {op: (b, b + durations[op]) for op, b in begins.items()}, lam=lam
             )
-            if validate(graph, ol, CommModel.OUTORDER).ok:
+            if validate(
+                graph, ol, CommModel.OUTORDER, platform=platform, mapping=mapping
+            ).ok:
                 return ol
             return None
         a, b = conflict
@@ -199,6 +209,8 @@ def outorder_schedule(
     *,
     n_candidates: int = 8,
     max_rounds: int = 500,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Plan:
     """Best-effort OUTORDER orchestration (lower bound first, then repair).
 
@@ -214,20 +226,36 @@ def outorder_schedule(
         >>> plan.period, is_certified_optimal(plan)
         (Fraction(7, 1), True)
     """
-    lb = outorder_period_bound(graph)
-    inorder_plan = inorder_schedule(graph)
-    fallback = Plan(graph, inorder_plan.operation_list, CommModel.OUTORDER)
+    lb = outorder_period_bound(graph, platform, mapping)
+    inorder_plan = inorder_schedule(graph, platform=platform, mapping=mapping)
+    fallback = Plan(
+        graph,
+        inorder_plan.operation_list,
+        CommModel.OUTORDER,
+        platform=platform,
+        mapping=inorder_plan.mapping,
+    )
     if inorder_plan.period == lb:
         return fallback
-    base = oneport_latency_schedule(graph).operation_list
+    base = oneport_latency_schedule(
+        graph, platform=platform, mapping=mapping
+    ).operation_list
     candidates: List[Fraction] = [lb]
     span = inorder_plan.period - lb
     for k in range(1, n_candidates):
         candidates.append(lb + span * k / n_candidates)
     for lam in candidates:
-        repaired = repair_schedule(graph, base, lam, max_rounds=max_rounds)
+        repaired = repair_schedule(
+            graph, base, lam, max_rounds=max_rounds, platform=platform, mapping=mapping
+        )
         if repaired is not None:
-            return Plan(graph, repaired, CommModel.OUTORDER)
+            return Plan(
+                graph,
+                repaired,
+                CommModel.OUTORDER,
+                platform=platform,
+                mapping=inorder_plan.mapping,
+            )
     return fallback
 
 
@@ -240,7 +268,7 @@ def is_certified_optimal(plan: Plan) -> bool:
         >>> is_certified_optimal(outorder_schedule(fig1_example().graph))
         True
     """
-    return plan.period == outorder_period_bound(plan.graph)
+    return plan.period == outorder_period_bound(plan.graph, plan.platform, plan.mapping)
 
 
 __all__ = [

@@ -2,14 +2,20 @@
 
 Given an execution graph, the optimal period equals the lower bound
 ``T = max_k max(Cin(k), Ccomp(k), Cout(k))`` and is reached by a simple
-construction: every communication of size ``s`` is assigned the constant
-bandwidth ratio ``s / T`` — it therefore lasts exactly ``T`` time units —
-and data set 0 traverses the graph greedily (each communication starts as
-soon as the producer's computation finishes; each computation starts as
-soon as the last incoming communication finishes).  On any server the
-incoming ratios sum to ``Cin(k) / T <= 1`` and the outgoing ratios to
-``Cout(k) / T <= 1``, so the multi-port capacity is never exceeded and the
-pattern repeats every ``T`` time units without conflict.
+construction: every communication with full-bandwidth transfer time ``t``
+is assigned the constant bandwidth ratio ``t / T`` — it therefore lasts
+exactly ``T`` time units — and data set 0 traverses the graph greedily
+(each communication starts as soon as the producer's computation finishes;
+each computation starts as soon as the last incoming communication
+finishes).  On any server the incoming ratios sum to ``Cin(k) / T <= 1``
+and the outgoing ratios to ``Cout(k) / T <= 1``, so the multi-port
+capacity is never exceeded and the pattern repeats every ``T`` time units
+without conflict.
+
+The construction — and hence Theorem 1 — generalises verbatim to
+heterogeneous platforms: with ``Cin``/``Ccomp``/``Cout`` already expressed
+as *times* (sizes over bandwidths, work over speeds), the same ratio
+assignment achieves ``T`` for any server speeds and link bandwidths.
 
 The construction optimises the *period only*; the resulting latency is
 inflated (every message is stretched to ``T``).  Latency-oriented OVERLAP
@@ -26,10 +32,12 @@ from ..core import (
     CostModel,
     ExecutionGraph,
     INPUT,
+    Mapping,
     OUTPUT,
     Operation,
     OperationList,
     Plan,
+    Platform,
     comm_op,
     comp_op,
 )
@@ -37,7 +45,11 @@ from ..core import (
 ZERO = Fraction(0)
 
 
-def overlap_period_bound(graph: ExecutionGraph) -> Fraction:
+def overlap_period_bound(
+    graph: ExecutionGraph,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Fraction:
     """The optimal OVERLAP period ``T`` of *graph* (Theorem 1).
 
     Example (the Section 2.3 instance)::
@@ -46,11 +58,15 @@ def overlap_period_bound(graph: ExecutionGraph) -> Fraction:
         >>> overlap_period_bound(fig1_example().graph)
         Fraction(4, 1)
     """
-    return CostModel(graph).period_lower_bound(CommModel.OVERLAP)
+    return CostModel(graph, platform, mapping).period_lower_bound(CommModel.OVERLAP)
 
 
 def schedule_period_overlap(
-    graph: ExecutionGraph, period: Optional[Fraction] = None
+    graph: ExecutionGraph,
+    period: Optional[Fraction] = None,
+    *,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
 ) -> Plan:
     """Build the Theorem-1 operation list achieving the optimal period.
 
@@ -65,7 +81,7 @@ def schedule_period_overlap(
         >>> plan.period, plan.is_valid()
         (Fraction(4, 1), True)
     """
-    costs = CostModel(graph)
+    costs = CostModel(graph, platform, mapping)
     T = costs.period_lower_bound(CommModel.OVERLAP)
     if period is not None:
         if period < T:
@@ -95,7 +111,7 @@ def schedule_period_overlap(
         times[comm_op(node, OUTPUT)] = (begin, begin + T)
 
     ol = OperationList(times, lam=T)
-    return Plan(graph, ol, CommModel.OVERLAP)
+    return Plan(graph, ol, CommModel.OVERLAP, platform=platform, mapping=costs.mapping)
 
 
 __all__ = ["overlap_period_bound", "schedule_period_overlap"]

@@ -118,7 +118,7 @@ def simulate_plan(plan: Plan, n_datasets: int = 8) -> SimulationResult:
 
     # 2. resource exclusion / bandwidth on the expanded timeline
     if model.multiport:
-        costs = CostModel(graph)
+        costs = CostModel(graph, plan.platform, plan.mapping)
         for node in graph.nodes:
             for direction in ("in", "out"):
                 events: List[Tuple[Fraction, int, Fraction]] = []
@@ -133,7 +133,7 @@ def simulate_plan(plan: Plan, n_datasets: int = 8) -> SimulationResult:
                     d = ol.duration(op)
                     if d <= 0:
                         continue
-                    ratio = costs.message_size(a, b) / d
+                    ratio = costs.comm_time(a, b) / d
                     for n in range(n_datasets):
                         events.append((ol.begin_n(op, n), 1, ratio))
                         events.append((ol.end_n(op, n), -1, ratio))

@@ -19,9 +19,14 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import Application, ExecutionGraph, make_application
+from ..core import Application, ExecutionGraph, Link, Platform, Server, make_application
 
 DEFAULT_DENOMINATOR = 16
+
+#: Speed/bandwidth values the platform generator draws from (kept to a
+#: small rational menu so downstream arithmetic stays exact and readable).
+SPEED_CHOICES = (Fraction(1, 2), Fraction(1), Fraction(2), Fraction(4))
+BANDWIDTH_CHOICES = (Fraction(1, 4), Fraction(1, 2), Fraction(1), Fraction(2))
 
 
 def _rng(seed) -> np.random.Generator:
@@ -161,6 +166,55 @@ def random_chain(app: Application, seed=0) -> ExecutionGraph:
     return ExecutionGraph.chain(app, order)
 
 
+def alternating_platform(n: int, *, prefix: str = "S") -> Platform:
+    """``n`` servers with speeds cycling 1, 2, 1/2 (deterministic).
+
+    The platform behind the catalog's ``b1het``/``b2het``/``b3het``
+    variants and the ``make bench-platform`` table — one definition so the
+    benchmarks measure exactly the shipped workloads' platform.
+    """
+    speeds = [(Fraction(1), Fraction(2), Fraction(1, 2))[i % 3] for i in range(n)]
+    return Platform.of(speeds=speeds, prefix=prefix)
+
+
+def random_platform(
+    n: int,
+    seed=0,
+    *,
+    speed_choices: Sequence[Fraction] = SPEED_CHOICES,
+    bandwidth_choices: Sequence[Fraction] = BANDWIDTH_CHOICES,
+    link_density: float = 0.3,
+    prefix: str = "S",
+) -> Platform:
+    """A random heterogeneous platform: ``n`` servers, sparse link overrides.
+
+    Speeds are drawn uniformly from *speed_choices*; a ``link_density``
+    share of server pairs get a bandwidth override from
+    *bandwidth_choices* (the rest use the default bandwidth 1).  Fully
+    deterministic given *seed*.
+
+    Example::
+
+        >>> p = random_platform(4, seed=1)
+        >>> len(p), p.is_unit
+        (4, False)
+    """
+    rng = _rng(seed)
+    if n <= 0:
+        raise ValueError("n must be positive")
+    servers = [
+        Server(f"{prefix}{i}", speed_choices[int(rng.integers(0, len(speed_choices)))])
+        for i in range(1, n + 1)
+    ]
+    links = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < link_density:
+                bw = bandwidth_choices[int(rng.integers(0, len(bandwidth_choices)))]
+                links.append(Link(servers[i].name, servers[j].name, bw))
+    return Platform(servers, links)
+
+
 # ---------------------------------------------------------------------------
 # Structured families
 # ---------------------------------------------------------------------------
@@ -231,11 +285,13 @@ def star_instance(
 
 
 __all__ = [
+    "alternating_platform",
     "random_services",
     "random_application",
     "random_execution_graph",
     "random_forest",
     "random_chain",
+    "random_platform",
     "fork_join_instance",
     "layered_instance",
     "star_instance",

@@ -1,0 +1,182 @@
+"""Unit tests for the platform layer: Server/Link/Platform/Mapping + CostModel."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    CostModel,
+    ExecutionGraph,
+    Link,
+    Mapping,
+    Platform,
+    Server,
+    make_application,
+)
+from repro.core import INPUT, OUTPUT, CommModel, platform_fingerprint
+from repro.workloads.paper import b1_counterexample, b2_latency_ports, fig1_example
+
+F = Fraction
+
+
+# ---------------------------------------------------------------------------
+# Platform construction and lookups
+# ---------------------------------------------------------------------------
+
+def test_server_and_link_validation():
+    with pytest.raises(ValueError):
+        Server("S1", 0)
+    with pytest.raises(ValueError):
+        Server("", 1)
+    with pytest.raises(ValueError):
+        Link("S1", "S1", 1)
+    with pytest.raises(ValueError):
+        Link("S1", "S2", F(-1, 2))
+
+
+def test_platform_requires_unique_known_servers():
+    with pytest.raises(ValueError):
+        Platform([Server("S1"), Server("S1")])
+    with pytest.raises(KeyError):
+        Platform([Server("S1")], [Link("S1", "S9", 1)])
+    with pytest.raises(ValueError):
+        Platform([])
+
+
+def test_bandwidth_lookup_symmetric_with_directed_override():
+    p = Platform(
+        [Server("S1"), Server("S2"), Server("S3")],
+        [Link("S1", "S2", F(1, 2)), Link("S2", "S1", F(1, 4))],
+        default_bandwidth=2,
+    )
+    # explicit directions win; unrelated pairs fall back to the default
+    assert p.bandwidth("S1", "S2") == F(1, 2)
+    assert p.bandwidth("S2", "S1") == F(1, 4)
+    assert p.bandwidth("S1", "S3") == F(2)
+    # single-direction links apply symmetrically
+    q = Platform([Server("S1"), Server("S2")], [Link("S1", "S2", F(1, 3))])
+    assert q.bandwidth("S2", "S1") == F(1, 3)
+    with pytest.raises(KeyError):
+        p.bandwidth("S1", "S9")
+
+
+def test_io_links_address_the_outside_world():
+    p = Platform(
+        [Server("S1")],
+        [Link(INPUT, "S1", F(1, 2)), Link("S1", OUTPUT, F(1, 4))],
+    )
+    assert p.bandwidth(INPUT, "S1") == F(1, 2)
+    assert p.bandwidth("S1", OUTPUT) == F(1, 4)
+
+
+def test_homogeneous_and_unit_flags():
+    assert Platform.homogeneous(3).is_unit
+    assert Platform.homogeneous(3).is_homogeneous
+    uniform_fast = Platform.homogeneous(3, speed=2)
+    assert uniform_fast.is_homogeneous and not uniform_fast.is_unit
+    het = Platform.of(speeds=[1, 2])
+    assert not het.is_homogeneous and not het.is_unit
+
+
+def test_fingerprints_separate_het_from_unit():
+    unit_a = Platform.homogeneous(3)
+    unit_b = Platform.homogeneous(7)
+    het = Platform.of(speeds=[1, 2, 1])
+    m = Mapping({"A": "S1"})
+    assert platform_fingerprint(None) == platform_fingerprint(unit_a)
+    assert unit_a.fingerprint() == unit_b.fingerprint() == "unit"
+    assert het.fingerprint() != "unit"
+    assert platform_fingerprint(het, m) != platform_fingerprint(het, None)
+    assert platform_fingerprint(het, m) != platform_fingerprint(None, m)
+
+
+# ---------------------------------------------------------------------------
+# Mapping
+# ---------------------------------------------------------------------------
+
+def test_mapping_injective_and_moves():
+    with pytest.raises(ValueError):
+        Mapping({"A": "S1", "B": "S1"})
+    m = Mapping({"A": "S1", "B": "S2"})
+    assert m.server("A") == "S1"
+    assert m.swapped("A", "B").server("A") == "S2"
+    assert m.reassigned("A", "S3").server("A") == "S3"
+    with pytest.raises(ValueError):
+        m.reassigned("A", "S2")  # B already lives there
+    with pytest.raises(KeyError):
+        m.server("C")
+
+
+def test_mapping_default_and_validate():
+    p = Platform.homogeneous(3)
+    m = Mapping.default(("X", "Y"), p)
+    assert m.items() == (("X", "S1"), ("Y", "S2"))
+    with pytest.raises(ValueError):
+        Mapping.default(("A", "B", "C", "D"), p)
+    with pytest.raises(ValueError):
+        m.validate_on(("X", "Y", "Z"), p)
+    with pytest.raises(ValueError):
+        Mapping({"X": "S9"}).validate_on(("X",), p)
+
+
+# ---------------------------------------------------------------------------
+# CostModel on platforms
+# ---------------------------------------------------------------------------
+
+def _chain2():
+    app = make_application([("A", 2, F(1, 2)), ("B", 4, 1)])
+    return ExecutionGraph.chain(app, ["A", "B"])
+
+
+def test_unit_platform_reproduces_normalised_costs_exactly():
+    for maker in (fig1_example, b2_latency_ports, b1_counterexample):
+        graph = maker().graph
+        plain = CostModel(graph)
+        unit = CostModel(graph, Platform.homogeneous(len(graph.nodes)))
+        for node in graph.nodes:
+            assert plain.ccomp(node) == unit.ccomp(node)
+            assert plain.cin(node) == unit.cin(node)
+            assert plain.cout(node) == unit.cout(node)
+        for model in CommModel:
+            assert plain.period_lower_bound(model) == unit.period_lower_bound(model)
+        assert plain.latency_lower_bound() == unit.latency_lower_bound()
+
+
+def test_speed_scales_ccomp_and_bandwidth_scales_comm():
+    graph = _chain2()
+    platform = Platform.of(
+        speeds=[2, F(1, 2)],
+        links={("S1", "S2"): F(1, 4), (INPUT, "S1"): F(1, 2)},
+    )
+    costs = CostModel(graph, platform)  # default mapping: A->S1, B->S2
+    assert costs.ccomp("A") == F(1)               # work 2 on the speed-2 server
+    # B processes size 1/2 at cost 4 => work 2, on speed 1/2 => 4
+    assert costs.ccomp("B") == F(4)
+    # input message of size 1 over the 1/2-bandwidth input link
+    assert costs.cin("A") == F(2)
+    # A->B message of size 1/2 over the 1/4 link
+    assert costs.comm_time("A", "B") == F(2)
+    assert costs.cout("A") == F(2) and costs.cin("B") == F(2)
+    # output message of B: size 1/2 at default bandwidth 1
+    assert costs.cout("B") == F(1, 2)
+    # message *sizes* stay platform-independent
+    assert costs.message_size("A", "B") == F(1, 2)
+
+
+def test_mapping_changes_costs():
+    graph = _chain2()
+    platform = Platform.of(speeds=[1, 4])
+    swapped = Mapping({"A": "S2", "B": "S1"})
+    default = CostModel(graph, platform)
+    other = CostModel(graph, platform, swapped)
+    assert default.ccomp("B") == F(1, 2)  # work 2 on the speed-4 server
+    assert other.ccomp("B") == F(2)       # same work on the speed-1 server
+    assert other.ccomp("A") == F(1, 2)    # A's work 2 moved to the fast server
+
+
+def test_costmodel_rejects_bad_mapping_or_small_platform():
+    graph = _chain2()
+    with pytest.raises(ValueError):
+        CostModel(graph, Platform.homogeneous(1))
+    with pytest.raises(ValueError):
+        CostModel(graph, Platform.homogeneous(2), Mapping({"A": "S1"}))

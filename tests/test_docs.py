@@ -12,6 +12,8 @@ ROOT = pathlib.Path(__file__).parent.parent
 #: Modules whose docstrings carry runnable examples (the docstring pass).
 DOCTEST_MODULES = [
     "repro",
+    "repro.core.platform",
+    "repro.optimize.placement",
     "repro.planner",
     "repro.planner.cache",
     "repro.planner.catalog",

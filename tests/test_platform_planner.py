@@ -1,0 +1,324 @@
+"""Planner-level platform tests: cache keys, placement search, facade, CLI.
+
+Covers the regression demanded by the heterogeneous-platform issue: the
+evaluation-cache key must discriminate the communication model *and* the
+platform/mapping fingerprint (a heterogeneous solve must never be answered
+from a homogeneous entry), the placement local search must take strictly
+improving reassignment moves, and the documented ``hetdemo`` instance must
+produce a *different* optimal execution graph than its homogeneous
+counterpart.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import ExecutionGraph, Mapping, Platform, make_application
+from repro.core import CommModel, CostModel
+from repro.optimize import (
+    Effort,
+    greedy_mapping,
+    iter_mappings,
+    mapping_space_size,
+    optimize_mapping,
+    placement_local_search,
+)
+from repro.planner import EvaluationCache, evaluation_key, load_platform, solve
+from repro.planner.catalog import load_workload, platform_names
+from repro.workloads import fig1_example
+from repro.__main__ import main as cli_main
+
+F = Fraction
+
+
+# ---------------------------------------------------------------------------
+# Satellite: cache key regression — no cross-model / cross-platform collisions
+# ---------------------------------------------------------------------------
+
+class TestCacheKeys:
+    def test_key_differs_across_models_with_equal_values(self):
+        # INORDER and OUTORDER share the one-port BOUND value (7 on fig1):
+        # equal values must still come from distinct entries.
+        graph = fig1_example().graph
+        cache = EvaluationCache()
+        v_in = cache.objective("period", CommModel.INORDER, Effort.BOUND)(graph)
+        v_out = cache.objective("period", CommModel.OUTORDER, Effort.BOUND)(graph)
+        assert v_in == v_out == F(7)
+        assert cache.misses == 2 and cache.hits == 0
+        assert evaluation_key(
+            "period", graph, CommModel.INORDER, Effort.BOUND
+        ) != evaluation_key("period", graph, CommModel.OUTORDER, Effort.BOUND)
+
+    def test_key_differs_across_objective_kinds(self):
+        graph = fig1_example().graph
+        assert evaluation_key(
+            "period", graph, CommModel.OVERLAP, Effort.HEURISTIC
+        ) != evaluation_key("latency", graph, CommModel.OVERLAP, Effort.HEURISTIC)
+
+    def test_unit_platforms_share_entries_with_none(self):
+        graph = fig1_example().graph
+        cache = EvaluationCache()
+        plain = cache.objective("period", CommModel.OVERLAP)
+        unit = cache.objective(
+            "period", CommModel.OVERLAP, platform=Platform.homogeneous(5)
+        )
+        assert plain(graph) == unit(graph) == F(4)
+        assert cache.misses == 1 and cache.hits == 1  # deliberate sharing
+
+    def test_heterogeneous_never_hits_homogeneous_entries(self):
+        graph = fig1_example().graph
+        het = Platform.of(speeds=[1, 2, 1, F(1, 2), 1])
+        mapping = Mapping.default(graph.nodes, het)
+        cache = EvaluationCache()
+        hom_value = cache.objective("period", CommModel.OVERLAP)(graph)
+        het_obj = cache.objective(
+            "period", CommModel.OVERLAP, platform=het, mapping=mapping
+        )
+        het_value = het_obj(graph)
+        assert cache.misses == 2 and cache.hits == 0
+        assert hom_value == F(4) and het_value == F(8)  # C4 runs at speed 1/2
+
+    def test_distinct_mappings_get_distinct_entries(self):
+        app = make_application([("A", 1, 1), ("B", 9, 1)])
+        graph = ExecutionGraph.empty(app)
+        het = Platform.of(speeds=[1, 3])
+        cache = EvaluationCache()
+        a = cache.objective(
+            "period", CommModel.OVERLAP, platform=het,
+            mapping=Mapping({"A": "S1", "B": "S2"}),
+        )(graph)
+        b = cache.objective(
+            "period", CommModel.OVERLAP, platform=het,
+            mapping=Mapping({"A": "S2", "B": "S1"}),
+        )(graph)
+        assert cache.misses == 2 and cache.hits == 0
+        assert a == F(3) and b == F(9)
+
+    def test_free_mapping_is_keyed_apart_from_pinned(self):
+        graph = ExecutionGraph.empty(make_application([("A", 1, 1), ("B", 9, 1)]))
+        het = Platform.of(speeds=[1, 3])
+        pinned = Mapping({"A": "S2", "B": "S1"})
+        key_free = evaluation_key("period", graph, CommModel.OVERLAP, Effort.HEURISTIC, het)
+        key_pin = evaluation_key(
+            "period", graph, CommModel.OVERLAP, Effort.HEURISTIC, het, pinned
+        )
+        assert key_free != key_pin
+
+
+# ---------------------------------------------------------------------------
+# Satellite: placement search + local-search moves on heterogeneous platforms
+# ---------------------------------------------------------------------------
+
+class TestPlacement:
+    def test_mapping_space_and_enumeration(self):
+        assert mapping_space_size(2, 3) == 6
+        assert mapping_space_size(3, 2) == 0
+        p = Platform.homogeneous(3)
+        assert sum(1 for _ in iter_mappings(("A", "B"), p)) == 6
+
+    def test_greedy_mapping_puts_heavy_work_on_fast_servers(self):
+        app = make_application([("A", 1, 1), ("B", 9, 1), ("C", 5, 1)])
+        graph = ExecutionGraph.empty(app)
+        p = Platform.of(speeds=[1, 4, 2])
+        m = greedy_mapping(graph, p)
+        assert m.server("B") == "S2" and m.server("C") == "S3" and m.server("A") == "S1"
+
+    def test_reassignment_to_faster_idle_server_is_taken(self):
+        # The heavy service starts on a slow server while a strictly faster
+        # one idles: the strictly improving move must never be rejected.
+        app = make_application([("A", 1, 1), ("B", 9, 1)])
+        graph = ExecutionGraph.empty(app)
+        platform = Platform.of(speeds=[1, 1, 3])
+        objective = lambda m: CostModel(graph, platform, m).period_lower_bound(
+            CommModel.OVERLAP
+        )
+        start = Mapping({"A": "S1", "B": "S2"})
+        assert objective(start) == F(9)
+        value, best = placement_local_search(graph, objective, start, platform)
+        assert best.server("B") == "S3"
+        assert value == F(3)
+
+    def test_swap_move_fixes_inverted_assignment(self):
+        # No idle server: only the swap neighbourhood can repair this.
+        app = make_application([("A", 1, 1), ("B", 9, 1)])
+        graph = ExecutionGraph.empty(app)
+        platform = Platform.of(speeds=[1, 3])
+        objective = lambda m: CostModel(graph, platform, m).period_lower_bound(
+            CommModel.OVERLAP
+        )
+        start = Mapping({"A": "S2", "B": "S1"})
+        value, best = placement_local_search(graph, objective, start, platform)
+        assert value == F(3) and best.server("B") == "S2"
+
+    def test_optimize_mapping_exhaustive_matches_enumeration(self):
+        graph = fig1_example().graph
+        het = Platform.of(speeds=[1, 2, 1, F(1, 2), 4], links={("S1", "S3"): F(1, 2)})
+        value, mapping = optimize_mapping(
+            graph, "period", CommModel.OVERLAP, Effort.HEURISTIC, het
+        )
+        brute = min(
+            CostModel(graph, het, m).period_lower_bound(CommModel.OVERLAP)
+            for m in iter_mappings(graph.nodes, het)
+        )
+        assert value == brute
+        assert CostModel(graph, het, mapping).period_lower_bound(
+            CommModel.OVERLAP
+        ) == value
+
+    def test_optimize_mapping_rejects_undersized_platform(self):
+        graph = fig1_example().graph
+        with pytest.raises(ValueError):
+            optimize_mapping(
+                graph, "period", CommModel.OVERLAP, Effort.HEURISTIC,
+                Platform.homogeneous(3),
+            )
+
+    def test_greedy_mapping_rejects_undersized_platform(self):
+        # zip() must not silently truncate to a partial mapping.
+        graph = fig1_example().graph
+        with pytest.raises(ValueError):
+            greedy_mapping(graph, Platform.homogeneous(3))
+
+
+# ---------------------------------------------------------------------------
+# Facade: paper parity on Platform.homogeneous + the documented separation
+# ---------------------------------------------------------------------------
+
+class TestFacadePlatform:
+    def test_fig1_reference_values_on_homogeneous_platform(self):
+        graph = fig1_example().graph
+        hom = Platform.homogeneous(5)
+        for model, want in [
+            ("overlap", F(4)), ("inorder", F(23, 3)), ("outorder", F(7)),
+        ]:
+            result = solve(graph, objective="period", model=model, platform=hom)
+            assert result.value == want
+            assert result.plan is not None and result.plan.is_valid()
+        latency = solve(graph, objective="latency", model="inorder", platform=hom)
+        assert latency.value == F(21)
+
+    def test_appendix_values_on_homogeneous_platform(self):
+        b1 = load_workload("b1")
+        assert solve(
+            b1.graph, model="overlap",
+            platform=Platform.homogeneous(len(b1.application)),
+        ).value == F(100)
+        b2 = load_workload("b2")
+        assert solve(
+            b2.graph, objective="latency", model="overlap",
+            platform=Platform.homogeneous(12),
+        ).value == F(20)
+        b3 = load_workload("b3")
+        assert solve(
+            b3.graph, model="overlap", platform=Platform.homogeneous(8),
+        ).value == F(12)
+
+    def test_hetdemo_optimal_graph_differs_from_homogeneous(self):
+        # The documented separation instance: on the unit platform the
+        # filter chain A->B wins (period 4); on demo2 the 1/100 link makes
+        # any edge prohibitive and the empty forest with B on the speed-4
+        # server wins (period 2).
+        wl = load_workload("hetdemo")
+        hom = solve(wl.application, objective="period", model="overlap")
+        het = solve(
+            wl.application, objective="period", model="overlap",
+            platform=wl.platform,
+        )
+        assert sorted(hom.graph.edges) == [("A", "B")] and hom.value == F(4)
+        assert het.graph.edges == frozenset() and het.value == F(2)
+        assert het.graph.edges != hom.graph.edges
+        assert het.mapping is not None and het.mapping.server("B") == "S2"
+        assert het.plan is not None and het.plan.is_valid()
+        assert het.value == wl.expected["period_overlap_demo2"]
+
+    def test_platform_spec_strings_resolve(self):
+        for spec in platform_names():
+            if spec in ("hom", "het"):
+                spec = f"{spec}:n=4"
+            p = load_platform(spec)
+            assert len(p) >= 2
+        with pytest.raises(ValueError):
+            load_platform("nosuch")
+        with pytest.raises(ValueError):
+            load_platform("het4:n=2")  # named platforms take no options
+
+    def test_solve_accepts_spec_string_and_mapping_dict(self):
+        app = make_application([("A", 1, 1), ("B", 9, 1)])
+        result = solve(
+            app, objective="period", model="overlap",
+            platform="hom:n=2",
+        )
+        assert result.value == F(9) and result.platform_label == "unit"
+        het = solve(
+            ExecutionGraph.empty(app), objective="period", model="overlap",
+            platform=Platform.of(speeds=[1, 3]), mapping={"A": "S1", "B": "S2"},
+        )
+        assert het.value == F(3) and het.mapping.server("B") == "S2"
+
+    def test_mapping_without_platform_is_rejected(self):
+        app = make_application([("A", 1, 1)])
+        with pytest.raises(ValueError):
+            solve(app, mapping={"A": "S1"})
+
+    def test_undersized_platform_is_rejected_early(self):
+        graph = fig1_example().graph
+        with pytest.raises(ValueError):
+            solve(graph, platform=Platform.homogeneous(2))
+
+    def test_chain_solver_rescores_on_heterogeneous_platform(self):
+        # The chain closed forms assume the unit platform; on demo2 the
+        # reported value must be the chain's true platform value (the slow
+        # link makes the A->B edge cost 50), not the unit-platform 4.
+        wl = load_workload("hetdemo")
+        result = solve(
+            wl.application, objective="period", model="overlap",
+            method="chain", platform=wl.platform,
+        )
+        assert result.value == F(50)
+        assert result.stats.extras["unit_chain_value"] == F(4)
+        assert result.scheduled_value == result.value
+
+    def test_simulate_checks_heterogeneous_plans_with_their_platform(self):
+        from repro.scheduling.overlap import schedule_period_overlap
+        from repro.simulate import simulate_plan
+
+        graph = fig1_example().graph
+        het = Platform.of(speeds=[1, 2, 1, F(1, 2), 1], links={("S1", "S2"): F(1, 2)})
+        mapping = Mapping.default(graph.nodes, het)
+        plan = schedule_period_overlap(graph, platform=het, mapping=mapping)
+        result = simulate_plan(plan)
+        assert result.ok, result.violations
+
+    def test_het_variants_solve_with_pinned_mapping(self):
+        for name, objective in (("b2het", "latency"), ("b3het", "period")):
+            wl = load_workload(name)
+            assert wl.platform is not None and wl.mapping is not None
+            result = solve(
+                wl.problem, objective=objective, model="overlap",
+                platform=wl.platform, mapping=wl.mapping,
+            )
+            assert result.value > 0
+            assert result.plan is not None and result.plan.is_valid()
+
+
+# ---------------------------------------------------------------------------
+# CLI smoke: --platform on solve and gallery
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_solve_with_platform_spec(self, capsys):
+        assert cli_main(["solve", "hetdemo", "--remap"]) == 0
+        out = capsys.readouterr().out
+        assert "het(2)" in out
+
+    def test_gallery_platform_smoke(self, capsys):
+        assert cli_main(["gallery", "--platform", "--json"]) == 0
+        out = capsys.readouterr().out
+        for name in ("b1het", "b2het", "b3het", "hetdemo"):
+            assert name in out
+        assert '"plan_valid": true' in out
+
+    def test_list_mentions_platforms(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "het4" in out and "demo2" in out
