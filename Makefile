@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-platform docs gallery install
+.PHONY: test bench bench-platform bench-search docs gallery install
 
 test:            ## unit + integration tests and benchmark assertions
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,9 @@ bench:           ## regenerate the paper tables under benchmarks/results/
 
 bench-platform:  ## heterogeneous-platform scaling table (platform_scaling.txt)
 	$(PYTHON) -m pytest benchmarks/test_bench_platform.py -q
+
+bench-search:    ## branch-and-bound / incremental-delta perf (BENCH_search.json)
+	$(PYTHON) -m pytest benchmarks/test_bench_search.py -q
 
 docs:            ## execute the documented examples (doctests + quickstarts)
 	$(PYTHON) -m pytest tests/test_docs.py -q

@@ -19,7 +19,7 @@ Quickstart — the planner facade is the front door (see
 
     >>> result = solve(app, objective="period", model="overlap")
     >>> result.value, result.method
-    (Fraction(4, 1), 'exhaustive')
+    (Fraction(4, 1), 'branch-and-bound')
 
     Orchestration: keep the chosen graph, schedule it under INORDER.
 

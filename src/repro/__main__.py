@@ -4,6 +4,8 @@ Subcommands
 -----------
 ``solve``    Solve one workload for one objective/model/method.
 ``compare``  Solve a workload over a grid of objectives × models × methods.
+``batch``    Solve many workloads at once, sharded over worker processes
+             (per-shard evaluation caches are merged back).
 ``gallery``  Batch-solve the paper's named instances and report achieved
              versus expected values.
 ``list``     Show the known workload specs and registered solvers.
@@ -14,6 +16,7 @@ Examples::
     python -m repro solve fig1 --platform het4
     python -m repro solve random:n=6,seed=3 --method local-search
     python -m repro compare fig1 --objectives period,latency
+    python -m repro batch fig1 b1 random:n=9,seed=1 --processes 4
     python -m repro gallery --platform --json
 """
 
@@ -34,6 +37,7 @@ from .planner import (
     platform_names,
     registry,
     solve,
+    solve_many,
     workload_names,
 )
 
@@ -126,6 +130,35 @@ def cmd_solve(args: argparse.Namespace) -> int:
         for model in _split(args.model, all_values=[m.value for m in ALL_MODELS])
     ]
     _emit(results, workload, args.json)
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    batch = solve_many(
+        args.workloads,
+        objective=args.objective,
+        model=args.model,
+        method=args.method,
+        effort=args.effort,
+        schedule=not args.no_schedule,
+        platform=load_platform(args.platform) if args.platform else None,
+        processes=args.processes,
+    )
+    if args.json:
+        print(json.dumps(batch.as_dict(), indent=2))
+        return 0
+    rows = [
+        [spec, *_result_row(r)]
+        for spec, r in zip(args.workloads, batch.results)
+    ]
+    print(text_table(["workload", *_HEADERS], rows))
+    stats = batch.stats
+    print(
+        f"\n{len(batch.results)} workloads over {batch.shards} shard(s) "
+        f"({batch.processes} process(es)): {stats.evaluations} evaluations, "
+        f"{stats.cache_hits} cache hits, {batch.merged_entries} cache entries "
+        f"merged, {stats.wall_time:.2f} s"
+    )
     return 0
 
 
@@ -264,6 +297,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--method", default="auto", help="solver name or auto")
     p_solve.add_argument("--effort", default=None, help="bound, heuristic, or exact")
     p_solve.set_defaults(fn=cmd_solve)
+
+    p_batch = sub.add_parser(
+        "batch", help="solve many workloads, sharded over worker processes"
+    )
+    p_batch.add_argument(
+        "workloads", nargs="+",
+        help="workload specs, e.g. fig1 b1 random:n=9,seed=3",
+    )
+    p_batch.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p_batch.add_argument("--objective", default="period", help="period or latency")
+    p_batch.add_argument("--model", default="overlap", help="overlap, inorder or outorder")
+    p_batch.add_argument("--method", default="auto", help="solver name or auto")
+    p_batch.add_argument("--effort", default=None, help="bound, heuristic, or exact")
+    p_batch.add_argument(
+        "--no-schedule", action="store_true",
+        help="skip building the concrete operation lists",
+    )
+    p_batch.add_argument(
+        "--platform", default=None,
+        help="platform spec applied to every workload "
+        "(default: each workload's bundled platform, if any)",
+    )
+    p_batch.add_argument(
+        "--processes", type=int, default=None,
+        help="worker processes (default: min(cpu count, #workloads); 1 = serial)",
+    )
+    p_batch.set_defaults(fn=cmd_batch)
 
     p_cmp = sub.add_parser("compare", help="grid of objectives x models x methods")
     add_common(p_cmp)

@@ -1,5 +1,10 @@
 """Full MinPeriod / MinLatency optimisation: exact search and heuristics."""
 
+from .branch_and_bound import (
+    BBStats,
+    bb_minlatency,
+    bb_minperiod,
+)
 from .chains import (
     brute_force_chain_latency,
     brute_force_chain_period,
@@ -24,6 +29,11 @@ from .exhaustive import (
     iter_forests,
 )
 from .greedy import greedy_forest, greedy_minlatency, greedy_minperiod
+from .incremental import (
+    IncrementalForestPeriod,
+    IncrementalMappingCosts,
+    period_delta,
+)
 from .local_search import (
     local_search_forest,
     local_search_minlatency,
@@ -31,10 +41,12 @@ from .local_search import (
     placement_local_search,
 )
 from .placement import (
+    clear_placement_memo,
     greedy_mapping,
     iter_mappings,
     mapping_space_size,
     optimize_mapping,
+    placement_memo_size,
 )
 from .nocomm import (
     nocomm_latency,
@@ -44,11 +56,17 @@ from .nocomm import (
 )
 
 __all__ = [
+    "BBStats",
     "Effort",
+    "IncrementalForestPeriod",
+    "IncrementalMappingCosts",
+    "bb_minlatency",
+    "bb_minperiod",
     "brute_force_chain_latency",
     "brute_force_chain_period",
     "chain_latency",
     "chain_period",
+    "clear_placement_memo",
     "exhaustive_minlatency",
     "exhaustive_minperiod",
     "greedy_chain_latency_order",
@@ -70,7 +88,9 @@ __all__ = [
     "minlatency_chain",
     "minperiod_chain",
     "optimize_mapping",
+    "period_delta",
     "placement_local_search",
+    "placement_memo_size",
     "nocomm_latency",
     "nocomm_optimal_latency_chain",
     "nocomm_optimal_period_plan",

@@ -1,0 +1,573 @@
+"""Best-first branch-and-bound for exact MinPeriod / MinLatency.
+
+The exhaustive enumerations of :mod:`repro.optimize.exhaustive` score every
+candidate graph — ``(n+1)^(n-1)`` forests for MinPeriod, super-exponentially
+many DAGs for MinLatency — which caps exact answers at tiny ``n``.  Both
+problems admit strong *partial* lower bounds, because every Section-2.1
+quantity is monotone under completion of a partial graph:
+
+* growing a forest by attaching a new node under an already-placed parent
+  never changes the ancestors (hence ``Cin``/``Ccomp``) of placed nodes and
+  can only add outgoing messages (``Cout``);
+* appending a node to a partial DAG with predecessors chosen among placed
+  nodes leaves every placed node's critical-path finish time intact.
+
+So the search explores *states* — partial forests (a parent vector over a
+subset of services) for period, partial DAGs for latency — best-first by a
+lower bound derived from the same ``Cin``/``Ccomp``/``Cout`` algebra as
+:meth:`~repro.core.CostModel.period_lower_bound` and
+:meth:`~repro.core.CostModel.latency_lower_bound`, seeded with a greedy +
+local-search incumbent.  A state whose bound reaches the incumbent is
+pruned with its whole subtree; the search is exact because the bound never
+exceeds the true objective of any completion.
+
+Unplaced services contribute a static floor: service ``j`` processes data
+of size at least ``prod_{i != j, sigma_i < 1} sigma_i`` no matter where it
+ends up, which bounds its ``Ccomp`` (and its one unavoidable outgoing
+message) from below.  On heterogeneous platforms computation bounds divide
+by the hosting (or fastest) server speed and communication bounds by the
+fastest link, so pruning stays valid whether the mapping is pinned or left
+to the placement optimiser.
+
+Entry points: :func:`bb_minperiod` (forests — exact for MinPeriod by
+Proposition 4), :func:`bb_minlatency` (DAGs — optimal latency plans need
+not be forests, Proposition 13).  The planner registers them as the
+``"branch-and-bound"`` solver, which is also the ``method="auto"`` exact
+path (:data:`repro.planner.AUTO_EXHAUSTIVE_MAX`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..core import (
+    INPUT,
+    OUTPUT,
+    Application,
+    CommModel,
+    ExecutionGraph,
+    Mapping,
+    Platform,
+)
+from .evaluation import Effort, Objective
+
+ONE = Fraction(1)
+
+#: DAG-space branch and bound refuses applications larger than this (the
+#: state space still grows super-exponentially; use ``space='forests'`` or
+#: a heuristic beyond it).
+MAX_BB_LATENCY_SERVICES = 7
+
+
+@dataclass
+class BBStats:
+    """Search counters reported in ``PlanResult.stats.extras``.
+
+    ``evaluated`` counts every graph scored through the objective —
+    incumbent seeding included — so it compares honestly against the
+    enumeration baseline's graph count.  ``expanded`` is the number of
+    partial states popped and branched; ``pruned`` the number of generated
+    states discarded because their lower bound already reached the
+    incumbent.  ``limit_hit`` records that the search stopped on
+    *node_limit* rather than by exhausting/pruning the state space (the
+    result is then an uncertified upper bound).
+    """
+
+    expanded: int = 0
+    pruned: int = 0
+    evaluated: int = 0
+    duplicates: int = 0
+    incumbent_updates: int = 0
+    limit_hit: bool = False
+
+    def as_extras(self) -> Dict[str, int]:
+        return {
+            "expanded": self.expanded,
+            "pruned": self.pruned,
+            "evaluated": self.evaluated,
+            "duplicates": self.duplicates,
+            "incumbent_updates": self.incumbent_updates,
+        }
+
+
+class _Scaling:
+    """Per-node lower-bound divisors for a (platform, mapping) pair.
+
+    Unit platforms (and ``platform=None``) divide by nothing — the bounds
+    are bit-for-bit the paper's.  A pinned mapping divides each node's
+    computation by its actual server speed; a free mapping divides by the
+    fastest speed (the best any placement could do).  Communication bounds
+    always divide by the fastest bandwidth reachable anywhere on the
+    platform, which stays below every concrete transfer time.
+    """
+
+    __slots__ = ("comm_div", "_speed", "_default_speed")
+
+    def __init__(
+        self,
+        app: Application,
+        platform: Optional[Platform],
+        mapping: Optional[Mapping],
+    ) -> None:
+        if platform is None or platform.is_unit:
+            self.comm_div = ONE
+            self._speed: Dict[str, Fraction] = {}
+            self._default_speed = ONE
+            return
+        bandwidths = [platform.default_bandwidth]
+        for u in list(platform.names) + [INPUT, OUTPUT]:
+            for v in list(platform.names) + [INPUT, OUTPUT]:
+                if u != v:
+                    bandwidths.append(platform.bandwidth(u, v))
+        self.comm_div = max(bandwidths)
+        max_speed = max(s.speed for s in platform.servers)
+        if mapping is not None:
+            self._speed = {
+                name: platform.speed(mapping.server(name)) for name in app.names
+            }
+        else:
+            self._speed = {}
+        self._default_speed = max_speed
+
+    def speed(self, name: str) -> Fraction:
+        return self._speed.get(name, self._default_speed)
+
+
+def _min_products(app: Application) -> Dict[str, Fraction]:
+    """``minprod[j]``: the smallest possible ancestor-selectivity product.
+
+    Whatever the final graph, the ancestors of ``j`` are a subset of the
+    other services, so the product of their selectivities is at least the
+    product of every *filter* selectivity among them.
+    """
+    filters = [(s.name, s.selectivity) for s in app.services if s.selectivity < 1]
+    total = ONE
+    for _, sigma in filters:
+        total *= sigma
+    out: Dict[str, Fraction] = {}
+    for s in app.services:
+        prod = total
+        if s.selectivity < 1:
+            prod /= s.selectivity
+        out[s.name] = prod
+    return out
+
+
+def _period_floors(
+    app: Application,
+    model: CommModel,
+    scaling: _Scaling,
+    minprod: Dict[str, Fraction],
+) -> Dict[str, Fraction]:
+    """Static per-service lower bound on ``Cexec`` over *all* plans."""
+    floors: Dict[str, Fraction] = {}
+    for s in app.services:
+        cin = min(ONE, minprod[s.name]) / scaling.comm_div
+        ccomp = minprod[s.name] * s.cost / scaling.speed(s.name)
+        cout = minprod[s.name] * s.selectivity / scaling.comm_div
+        if model.overlaps_compute:
+            floors[s.name] = max(cin, ccomp, cout)
+        else:
+            floors[s.name] = cin + ccomp + cout
+    return floors
+
+
+def _latency_floors(
+    app: Application,
+    scaling: _Scaling,
+    minprod: Dict[str, Fraction],
+) -> Dict[str, Fraction]:
+    """Static per-service latency floor: in-message + compute + out-message."""
+    floors: Dict[str, Fraction] = {}
+    for s in app.services:
+        floors[s.name] = (
+            min(ONE, minprod[s.name]) / scaling.comm_div
+            + minprod[s.name] * s.cost / scaling.speed(s.name)
+            + minprod[s.name] * s.selectivity / scaling.comm_div
+        )
+    return floors
+
+
+def _seed_incumbent(
+    app: Application,
+    objective: Objective,
+    *,
+    kind: str,
+    model: CommModel,
+    platform: Optional[Platform],
+    mapping: Optional[Mapping],
+) -> Tuple[Fraction, ExecutionGraph]:
+    """Greedy + reparenting local search: the starting incumbent.
+
+    The closer the incumbent sits to the optimum, the harder the bound
+    prunes — in the common case local search already *is* optimal and the
+    search reduces to a proof of optimality.  Under OVERLAP the local
+    search scores candidates through incremental deltas (the bound is the
+    objective at every effort there); the final graph is always re-scored
+    through *objective* so the incumbent value matches the search's own
+    scoring exactly.
+    """
+    from .greedy import greedy_forest
+    from .incremental import period_delta
+    from .local_search import local_search_forest
+
+    _, seed_graph = greedy_forest(app, objective)
+    delta = None
+    if kind == "period" and model.overlaps_compute:
+        delta = period_delta(
+            seed_graph, model, Effort.HEURISTIC, platform, mapping
+        )
+    _, graph = local_search_forest(seed_graph, objective, delta=delta)
+    return objective(graph), graph
+
+
+# ---------------------------------------------------------------------------
+# MinPeriod over forests
+# ---------------------------------------------------------------------------
+
+class _ForestState:
+    """A partial forest: parent index per placed service (revived lazily).
+
+    ``parents[i]`` is ``UNPLACED``, ``ROOT``, or the index of the parent
+    (which is itself placed).  The key — the tuple itself — is canonical:
+    two insertion orders reaching the same partial forest share it.
+    """
+
+    UNPLACED = -2
+    ROOT = -1
+
+
+def bb_minperiod(
+    app: Application,
+    objective: Objective,
+    *,
+    model: CommModel = CommModel.OVERLAP,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+    incumbent: Optional[Tuple[Fraction, ExecutionGraph]] = None,
+    node_limit: Optional[int] = None,
+) -> Tuple[Fraction, ExecutionGraph, BBStats]:
+    """Exact MinPeriod over forests by best-first branch and bound.
+
+    *objective* scores complete forests (route it through the planner's
+    memo cache); the result optimises exactly the same quantity as
+    ``exhaustive_minperiod`` / the ``"exhaustive"`` solver at the matching
+    effort.  Proposition 4 guarantees the forest space suffices for
+    MinPeriod without precedence constraints.
+
+    *node_limit* caps the number of expanded states; when hit, the current
+    incumbent is returned (still an upper bound, no longer certified
+    optimal — ``stats.expanded`` reaching the limit flags it).
+
+    Example::
+
+        >>> from repro import CommModel, make_application
+        >>> from repro.optimize import make_period_objective
+        >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+        >>> value, graph, stats = bb_minperiod(
+        ...     app, make_period_objective(CommModel.OVERLAP))
+        >>> value, sorted(graph.edges)
+        (Fraction(4, 1), [('A', 'B')])
+    """
+    if app.precedence:
+        raise ValueError("forest branch and bound assumes no precedence constraints")
+    names = list(app.names)
+    n = len(names)
+    index = {name: i for i, name in enumerate(names)}
+    sigma = [app.selectivity(name) for name in names]
+    cost = [app.cost(name) for name in names]
+    scaling = _Scaling(app, platform, mapping)
+    speed = [scaling.speed(name) for name in names]
+    b_div = scaling.comm_div
+    minprod = _min_products(app)
+    floors = _period_floors(app, model, scaling, minprod)
+    floor_list = [floors[name] for name in names]
+    overlap = model.overlaps_compute
+    stats = BBStats()
+
+    def scored(graph: ExecutionGraph) -> Fraction:
+        stats.evaluated += 1
+        return objective(graph)
+
+    def graph_of(parents: Tuple[int, ...]) -> ExecutionGraph:
+        return ExecutionGraph.from_parents(
+            app,
+            {
+                names[i]: (names[p] if p >= 0 else None)
+                for i, p in enumerate(parents)
+                if p != _ForestState.UNPLACED
+            },
+        )
+
+    if incumbent is None:
+        incumbent = _seed_incumbent(
+            app, scored, kind="period", model=model,
+            platform=platform, mapping=mapping,
+        )
+    best_value, best_graph = incumbent
+    if not best_graph.is_forest:
+        raise ValueError("the MinPeriod incumbent must be a forest")
+
+    # Per-node partial term: cin is the parent's out-size (== the node's
+    # ancestor product) or the unit input message for roots; cout counts
+    # the current children plus the one unavoidable output message.
+    def term(anc: Fraction, is_root: bool, children: int, i: int) -> Fraction:
+        cin = (ONE if is_root else anc) / b_div
+        ccomp = anc * cost[i] / speed[i]
+        cout = max(children, 1) * anc * sigma[i] / b_div
+        if overlap:
+            return max(cin, ccomp, cout)
+        return cin + ccomp + cout
+
+    root_bound = max(floor_list) if floor_list else Fraction(0)
+    start: Tuple[int, ...] = tuple([_ForestState.UNPLACED] * n)
+    heap: List[Tuple[Fraction, int, int, Tuple[int, ...]]] = []
+    counter = itertools.count()
+    heapq.heappush(heap, (root_bound, 0, next(counter), start))
+    seen = {start}
+
+    while heap:
+        bound, placed_rank, _, parents = heapq.heappop(heap)
+        if bound >= best_value:
+            break  # every remaining state is at least as bad — optimal
+        if node_limit is not None and stats.expanded >= node_limit:
+            stats.limit_hit = True
+            break
+        stats.expanded += 1
+
+        placed = [i for i, p in enumerate(parents) if p != _ForestState.UNPLACED]
+        unplaced = [i for i, p in enumerate(parents) if p == _ForestState.UNPLACED]
+        # Revive the ancestor products and child counts of the partial forest.
+        anc: Dict[int, Fraction] = {}
+        children: Dict[int, int] = {i: 0 for i in placed}
+
+        def anc_of(i: int) -> Fraction:
+            found = anc.get(i)
+            if found is None:
+                p = parents[i]
+                found = ONE if p == _ForestState.ROOT else anc_of(p) * sigma[p]
+                anc[i] = found
+            return found
+
+        for i in placed:
+            anc_of(i)
+            if parents[i] >= 0:
+                children[parents[i]] += 1
+
+        for u in unplaced:
+            for p in [-1] + placed:
+                if p == _ForestState.ROOT:
+                    anc_u = ONE
+                    new_term = term(anc_u, True, 0, u)
+                    parent_term = None
+                else:
+                    anc_u = anc[p] * sigma[p]
+                    new_term = term(anc_u, False, 0, u)
+                    parent_term = term(
+                        anc[p], parents[p] == _ForestState.ROOT, children[p] + 1, p
+                    )
+                child_bound = bound if new_term <= bound else new_term
+                if parent_term is not None and parent_term > child_bound:
+                    child_bound = parent_term
+                if child_bound >= best_value:
+                    stats.pruned += 1
+                    continue
+                child = list(parents)
+                child[u] = p if p >= 0 else _ForestState.ROOT
+                child_key = tuple(child)
+                if len(placed) + 1 == n:
+                    # Complete forest: score it for real.
+                    if child_key in seen:
+                        stats.duplicates += 1
+                        continue
+                    seen.add(child_key)
+                    graph = graph_of(child_key)
+                    value = scored(graph)
+                    if value < best_value:
+                        best_value, best_graph = value, graph
+                        stats.incumbent_updates += 1
+                    continue
+                if child_key in seen:
+                    stats.duplicates += 1
+                    continue
+                seen.add(child_key)
+                heapq.heappush(
+                    heap,
+                    (child_bound, n - len(placed) - 1, next(counter), child_key),
+                )
+
+    return best_value, best_graph, stats
+
+
+# ---------------------------------------------------------------------------
+# MinLatency over DAGs
+# ---------------------------------------------------------------------------
+
+def bb_minlatency(
+    app: Application,
+    objective: Objective,
+    *,
+    model: CommModel = CommModel.OVERLAP,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+    incumbent: Optional[Tuple[Fraction, ExecutionGraph]] = None,
+    node_limit: Optional[int] = None,
+    max_services: int = MAX_BB_LATENCY_SERVICES,
+) -> Tuple[Fraction, ExecutionGraph, BBStats]:
+    """Exact MinLatency over DAGs by best-first branch and bound.
+
+    States append one service at a time with predecessors chosen among the
+    already-placed services, so every placed node's critical-path finish
+    time is final; the bound adds each node's unavoidable output message
+    and the static floors of the unplaced services.  Optimal latency plans
+    need not be forests (Proposition 13), hence the DAG space.
+
+    Example::
+
+        >>> from repro import CommModel, make_application
+        >>> from repro.optimize import make_latency_objective
+        >>> app = make_application([("A", 1, "1/4"), ("B", 8, 1)])
+        >>> value, graph, stats = bb_minlatency(
+        ...     app, make_latency_objective(CommModel.OVERLAP))
+        >>> value, sorted(graph.edges)
+        (Fraction(9, 2), [('A', 'B')])
+    """
+    if app.precedence:
+        raise ValueError("DAG branch and bound does not support precedence yet")
+    names = list(app.names)
+    n = len(names)
+    if n > max_services:
+        raise ValueError(
+            f"DAG branch and bound is unreasonable for n={n} > {max_services}; "
+            f"use the forest-restricted search or a heuristic"
+        )
+    sigma = [app.selectivity(name) for name in names]
+    cost = [app.cost(name) for name in names]
+    scaling = _Scaling(app, platform, mapping)
+    speed = [scaling.speed(name) for name in names]
+    b_div = scaling.comm_div
+    minprod = _min_products(app)
+    floors = _latency_floors(app, scaling, minprod)
+    floor_list = [floors[name] for name in names]
+    stats = BBStats()
+
+    def scored(graph: ExecutionGraph) -> Fraction:
+        stats.evaluated += 1
+        return objective(graph)
+
+    if incumbent is None:
+        incumbent = _seed_incumbent(
+            app, scored, kind="latency", model=model,
+            platform=platform, mapping=mapping,
+        )
+    best_value, best_graph = incumbent
+
+    # State: (frozenset of placed indices, frozenset of (pred, succ) edges).
+    State = Tuple[frozenset, frozenset]
+    root_bound = max(floor_list) if floor_list else Fraction(0)
+    start: State = (frozenset(), frozenset())
+    heap: List[Tuple[Fraction, int, int, State]] = []
+    counter = itertools.count()
+    heapq.heappush(heap, (root_bound, n, next(counter), start))
+    seen = {start}
+
+    while heap:
+        bound, _, _, (placed, edges) = heapq.heappop(heap)
+        if bound >= best_value:
+            break
+        if node_limit is not None and stats.expanded >= node_limit:
+            stats.limit_hit = True
+            break
+        stats.expanded += 1
+
+        order = sorted(placed)
+        preds: Dict[int, List[int]] = {i: [] for i in order}
+        for a, b in edges:
+            preds[b].append(a)
+        # Critical-path revival: ancestors of placed nodes are final.
+        anc_set: Dict[int, frozenset] = {}
+        anc_prod: Dict[int, Fraction] = {}
+        finish: Dict[int, Fraction] = {}
+        done: set = set()
+        pending = [i for i in order]
+        while pending:
+            i = pending.pop(0)
+            if any(p not in done for p in preds[i]):
+                pending.append(i)
+                continue
+            acc = frozenset().union(*[anc_set[p] | {p} for p in preds[i]]) \
+                if preds[i] else frozenset()
+            anc_set[i] = acc
+            prod = ONE
+            for j in acc:
+                prod *= sigma[j]
+            anc_prod[i] = prod
+            if preds[i]:
+                start_t = max(
+                    finish[p] + anc_prod[p] * sigma[p] / b_div for p in preds[i]
+                )
+            else:
+                start_t = ONE / b_div
+            finish[i] = start_t + prod * cost[i] / speed[i]
+            done.add(i)
+
+        unplaced = [i for i in range(n) if i not in placed]
+        placed_list = list(order)
+        k = len(placed_list)
+        for u in unplaced:
+            for mask in range(1 << k):
+                chosen = [placed_list[j] for j in range(k) if mask >> j & 1]
+                acc = frozenset().union(
+                    *[anc_set[p] | {p} for p in chosen]
+                ) if chosen else frozenset()
+                prod = ONE
+                for j in acc:
+                    prod *= sigma[j]
+                if chosen:
+                    start_t = max(
+                        finish[p] + anc_prod[p] * sigma[p] / b_div for p in chosen
+                    )
+                else:
+                    start_t = ONE / b_div
+                finish_u = start_t + prod * cost[u] / speed[u]
+                new_term = finish_u + prod * sigma[u] / b_div
+                child_bound = bound if new_term <= bound else new_term
+                if child_bound >= best_value:
+                    stats.pruned += 1
+                    continue
+                child: State = (
+                    placed | {u},
+                    edges | {(p, u) for p in chosen},
+                )
+                if child in seen:
+                    stats.duplicates += 1
+                    continue
+                seen.add(child)
+                if len(placed) + 1 == n:
+                    graph = ExecutionGraph(
+                        app,
+                        [(names[a], names[b]) for a, b in child[1]],
+                        check_precedence=False,
+                    )
+                    value = scored(graph)
+                    if value < best_value:
+                        best_value, best_graph = value, graph
+                        stats.incumbent_updates += 1
+                    continue
+                heapq.heappush(
+                    heap, (child_bound, n - len(placed) - 1, next(counter), child)
+                )
+
+    return best_value, best_graph, stats
+
+
+__all__ = [
+    "BBStats",
+    "MAX_BB_LATENCY_SERVICES",
+    "bb_minlatency",
+    "bb_minperiod",
+]

@@ -1,0 +1,430 @@
+"""Delta evaluation for the searches' hot paths (exact-Fraction parity).
+
+The reparenting local search and the placement local search both score
+hundreds of near-identical candidates per pass, and the baseline path
+rebuilds an :class:`~repro.core.ExecutionGraph` plus a full
+:class:`~repro.core.CostModel` for every one of them.  The Section-2.1
+algebra makes that unnecessary:
+
+* **Reparenting** a service ``v`` (moving its subtree under a new parent)
+  rescales the ancestor-selectivity product of every node in ``v``'s
+  subtree by a single factor ``f = P_new(v) / P_old(v)`` — so the
+  subtree's ``Cin``/``Ccomp``/``Cout`` all scale by ``f`` — and only the
+  old and new parents' ``Cout`` (one message removed / added) plus ``v``'s
+  own ``Cin`` need recomputation.  :class:`IncrementalForestPeriod`
+  maintains exactly those quantities.
+* **Reassigning or swapping servers** on a fixed graph leaves every data
+  size untouched; only the moved services' ``Ccomp`` (new speed) and the
+  communication times of their incident edges (new links) change.
+  :class:`IncrementalMappingCosts` recomputes just the touched services.
+
+Both evaluators compute the same value as a fresh
+:meth:`CostModel.period_lower_bound` — bit-for-bit, in exact
+:class:`~fractions.Fraction` arithmetic (property-tested against full
+recomputation).  That bound *is* the period objective for OVERLAP
+(Theorem 1, on any platform) and for ``Effort.BOUND`` under the one-port
+models, which is when the searches engage the delta path; other
+configurations keep the full evaluation.
+
+    >>> from repro import CommModel, ExecutionGraph, make_application
+    >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+    >>> inc = IncrementalForestPeriod(
+    ...     ExecutionGraph.empty(app), model=CommModel.OVERLAP)
+    >>> inc.value()
+    Fraction(8, 1)
+    >>> inc.score_reparent("B", "A")     # trial only — nothing committed
+    Fraction(4, 1)
+    >>> inc.apply_reparent("B", "A")
+    >>> inc.value(), sorted(inc.graph().edges)
+    (Fraction(4, 1), [('A', 'B')])
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core import (
+    INPUT,
+    OUTPUT,
+    CommModel,
+    ExecutionGraph,
+    Mapping,
+    Platform,
+)
+
+ONE = Fraction(1)
+
+
+def _require_supported(
+    platform: Optional[Platform], mapping: Optional[Mapping]
+) -> Tuple[Optional[Platform], Optional[Mapping]]:
+    """Unit platforms collapse to the paper's normalised model."""
+    if platform is None or platform.is_unit:
+        return None, None
+    if mapping is None:
+        raise ValueError(
+            "incremental evaluation on a non-unit platform needs a pinned "
+            "mapping (a free mapping re-optimises the placement per graph)"
+        )
+    return platform, mapping
+
+
+class IncrementalForestPeriod:
+    """Mutable ``Cin``/``Ccomp``/``Cout`` state of a forest, with deltas.
+
+    Parameters mirror :class:`~repro.core.CostModel`: the value maintained
+    is ``max_k Cexec(k)`` where ``Cexec`` is ``max(Cin, Ccomp, Cout)``
+    under OVERLAP and the sum under the one-port models — i.e. exactly
+    ``CostModel(graph, platform, mapping).period_lower_bound(model)``.
+
+    ``score_reparent`` prices a candidate move without committing (``None``
+    when the move would create a cycle); ``apply_reparent`` commits one.
+    """
+
+    def __init__(
+        self,
+        graph: ExecutionGraph,
+        *,
+        model: CommModel = CommModel.OVERLAP,
+        platform: Optional[Platform] = None,
+        mapping: Optional[Mapping] = None,
+    ) -> None:
+        if not graph.is_forest:
+            raise ValueError("incremental reparenting requires a forest")
+        self.app = graph.application
+        if self.app.precedence:
+            raise ValueError("incremental reparenting assumes no precedence")
+        self.model = model
+        self.platform, self.mapping = _require_supported(platform, mapping)
+        self.parents: Dict[str, Optional[str]] = {}
+        self.children: Dict[str, Set[str]] = {n: set() for n in self.app.names}
+        for node in graph.nodes:
+            preds = graph.predecessors(node)
+            parent = preds[0] if preds else None
+            self.parents[node] = parent
+            if parent is not None:
+                self.children[parent].add(node)
+        self._anc: Dict[str, Fraction] = {}
+        self._cin: Dict[str, Fraction] = {}
+        self._ccomp: Dict[str, Fraction] = {}
+        self._cout: Dict[str, Fraction] = {}
+        for node in graph.topological_order:
+            self._recompute(node)
+
+    # -- platform helpers --------------------------------------------------
+    def _bw(self, src: str, dst: str) -> Fraction:
+        if self.platform is None:
+            return ONE
+        endpoints = []
+        for end in (src, dst):
+            if end in (INPUT, OUTPUT):
+                endpoints.append(end)
+            else:
+                endpoints.append(self.mapping.server(end))  # type: ignore[union-attr]
+        return self.platform.bandwidth(endpoints[0], endpoints[1])
+
+    def _speed(self, node: str) -> Fraction:
+        if self.platform is None:
+            return ONE
+        return self.platform.speed(self.mapping.server(node))  # type: ignore[union-attr]
+
+    # -- per-node quantities ----------------------------------------------
+    def _outsize(self, node: str) -> Fraction:
+        return self._anc[node] * self.app.selectivity(node)
+
+    def _cin_of(self, node: str, parent: Optional[str], anc: Fraction) -> Fraction:
+        if parent is None:
+            return ONE / self._bw(INPUT, node)
+        return anc / self._bw(parent, node)
+
+    def _cout_of(
+        self, node: str, anc: Fraction, children: Iterable[str]
+    ) -> Fraction:
+        outsize = anc * self.app.selectivity(node)
+        kids = list(children)
+        if not kids:
+            return outsize / self._bw(node, OUTPUT)
+        return sum(
+            (outsize / self._bw(node, child) for child in kids), Fraction(0)
+        )
+
+    def _recompute(self, node: str) -> None:
+        parent = self.parents[node]
+        anc = ONE if parent is None else self._outsize(parent)
+        self._anc[node] = anc
+        self._cin[node] = self._cin_of(node, parent, anc)
+        self._ccomp[node] = anc * self.app.cost(node) / self._speed(node)
+        self._cout[node] = self._cout_of(node, anc, self.children[node])
+
+    def _cexec(self, cin: Fraction, ccomp: Fraction, cout: Fraction) -> Fraction:
+        if self.model.overlaps_compute:
+            return max(cin, ccomp, cout)
+        return cin + ccomp + cout
+
+    # -- public API --------------------------------------------------------
+    def value(self) -> Fraction:
+        """``max_k Cexec(k)`` of the current forest."""
+        return max(
+            self._cexec(self._cin[n], self._ccomp[n], self._cout[n])
+            for n in self.app.names
+        )
+
+    def subtree(self, node: str) -> List[str]:
+        """*node* plus all its descendants (the set a reparent rescales)."""
+        out = [node]
+        stack = [node]
+        while stack:
+            for child in self.children[stack.pop()]:
+                out.append(child)
+                stack.append(child)
+        return out
+
+    def _trial(
+        self, node: str, new_parent: Optional[str]
+    ) -> Optional[Dict[str, Tuple[Fraction, Fraction, Fraction]]]:
+        """(cin, ccomp, cout) overrides for the move, or ``None`` on a cycle."""
+        old_parent = self.parents[node]
+        if new_parent == old_parent or new_parent == node:
+            return None
+        sub = self.subtree(node)
+        if new_parent is not None and new_parent in sub:
+            return None  # the new parent descends from node: cycle
+        overrides: Dict[str, Tuple[Fraction, Fraction, Fraction]] = {}
+        new_anc = ONE if new_parent is None else self._outsize(new_parent)
+        factor = new_anc / self._anc[node]  # selectivities are > 0
+        for m in sub:
+            if m == node:
+                cin = self._cin_of(node, new_parent, new_anc)
+            else:
+                cin = self._cin[m] * factor
+            overrides[m] = (
+                cin, self._ccomp[m] * factor, self._cout[m] * factor
+            )
+        if old_parent is not None:
+            kids = self.children[old_parent] - {node}
+            overrides[old_parent] = (
+                self._cin[old_parent],
+                self._ccomp[old_parent],
+                self._cout_of(old_parent, self._anc[old_parent], kids),
+            )
+        if new_parent is not None:
+            kids = self.children[new_parent] | {node}
+            overrides[new_parent] = (
+                self._cin[new_parent],
+                self._ccomp[new_parent],
+                self._cout_of(new_parent, self._anc[new_parent], kids),
+            )
+        return overrides
+
+    def score_reparent(self, node: str, new_parent: Optional[str]) -> Optional[Fraction]:
+        """The period bound after moving *node* under *new_parent*.
+
+        ``None`` means the move is invalid (cycle or no-op).  Costs
+        ``O(|subtree| + n)``; nothing is committed.
+        """
+        overrides = self._trial(node, new_parent)
+        if overrides is None:
+            return None
+        best = None
+        for m in self.app.names:
+            cin, ccomp, cout = overrides.get(
+                m, (self._cin[m], self._ccomp[m], self._cout[m])
+            )
+            cexec = self._cexec(cin, ccomp, cout)
+            if best is None or cexec > best:
+                best = cexec
+        assert best is not None
+        return best
+
+    def apply_reparent(self, node: str, new_parent: Optional[str]) -> None:
+        """Commit a reparent previously priced by :meth:`score_reparent`."""
+        overrides = self._trial(node, new_parent)
+        if overrides is None:
+            raise ValueError(
+                f"reparenting {node!r} under {new_parent!r} is not a valid move"
+            )
+        old_parent = self.parents[node]
+        if old_parent is not None:
+            self.children[old_parent].discard(node)
+        if new_parent is not None:
+            self.children[new_parent].add(node)
+        self.parents[node] = new_parent
+        factor_base = self._anc[node]
+        new_anc = ONE if new_parent is None else self._outsize(new_parent)
+        factor = new_anc / factor_base
+        for m in self.subtree(node):
+            self._anc[m] *= factor
+        for m, (cin, ccomp, cout) in overrides.items():
+            self._cin[m], self._ccomp[m], self._cout[m] = cin, ccomp, cout
+
+    def graph(self) -> ExecutionGraph:
+        """The current forest as an :class:`~repro.core.ExecutionGraph`."""
+        return ExecutionGraph.from_parents(self.app, self.parents)
+
+
+def period_delta(
+    graph: ExecutionGraph,
+    model: CommModel,
+    effort,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Optional["IncrementalForestPeriod"]:
+    """An :class:`IncrementalForestPeriod` when it provably computes the
+    period objective for this configuration, else ``None``.
+
+    The maintained quantity is the Section-2.1 bound, which *is* the
+    objective for OVERLAP (Theorem 1, any platform — at every effort) and
+    for the bound effort under the one-port models.  A non-unit platform
+    needs a pinned mapping (a free mapping re-runs the placement optimiser
+    per graph, which a structural delta cannot reproduce).  This is the
+    eligibility rule shared by the local-search solver and the
+    branch-and-bound incumbent seeding.
+    """
+    from .evaluation import Effort
+
+    if model is not CommModel.OVERLAP and effort is not Effort.BOUND:
+        return None
+    if platform is not None and not platform.is_unit and mapping is None:
+        return None
+    if not graph.is_forest or graph.application.precedence:
+        return None
+    return IncrementalForestPeriod(
+        graph, model=model, platform=platform, mapping=mapping
+    )
+
+
+class IncrementalMappingCosts:
+    """Delta evaluation of server reassignments/swaps on a fixed graph.
+
+    Data sizes are structure-only, so changing the mapping never touches
+    ancestor products — only the moved services' ``Ccomp`` (server speed)
+    and the transfer times of their incident messages (link bandwidths).
+    The maintained value is ``CostModel(graph, platform,
+    mapping).period_lower_bound(model)`` for the current mapping.
+
+        >>> from repro import ExecutionGraph, Mapping, Platform, make_application
+        >>> from repro.core import CommModel
+        >>> app = make_application([("A", 1, 1), ("B", 9, 1)])
+        >>> platform = Platform.of(speeds=[1, 1, 3])
+        >>> inc = IncrementalMappingCosts(
+        ...     ExecutionGraph.empty(app), platform,
+        ...     Mapping({"A": "S1", "B": "S2"}), model=CommModel.OVERLAP)
+        >>> inc.value(), inc.score_reassign("B", "S3")
+        (Fraction(9, 1), Fraction(3, 1))
+    """
+
+    def __init__(
+        self,
+        graph: ExecutionGraph,
+        platform: Platform,
+        mapping: Mapping,
+        *,
+        model: CommModel = CommModel.OVERLAP,
+    ) -> None:
+        mapping.validate_on(graph.nodes, platform)
+        self.graph = graph
+        self.platform = platform
+        self.model = model
+        self.assignment: Dict[str, str] = {
+            svc: mapping.server(svc) for svc in graph.nodes
+        }
+        app = graph.application
+        self._anc: Dict[str, Fraction] = {}
+        self._outsize: Dict[str, Fraction] = {}
+        for node in graph.topological_order:
+            prod = ONE
+            for j in graph.ancestors(node):
+                prod *= app.selectivity(j)
+            self._anc[node] = prod
+            self._outsize[node] = prod * app.selectivity(node)
+        self._cexec: Dict[str, Fraction] = {
+            node: self._node_cexec(node, self.assignment) for node in graph.nodes
+        }
+
+    def _node_cexec(self, node: str, assignment: Dict[str, str]) -> Fraction:
+        graph, platform = self.graph, self.platform
+        server = assignment[node]
+        preds = graph.predecessors(node)
+        if preds:
+            cin = sum(
+                (
+                    self._outsize[p] / platform.bandwidth(assignment[p], server)
+                    for p in preds
+                ),
+                Fraction(0),
+            )
+        else:
+            cin = ONE / platform.bandwidth(INPUT, server)
+        ccomp = (
+            self._anc[node] * graph.application.cost(node) / platform.speed(server)
+        )
+        succs = graph.successors(node)
+        if succs:
+            cout = sum(
+                (
+                    self._outsize[node] / platform.bandwidth(server, assignment[s])
+                    for s in succs
+                ),
+                Fraction(0),
+            )
+        else:
+            cout = self._outsize[node] / platform.bandwidth(server, OUTPUT)
+        if self.model.overlaps_compute:
+            return max(cin, ccomp, cout)
+        return cin + ccomp + cout
+
+    def _affected(self, services: Iterable[str]) -> Set[str]:
+        out: Set[str] = set()
+        for svc in services:
+            out.add(svc)
+            out.update(self.graph.predecessors(svc))
+            out.update(self.graph.successors(svc))
+        return out
+
+    def _score(self, trial: Dict[str, str], moved: Iterable[str]) -> Fraction:
+        overrides = {
+            m: self._node_cexec(m, trial) for m in self._affected(moved)
+        }
+        return max(
+            overrides.get(node, self._cexec[node]) for node in self.graph.nodes
+        )
+
+    def _commit(self, trial: Dict[str, str], moved: Iterable[str]) -> None:
+        affected = self._affected(moved)
+        self.assignment = trial
+        for m in affected:
+            self._cexec[m] = self._node_cexec(m, trial)
+
+    # -- public API --------------------------------------------------------
+    def value(self) -> Fraction:
+        """The period bound of the current assignment."""
+        return max(self._cexec.values())
+
+    def mapping(self) -> Mapping:
+        return Mapping(self.assignment)
+
+    def score_reassign(self, service: str, server: str) -> Fraction:
+        """Price moving *service* onto the (idle) *server*."""
+        trial = dict(self.assignment)
+        trial[service] = server
+        return self._score(trial, [service])
+
+    def apply_reassign(self, service: str, server: str) -> None:
+        trial = dict(self.assignment)
+        trial[service] = server
+        self._commit(trial, [service])
+
+    def score_swap(self, a: str, b: str) -> Fraction:
+        """Price exchanging the servers of services *a* and *b*."""
+        trial = dict(self.assignment)
+        trial[a], trial[b] = trial[b], trial[a]
+        return self._score(trial, [a, b])
+
+    def apply_swap(self, a: str, b: str) -> None:
+        trial = dict(self.assignment)
+        trial[a], trial[b] = trial[b], trial[a]
+        self._commit(trial, [a, b])
+
+
+__all__ = ["IncrementalForestPeriod", "IncrementalMappingCosts", "period_delta"]

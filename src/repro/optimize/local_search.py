@@ -8,6 +8,15 @@ analogous walk over service-to-server assignments on a heterogeneous
 platform: move one service to an idle server, or swap two services.  Both
 are first-improvement with a deterministic scan order and terminate
 because the objective strictly decreases and the neighbourhood is finite.
+The scan *resumes* after an accepted move instead of restarting at the
+first service, so one full improvement pass costs one sweep of the
+neighbourhood, not a quadratic number of partial re-sweeps.
+
+Both searches accept a delta evaluator from
+:mod:`repro.optimize.incremental` and then price each candidate move
+without rebuilding a graph or a :class:`~repro.core.CostModel` — the hot
+path of every heuristic solve.  The evaluators are exact (Fraction-level
+parity with full recomputation), so the result is identical either way.
 """
 
 from __future__ import annotations
@@ -16,11 +25,17 @@ from fractions import Fraction
 from typing import Callable, Dict, Optional, Tuple
 
 from ..core import Application, CommModel, ExecutionGraph, Mapping, Platform
+from ..core.graph import CycleError
 from .evaluation import (
     Effort,
     Objective,
     make_latency_objective,
     make_period_objective,
+)
+from .incremental import (
+    IncrementalForestPeriod,
+    IncrementalMappingCosts,
+    period_delta,
 )
 
 
@@ -39,13 +54,20 @@ def local_search_forest(
     objective: Objective,
     *,
     max_moves: int = 200,
+    delta: Optional[IncrementalForestPeriod] = None,
 ) -> Tuple[Fraction, ExecutionGraph]:
     """First-improvement reparenting search from *graph* (a forest).
 
     *objective* is any ``ExecutionGraph -> Fraction`` callable; pass a
     memoized one (``repro.planner.EvaluationCache.objective``) to avoid
-    re-scoring graphs revisited across passes.  Example — starting from
-    the empty forest, the search discovers the filter-first chain::
+    re-scoring graphs revisited across passes.  Passing *delta* (an
+    :class:`~repro.optimize.incremental.IncrementalForestPeriod` built
+    from *graph* for the matching objective) prices candidates in
+    ``O(subtree)`` deltas instead — the objective is then only consulted
+    by the caller for the final graph.  The scan resumes at the service
+    *after* an accepted move and stops once a whole pass finds no
+    improvement.  Example — starting from the empty forest, the search
+    discovers the filter-first chain::
 
         >>> from repro import CommModel, ExecutionGraph, make_application
         >>> from repro.optimize import make_period_objective
@@ -60,30 +82,41 @@ def local_search_forest(
     if app.precedence:
         raise ValueError("local search assumes no precedence constraints")
     parents = _parents_of(graph)
-    current = objective(graph)
+    current = delta.value() if delta is not None else objective(graph)
+    names = list(app.names)
+    n = len(names)
     moves = 0
-    improved = True
-    while improved and moves < max_moves:
-        improved = False
-        for node in app.names:
-            original = parents[node]
-            for candidate in [None] + [p for p in app.names if p != node]:
-                if candidate == original:
-                    continue
+    position = 0
+    stale = 0  # services scanned since the last accepted move
+    while stale < n and moves < max_moves:
+        node = names[position % n]
+        position += 1
+        original = parents[node]
+        accepted = False
+        for candidate in [None] + [p for p in names if p != node]:
+            if candidate == original:
+                continue
+            if delta is not None:
+                val = delta.score_reparent(node, candidate)
+                if val is None:
+                    continue  # candidate creates a cycle
+            else:
                 trial = dict(parents)
                 trial[node] = candidate
                 try:
                     trial_graph = ExecutionGraph.from_parents(app, trial)
-                except Exception:
+                except CycleError:
                     continue  # candidate creates a cycle
                 val = objective(trial_graph)
-                if val < current:
-                    parents, current = trial, val
-                    moves += 1
-                    improved = True
-                    break
-            if improved:
+            if val < current:
+                if delta is not None:
+                    delta.apply_reparent(node, candidate)
+                parents[node] = candidate
+                current = val
+                moves += 1
+                accepted = True
                 break
+        stale = 0 if accepted else stale + 1
     return current, ExecutionGraph.from_parents(app, parents)
 
 
@@ -96,6 +129,8 @@ def local_search_minperiod(
 ) -> Tuple[Fraction, ExecutionGraph]:
     """Reparenting local search on the period objective.
 
+    Uses delta evaluation automatically where it is exact (OVERLAP, or the
+    one-port bound effort — :func:`repro.optimize.incremental.period_delta`).
     Example::
 
         >>> from repro import CommModel, ExecutionGraph, make_application
@@ -104,8 +139,10 @@ def local_search_minperiod(
         ...     ExecutionGraph.empty(app), CommModel.OVERLAP)[0]
         Fraction(4, 1)
     """
+    delta = period_delta(graph, model, effort, None, None)
     return local_search_forest(
-        graph, make_period_objective(model, effort), max_moves=max_moves
+        graph, make_period_objective(model, effort), max_moves=max_moves,
+        delta=delta,
     )
 
 
@@ -138,6 +175,7 @@ def placement_local_search(
     platform: Platform,
     *,
     max_moves: int = 200,
+    evaluator: Optional[IncrementalMappingCosts] = None,
 ) -> Tuple[Fraction, Mapping]:
     """First-improvement search over service-to-server assignments.
 
@@ -151,7 +189,10 @@ def placement_local_search(
 
     *objective* maps a :class:`~repro.core.Mapping` to the value being
     minimised (wire it to the memoized planner objective for free re-scores
-    of revisited placements).
+    of revisited placements).  Passing *evaluator* (an
+    :class:`~repro.optimize.incremental.IncrementalMappingCosts` built
+    from *start* for the matching objective) instead prices each move by
+    recomputing only the touched servers' ``Cin``/``Ccomp``/``Cout``.
 
     Example (the heavy service walks onto the fast idle server)::
 
@@ -170,7 +211,18 @@ def placement_local_search(
     """
     start.validate_on(graph.nodes, platform)
     services = list(start.services())
-    current_value = objective(start)
+
+    def score_reassign(mapping: Mapping, service: str, server: str) -> Fraction:
+        if evaluator is not None:
+            return evaluator.score_reassign(service, server)
+        return objective(mapping.reassigned(service, server))
+
+    def score_swap(mapping: Mapping, a: str, b: str) -> Fraction:
+        if evaluator is not None:
+            return evaluator.score_swap(a, b)
+        return objective(mapping.swapped(a, b))
+
+    current_value = evaluator.value() if evaluator is not None else objective(start)
     current = start
     moves = 0
     improved = True
@@ -180,10 +232,12 @@ def placement_local_search(
         idle = [name for name in platform.names if name not in used]
         for service in services:
             for server in idle:
-                trial = current.reassigned(service, server)
-                value = objective(trial)
+                value = score_reassign(current, service, server)
                 if value < current_value:
-                    current, current_value = trial, value
+                    if evaluator is not None:
+                        evaluator.apply_reassign(service, server)
+                    current = current.reassigned(service, server)
+                    current_value = value
                     moves += 1
                     improved = True
                     break
@@ -193,10 +247,12 @@ def placement_local_search(
             continue
         for i, a in enumerate(services):
             for b in services[i + 1 :]:
-                trial = current.swapped(a, b)
-                value = objective(trial)
+                value = score_swap(current, a, b)
                 if value < current_value:
-                    current, current_value = trial, value
+                    if evaluator is not None:
+                        evaluator.apply_swap(a, b)
+                    current = current.swapped(a, b)
+                    current_value = value
                     moves += 1
                     improved = True
                     break

@@ -40,6 +40,22 @@ _MEMO_MAX_ENTRIES = 50_000
 _memo: "OrderedDict[tuple, Tuple[Fraction, Mapping]]" = OrderedDict()
 
 
+def clear_placement_memo() -> None:
+    """Drop every memoized :func:`optimize_mapping` outcome.
+
+    :func:`repro.planner.clear_default_cache` calls this too, so resetting
+    the planner between benchmark runs or tests also resets the placement
+    memo — previously the module-level table survived and could serve
+    stale placements (and misleading hit counts) across runs.
+    """
+    _memo.clear()
+
+
+def placement_memo_size() -> int:
+    """Number of memoized placement outcomes (for tests and diagnostics)."""
+    return len(_memo)
+
+
 def mapping_space_size(n_services: int, n_servers: int) -> int:
     """Number of injective assignments: ``m * (m-1) * ... * (m-n+1)``."""
     if n_services > n_servers:
@@ -108,7 +124,7 @@ def optimize_mapping(
         >>> value, mapping.server("B")
         (Fraction(3, 1), 'S2')
     """
-    from .evaluation import latency_objective, period_objective
+    from .evaluation import Effort, latency_objective, period_objective
     from .local_search import placement_local_search
 
     if kind not in ("period", "latency"):
@@ -141,8 +157,18 @@ def optimize_mapping(
         outcome = (best_value, best_mapping)
     else:
         seed = greedy_mapping(graph, platform)
+        evaluator = None
+        if kind == "period" and (
+            model is CommModel.OVERLAP or effort is Effort.BOUND
+        ):
+            # The Section-2.1 bound *is* this objective (Theorem 1 for
+            # OVERLAP; by definition for the bound effort), so moves can be
+            # priced by recomputing only the touched servers' costs.
+            from .incremental import IncrementalMappingCosts
+
+            evaluator = IncrementalMappingCosts(graph, platform, seed, model=model)
         outcome = placement_local_search(
-            graph, score, seed, platform, max_moves=max_moves
+            graph, score, seed, platform, max_moves=max_moves, evaluator=evaluator
         )
     _memo[memo_key] = outcome
     if len(_memo) > _MEMO_MAX_ENTRIES:
@@ -152,8 +178,10 @@ def optimize_mapping(
 
 __all__ = [
     "DEFAULT_EXHAUSTIVE_LIMIT",
+    "clear_placement_memo",
     "greedy_mapping",
     "iter_mappings",
     "mapping_space_size",
     "optimize_mapping",
+    "placement_memo_size",
 ]

@@ -17,6 +17,7 @@ See :mod:`repro.planner.facade` for the full API and
 :mod:`repro.planner.registry` for registering custom solvers.
 """
 
+from .batch import BatchResult, solve_many
 from .cache import (
     CachedObjective,
     EvaluationCache,
@@ -43,6 +44,7 @@ from .result import PlanResult, SolverStats
 
 __all__ = [
     "AUTO_EXHAUSTIVE_MAX",
+    "BatchResult",
     "CachedObjective",
     "EvaluationCache",
     "PlanResult",
@@ -62,5 +64,6 @@ __all__ = [
     "register_solver",
     "registry",
     "solve",
+    "solve_many",
     "workload_names",
 ]

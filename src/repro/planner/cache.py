@@ -41,7 +41,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from fractions import Fraction
-from typing import Callable, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
+from typing import Mapping as TypingMapping
 
 from ..core import CommModel, ExecutionGraph, Mapping, Platform, platform_fingerprint
 from ..optimize.evaluation import Effort, latency_objective, period_objective
@@ -124,6 +125,28 @@ class EvaluationCache:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+
+    def snapshot(self) -> Dict[Hashable, Fraction]:
+        """A plain-dict copy of the stored entries (for shipping between
+        processes — keys are content-based, hence picklable)."""
+        return dict(self._store)
+
+    def merge(self, entries: "TypingMapping[Hashable, Fraction]") -> int:
+        """Adopt *entries* (e.g. another cache's :meth:`snapshot`).
+
+        Existing keys win — both sides computed the same canonical value,
+        so which copy survives is irrelevant; the LRU bound still applies.
+        Returns the number of newly adopted entries.
+        """
+        added = 0
+        for key, value in entries.items():
+            if key not in self._store:
+                self._store[key] = value
+                added += 1
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+        return added
 
     def get_or_compute(
         self,
@@ -239,8 +262,17 @@ def default_cache() -> EvaluationCache:
 
 
 def clear_default_cache() -> None:
-    """Reset the process-wide cache (used between benchmark runs/tests)."""
+    """Reset every process-wide memo (used between benchmark runs/tests).
+
+    Besides the evaluation cache this also clears the module-level
+    placement memo of :mod:`repro.optimize.placement` — otherwise a
+    "cold" run after a reset could silently reuse stale placement
+    results and report misleading hit counts.
+    """
+    from ..optimize.placement import clear_placement_memo
+
     _default_cache.clear()
+    clear_placement_memo()
 
 
 __all__ = [

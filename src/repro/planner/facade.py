@@ -23,7 +23,7 @@ Quickstart::
     >>> result.value
     Fraction(4, 1)
     >>> result.method
-    'exhaustive'
+    'branch-and-bound'
     >>> result.plan.is_valid()
     True
 """
@@ -58,9 +58,11 @@ from .result import PlanResult, SolverStats
 
 Problem = Union[Application, ExecutionGraph]
 
-#: ``method="auto"`` uses exact enumeration up to these sizes (forests for
-#: period, DAGs for latency), heuristic search beyond them.
-AUTO_EXHAUSTIVE_MAX = {"period": 5, "latency": MAX_DAG_SERVICES - 1}
+#: ``method="auto"`` answers exactly up to these sizes (forests for
+#: period, DAGs for latency), heuristic search beyond them.  Branch and
+#: bound prunes with Cin/Ccomp/Cout lower bounds, so the exact range
+#: reaches well past the plain-enumeration caps (which were 5 and 4).
+AUTO_EXHAUSTIVE_MAX = {"period": 8, "latency": MAX_DAG_SERVICES}
 
 #: Orchestration methods (fixed graph) and the evaluation effort they map to.
 _GRAPH_EFFORT = {
@@ -185,10 +187,10 @@ def _auto_method(app: Application, objective: str) -> str:
     """Method selection for ``method="auto"`` on the mapping problem.
 
     Small instances (``n <= AUTO_EXHAUSTIVE_MAX[objective]``) are solved
-    exactly by enumeration; larger ones fall back to greedy construction
-    plus reparenting local search.  Precedence-constrained applications
-    must fit the exact DAG enumeration (the forest heuristics assume
-    independent services).
+    exactly by pruned branch and bound; larger ones fall back to greedy
+    construction plus reparenting local search.  Precedence-constrained
+    applications must fit the exact DAG enumeration (branch and bound and
+    the forest heuristics assume independent services).
     """
     n = len(app)
     if app.precedence:
@@ -199,7 +201,7 @@ def _auto_method(app: Application, objective: str) -> str:
             f"n={n} > {MAX_DAG_SERVICES} services"
         )
     if n <= AUTO_EXHAUSTIVE_MAX[objective]:
-        return "exhaustive"
+        return "branch-and-bound"
     return "local-search"
 
 
@@ -333,7 +335,10 @@ def _solve_application(
             f"precedence={bool(app.precedence)})"
         )
     eff = _coerce_effort(
-        effort, Effort.EXACT if method == "exhaustive" else Effort.HEURISTIC
+        effort,
+        Effort.EXACT
+        if method in ("exhaustive", "branch-and-bound")
+        else Effort.HEURISTIC,
     )
     objective_fn = cache.objective(objective, model, eff, platform, mapping)
     value, graph, extras = spec.run(
@@ -390,17 +395,34 @@ def _solve_graph(
         eff = _coerce_effort(effort, Effort.HEURISTIC)
         method = {v: k for k, v in _GRAPH_EFFORT.items()}[eff]
     if method == "auto":
-        # The model's scheduler is authoritative: its value is achieved by
-        # a concrete validated operation list.
-        resolved = _resolve_mapping(
-            graph, objective, model, Effort.HEURISTIC, platform, mapping
-        )
-        plan = build_schedule(graph, objective, model, platform, resolved)
-        value = plan.period if objective == "period" else plan.latency
+        if schedule:
+            # The model's scheduler is authoritative: its value is achieved
+            # by a concrete validated operation list.
+            resolved = _resolve_mapping(
+                graph, objective, model, Effort.HEURISTIC, platform, mapping
+            )
+            plan = build_schedule(graph, objective, model, platform, resolved)
+            value = plan.period if objective == "period" else plan.latency
+            stats = SolverStats(graphs_considered=1)
+        else:
+            # No operation list requested: the memoized heuristic objective
+            # is the same scheduler family's value, so nothing is built and
+            # discarded.  On a non-unit platform the objective already ran
+            # the placement search, so resolving the winning mapping below
+            # is a placement-memo lookup, not a second search.
+            objective_fn = cache.objective(
+                objective, model, Effort.HEURISTIC, platform, mapping
+            )
+            value = objective_fn(graph)
+            resolved = _resolve_mapping(
+                graph, objective, model, Effort.HEURISTIC, platform, mapping
+            )
+            stats = SolverStats(
+                evaluations=objective_fn.misses,
+                cache_hits=objective_fn.hits,
+                graphs_considered=1,
+            )
         method = "schedule"
-        stats = SolverStats(graphs_considered=1)
-        if not schedule:
-            plan = None
     elif method in _GRAPH_EFFORT:
         eff = _coerce_effort(effort, _GRAPH_EFFORT[method])
         objective_fn = cache.objective(objective, model, eff, platform, mapping)

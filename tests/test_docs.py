@@ -15,14 +15,17 @@ DOCTEST_MODULES = [
     "repro.core.platform",
     "repro.optimize.placement",
     "repro.planner",
+    "repro.planner.batch",
     "repro.planner.cache",
     "repro.planner.catalog",
     "repro.planner.facade",
     "repro.planner.registry",
+    "repro.optimize.branch_and_bound",
     "repro.optimize.chains",
     "repro.optimize.evaluation",
     "repro.optimize.exhaustive",
     "repro.optimize.greedy",
+    "repro.optimize.incremental",
     "repro.optimize.local_search",
     "repro.optimize.nocomm",
     "repro.scheduling.inorder",

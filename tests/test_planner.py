@@ -26,6 +26,7 @@ from repro.planner import (
     SolverRegistry,
     load_workload,
     solve,
+    solve_many,
     compare,
 )
 from repro.workloads import fig1_example
@@ -124,11 +125,11 @@ class TestFig1:
 # ---------------------------------------------------------------------------
 
 class TestAutoSelection:
-    def test_small_instance_goes_exhaustive(self):
+    def test_small_instance_goes_branch_and_bound(self):
         n = AUTO_EXHAUSTIVE_MAX["period"]
         app = random_application(n, seed=1)
         result = solve(app, schedule=False)
-        assert result.method == "exhaustive"
+        assert result.method == "branch-and-bound"
         assert result.requested_method == "auto"
 
     def test_large_instance_goes_local_search(self):
@@ -143,7 +144,14 @@ class TestAutoSelection:
         assert solve(app, objective="latency", schedule=False).method == \
             "local-search"
         assert solve(app, objective="period", schedule=False).method == \
-            "exhaustive"
+            "branch-and-bound"
+
+    def test_precedence_still_goes_exhaustive(self):
+        app = make_application(
+            [("A", 1, 1), ("B", 2, 1)], precedence=[("A", "B")]
+        )
+        result = solve(app, schedule=False, cache=EvaluationCache())
+        assert result.method == "exhaustive"
 
     def test_graph_auto_resolves_to_schedule(self, fig1):
         result = solve(fig1.graph, model="overlap")
@@ -304,6 +312,67 @@ class TestCatalog:
 
 
 # ---------------------------------------------------------------------------
+# Batch driver
+# ---------------------------------------------------------------------------
+
+class TestSolveMany:
+    def test_serial_matches_individual_solves(self):
+        specs = ["fig1", "b1", "hetdemo"]
+        batch = solve_many(specs, model="overlap", schedule=False,
+                           processes=1, cache=EvaluationCache())
+        individual = []
+        for spec in specs:
+            wl = load_workload(spec)
+            individual.append(
+                solve(wl.problem, model="overlap", schedule=False,
+                      platform=wl.platform, mapping=wl.mapping,
+                      cache=EvaluationCache()).value
+            )
+        assert [r.value for r in batch.results] == individual
+        assert batch.shards == 1 and batch.processes == 1
+
+    def test_parallel_matches_serial_and_merges_cache(self):
+        specs = [f"random:n=4,seed={s}" for s in range(6)]
+        serial = solve_many(specs, model="overlap", schedule=False,
+                            processes=1, cache=EvaluationCache())
+        cache = EvaluationCache()
+        parallel = solve_many(specs, model="overlap", schedule=False,
+                              processes=2, cache=cache)
+        assert [r.value for r in parallel.results] == \
+            [r.value for r in serial.results]
+        assert parallel.shards == 2
+        # The merged shard caches now answer the same solves for free.
+        assert parallel.merged_entries > 0
+        warm = solve(load_workload(specs[0]).problem, model="overlap",
+                     schedule=False, cache=cache)
+        assert warm.stats.evaluations == 0 and warm.stats.cache_hits > 0
+
+    def test_aggregated_stats_and_order(self):
+        specs = ["random:n=3,seed=1", "fig1", "random:n=3,seed=2"]
+        batch = solve_many(specs, model="overlap", schedule=False,
+                           processes=2, cache=EvaluationCache())
+        assert len(batch.results) == 3
+        # fig1 bundles a fixed graph: the middle result is the graph solve.
+        assert batch.results[1].value == 4
+        assert batch.stats.graphs_considered >= \
+            max(r.stats.graphs_considered for r in batch.results)
+        assert batch.stats.extras["jobs"] == 3
+        payload = json.loads(json.dumps(batch.as_dict()))
+        assert payload["shards"] == batch.shards
+
+    def test_accepts_problem_objects_and_batch_platform(self):
+        app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+        batch = solve_many([app, app], model="overlap", schedule=False,
+                           platform="demo2", processes=1,
+                           cache=EvaluationCache())
+        assert [str(r.value) for r in batch.results] == ["2", "2"]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            solve_many([])
+
+
+# ---------------------------------------------------------------------------
 # PlanResult serialisation
 # ---------------------------------------------------------------------------
 
@@ -366,10 +435,25 @@ class TestCLI:
         assert proc.returncode == 0, proc.stderr
         assert "exhaustive" in proc.stdout
 
+    def test_batch(self):
+        proc = _run_cli("batch", "fig1", "b1", "--no-schedule",
+                        "--processes", "2")
+        assert proc.returncode == 0, proc.stderr
+        assert "fig1" in proc.stdout and "2 workloads" in proc.stdout
+
+    def test_batch_json(self):
+        proc = _run_cli("batch", "fig1", "--json", "--no-schedule",
+                        "--processes", "1")
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["results"][0]["value"] == "4"
+        assert payload["shards"] == 1
+
     def test_list(self):
         proc = _run_cli("list")
         assert proc.returncode == 0, proc.stderr
         assert "local-search" in proc.stdout and "fig1" in proc.stdout
+        assert "branch-and-bound" in proc.stdout
 
     def test_bad_workload_errors_cleanly(self):
         proc = _run_cli("solve", "no-such-workload")
