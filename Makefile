@@ -3,10 +3,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-platform bench-search docs gallery install
+.PHONY: test coverage bench bench-platform bench-search bench-concurrent docs gallery install
 
 test:            ## unit + integration tests and benchmark assertions
 	$(PYTHON) -m pytest -x -q
+
+coverage:        ## tests with a coverage report and an 85% floor on src/repro
+	$(PYTHON) -m pytest tests -q --cov=repro --cov-report=term-missing \
+		--cov-report=xml:benchmarks/results/coverage.xml --cov-fail-under=85
 
 bench:           ## regenerate the paper tables under benchmarks/results/
 	$(PYTHON) -m pytest benchmarks -q
@@ -16,6 +20,9 @@ bench-platform:  ## heterogeneous-platform scaling table (platform_scaling.txt)
 
 bench-search:    ## branch-and-bound / incremental-delta perf (BENCH_search.json)
 	$(PYTHON) -m pytest benchmarks/test_bench_search.py -q
+
+bench-concurrent: ## shared-server multi-app scaling (BENCH_concurrent.json)
+	$(PYTHON) -m pytest benchmarks/test_bench_concurrent.py -q
 
 docs:            ## execute the documented examples (doctests + quickstarts)
 	$(PYTHON) -m pytest tests/test_docs.py -q

@@ -1,19 +1,7 @@
-"""Shared helpers for the benchmark harness.
+"""Benchmark-suite conftest (helpers live in ``bench_helpers``).
 
-Each benchmark regenerates one table/figure/example of the paper, asserts
-the *shape* of the result (who wins, by what factor, where thresholds sit)
-and records a human-readable table under ``benchmarks/results/`` so the
-paper-vs-measured comparison survives pytest's output capture.
+Kept minimal on purpose: two ``conftest`` modules (this one and
+``tests/conftest.py``) must never be imported *by name* from test code —
+the benchmark helpers moved to :mod:`bench_helpers` so the import stays
+unambiguous regardless of pytest's collection order.
 """
-
-import pathlib
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-
-def record(name: str, text: str) -> None:
-    """Write a result table to ``benchmarks/results/<name>.txt`` and echo it."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
-    print(f"\n[{name}]\n{text}")

@@ -13,7 +13,7 @@ from repro.optimize import nocomm_optimal_period_plan
 from repro.scheduling import schedule_period_overlap
 from repro.workloads.paper import b1_application, b1_counterexample, b1_nocomm_plan_graph
 
-from conftest import record
+from bench_helpers import record
 
 
 def evaluate_b1():

@@ -17,7 +17,7 @@ from repro.scheduling import (
 from repro.scheduling.oneport_overlap import pack_bipartite_window
 from repro.workloads.paper import b2_latency_ports
 
-from conftest import record
+from bench_helpers import record
 
 F = Fraction
 

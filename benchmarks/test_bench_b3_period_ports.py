@@ -13,7 +13,7 @@ from repro.scheduling import (
 )
 from repro.workloads.paper import b3_period_ports
 
-from conftest import record
+from bench_helpers import record
 
 
 def evaluate_b3():

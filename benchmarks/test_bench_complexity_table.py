@@ -2,7 +2,7 @@
 
 from repro.analysis import RESULTS, SPECIAL_CASES, count_by_complexity, render_table
 
-from conftest import record
+from bench_helpers import record
 
 
 def test_complexity_table(benchmark):

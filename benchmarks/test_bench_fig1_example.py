@@ -15,7 +15,7 @@ from repro.scheduling import (
 )
 from repro.workloads.paper import fig1_example
 
-from conftest import record
+from bench_helpers import record
 
 F = Fraction
 

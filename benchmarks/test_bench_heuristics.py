@@ -12,7 +12,7 @@ from repro.analysis import text_table
 from repro.planner import EvaluationCache, solve
 from repro.workloads.generators import random_application
 
-from conftest import record
+from bench_helpers import record
 
 F = Fraction
 

@@ -15,7 +15,7 @@ from repro.core import CommModel, CostModel
 from repro.planner import solve
 from repro.workloads.generators import random_application, random_execution_graph
 
-from conftest import record
+from bench_helpers import record
 
 F = Fraction
 

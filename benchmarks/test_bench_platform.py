@@ -20,7 +20,7 @@ from repro.optimize.evaluation import Effort
 from repro.scheduling.overlap import schedule_period_overlap
 from repro.workloads.generators import alternating_platform, star_instance
 
-from conftest import record
+from bench_helpers import record
 
 F = Fraction
 

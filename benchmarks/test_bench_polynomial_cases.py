@@ -21,7 +21,7 @@ from repro.optimize import (
 from repro.scheduling import schedule_period_overlap, tree_latency
 from repro.workloads.generators import random_application, random_forest
 
-from conftest import record
+from bench_helpers import record
 
 F = Fraction
 

@@ -20,7 +20,7 @@ from repro.reductions import (
 from repro.reductions.partition import PartitionInstance
 from repro.reductions.rn3dm import RN3DMInstance, is_solvable
 
-from conftest import record
+from bench_helpers import record
 
 SOLVABLE = RN3DMInstance((2, 4, 6))
 UNSOLVABLE = RN3DMInstance((2, 2, 8, 8))

@@ -30,7 +30,7 @@ from repro.optimize import (
 from repro.planner import EvaluationCache, solve
 from repro.workloads.generators import random_application
 
-from conftest import RESULTS_DIR, record
+from bench_helpers import RESULTS_DIR, record
 
 F = Fraction
 

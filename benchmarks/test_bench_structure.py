@@ -11,7 +11,7 @@ from repro.core import CommModel
 from repro.optimize import Effort, exhaustive_minperiod
 from repro.workloads.generators import random_application
 
-from conftest import record
+from bench_helpers import record
 
 
 def test_prop4_forest_suffices(benchmark):

@@ -29,7 +29,7 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.9",
     install_requires=["numpy"],
-    extras_require={"test": ["pytest", "pytest-benchmark"]},
+    extras_require={"test": ["pytest", "pytest-benchmark", "pytest-cov"]},
     entry_points={"console_scripts": ["repro=repro.__main__:main"]},
     classifiers=[
         "Intended Audience :: Science/Research",

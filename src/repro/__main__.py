@@ -2,13 +2,15 @@
 
 Subcommands
 -----------
-``solve``    Solve one workload for one objective/model/method.
-``compare``  Solve a workload over a grid of objectives × models × methods.
-``batch``    Solve many workloads at once, sharded over worker processes
-             (per-shard evaluation caches are merged back).
-``gallery``  Batch-solve the paper's named instances and report achieved
-             versus expected values.
-``list``     Show the known workload specs and registered solvers.
+``solve``       Solve one workload for one objective/model/method.
+``compare``     Solve a workload over a grid of objectives × models × methods.
+``batch``       Solve many workloads at once, sharded over worker processes
+                (per-shard evaluation caches are merged back).
+``concurrent``  Map several applications (``+``-separated workload specs)
+                onto one shared platform — services may share servers.
+``gallery``     Batch-solve the paper's named instances and report achieved
+                versus expected values.
+``list``        Show the known workload specs and registered solvers.
 
 Examples::
 
@@ -17,6 +19,9 @@ Examples::
     python -m repro solve random:n=6,seed=3 --method local-search
     python -m repro compare fig1 --objectives period,latency
     python -m repro batch fig1 b1 random:n=9,seed=1 --processes 4
+    python -m repro concurrent fig1+fig1 --platform hom:n=3
+    python -m repro concurrent fig1+random:n=4,seed=1 --platform het4 \\
+        --targets 16,8
     python -m repro gallery --platform --json
 """
 
@@ -32,11 +37,13 @@ from .analysis.reporting import format_value, text_table
 from .planner import (
     PlanResult,
     Workload,
+    load_concurrent_workload,
     load_platform,
     load_workload,
     platform_names,
     registry,
     solve,
+    solve_concurrent,
     solve_many,
     workload_names,
 )
@@ -162,6 +169,77 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_targets(text, names):
+    """``--targets``: ``a0-fig1=16,a1-fig1=8`` or positional ``16,8``."""
+    if not text:
+        return None
+    items = [t.strip() for t in text.split(",") if t.strip()]
+    if not items:
+        raise ValueError(f"--targets {text!r} contains no values")
+    if all("=" in t for t in items):
+        targets = {}
+        for item in items:
+            key, value = item.split("=", 1)
+            targets[key.strip()] = value.strip()
+        return targets
+    if any("=" in t for t in items):
+        raise ValueError(
+            "mixed --targets syntax: use either name=value pairs or one "
+            "positional value per application"
+        )
+    if len(items) != len(names):
+        raise ValueError(
+            f"--targets lists {len(items)} value(s) for {len(names)} "
+            f"application(s); expected one per application (in order: "
+            f"{', '.join(names)})"
+        )
+    return dict(zip(names, items))
+
+
+def cmd_concurrent(args: argparse.Namespace) -> int:
+    workload = load_concurrent_workload(args.workload)
+    result = solve_concurrent(
+        workload.multi,
+        platform=load_platform(args.platform),
+        model=args.model,
+        targets=_parse_targets(args.targets, list(workload.multi.names)),
+    )
+    if args.json:
+        print(json.dumps(
+            {"workload": workload.name, "result": result.as_dict()}, indent=2
+        ))
+        return 0
+    print(f"workload: {workload.name} — {workload.description}")
+    print(result.summary())
+    print()
+    rows = [
+        [
+            name,
+            len(result.multi[name].graph.nodes),
+            result.app_periods[name],
+            result.app_latencies[name],
+            result.multi[name].period_target or "-",
+        ]
+        for name in result.multi.names
+    ]
+    print(text_table(
+        ["application", "services", "period", "latency", "target"], rows
+    ))
+    print()
+    loads = ", ".join(
+        f"{u}={format_value(v)}" for u, v in sorted(result.server_loads.items())
+    )
+    print(f"server loads: {loads}")
+    shared = [
+        f"{u}:[{','.join(result.mapping.services_on(u))}]"
+        for u in result.mapping.used_servers()
+        if len(result.mapping.services_on(u)) > 1
+    ]
+    if shared:
+        print(f"shared servers: {'  '.join(shared)}")
+    return 0
+
+
 #: Methods applicable to a fixed execution graph (orchestration).
 _GRAPH_METHODS = ["auto", "exhaustive", "heuristic", "bound"]
 
@@ -257,6 +335,10 @@ def cmd_list(args: argparse.Namespace) -> int:
     for spec in sorted(registry, key=lambda s: s.name):
         print(f"  {spec.name:<14} {spec.description}")
     print("\norchestration methods (fixed graphs): auto, exhaustive, heuristic, bound")
+    print(
+        "\nconcurrent workloads: '+'-join workload specs (fig1+fig1, "
+        "fig1+random:n=4,seed=1) for the `concurrent` subcommand"
+    )
     return 0
 
 
@@ -324,6 +406,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: min(cpu count, #workloads); 1 = serial)",
     )
     p_batch.set_defaults(fn=cmd_batch)
+
+    p_con = sub.add_parser(
+        "concurrent",
+        help="map several applications onto one shared-server platform",
+    )
+    p_con.add_argument(
+        "workload",
+        help="'+'-separated workload specs, e.g. fig1+fig1 or "
+        "fig1+random:n=4,seed=1",
+    )
+    p_con.add_argument(
+        "--platform", required=True,
+        help="platform spec the applications compete for, e.g. hom:n=3 "
+        "or het:n=4,seed=1 (may have fewer servers than services)",
+    )
+    p_con.add_argument(
+        "--model", default="overlap",
+        help="overlap (exact aggregated bound), inorder or outorder",
+    )
+    p_con.add_argument(
+        "--targets", default=None,
+        help="per-application period targets: name=value pairs or one "
+        "value per application in order, e.g. 16,8 — switches the "
+        "objective to max per-server utilisation",
+    )
+    p_con.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p_con.set_defaults(fn=cmd_concurrent)
 
     p_cmp = sub.add_parser("compare", help="grid of objectives x models x methods")
     add_common(p_cmp)

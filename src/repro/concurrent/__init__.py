@@ -1,0 +1,29 @@
+"""Concurrent multi-application mapping on shared servers.
+
+The regime of the paper's sequels: several filtering applications compete
+for one platform, several services may share one server.  This subpackage
+provides the containers and readouts; the shared placement search lives in
+:mod:`repro.optimize.placement` (:func:`~repro.optimize.placement.optimize_shared_mapping`)
+and the planner front door is :func:`repro.planner.solve_concurrent`.
+
+    >>> from repro import ExecutionGraph, Mapping, Platform, make_application
+    >>> from repro.concurrent import ConcurrentCosts, MultiApplication
+    >>> g = ExecutionGraph.empty(make_application([("X", 2, 1)]))
+    >>> multi = MultiApplication([("a", g), ("b", g)])
+    >>> costs = ConcurrentCosts(
+    ...     multi, Platform.homogeneous(1),
+    ...     Mapping.shared({"a.X": "S1", "b.X": "S1"}))
+    >>> costs.system_period(), costs.app_period("a")
+    (Fraction(4, 1), Fraction(2, 1))
+"""
+
+from .costs import ConcurrentCosts
+from .multiapp import SEPARATOR, ConcurrentApp, Member, MultiApplication
+
+__all__ = [
+    "ConcurrentApp",
+    "ConcurrentCosts",
+    "Member",
+    "MultiApplication",
+    "SEPARATOR",
+]

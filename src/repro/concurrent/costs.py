@@ -1,0 +1,169 @@
+"""Aggregated cost readouts for concurrent applications on shared servers.
+
+:class:`ConcurrentCosts` evaluates one shared mapping of a
+:class:`~repro.concurrent.multiapp.MultiApplication` on a platform and
+exposes the quantities the sequels optimise:
+
+* the **system period** — the smallest common period every application can
+  sustain simultaneously: ``max_u Cexec(u)`` over per-server aggregated
+  ``Cin``/``Ccomp``/``Cout`` (intra-server edges free);
+* **per-application periods** — what each application's services demand of
+  their servers, contention from other applications excluded (with each
+  application alone on the platform under the same placement, this is its
+  Theorem-1 optimal period);
+* **per-application latencies** — contention-free critical paths through
+  each application's graph, intra-server edges free;
+* **per-server utilisation** under per-application period targets
+  ``rho_a``: each service's load weighs ``1 / rho_a``; the mapping is
+  feasible iff every server's utilisation is at most 1.
+
+All values are exact :class:`~fractions.Fraction` arithmetic, delegated to
+the shared-mapping :class:`~repro.core.CostModel` aggregation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional, Tuple
+
+from ..core import CommModel, CostModel, Mapping, Platform
+from .multiapp import MultiApplication
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+class ConcurrentCosts:
+    """Readouts of one shared mapping of a multi-application instance.
+
+    Parameters
+    ----------
+    multi:
+        The concurrent applications (combined graph, targets).
+    platform:
+        Server speeds and link bandwidths (unit platforms allowed — the
+        co-location structure still matters).
+    mapping:
+        A shared-capable :class:`~repro.core.Mapping` over the *combined*
+        (namespaced) service names.
+    model:
+        Communication model; OVERLAP is the regime the sequels' bounds are
+        exact for, the one-port models use the serialised sum.
+    """
+
+    def __init__(
+        self,
+        multi: MultiApplication,
+        platform: Platform,
+        mapping: Mapping,
+        *,
+        model: CommModel = CommModel.OVERLAP,
+    ) -> None:
+        self.multi = multi
+        self.platform = platform
+        self.mapping = mapping
+        self.model = model
+        self.costs = CostModel(multi.combined_graph, platform, mapping)
+        self._weights = multi.weights()
+
+    # -- system-wide -----------------------------------------------------------
+    def system_period(self) -> Fraction:
+        """The minimal common period: ``max_u Cexec(u)`` aggregated."""
+        return self.costs.period_lower_bound(self.model)
+
+    def server_loads(self) -> Dict[str, Fraction]:
+        """Per used server: aggregated ``Cexec(u)`` (absolute time)."""
+        return {
+            u: self.costs.server_cexec(u, self.model)
+            for u in self.costs.used_servers()
+        }
+
+    # -- per-application -------------------------------------------------------
+    def _app_sums(
+        self, name: str
+    ) -> Dict[str, Tuple[Fraction, Fraction, Fraction]]:
+        """Per-server (Cin, Ccomp, Cout) sums of one application's services."""
+        sums: Dict[str, Tuple[Fraction, Fraction, Fraction]] = {}
+        for svc in self.multi.app_services(name):
+            server = self.mapping.server(svc)
+            cin, ccomp, cout = (
+                self.costs.cin(svc),
+                self.costs.ccomp(svc),
+                self.costs.cout(svc),
+            )
+            old = sums.get(server, (ZERO, ZERO, ZERO))
+            sums[server] = (old[0] + cin, old[1] + ccomp, old[2] + cout)
+        return sums
+
+    def _combine(self, cin: Fraction, ccomp: Fraction, cout: Fraction) -> Fraction:
+        if self.model.overlaps_compute:
+            return max(cin, ccomp, cout)
+        return cin + ccomp + cout
+
+    def app_period(self, name: str) -> Fraction:
+        """The period application *name* demands under this placement.
+
+        ``max_u`` of the application's own aggregated per-server load —
+        the Theorem-1 bound of the application run alone with the same
+        placement (other applications' services excluded, intra-server
+        edges of the application itself still free).
+        """
+        return max(
+            self._combine(*sums) for sums in self._app_sums(name).values()
+        )
+
+    def app_latency(self, name: str) -> Fraction:
+        """Contention-free critical-path latency of application *name*."""
+        sub_mapping = Mapping.shared(
+            {
+                svc: self.mapping.server(svc)
+                for svc in self.multi.app_services(name)
+            }
+        )
+        sub = CostModel(self.multi.app_graph(name), self.platform, sub_mapping)
+        return sub.latency_lower_bound()
+
+    def app_periods(self) -> Dict[str, Fraction]:
+        return {name: self.app_period(name) for name in self.multi.names}
+
+    def app_latencies(self) -> Dict[str, Fraction]:
+        return {name: self.app_latency(name) for name in self.multi.names}
+
+    # -- utilisation under period targets --------------------------------------
+    def server_utilisation(self, server: str) -> Fraction:
+        """Weighted load of *server*: each service weighs ``1 / rho_a``.
+
+        Under OVERLAP the three directions (receive, compute, send) are
+        independent engines, so the utilisation is their max; under the
+        one-port models the server serialises everything, so they add.
+        Without targets every service weighs ``1``, so the "utilisation"
+        degenerates to the absolute aggregated load.
+        """
+        weights = self._weights or {}
+        cin = ccomp = cout = ZERO
+        for svc in self.costs.server_services(server):
+            w = weights.get(svc, ONE)
+            cin += self.costs.cin(svc) * w
+            ccomp += self.costs.ccomp(svc) * w
+            cout += self.costs.cout(svc) * w
+        return self._combine(cin, ccomp, cout)
+
+    def max_utilisation(self) -> Fraction:
+        """``max_u`` utilisation — the sequels' load-balance objective."""
+        return max(
+            self.server_utilisation(u) for u in self.costs.used_servers()
+        )
+
+    def is_feasible(self) -> bool:
+        """Every period target satisfiable: max utilisation at most 1.
+
+        Without targets every finite mapping is feasible (the system
+        period is finite); with targets, feasibility is the sequels'
+        steady-state condition ``utilisation(u) <= 1`` on every server.
+        """
+        if self._weights is None:
+            return True
+        return self.max_utilisation() <= 1
+
+
+__all__ = ["ConcurrentCosts"]

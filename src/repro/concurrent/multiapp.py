@@ -1,0 +1,271 @@
+"""Concurrent applications sharing one platform (the paper's sequels).
+
+The paper maps one filtering application with one service per server; its
+sequels (Benoit, Casanova, Rehn-Sonigo & Robert, *Resource Allocation
+Strategies for In-Network Stream Processing*, 2008, and *Resource
+Allocation for Multiple Concurrent In-Network Stream-Processing
+Applications*, 2009) study **several applications competing for one
+platform**, with multiple services per server.  :class:`MultiApplication`
+is the container for that regime: it bundles ``K`` named applications
+(each with a fixed execution graph and an optional period target
+``rho_a``) and exposes the *combined instance* — one disjoint-union
+execution graph over namespaced services — that the shared-server
+machinery (:class:`~repro.core.CostModel` aggregation,
+:func:`~repro.optimize.placement.optimize_shared_mapping`) operates on.
+
+Service names are namespaced ``<app>.<service>`` in the combined graph;
+ownership is tracked explicitly, so original names may contain anything.
+
+Example::
+
+    >>> from repro import ExecutionGraph, make_application
+    >>> a = ExecutionGraph.chain(make_application([("X", 1, "1/2"), ("Y", 4, 1)]),
+    ...                          ["X", "Y"])
+    >>> b = ExecutionGraph.empty(make_application([("Z", 3, 1)]))
+    >>> multi = MultiApplication([("left", a), ("right", b)])
+    >>> multi.names
+    ('left', 'right')
+    >>> multi.combined_graph.nodes
+    ('left.X', 'left.Y', 'right.Z')
+    >>> multi.owner("left.Y"), multi.local_name("left.Y")
+    ('left', 'Y')
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ..core import (
+    Application,
+    ExecutionGraph,
+    Mapping,
+    Service,
+    as_fraction,
+)
+
+#: Joins application and service names in the combined graph.
+SEPARATOR = "."
+
+
+@dataclass(frozen=True)
+class ConcurrentApp:
+    """One member application: a name, a fixed execution graph, a target.
+
+    ``period_target`` is the sequels' ``rho_a`` — the period the
+    application must sustain.  ``None`` means "no individual target"
+    (the common-period objective applies).
+    """
+
+    name: str
+    graph: ExecutionGraph
+    period_target: Optional[Fraction] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("application name must be a non-empty string")
+        if SEPARATOR in self.name:
+            raise ValueError(
+                f"application name {self.name!r} must not contain {SEPARATOR!r} "
+                f"(it namespaces the combined service names)"
+            )
+        if self.period_target is not None:
+            target = as_fraction(self.period_target)
+            if target <= 0:
+                raise ValueError(
+                    f"application {self.name!r}: period target must be > 0, "
+                    f"got {target}"
+                )
+            object.__setattr__(self, "period_target", target)
+
+
+Member = Union[ConcurrentApp, Tuple[str, ExecutionGraph], ExecutionGraph]
+
+
+def _coerce_member(member: Member, index: int) -> ConcurrentApp:
+    if isinstance(member, ConcurrentApp):
+        return member
+    if isinstance(member, ExecutionGraph):
+        return ConcurrentApp(f"app{index}", member)
+    name, graph = member
+    return ConcurrentApp(name, graph)
+
+
+class MultiApplication:
+    """``K`` concurrent applications as one combined shared-server instance.
+
+    Parameters
+    ----------
+    members:
+        :class:`ConcurrentApp` objects, ``(name, graph)`` pairs, or bare
+        :class:`~repro.core.ExecutionGraph` objects (auto-named
+        ``app0``, ``app1``, ...).  Names must be unique.
+    """
+
+    def __init__(self, members: Sequence[Member]) -> None:
+        apps = tuple(_coerce_member(m, i) for i, m in enumerate(members))
+        if not apps:
+            raise ValueError("a MultiApplication needs at least one application")
+        names = [a.name for a in apps]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate application names: {dupes}")
+        self.members: Tuple[ConcurrentApp, ...] = apps
+        self._by_name: Dict[str, ConcurrentApp] = {a.name: a for a in apps}
+        self._owner: Dict[str, str] = {}
+        self._local: Dict[str, str] = {}
+        services = []
+        precedence = []
+        app_graphs: Dict[str, ExecutionGraph] = {}
+        all_edges = []
+        for app in apps:
+            graph = app.graph
+            rename = {
+                svc: f"{app.name}{SEPARATOR}{svc}" for svc in graph.application.names
+            }
+            for svc in graph.application:
+                combined = rename[svc.name]
+                services.append(Service(combined, svc.cost, svc.selectivity))
+                self._owner[combined] = app.name
+                self._local[combined] = svc.name
+            app_precedence = [
+                (rename[a], rename[b]) for a, b in graph.application.precedence
+            ]
+            precedence.extend(app_precedence)
+            app_edges = [(rename[a], rename[b]) for a, b in graph.edges]
+            all_edges.extend(app_edges)
+            app_application = Application(
+                tuple(
+                    Service(rename[s.name], s.cost, s.selectivity)
+                    for s in graph.application
+                ),
+                frozenset(app_precedence),
+            )
+            app_graphs[app.name] = ExecutionGraph(app_application, app_edges)
+        self.combined_application = Application(
+            tuple(services), frozenset(precedence)
+        )
+        self.combined_graph = ExecutionGraph(self.combined_application, all_edges)
+        self._app_graphs = app_graphs
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __getitem__(self, name: str) -> ConcurrentApp:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no application named {name!r}") from None
+
+    @property
+    def total_services(self) -> int:
+        """Total service count over all applications."""
+        return len(self.combined_application)
+
+    def app_graph(self, name: str) -> ExecutionGraph:
+        """The member's execution graph over *namespaced* service names."""
+        self[name]
+        return self._app_graphs[name]
+
+    def owner(self, combined_service: str) -> str:
+        """The application owning a combined (namespaced) service name."""
+        try:
+            return self._owner[combined_service]
+        except KeyError:
+            raise KeyError(f"no combined service {combined_service!r}") from None
+
+    def local_name(self, combined_service: str) -> str:
+        """The original (per-application) name of a combined service."""
+        self.owner(combined_service)
+        return self._local[combined_service]
+
+    def app_services(self, name: str) -> Tuple[str, ...]:
+        """The combined (namespaced) service names of one application."""
+        return self.app_graph(name).nodes
+
+    def weights(self) -> Optional[Dict[str, Fraction]]:
+        """``1 / rho_a`` per combined service, or ``None`` without targets.
+
+        These are the weights that turn the aggregated per-server load
+        into a *utilisation* (see
+        :class:`~repro.concurrent.costs.ConcurrentCosts`).  Targets are
+        all-or-nothing: a partially targeted instance raises, because an
+        untargeted application has no defined demand rate — silently
+        defaulting it to ``rho_a = 1`` would let one missing target drive
+        the whole feasibility verdict.
+        """
+        if all(a.period_target is None for a in self.members):
+            return None
+        missing = sorted(
+            a.name for a in self.members if a.period_target is None
+        )
+        if missing:
+            raise ValueError(
+                f"period targets must cover every application; "
+                f"missing: {missing}"
+            )
+        out: Dict[str, Fraction] = {}
+        for app in self.members:
+            weight = Fraction(1) / app.period_target
+            for svc in self.app_services(app.name):
+                out[svc] = weight
+        return out
+
+    def combined_mapping(
+        self, per_app: Dict[str, Union[Mapping, Dict[str, str]]]
+    ) -> Mapping:
+        """Assemble a shared combined mapping from per-application mappings.
+
+        *per_app* maps each application name to a mapping over that
+        application's **original** service names.  The result is a
+        shared-capable :class:`~repro.core.Mapping` over combined names —
+        co-location across applications (or within one) is allowed.
+
+        Example::
+
+            >>> from repro import ExecutionGraph, make_application
+            >>> g = ExecutionGraph.empty(make_application([("X", 1, 1)]))
+            >>> multi = MultiApplication([("a", g), ("b", g)])
+            >>> m = multi.combined_mapping({"a": {"X": "S1"}, "b": {"X": "S1"}})
+            >>> m.is_injective, m.services_on("S1")
+            (False, ('a.X', 'b.X'))
+        """
+        assignment: Dict[str, str] = {}
+        for name in self.names:
+            local = per_app.get(name)
+            if local is None:
+                raise KeyError(f"no mapping given for application {name!r}")
+            for svc, srv in local.items():
+                assignment[f"{name}{SEPARATOR}{svc}"] = srv
+        missing = sorted(set(self.combined_graph.nodes) - set(assignment))
+        if missing:
+            raise ValueError(f"combined mapping misses services: {missing}")
+        return Mapping.shared(assignment)
+
+    def restrict_mapping(self, mapping: Mapping, name: str) -> Mapping:
+        """One application's slice of a combined mapping, original names.
+
+        The slice stays shared-capable: two services of the *same*
+        application may share a server.
+        """
+        return Mapping.shared(
+            {
+                self._local[svc]: mapping.server(svc)
+                for svc in self.app_services(name)
+            }
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{a.name}({len(a.graph.nodes)})" for a in self.members
+        )
+        return f"MultiApplication({inner})"
+
+
+__all__ = ["ConcurrentApp", "Member", "MultiApplication", "SEPARATOR"]

@@ -23,6 +23,15 @@ by the hosting server's speed.  With ``platform=None`` (or any *unit*
 platform such as ``Platform.homogeneous(n)``) every value is bit-for-bit
 the paper's.
 
+A **shared** (non-injective) mapping — several services on one server, the
+regime of the multi-application sequels — changes two things: an edge
+between co-located services costs zero communication time (the data never
+leaves the server), and the period bound aggregates ``Cin``/``Ccomp``/
+``Cout`` per *server* over all co-located services
+(:meth:`CostModel.server_cexec`, :meth:`CostModel.period_lower_bound`).
+For injective mappings both rules degenerate to the paper's formulas
+bit-for-bit.
+
 .. note::
    Appendix A of the paper writes the message size on an edge
    ``(C_i, C_j)`` as ``prod_{k in Ancest_i} sigma_k`` (without ``sigma_i``),
@@ -74,7 +83,9 @@ class CostModel:
         (and ignored) without a platform.
     """
 
-    __slots__ = ("graph", "platform", "mapping", "_anc_sel", "_outsize", "_scaled")
+    __slots__ = (
+        "graph", "platform", "mapping", "_anc_sel", "_outsize", "_scaled", "_shared",
+    )
 
     def __init__(
         self,
@@ -93,8 +104,11 @@ class CostModel:
         self.platform = platform
         self.mapping = mapping
         # Unit platforms take the exact code path of the normalised paper
-        # model: no divisions, identical Fractions.
+        # model: no divisions, identical Fractions.  Shared (non-injective)
+        # mappings always take the platform-aware path: co-location zeroes
+        # intra-server communications even when every speed is 1.
         self._scaled = platform is not None and not platform.is_unit
+        self._shared = mapping is not None and not mapping.is_injective
         app = graph.application
         anc_sel: Dict[str, Fraction] = {}
         outsize: Dict[str, Fraction] = {}
@@ -166,9 +180,18 @@ class CostModel:
 
         Equals :meth:`message_size` on the unit platform.  This is the
         duration of a one-port communication and the minimum duration of a
-        multi-port one (ratio 1).
+        multi-port one (ratio 1).  Under a shared (non-injective) mapping an
+        edge between two services hosted by the *same* server crosses no
+        link and costs zero time — the data never leaves the server.
         """
         size = self.message_size(src, dst)
+        if (
+            self._shared
+            and src not in (INPUT, OUTPUT)
+            and dst not in (INPUT, OUTPUT)
+            and self.mapping.server(src) == self.mapping.server(dst)
+        ):
+            return Fraction(0)
         if not self._scaled:
             return size
         return size / self.link_bandwidth(src, dst)
@@ -179,7 +202,7 @@ class CostModel:
         preds = self.graph.predecessors(node)
         if not preds:
             return self.comm_time(INPUT, node)
-        if not self._scaled:
+        if not self._scaled and not self._shared:
             return sum((self._outsize[p] for p in preds), Fraction(0))
         return sum((self.comm_time(p, node) for p in preds), Fraction(0))
 
@@ -195,26 +218,93 @@ class CostModel:
         succs = self.graph.successors(node)
         if not succs:
             return self.comm_time(node, OUTPUT)
-        if not self._scaled:
+        if not self._scaled and not self._shared:
             return len(succs) * self._outsize[node]
         return sum((self.comm_time(node, s) for s in succs), Fraction(0))
 
     def cexec(self, node: str, model: CommModel) -> Fraction:
-        """Per-server execution time bound under *model* (Section 2.2)."""
+        """Per-service execution time bound under *model* (Section 2.2)."""
         cin, ccomp, cout = self.cin(node), self.ccomp(node), self.cout(node)
+        if model.overlaps_compute:
+            return max(cin, ccomp, cout)
+        return cin + ccomp + cout
+
+    # -- per-server aggregation (shared mappings) ------------------------------
+    def used_servers(self) -> Tuple[str, ...]:
+        """Servers hosting at least one service of the graph (sorted).
+
+        Without a mapping every service is its own server (the paper's
+        regime), so the services themselves are returned.
+        """
+        if self.mapping is None:
+            return tuple(sorted(self.graph.nodes))
+        return tuple(
+            sorted({self.mapping.server(n) for n in self.graph.nodes})
+        )
+
+    def server_services(self, server: str) -> Tuple[str, ...]:
+        """The graph's services hosted by *server* (sorted)."""
+        if self.mapping is None:
+            return (server,) if server in self.graph.nodes else ()
+        nodes = set(self.graph.nodes)
+        return tuple(
+            s for s in self.mapping.services_on(server) if s in nodes
+        )
+
+    def server_cin(self, server: str) -> Fraction:
+        """Aggregated incoming communication time of *server* per data set.
+
+        Sum of ``Cin`` over all co-located services; intra-server edges
+        contribute zero (see :meth:`comm_time`), so only data actually
+        crossing a link is counted.
+        """
+        return sum(
+            (self.cin(n) for n in self.server_services(server)), Fraction(0)
+        )
+
+    def server_ccomp(self, server: str) -> Fraction:
+        """Aggregated computation time of *server* per data set."""
+        return sum(
+            (self.ccomp(n) for n in self.server_services(server)), Fraction(0)
+        )
+
+    def server_cout(self, server: str) -> Fraction:
+        """Aggregated outgoing communication time of *server* per data set."""
+        return sum(
+            (self.cout(n) for n in self.server_services(server)), Fraction(0)
+        )
+
+    def server_cexec(self, server: str, model: CommModel) -> Fraction:
+        """Execution-time bound of *server* over all co-located services.
+
+        Under OVERLAP the three aggregated quantities overlap each other
+        (``max``); under the one-port models the server serialises
+        everything (``sum``).  For an injective mapping this equals
+        :meth:`cexec` of the single hosted service.
+        """
+        cin = self.server_cin(server)
+        ccomp = self.server_ccomp(server)
+        cout = self.server_cout(server)
         if model.overlaps_compute:
             return max(cin, ccomp, cout)
         return cin + ccomp + cout
 
     # -- global lower bounds ---------------------------------------------------
     def period_lower_bound(self, model: CommModel) -> Fraction:
-        """``max_k Cexec(k)`` — a period lower bound valid for *model*.
+        """``max_u Cexec(u)`` — a period lower bound valid for *model*.
 
         Achievable for OVERLAP (Theorem 1, which generalises verbatim to
         heterogeneous platforms — every quantity is already a time); not
         always achievable for the one-port models (Section 2.3's ``23/3``
-        example).
+        example).  Under a shared (non-injective) mapping the max runs over
+        *servers* with their aggregated loads — the steady-state bound of
+        the multi-application sequels; for injective mappings the two
+        formulations coincide service by service.
         """
+        if self._shared:
+            return max(
+                self.server_cexec(u, model) for u in self.used_servers()
+            )
         return max(self.cexec(node, model) for node in self.graph.nodes)
 
     def communication_period_bound(self) -> Fraction:

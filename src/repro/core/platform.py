@@ -286,10 +286,15 @@ class Platform:
 
 
 class Mapping:
-    """An injective assignment of services to servers.
+    """An assignment of services to servers — injective by default.
 
     The paper dedicates one server per service; on a platform with spare
-    servers the unused ones simply idle.  Immutable and hashable; iteration
+    servers the unused ones simply idle.  The sequels (*Resource Allocation
+    for Multiple Concurrent In-Network Stream-Processing Applications*)
+    lift the restriction: several services — possibly from different
+    applications — may share one server.  Pass ``shared=True`` (or use
+    :meth:`shared`) to allow that explicitly; the plain constructor keeps
+    rejecting accidental co-location.  Immutable and hashable; iteration
     order follows the sorted service names.
 
     Example::
@@ -299,21 +304,35 @@ class Mapping:
         (('A', 'S2'), ('B', 'S1'))
         >>> m.services(), m.used_servers()
         (('A', 'B'), ('S1', 'S2'))
+        >>> s = Mapping.shared({"A": "S1", "B": "S1"})
+        >>> s.is_injective, s.services_on("S1")
+        (False, ('A', 'B'))
     """
 
-    __slots__ = ("_assignment", "_items")
+    __slots__ = ("_assignment", "_items", "_allow_shared", "_injective")
 
-    def __init__(self, assignment: TypingMapping[str, str]) -> None:
+    def __init__(
+        self, assignment: TypingMapping[str, str], *, shared: bool = False
+    ) -> None:
         assignment = dict(assignment)
         servers = list(assignment.values())
-        if len(set(servers)) != len(servers):
-            shared = sorted({s for s in servers if servers.count(s) > 1})
+        injective = len(set(servers)) == len(servers)
+        if not injective and not shared:
+            dupes = sorted({s for s in servers if servers.count(s) > 1})
             raise ValueError(
                 f"mapping must be injective (one service per server); "
-                f"servers {shared} host several services"
+                f"servers {dupes} host several services "
+                f"(pass shared=True for concurrent shared-server mappings)"
             )
         self._assignment: Dict[str, str] = assignment
         self._items: Tuple[Tuple[str, str], ...] = tuple(sorted(assignment.items()))
+        self._allow_shared = bool(shared)
+        self._injective = injective
+
+    @classmethod
+    def shared(cls, assignment: TypingMapping[str, str]) -> "Mapping":
+        """A possibly many-to-one mapping (services may share servers)."""
+        return cls(assignment, shared=True)
 
     @classmethod
     def default(cls, services: Sequence[str], platform: Platform) -> "Mapping":
@@ -337,22 +356,36 @@ class Mapping:
         return tuple(name for name, _ in self._items)
 
     def used_servers(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._assignment.values()))
+        """The distinct servers hosting at least one service (sorted)."""
+        return tuple(sorted(set(self._assignment.values())))
 
-    def items(self) -> Tuple[Tuple[str, str], ...]:
-        return self._items
+    def services_on(self, server: str) -> Tuple[str, ...]:
+        """The services hosted by *server*, in sorted order."""
+        return tuple(svc for svc, srv in self._items if srv == server)
+
+    @property
+    def is_injective(self) -> bool:
+        """True when no two services share a server (the paper's regime)."""
+        return self._injective
 
     def reassigned(self, service: str, server: str) -> "Mapping":
-        """A copy with *service* moved to *server* (must stay injective)."""
+        """A copy with *service* moved to *server*.
+
+        Shared-capable mappings stay shared-capable; a plain mapping must
+        stay injective.
+        """
         assignment = dict(self._assignment)
         assignment[service] = server
-        return Mapping(assignment)
+        return Mapping(assignment, shared=self._allow_shared)
 
     def swapped(self, a: str, b: str) -> "Mapping":
         """A copy with the servers of services *a* and *b* exchanged."""
         assignment = dict(self._assignment)
         assignment[a], assignment[b] = assignment[b], assignment[a]
-        return Mapping(assignment)
+        return Mapping(assignment, shared=self._allow_shared)
+
+    def items(self) -> Tuple[Tuple[str, str], ...]:
+        return self._items
 
     def validate_on(self, services: Iterable[str], platform: Platform) -> None:
         """Raise unless every service is mapped onto a platform server."""
@@ -395,9 +428,18 @@ def platform_fingerprint(
     mapping is irrelevant there — all servers are identical); non-unit
     platforms key on their full content plus the mapping (or ``"*"`` when
     the mapping is left free for the placement optimiser).
+
+    A **non-injective** mapping never collapses: on a unit platform the
+    identity of the servers is still irrelevant, but *which services are
+    co-located* changes every aggregated cost (intra-server edges are
+    free, per-server loads add up), so the full many-to-one assignment is
+    always part of the fingerprint.  Two shared mappings that co-locate
+    different service pairs on the same platform must never share a cache
+    entry.
     """
+    shared = mapping is not None and not mapping.is_injective
     if platform is None or platform.is_unit:
-        return "unit"
+        return ("unit", mapping.key()) if shared else "unit"
     return (platform.key(), mapping.key() if mapping is not None else "*")
 
 

@@ -32,6 +32,7 @@ from .greedy import greedy_forest, greedy_minlatency, greedy_minperiod
 from .incremental import (
     IncrementalForestPeriod,
     IncrementalMappingCosts,
+    IncrementalSharedCosts,
     period_delta,
 )
 from .local_search import (
@@ -39,14 +40,19 @@ from .local_search import (
     local_search_minlatency,
     local_search_minperiod,
     placement_local_search,
+    shared_placement_local_search,
 )
 from .placement import (
     clear_placement_memo,
     greedy_mapping,
+    greedy_shared_mapping,
     iter_mappings,
+    iter_shared_mappings,
     mapping_space_size,
     optimize_mapping,
+    optimize_shared_mapping,
     placement_memo_size,
+    shared_space_size,
 )
 from .nocomm import (
     nocomm_latency,
@@ -60,6 +66,7 @@ __all__ = [
     "Effort",
     "IncrementalForestPeriod",
     "IncrementalMappingCosts",
+    "IncrementalSharedCosts",
     "bb_minlatency",
     "bb_minperiod",
     "brute_force_chain_latency",
@@ -73,11 +80,13 @@ __all__ = [
     "greedy_chain_period_order",
     "greedy_forest",
     "greedy_mapping",
+    "greedy_shared_mapping",
     "greedy_minlatency",
     "greedy_minperiod",
     "iter_dags",
     "iter_forests",
     "iter_mappings",
+    "iter_shared_mappings",
     "latency_objective",
     "local_search_forest",
     "local_search_minlatency",
@@ -88,9 +97,12 @@ __all__ = [
     "minlatency_chain",
     "minperiod_chain",
     "optimize_mapping",
+    "optimize_shared_mapping",
     "period_delta",
     "placement_local_search",
     "placement_memo_size",
+    "shared_placement_local_search",
+    "shared_space_size",
     "nocomm_latency",
     "nocomm_optimal_latency_chain",
     "nocomm_optimal_period_plan",

@@ -50,9 +50,16 @@ def _normalise(
     """Unit platforms evaluate exactly like ``platform=None`` — collapse them.
 
     This keeps the fast normalised code path (and shared cache entries) for
-    ``Platform.homogeneous(n)``, the paper's platform.
+    ``Platform.homogeneous(n)``, the paper's platform.  A shared
+    (non-injective) mapping is *never* collapsed: co-location zeroes
+    intra-server communications and aggregates per-server loads even when
+    every speed and bandwidth is 1.
     """
-    if platform is not None and platform.is_unit:
+    if (
+        platform is not None
+        and platform.is_unit
+        and (mapping is None or mapping.is_injective)
+    ):
         return None, None
     return platform, mapping
 
@@ -100,6 +107,11 @@ def period_objective(
     if model is CommModel.OVERLAP:
         return costs.period_lower_bound(model)
     if effort is Effort.BOUND:
+        return costs.period_lower_bound(model)
+    if mapping is not None and not mapping.is_injective:
+        # Shared servers: the one-port orchestration schedulers assume one
+        # service per server; the aggregated steady-state bound is the
+        # analytic readout of the concurrent regime.
         return costs.period_lower_bound(model)
     if model is CommModel.INORDER:
         if effort is Effort.EXACT and order_space_size(graph) <= 50_000:
@@ -149,6 +161,11 @@ def latency_objective(
 
         value, _ = optimize_mapping(graph, "latency", model, effort, platform)
         return value
+    if mapping is not None and not mapping.is_injective:
+        # Shared servers: Algorithm 1 and the one-port schedulers assume
+        # one service per server; the critical path with free intra-server
+        # edges is the concurrent regime's analytic readout.
+        return CostModel(graph, platform, mapping).latency_lower_bound()
     if graph.is_forest:
         return tree_latency(graph, platform=platform, mapping=mapping)
     costs = CostModel(graph, platform, mapping)

@@ -42,7 +42,7 @@ configurations keep the full evaluation.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core import (
     INPUT,
@@ -60,6 +60,11 @@ def _require_supported(
     platform: Optional[Platform], mapping: Optional[Mapping]
 ) -> Tuple[Optional[Platform], Optional[Mapping]]:
     """Unit platforms collapse to the paper's normalised model."""
+    if mapping is not None and not mapping.is_injective:
+        raise ValueError(
+            "incremental reparenting assumes an injective mapping; use "
+            "IncrementalSharedCosts for shared-server (concurrent) mappings"
+        )
     if platform is None or platform.is_unit:
         return None, None
     if mapping is None:
@@ -287,6 +292,8 @@ def period_delta(
         return None
     if platform is not None and not platform.is_unit and mapping is None:
         return None
+    if mapping is not None and not mapping.is_injective:
+        return None
     if not graph.is_forest or graph.application.precedence:
         return None
     return IncrementalForestPeriod(
@@ -294,14 +301,214 @@ def period_delta(
     )
 
 
-class IncrementalMappingCosts:
-    """Delta evaluation of server reassignments/swaps on a fixed graph.
+class IncrementalSharedCosts:
+    """Delta evaluation of shared-server (non-injective) mappings.
 
-    Data sizes are structure-only, so changing the mapping never touches
-    ancestor products — only the moved services' ``Ccomp`` (server speed)
-    and the transfer times of their incident messages (link bandwidths).
-    The maintained value is ``CostModel(graph, platform,
-    mapping).period_lower_bound(model)`` for the current mapping.
+    The concurrent-applications regime maps several services — possibly
+    from different applications — onto one server.  The maintained value is
+    the aggregated steady-state bound
+    ``max_u Cexec(u)`` of :meth:`CostModel.server_cexec
+    <repro.core.CostModel.server_cexec>`: per server, ``Cin``/``Ccomp``/
+    ``Cout`` *sum* over co-located services (intra-server edges cost zero
+    communication), combined by ``max`` under OVERLAP and by ``+`` under
+    the one-port models — i.e. exactly ``CostModel(graph, platform,
+    mapping).period_lower_bound(model)`` for the current shared mapping.
+
+    Optional *weights* scale each service's three quantities (the
+    concurrent planner passes ``1 / period_target`` of the owning
+    application, turning the value into the max per-server *utilisation*).
+
+    Moving one service touches only that service's triple, its graph
+    neighbours' triples (their links to it change), and the per-server sums
+    of the affected servers — so a reassign/swap is priced in
+    ``O(degree)`` instead of a full recompute (exact-Fraction parity,
+    property-tested).
+
+        >>> from repro import ExecutionGraph, Mapping, Platform, make_application
+        >>> from repro.core import CommModel
+        >>> app = make_application([("A", 2, 1), ("B", 3, 1)])
+        >>> inc = IncrementalSharedCosts(
+        ...     ExecutionGraph.empty(app), Platform.homogeneous(2),
+        ...     Mapping.shared({"A": "S1", "B": "S1"}))
+        >>> inc.value(), inc.score_reassign("B", "S2")
+        (Fraction(5, 1), Fraction(3, 1))
+    """
+
+    def __init__(
+        self,
+        graph: ExecutionGraph,
+        platform: Platform,
+        mapping: Mapping,
+        *,
+        model: CommModel = CommModel.OVERLAP,
+        weights: Optional[Dict[str, Fraction]] = None,
+    ) -> None:
+        mapping.validate_on(graph.nodes, platform)
+        self.graph = graph
+        self.platform = platform
+        self.model = model
+        self.weights = dict(weights) if weights else {}
+        self.assignment: Dict[str, str] = {
+            svc: mapping.server(svc) for svc in graph.nodes
+        }
+        app = graph.application
+        self._outsize: Dict[str, Fraction] = {}
+        self._work: Dict[str, Fraction] = {}
+        for node in graph.topological_order:
+            prod = ONE
+            for j in graph.ancestors(node):
+                prod *= app.selectivity(j)
+            self._outsize[node] = prod * app.selectivity(node)
+            self._work[node] = prod * app.cost(node)
+        self._triple: Dict[str, Tuple[Fraction, Fraction, Fraction]] = {}
+        self._sums: Dict[str, List[Fraction]] = {}
+        for node in graph.nodes:
+            self._triple[node] = self._node_triple(node, self.assignment)
+        self._rebuild_sums()
+
+    # -- internals ---------------------------------------------------------
+    def _node_triple(
+        self, node: str, assignment: Dict[str, str]
+    ) -> Tuple[Fraction, Fraction, Fraction]:
+        """Weighted (Cin, Ccomp, Cout) of *node* under *assignment*."""
+        graph, platform = self.graph, self.platform
+        server = assignment[node]
+        preds = graph.predecessors(node)
+        if preds:
+            cin = sum(
+                (
+                    self._outsize[p] / platform.bandwidth(assignment[p], server)
+                    for p in preds
+                    if assignment[p] != server
+                ),
+                Fraction(0),
+            )
+        else:
+            cin = ONE / platform.bandwidth(INPUT, server)
+        ccomp = self._work[node] / platform.speed(server)
+        succs = graph.successors(node)
+        if succs:
+            cout = sum(
+                (
+                    self._outsize[node] / platform.bandwidth(server, assignment[s])
+                    for s in succs
+                    if assignment[s] != server
+                ),
+                Fraction(0),
+            )
+        else:
+            cout = self._outsize[node] / platform.bandwidth(server, OUTPUT)
+        w = self.weights.get(node)
+        if w is not None and w != ONE:
+            return (cin * w, ccomp * w, cout * w)
+        return (cin, ccomp, cout)
+
+    def _rebuild_sums(self) -> None:
+        sums: Dict[str, List[Fraction]] = {}
+        for node, (cin, ccomp, cout) in self._triple.items():
+            acc = sums.setdefault(
+                self.assignment[node], [Fraction(0), Fraction(0), Fraction(0)]
+            )
+            acc[0] += cin
+            acc[1] += ccomp
+            acc[2] += cout
+        self._sums = sums
+
+    def _affected(self, moved: Iterable[str]) -> Set[str]:
+        out: Set[str] = set()
+        for svc in moved:
+            out.add(svc)
+            out.update(self.graph.predecessors(svc))
+            out.update(self.graph.successors(svc))
+        return out
+
+    def _combine(self, sums: Sequence[Fraction]) -> Fraction:
+        if self.model.overlaps_compute:
+            return max(sums)
+        return sums[0] + sums[1] + sums[2]
+
+    def _trial_sums(
+        self, trial: Dict[str, str], moved: Iterable[str]
+    ) -> Dict[str, List[Fraction]]:
+        """Per-server sums after the move (only affected servers copied)."""
+        sums = dict(self._sums)
+        affected = self._affected(moved)
+        touched = {self.assignment[m] for m in affected}
+        touched |= {trial[m] for m in affected}
+        for server in touched:
+            sums[server] = list(
+                sums.get(server, (Fraction(0), Fraction(0), Fraction(0)))
+            )
+        for m in affected:
+            old = self._triple[m]
+            acc = sums[self.assignment[m]]
+            acc[0] -= old[0]
+            acc[1] -= old[1]
+            acc[2] -= old[2]
+        for m in affected:
+            new = self._node_triple(m, trial)
+            acc = sums[trial[m]]
+            acc[0] += new[0]
+            acc[1] += new[1]
+            acc[2] += new[2]
+        return sums
+
+    def _value_of(self, sums: Dict[str, List[Fraction]], trial: Dict[str, str]) -> Fraction:
+        used = set(trial.values())
+        return max(self._combine(sums[u]) for u in used)
+
+    # -- public API --------------------------------------------------------
+    def value(self) -> Fraction:
+        """``max_u Cexec(u)`` (weighted) of the current shared mapping."""
+        return max(self._combine(acc) for acc in self._sums.values())
+
+    def mapping(self) -> Mapping:
+        return Mapping.shared(self.assignment)
+
+    def score_reassign(self, service: str, server: str) -> Fraction:
+        """Price moving *service* onto *server* (shared — any server)."""
+        trial = dict(self.assignment)
+        trial[service] = server
+        return self._value_of(self._trial_sums(trial, [service]), trial)
+
+    def apply_reassign(self, service: str, server: str) -> None:
+        trial = dict(self.assignment)
+        trial[service] = server
+        self._commit(trial, [service])
+
+    def score_swap(self, a: str, b: str) -> Fraction:
+        """Price exchanging the servers of services *a* and *b*."""
+        trial = dict(self.assignment)
+        trial[a], trial[b] = trial[b], trial[a]
+        return self._value_of(self._trial_sums(trial, [a, b]), trial)
+
+    def apply_swap(self, a: str, b: str) -> None:
+        trial = dict(self.assignment)
+        trial[a], trial[b] = trial[b], trial[a]
+        self._commit(trial, [a, b])
+
+    def _commit(self, trial: Dict[str, str], moved: Iterable[str]) -> None:
+        affected = self._affected(moved)
+        sums = self._trial_sums(trial, moved)
+        for m in affected:
+            self._triple[m] = self._node_triple(m, trial)
+        self.assignment = trial
+        # Drop emptied servers so value() never reads a stale zero row.
+        used = set(trial.values())
+        self._sums = {u: acc for u, acc in sums.items() if u in used}
+
+
+class IncrementalMappingCosts(IncrementalSharedCosts):
+    """Delta evaluation of server reassignments/swaps, injective mappings.
+
+    The paper's one-service-per-server regime as a strict specialisation
+    of :class:`IncrementalSharedCosts`: with an injective mapping every
+    per-server sum is a single service's triple, intra-server zeroing
+    never fires, and the maintained value is the paper's
+    ``max_k Cexec(k)`` — i.e. ``CostModel(graph, platform,
+    mapping).period_lower_bound(model)``.  The injective-only constructor
+    keeps the placement local search honest (its reassign moves target
+    idle servers, so the assignment stays one-to-one).
 
         >>> from repro import ExecutionGraph, Mapping, Platform, make_application
         >>> from repro.core import CommModel
@@ -322,109 +529,20 @@ class IncrementalMappingCosts:
         *,
         model: CommModel = CommModel.OVERLAP,
     ) -> None:
-        mapping.validate_on(graph.nodes, platform)
-        self.graph = graph
-        self.platform = platform
-        self.model = model
-        self.assignment: Dict[str, str] = {
-            svc: mapping.server(svc) for svc in graph.nodes
-        }
-        app = graph.application
-        self._anc: Dict[str, Fraction] = {}
-        self._outsize: Dict[str, Fraction] = {}
-        for node in graph.topological_order:
-            prod = ONE
-            for j in graph.ancestors(node):
-                prod *= app.selectivity(j)
-            self._anc[node] = prod
-            self._outsize[node] = prod * app.selectivity(node)
-        self._cexec: Dict[str, Fraction] = {
-            node: self._node_cexec(node, self.assignment) for node in graph.nodes
-        }
-
-    def _node_cexec(self, node: str, assignment: Dict[str, str]) -> Fraction:
-        graph, platform = self.graph, self.platform
-        server = assignment[node]
-        preds = graph.predecessors(node)
-        if preds:
-            cin = sum(
-                (
-                    self._outsize[p] / platform.bandwidth(assignment[p], server)
-                    for p in preds
-                ),
-                Fraction(0),
+        if not mapping.is_injective:
+            raise ValueError(
+                "IncrementalMappingCosts assumes an injective mapping; use "
+                "IncrementalSharedCosts for shared-server mappings"
             )
-        else:
-            cin = ONE / platform.bandwidth(INPUT, server)
-        ccomp = (
-            self._anc[node] * graph.application.cost(node) / platform.speed(server)
-        )
-        succs = graph.successors(node)
-        if succs:
-            cout = sum(
-                (
-                    self._outsize[node] / platform.bandwidth(server, assignment[s])
-                    for s in succs
-                ),
-                Fraction(0),
-            )
-        else:
-            cout = self._outsize[node] / platform.bandwidth(server, OUTPUT)
-        if self.model.overlaps_compute:
-            return max(cin, ccomp, cout)
-        return cin + ccomp + cout
-
-    def _affected(self, services: Iterable[str]) -> Set[str]:
-        out: Set[str] = set()
-        for svc in services:
-            out.add(svc)
-            out.update(self.graph.predecessors(svc))
-            out.update(self.graph.successors(svc))
-        return out
-
-    def _score(self, trial: Dict[str, str], moved: Iterable[str]) -> Fraction:
-        overrides = {
-            m: self._node_cexec(m, trial) for m in self._affected(moved)
-        }
-        return max(
-            overrides.get(node, self._cexec[node]) for node in self.graph.nodes
-        )
-
-    def _commit(self, trial: Dict[str, str], moved: Iterable[str]) -> None:
-        affected = self._affected(moved)
-        self.assignment = trial
-        for m in affected:
-            self._cexec[m] = self._node_cexec(m, trial)
-
-    # -- public API --------------------------------------------------------
-    def value(self) -> Fraction:
-        """The period bound of the current assignment."""
-        return max(self._cexec.values())
+        super().__init__(graph, platform, mapping, model=model)
 
     def mapping(self) -> Mapping:
         return Mapping(self.assignment)
 
-    def score_reassign(self, service: str, server: str) -> Fraction:
-        """Price moving *service* onto the (idle) *server*."""
-        trial = dict(self.assignment)
-        trial[service] = server
-        return self._score(trial, [service])
 
-    def apply_reassign(self, service: str, server: str) -> None:
-        trial = dict(self.assignment)
-        trial[service] = server
-        self._commit(trial, [service])
-
-    def score_swap(self, a: str, b: str) -> Fraction:
-        """Price exchanging the servers of services *a* and *b*."""
-        trial = dict(self.assignment)
-        trial[a], trial[b] = trial[b], trial[a]
-        return self._score(trial, [a, b])
-
-    def apply_swap(self, a: str, b: str) -> None:
-        trial = dict(self.assignment)
-        trial[a], trial[b] = trial[b], trial[a]
-        self._commit(trial, [a, b])
-
-
-__all__ = ["IncrementalForestPeriod", "IncrementalMappingCosts", "period_delta"]
+__all__ = [
+    "IncrementalForestPeriod",
+    "IncrementalMappingCosts",
+    "IncrementalSharedCosts",
+    "period_delta",
+]

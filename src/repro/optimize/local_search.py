@@ -35,6 +35,7 @@ from .evaluation import (
 from .incremental import (
     IncrementalForestPeriod,
     IncrementalMappingCosts,
+    IncrementalSharedCosts,
     period_delta,
 )
 
@@ -168,6 +169,55 @@ def local_search_minlatency(
     )
 
 
+def _scan_first_improvement(
+    services,
+    *,
+    initial: Fraction,
+    reassign_candidates,
+    score_reassign,
+    apply_reassign,
+    swap_candidates,
+    score_swap,
+    apply_swap,
+    max_moves: int,
+) -> Fraction:
+    """The first-improvement scan shared by both placement searches.
+
+    Reassign moves are tried first (service-major, candidate servers from
+    *reassign_candidates*), then swaps; every accepted move restarts the
+    scan.  Only the candidate generators differ between the injective
+    search (idle servers, all pairs) and the shared search (all servers,
+    cross-server pairs).
+    """
+    current_value = initial
+    moves = 0
+    improved = True
+    while improved and moves < max_moves:
+        improved = False
+        for service in services:
+            for server in reassign_candidates(service):
+                value = score_reassign(service, server)
+                if value < current_value:
+                    apply_reassign(service, server)
+                    current_value = value
+                    moves += 1
+                    improved = True
+                    break
+            if improved:
+                break
+        if improved:
+            continue
+        for a, b in swap_candidates():
+            value = score_swap(a, b)
+            if value < current_value:
+                apply_swap(a, b)
+                current_value = value
+                moves += 1
+                improved = True
+                break
+    return current_value
+
+
 def placement_local_search(
     graph: ExecutionGraph,
     objective: Callable[[Mapping], Fraction],
@@ -211,54 +261,117 @@ def placement_local_search(
     """
     start.validate_on(graph.nodes, platform)
     services = list(start.services())
+    state = {"mapping": start}
 
-    def score_reassign(mapping: Mapping, service: str, server: str) -> Fraction:
+    def idle_servers(_service: str):
+        used = set(state["mapping"].used_servers())
+        return [name for name in platform.names if name not in used]
+
+    def score_reassign(service: str, server: str) -> Fraction:
         if evaluator is not None:
             return evaluator.score_reassign(service, server)
-        return objective(mapping.reassigned(service, server))
+        return objective(state["mapping"].reassigned(service, server))
 
-    def score_swap(mapping: Mapping, a: str, b: str) -> Fraction:
+    def apply_reassign(service: str, server: str) -> None:
+        if evaluator is not None:
+            evaluator.apply_reassign(service, server)
+        state["mapping"] = state["mapping"].reassigned(service, server)
+
+    def score_swap(a: str, b: str) -> Fraction:
         if evaluator is not None:
             return evaluator.score_swap(a, b)
-        return objective(mapping.swapped(a, b))
+        return objective(state["mapping"].swapped(a, b))
 
-    current_value = evaluator.value() if evaluator is not None else objective(start)
-    current = start
-    moves = 0
-    improved = True
-    while improved and moves < max_moves:
-        improved = False
-        used = set(current.used_servers())
-        idle = [name for name in platform.names if name not in used]
-        for service in services:
-            for server in idle:
-                value = score_reassign(current, service, server)
-                if value < current_value:
-                    if evaluator is not None:
-                        evaluator.apply_reassign(service, server)
-                    current = current.reassigned(service, server)
-                    current_value = value
-                    moves += 1
-                    improved = True
-                    break
-            if improved:
-                break
-        if improved:
-            continue
-        for i, a in enumerate(services):
-            for b in services[i + 1 :]:
-                value = score_swap(current, a, b)
-                if value < current_value:
-                    if evaluator is not None:
-                        evaluator.apply_swap(a, b)
-                    current = current.swapped(a, b)
-                    current_value = value
-                    moves += 1
-                    improved = True
-                    break
-            if improved:
-                break
-    return current_value, current
+    def apply_swap(a: str, b: str) -> None:
+        if evaluator is not None:
+            evaluator.apply_swap(a, b)
+        state["mapping"] = state["mapping"].swapped(a, b)
+
+    def all_pairs():
+        return (
+            (a, b)
+            for i, a in enumerate(services)
+            for b in services[i + 1 :]
+        )
+
+    value = _scan_first_improvement(
+        services,
+        initial=evaluator.value() if evaluator is not None else objective(start),
+        reassign_candidates=idle_servers,
+        score_reassign=score_reassign,
+        apply_reassign=apply_reassign,
+        swap_candidates=all_pairs,
+        score_swap=score_swap,
+        apply_swap=apply_swap,
+        max_moves=max_moves,
+    )
+    return value, state["mapping"]
+
+
+def shared_placement_local_search(
+    graph: ExecutionGraph,
+    evaluator: IncrementalSharedCosts,
+    platform: Platform,
+    *,
+    max_moves: int = 400,
+) -> Tuple[Fraction, Mapping]:
+    """First-improvement search over *shared* service-to-server assignments.
+
+    The concurrent regime drops injectivity, so the neighbourhood widens:
+
+    * *reassign*: move one service onto **any** other server — including
+      one already hosting services (co-location zeroes the edge between
+      co-located services, so packing chatty neighbours together can win);
+    * *swap*: exchange the servers of two services on different servers.
+
+    Every candidate is priced by the *evaluator*'s
+    (:class:`~repro.optimize.incremental.IncrementalSharedCosts`)
+    ``O(degree)`` deltas against the aggregated per-server load objective;
+    committed moves mutate the evaluator, whose mapping is returned.
+
+    Example (two chatty chain neighbours walk onto one server: splitting
+    costs the size-4 transfer, co-locating zeroes it)::
+
+        >>> from repro import ExecutionGraph, Mapping, Platform, make_application
+        >>> from repro.core import CommModel
+        >>> from repro.optimize.incremental import IncrementalSharedCosts
+        >>> app = make_application([("A", 1, 4), ("B", "1/2", "1/4")])
+        >>> graph = ExecutionGraph.chain(app, ["A", "B"])
+        >>> platform = Platform.homogeneous(2)
+        >>> start = Mapping.shared({"A": "S1", "B": "S2"})
+        >>> ev = IncrementalSharedCosts(graph, platform, start)
+        >>> value, best = shared_placement_local_search(graph, ev, platform)
+        >>> value, best.server("A") == best.server("B")
+        (Fraction(3, 1), True)
+    """
+    evaluator.mapping().validate_on(graph.nodes, platform)
+    services = sorted(graph.nodes)
+
+    def other_servers(service: str):
+        home = evaluator.assignment[service]
+        return [name for name in platform.names if name != home]
+
+    def cross_server_pairs():
+        # Swapping co-located services is a no-op in the shared space.
+        return (
+            (a, b)
+            for i, a in enumerate(services)
+            for b in services[i + 1 :]
+            if evaluator.assignment[a] != evaluator.assignment[b]
+        )
+
+    value = _scan_first_improvement(
+        services,
+        initial=evaluator.value(),
+        reassign_candidates=other_servers,
+        score_reassign=evaluator.score_reassign,
+        apply_reassign=evaluator.apply_reassign,
+        swap_candidates=cross_server_pairs,
+        score_swap=evaluator.score_swap,
+        apply_swap=evaluator.apply_swap,
+        max_moves=max_moves,
+    )
+    return value, evaluator.mapping()
 
 
 __all__ = [
@@ -266,4 +379,5 @@ __all__ = [
     "local_search_minlatency",
     "local_search_minperiod",
     "placement_local_search",
+    "shared_placement_local_search",
 ]

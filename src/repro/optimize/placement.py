@@ -32,6 +32,11 @@ from ..core import CommModel, CostModel, ExecutionGraph, Mapping, Platform
 #: Enumerate all assignments when the space is at most this large.
 DEFAULT_EXHAUSTIVE_LIMIT = 720
 
+#: Enumerate all *shared* assignments (``m ** n``) up to this size.
+SHARED_EXHAUSTIVE_LIMIT = 512
+
+ONE_WEIGHT = Fraction(1)
+
 #: Memo of ``optimize_mapping`` outcomes — the planner resolves the winning
 #: mapping after the cached objective already computed the value, and this
 #: table turns that second resolution into a lookup instead of re-running
@@ -176,12 +181,163 @@ def optimize_mapping(
     return outcome
 
 
+# ---------------------------------------------------------------------------
+# Shared-server placement (concurrent applications)
+# ---------------------------------------------------------------------------
+
+def shared_space_size(n_services: int, n_servers: int) -> int:
+    """Number of (possibly many-to-one) assignments: ``m ** n``."""
+    return n_servers ** n_services
+
+
+def shared_search_method(
+    n_services: int,
+    n_servers: int,
+    exhaustive_limit: int = SHARED_EXHAUSTIVE_LIMIT,
+) -> str:
+    """How :func:`optimize_shared_mapping` will solve this instance.
+
+    The single source of truth for the exhaustive-vs-local-search
+    dispatch, so result reporting can never drift from the search itself.
+    """
+    if shared_space_size(n_services, n_servers) <= exhaustive_limit:
+        return "shared-exhaustive"
+    return "shared-local-search"
+
+
+def iter_shared_mappings(
+    services: Sequence[str], platform: Platform
+) -> Iterator[Mapping]:
+    """All assignments of *services* to servers, sharing allowed."""
+    services = tuple(services)
+    for combo in itertools.product(platform.names, repeat=len(services)):
+        yield Mapping.shared(dict(zip(services, combo)))
+
+
+def greedy_shared_mapping(
+    graph: ExecutionGraph,
+    platform: Platform,
+    *,
+    weights=None,
+) -> Mapping:
+    """Bin-packing seed: heaviest (weighted) work onto the least-loaded server.
+
+    Services are taken by decreasing platform-independent work volume
+    ``P_k * c_k`` (scaled by *weights* when given — the concurrent
+    planner's ``1 / period_target``); each goes to the server whose
+    compute load after hosting it is smallest (speeds taken into account,
+    ties broken by platform order).  Communication-blind — the local
+    search repairs chatty cross-server edges — but a strong LPT-style
+    seed for the aggregated load objective.
+    """
+    sizes = CostModel(graph)  # unit platform: raw work volumes
+    weights = weights or {}
+    work = {
+        n: sizes.ancestor_selectivity(n)
+        * graph.application.cost(n)
+        * weights.get(n, ONE_WEIGHT)
+        for n in graph.nodes
+    }
+    services = sorted(graph.nodes, key=lambda n: (-work[n], n))
+    load = {name: Fraction(0) for name in platform.names}
+    order = {name: i for i, name in enumerate(platform.names)}
+    assignment = {}
+    for svc in services:
+        best = min(
+            platform.names,
+            key=lambda u: (load[u] + work[svc] / platform.speed(u), order[u]),
+        )
+        assignment[svc] = best
+        load[best] += work[svc] / platform.speed(best)
+    return Mapping.shared(assignment)
+
+
+def optimize_shared_mapping(
+    graph: ExecutionGraph,
+    model: CommModel,
+    platform: Platform,
+    *,
+    weights=None,
+    exhaustive_limit: int = SHARED_EXHAUSTIVE_LIMIT,
+    max_moves: int = 400,
+) -> Tuple[Fraction, Mapping]:
+    """Best ``(value, shared mapping)`` for the aggregated load objective.
+
+    The objective is ``max_u Cexec(u)`` over per-server aggregated
+    ``Cin``/``Ccomp``/``Cout`` (weighted by *weights* when given) — the
+    steady-state bound of the concurrent-applications regime, exact for
+    OVERLAP.  Small spaces (``m ** n <= exhaustive_limit``) are enumerated
+    exactly; larger ones start from :func:`greedy_shared_mapping` and run
+    the reassignment/swap local search priced by
+    :class:`~repro.optimize.incremental.IncrementalSharedCosts` deltas.
+
+    Example (three unit servers, four independent services — the heavy
+    one gets a server to itself)::
+
+        >>> from repro import ExecutionGraph, Platform, make_application
+        >>> from repro.core import CommModel
+        >>> app = make_application(
+        ...     [("A", 6, 1), ("B", 2, 1), ("C", 2, 1), ("D", 2, 1)])
+        >>> value, mapping = optimize_shared_mapping(
+        ...     ExecutionGraph.empty(app), CommModel.OVERLAP,
+        ...     Platform.homogeneous(3))
+        >>> value, mapping.services_on(mapping.server("A"))
+        (Fraction(6, 1), ('A',))
+    """
+    from .incremental import IncrementalSharedCosts
+    from .local_search import shared_placement_local_search
+
+    weight_key = (
+        tuple(sorted(weights.items())) if weights else None
+    )
+    memo_key = (
+        "shared", model, weight_key, platform.key(), exhaustive_limit,
+        max_moves, graph.application, graph.edges,
+    )
+    found = _memo.get(memo_key)
+    if found is not None:
+        _memo.move_to_end(memo_key)
+        return found
+
+    services = tuple(graph.nodes)
+    method = shared_search_method(len(services), len(platform), exhaustive_limit)
+    if method == "shared-exhaustive":
+        best_value: Optional[Fraction] = None
+        best_mapping: Optional[Mapping] = None
+        for mapping in iter_shared_mappings(services, platform):
+            value = IncrementalSharedCosts(
+                graph, platform, mapping, model=model, weights=weights
+            ).value()
+            if best_value is None or value < best_value:
+                best_value, best_mapping = value, mapping
+        assert best_value is not None and best_mapping is not None
+        outcome = (best_value, best_mapping)
+    else:
+        seed = greedy_shared_mapping(graph, platform, weights=weights)
+        evaluator = IncrementalSharedCosts(
+            graph, platform, seed, model=model, weights=weights
+        )
+        outcome = shared_placement_local_search(
+            graph, evaluator, platform, max_moves=max_moves
+        )
+    _memo[memo_key] = outcome
+    if len(_memo) > _MEMO_MAX_ENTRIES:
+        _memo.popitem(last=False)
+    return outcome
+
+
 __all__ = [
     "DEFAULT_EXHAUSTIVE_LIMIT",
+    "SHARED_EXHAUSTIVE_LIMIT",
     "clear_placement_memo",
     "greedy_mapping",
+    "greedy_shared_mapping",
     "iter_mappings",
+    "iter_shared_mappings",
     "mapping_space_size",
     "optimize_mapping",
+    "optimize_shared_mapping",
     "placement_memo_size",
+    "shared_search_method",
+    "shared_space_size",
 ]

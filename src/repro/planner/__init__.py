@@ -27,12 +27,15 @@ from .cache import (
     graph_key,
 )
 from .catalog import (
+    ConcurrentWorkload,
     Workload,
+    load_concurrent_workload,
     load_platform,
     load_workload,
     platform_names,
     workload_names,
 )
+from .concurrent import ConcurrentResult, solve_concurrent
 from .facade import AUTO_EXHAUSTIVE_MAX, build_schedule, compare, solve
 from .registry import (
     SolverRegistry,
@@ -46,6 +49,8 @@ __all__ = [
     "AUTO_EXHAUSTIVE_MAX",
     "BatchResult",
     "CachedObjective",
+    "ConcurrentResult",
+    "ConcurrentWorkload",
     "EvaluationCache",
     "PlanResult",
     "SolverRegistry",
@@ -58,12 +63,14 @@ __all__ = [
     "default_cache",
     "evaluation_key",
     "graph_key",
+    "load_concurrent_workload",
     "load_platform",
     "load_workload",
     "platform_names",
     "register_solver",
     "registry",
     "solve",
+    "solve_concurrent",
     "solve_many",
     "workload_names",
 ]

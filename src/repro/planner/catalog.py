@@ -348,6 +348,66 @@ _FAMILIES: Dict[str, Callable[[Dict[str, str]], Workload]] = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Concurrent (multi-application) workloads
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ConcurrentWorkload:
+    """A multi-application workload: named apps competing for one platform.
+
+    The platform is deliberately *not* part of the workload — shared-server
+    mapping is only meaningful relative to a concrete server count, which
+    the caller picks (``solve_concurrent(..., platform=...)``).
+    """
+
+    name: str
+    description: str
+    multi: "MultiApplication"
+
+
+def load_concurrent_workload(spec: str) -> ConcurrentWorkload:
+    """Parse a ``+``-separated list of workload specs into one instance.
+
+    Each part is an ordinary :func:`load_workload` spec; workloads without
+    a fixed execution graph get one from a single-application period solve
+    on the unit platform (deterministic).  Members are named
+    ``a<i>-<family>`` in order, e.g. ``fig1+random:n=4,seed=1`` becomes
+    applications ``a0-fig1`` and ``a1-random``.
+
+        >>> wl = load_concurrent_workload("fig1+fig1")
+        >>> wl.multi.names
+        ('a0-fig1', 'a1-fig1')
+        >>> wl.multi.total_services
+        10
+    """
+    from ..concurrent import MultiApplication
+
+    parts = [p.strip() for p in spec.split("+") if p.strip()]
+    if not parts:
+        raise ValueError(f"empty concurrent workload spec {spec!r}")
+    members = []
+    descriptions = []
+    for i, part in enumerate(parts):
+        workload = load_workload(part)
+        graph = workload.graph
+        if graph is None:
+            from .facade import solve
+
+            graph = solve(
+                workload.application, objective="period", model="overlap",
+                schedule=False,
+            ).graph
+        head = part.partition(":")[0].lower()
+        members.append((f"a{i}-{head}", graph))
+        descriptions.append(workload.name)
+    return ConcurrentWorkload(
+        name=spec,
+        description=" + ".join(descriptions),
+        multi=MultiApplication(members),
+    )
+
+
 def workload_names() -> Tuple[str, ...]:
     """Named instances plus generator family names (for ``--help``/errors)."""
     return tuple(sorted(_NAMED)) + tuple(sorted(_FAMILIES))
@@ -369,7 +429,9 @@ def load_workload(spec: str) -> Workload:
 
 
 __all__ = [
+    "ConcurrentWorkload",
     "Workload",
+    "load_concurrent_workload",
     "load_platform",
     "load_workload",
     "platform_names",

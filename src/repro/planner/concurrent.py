@@ -1,0 +1,302 @@
+"""``solve_concurrent``: the planner front door for shared-server mapping.
+
+Several applications, one platform, services allowed to share servers —
+the regime of the paper's sequels.  The solver searches the shared
+(many-to-one) placement space for the combined instance and returns a
+:class:`ConcurrentResult` with the aggregate objective value, the chosen
+shared mapping, and per-application period/latency readouts.
+
+Objectives (picked by the instance):
+
+* without period targets — minimise the **system period**
+  ``max_u Cexec(u)`` (the smallest common period all applications can
+  sustain simultaneously);
+* with per-application targets ``rho_a`` — minimise the **max per-server
+  utilisation** (each service weighing ``1 / rho_a``); the result is
+  feasible iff that maximum is at most 1.
+
+Quickstart::
+
+    >>> from repro.planner import solve_concurrent
+    >>> result = solve_concurrent(["fig1", "fig1"], platform="hom:n=3")
+    >>> result.feasible, result.mapping.is_injective
+    (True, False)
+    >>> sorted(result.app_periods) == list(result.multi.names)
+    True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, Optional, Sequence, Union
+
+from ..concurrent import ConcurrentCosts, MultiApplication
+from ..core import CommModel, Mapping, Platform, as_fraction
+from ..optimize.placement import (
+    SHARED_EXHAUSTIVE_LIMIT,
+    optimize_shared_mapping,
+    shared_search_method,
+    shared_space_size,
+)
+from .result import SolverStats
+
+
+@dataclass
+class ConcurrentResult:
+    """Everything :func:`solve_concurrent` knows about one solution.
+
+    Attributes
+    ----------
+    multi:
+        The solved :class:`~repro.concurrent.MultiApplication`.
+    platform:
+        The shared platform.
+    mapping:
+        The chosen (or pinned) shared service-to-server mapping over the
+        combined (namespaced) service names.
+    model:
+        Communication model the aggregation used.
+    objective:
+        ``"period"`` (common system period) or ``"utilisation"`` (max
+        per-server utilisation under period targets).
+    value:
+        The objective value of *mapping*.
+    app_periods / app_latencies:
+        Per-application readouts (see
+        :class:`~repro.concurrent.ConcurrentCosts`).
+    server_loads:
+        Aggregated absolute ``Cexec(u)`` per used server.
+    utilisation:
+        Max per-server utilisation (``None`` without targets).
+    feasible:
+        All targets satisfiable (always ``True`` without targets).
+    method:
+        ``"shared-exhaustive"``, ``"shared-local-search"`` or ``"pinned"``.
+    stats:
+        Solver bookkeeping (wall time; placement-space size in extras).
+    """
+
+    multi: MultiApplication
+    platform: Platform
+    mapping: Mapping
+    model: CommModel
+    objective: str
+    value: Fraction
+    app_periods: Dict[str, Fraction]
+    app_latencies: Dict[str, Fraction]
+    server_loads: Dict[str, Fraction]
+    utilisation: Optional[Fraction]
+    feasible: bool
+    method: str
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    def summary(self) -> str:
+        """One human-readable line, e.g. for CLI output."""
+        util = (
+            f", max utilisation {self.utilisation}"
+            if self.utilisation is not None
+            else ""
+        )
+        return (
+            f"{self.objective} over {len(self.multi)} app(s) on "
+            f"{len(self.platform)} server(s) via {self.method}: "
+            f"{self.value}{util} "
+            f"[{'feasible' if self.feasible else 'INFEASIBLE'}, "
+            f"{self.stats.wall_time * 1000:.1f} ms]"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable rendition (fractions as string + float)."""
+        return {
+            "objective": self.objective,
+            "model": str(self.model),
+            "method": self.method,
+            "value": str(self.value),
+            "value_float": float(self.value),
+            "feasible": self.feasible,
+            "utilisation": (
+                str(self.utilisation) if self.utilisation is not None else None
+            ),
+            "applications": {
+                name: {
+                    "period": str(self.app_periods[name]),
+                    "latency": str(self.app_latencies[name]),
+                    "target": (
+                        str(self.multi[name].period_target)
+                        if self.multi[name].period_target is not None
+                        else None
+                    ),
+                }
+                for name in self.multi.names
+            },
+            "server_loads": {u: str(v) for u, v in self.server_loads.items()},
+            "mapping": {svc: srv for svc, srv in self.mapping.items()},
+            "stats": self.stats.as_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConcurrentResult({self.objective}, {len(self.multi)} apps, "
+            f"value={self.value}, feasible={self.feasible})"
+        )
+
+
+Problem = Union[MultiApplication, Sequence]
+
+
+def _coerce_multi(problem: Problem, targets) -> MultiApplication:
+    from .catalog import load_concurrent_workload, load_workload
+
+    if isinstance(problem, str):
+        problem = load_concurrent_workload(problem).multi
+    if not isinstance(problem, MultiApplication):
+        members = []
+        for member in problem:
+            if isinstance(member, str):
+                members.append(_workload_member(member, len(members)))
+            else:
+                members.append(member)
+        problem = MultiApplication(members)
+    if targets:
+        from ..concurrent import ConcurrentApp
+
+        unknown = sorted(set(targets) - set(problem.names))
+        if unknown:
+            raise ValueError(
+                f"period targets for unknown application(s): {unknown}"
+            )
+        problem = MultiApplication(
+            [
+                ConcurrentApp(
+                    app.name,
+                    app.graph,
+                    as_fraction(targets[app.name])
+                    if app.name in targets
+                    else app.period_target,
+                )
+                for app in problem.members
+            ]
+        )
+    return problem
+
+
+def _workload_member(spec: str, index: int):
+    """One catalog workload spec as a named concurrent member."""
+    from .catalog import load_concurrent_workload
+
+    workload = load_concurrent_workload(spec)
+    if len(workload.multi) != 1:
+        raise ValueError(
+            f"member spec {spec!r} must name a single workload "
+            f"(use one flat '+'-separated spec instead of nesting)"
+        )
+    head = spec.strip().partition(":")[0].lower()
+    return (f"a{index}-{head}", workload.multi.members[0].graph)
+
+
+def solve_concurrent(
+    problem: Problem,
+    *,
+    platform: Union[str, Platform],
+    model: Union[str, CommModel] = CommModel.OVERLAP,
+    mapping: Union[Mapping, Dict[str, str], None] = None,
+    targets: Optional[Dict[str, Any]] = None,
+    exhaustive_limit: int = SHARED_EXHAUSTIVE_LIMIT,
+    max_moves: int = 400,
+) -> ConcurrentResult:
+    """Map concurrent applications onto shared servers; returns a result.
+
+    Parameters
+    ----------
+    problem:
+        A :class:`~repro.concurrent.MultiApplication`, a concurrent
+        workload spec string (``"fig1+fig1"``), or a sequence whose
+        members are workload spec strings, ``(name, graph)`` pairs,
+        :class:`~repro.concurrent.ConcurrentApp` objects, or bare
+        execution graphs.
+    platform:
+        A :class:`~repro.core.Platform` or catalog spec string.  May have
+        fewer servers than there are services — that is the point.
+    model:
+        Communication model for the aggregation (default OVERLAP, where
+        the aggregated bound is the sequels' exact steady-state value).
+    mapping:
+        Pin the shared mapping (over combined ``app.service`` names)
+        instead of searching; a plain dict is accepted.
+    targets:
+        Per-application period targets ``{app_name: rho_a}`` — switches
+        the objective from the common system period to max per-server
+        utilisation and enables the feasibility verdict.
+    exhaustive_limit / max_moves:
+        Forwarded to
+        :func:`~repro.optimize.placement.optimize_shared_mapping`.
+
+    Example — two copies of the Section 2.3 application squeezed onto
+    three servers (ten services, so sharing is forced)::
+
+        >>> from repro.planner import solve_concurrent
+        >>> result = solve_concurrent(["fig1", "fig1"], platform="hom:n=3")
+        >>> result.objective, result.feasible
+        ('period', True)
+        >>> len(set(dict(result.mapping.items()).values())) <= 3
+        True
+    """
+    started = time.perf_counter()
+    from .facade import _coerce_model, _coerce_platform
+
+    multi = _coerce_multi(problem, targets)
+    mdl = _coerce_model(model)
+    plat = _coerce_platform(platform)
+    if plat is None:
+        raise ValueError(
+            "solve_concurrent needs a platform (shared servers are the "
+            "point); pass Platform.homogeneous(m) for the unit platform"
+        )
+    weights = multi.weights()
+    graph = multi.combined_graph
+    space = shared_space_size(len(graph.nodes), len(plat))
+    if mapping is not None:
+        if not isinstance(mapping, Mapping):
+            mapping = Mapping.shared(dict(mapping))
+        mapping.validate_on(graph.nodes, plat)
+        method = "pinned"
+        chosen = mapping
+    else:
+        method = shared_search_method(
+            len(graph.nodes), len(plat), exhaustive_limit
+        )
+        _, chosen = optimize_shared_mapping(
+            graph, mdl, plat, weights=weights,
+            exhaustive_limit=exhaustive_limit, max_moves=max_moves,
+        )
+    readout = ConcurrentCosts(multi, plat, chosen, model=mdl)
+    utilisation = readout.max_utilisation() if weights is not None else None
+    objective = "utilisation" if weights is not None else "period"
+    value = utilisation if weights is not None else readout.system_period()
+    feasible = utilisation is None or utilisation <= 1
+    stats = SolverStats(
+        graphs_considered=1,
+        extras={"placement_space": space, "servers": len(plat)},
+    )
+    result = ConcurrentResult(
+        multi=multi,
+        platform=plat,
+        mapping=chosen,
+        model=mdl,
+        objective=objective,
+        value=value,
+        app_periods=readout.app_periods(),
+        app_latencies=readout.app_latencies(),
+        server_loads=readout.server_loads(),
+        utilisation=utilisation,
+        feasible=feasible,
+        method=method,
+        stats=stats,
+    )
+    result.stats.wall_time = time.perf_counter() - started
+    return result
+
+
+__all__ = ["ConcurrentResult", "solve_concurrent"]

@@ -123,9 +123,14 @@ def _coerce_mapping(
         return None
     if platform is None:
         raise ValueError("a mapping requires a platform")
-    if isinstance(mapping, Mapping):
-        return mapping
-    return Mapping(dict(mapping))
+    if not isinstance(mapping, Mapping):
+        mapping = Mapping(dict(mapping))
+    if not mapping.is_injective:
+        raise ValueError(
+            "solve() schedules one service per server; use "
+            "repro.planner.solve_concurrent for shared-server mappings"
+        )
+    return mapping
 
 
 def _resolve_mapping(

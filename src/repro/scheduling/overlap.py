@@ -81,6 +81,12 @@ def schedule_period_overlap(
         >>> plan.period, plan.is_valid()
         (Fraction(4, 1), True)
     """
+    if mapping is not None and not mapping.is_injective:
+        raise ValueError(
+            "the Theorem-1 construction dedicates one server per service; "
+            "shared-server mappings have no concrete scheduler (their "
+            "aggregated bound is the repro.concurrent readout)"
+        )
     costs = CostModel(graph, platform, mapping)
     T = costs.period_lower_bound(CommModel.OVERLAP)
     if period is not None:

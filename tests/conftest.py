@@ -1,0 +1,121 @@
+"""Shared seeded random-instance factories for the test suite.
+
+Several suites (the Theorem-1 platform property sweep, the
+branch-and-bound exactness sweeps, the incremental-delta parity sweeps,
+and the concurrent shared-server invariants) need the same shape of
+random instance: a seeded application, an execution graph over it, a
+heterogeneous platform, and a service-to-server mapping.  The factories
+live here once — deterministic given their seed, exact Fraction-valued
+throughout — and are exposed as factory *fixtures* so test modules don't
+import each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionGraph, Mapping
+from repro.workloads.generators import (
+    random_application,
+    random_execution_graph,
+    random_platform,
+)
+
+
+def random_het_instance(
+    seed, *, max_services=6, spare_servers=2, link_density=0.5
+):
+    """``(graph, platform, mapping)`` — the canonical heterogeneous instance.
+
+    A random DAG over 2..*max_services* services, a random heterogeneous
+    platform with up to *spare_servers* idle servers, and a random
+    injective service-to-server assignment.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, max_services + 1))
+    app = random_application(
+        n, seed=seed, filter_fraction=float(rng.uniform(0.2, 0.9))
+    )
+    graph = random_execution_graph(
+        app, seed=seed + 1, density=float(rng.uniform(0.1, 0.7))
+    )
+    n_servers = n + int(rng.integers(0, spare_servers + 1))
+    platform = random_platform(n_servers, seed=seed + 2, link_density=link_density)
+    order = rng.permutation(n_servers)[:n]
+    mapping = Mapping(
+        {svc: platform.names[order[i]] for i, svc in enumerate(graph.nodes)}
+    )
+    return graph, platform, mapping
+
+
+def random_forest_graph(app, rng):
+    """A random forest over *app*, driven by a ``random.Random`` instance."""
+    names = list(app.names)
+    order = names[:]
+    rng.shuffle(order)
+    parents, placed = {}, []
+    for name in order:
+        parents[name] = rng.choice([None] + placed) if placed else None
+        placed.append(name)
+    return ExecutionGraph.from_parents(app, parents)
+
+
+def positional_mapping(app, platform):
+    """The deterministic positional injective mapping used by het sweeps."""
+    return Mapping(dict(zip(app.names, platform.names)))
+
+
+def random_multi_instance(seed, *, max_apps=3, max_services=4):
+    """``(multi, platform, mapping)`` — a random concurrent instance.
+
+    2..*max_apps* applications with random DAGs, a random heterogeneous
+    platform whose server count ranges from 1 (everything shared) to
+    ``total + 1`` (room to spread out), and a uniformly random *shared*
+    assignment of the combined services.
+    """
+    from repro.concurrent import MultiApplication
+
+    rng = np.random.default_rng(seed + 10_000)
+    k = int(rng.integers(2, max_apps + 1))
+    members = []
+    for a in range(k):
+        n = int(rng.integers(2, max_services + 1))
+        app = random_application(
+            n, seed=seed * 31 + a, filter_fraction=float(rng.uniform(0.3, 0.9))
+        )
+        graph = random_execution_graph(
+            app, seed=seed * 31 + a + 7, density=float(rng.uniform(0.1, 0.6))
+        )
+        members.append((f"app{a}", graph))
+    multi = MultiApplication(members)
+    total = multi.total_services
+    m = int(rng.integers(1, total + 2))
+    platform = random_platform(m, seed=seed + 5, link_density=0.4)
+    assignment = {
+        svc: platform.names[int(rng.integers(0, m))]
+        for svc in multi.combined_graph.nodes
+    }
+    return multi, platform, Mapping.shared(assignment)
+
+
+@pytest.fixture
+def het_instance():
+    """Factory fixture: ``seed -> (graph, platform, mapping)``."""
+    return random_het_instance
+
+
+@pytest.fixture
+def forest_graph():
+    """Factory fixture: ``(app, random.Random) -> forest ExecutionGraph``."""
+    return random_forest_graph
+
+
+@pytest.fixture
+def pinned_mapping():
+    """Factory fixture: ``(app, platform) -> positional injective Mapping``."""
+    return positional_mapping
+
+
+@pytest.fixture
+def multi_instance():
+    """Factory fixture: ``seed -> (multi, platform, shared mapping)``."""
+    return random_multi_instance

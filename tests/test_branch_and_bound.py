@@ -126,12 +126,12 @@ class TestLatencyExactness:
 class TestHeterogeneousExactness:
     """Pruning divides by the fastest resources, so het stays exact."""
 
-    def test_pinned_mapping_matches_enumeration(self):
+    def test_pinned_mapping_matches_enumeration(self, pinned_mapping):
         for seed in range(12):
             n = 2 + seed % 3
             app = random_application(n, seed=seed + 40)
             platform = random_platform(n, seed=seed)
-            mapping = Mapping(dict(zip(app.names, platform.names)))
+            mapping = pinned_mapping(app, platform)
             objective = make_period_objective(
                 CommModel.OVERLAP, Effort.EXACT, platform, mapping
             )
@@ -225,13 +225,13 @@ class TestCatalogWorkloads:
         "maker,size", [(b1_application, 5),
                        (lambda: b3_period_ports().application, 5)]
     )
-    def test_restricted_het_variants(self, maker, size):
+    def test_restricted_het_variants(self, maker, size, pinned_mapping):
         # The b*het variants run on alternating-speed platforms; the same
         # platforms restricted to the sub-instance stay certifiable.
         app = maker()
         sub = app.restricted_to(list(app.names)[:size])
         platform = alternating_platform(size)
-        mapping = Mapping(dict(zip(sub.names, platform.names)))
+        mapping = pinned_mapping(sub, platform)
         objective = make_period_objective(
             CommModel.OVERLAP, Effort.EXACT, platform, mapping
         )

@@ -1,0 +1,442 @@
+"""Concurrent multi-application mapping: shared servers end to end.
+
+Covers the tentpole acceptance criteria:
+
+* shared (non-injective) :class:`~repro.core.Mapping` semantics and the
+  per-server :class:`~repro.core.CostModel` aggregation;
+* the evaluation-cache fingerprint fix — two shared mappings co-locating
+  *different* service pairs on the same platform must not collide;
+* ``solve_concurrent``: per-application periods match the single-app
+  ``solve`` when servers are not shared, and a strictly feasible
+  shared-server plan comes back when the platform has fewer servers than
+  there are services;
+* the ``python -m repro concurrent`` CLI.
+"""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro import ExecutionGraph, Mapping, Platform, make_application
+from repro.concurrent import ConcurrentApp, ConcurrentCosts, MultiApplication
+from repro.core import CommModel, CostModel
+from repro.optimize import (
+    Effort,
+    IncrementalSharedCosts,
+    greedy_shared_mapping,
+    optimize_shared_mapping,
+    shared_space_size,
+)
+from repro.planner import (
+    EvaluationCache,
+    evaluation_key,
+    load_concurrent_workload,
+    solve,
+    solve_concurrent,
+)
+from repro.workloads import fig1_example
+from repro.__main__ import main as cli_main
+
+F = Fraction
+
+
+# ---------------------------------------------------------------------------
+# Shared mappings and per-server cost aggregation
+# ---------------------------------------------------------------------------
+
+class TestSharedMapping:
+    def test_plain_constructor_still_rejects_colocation(self):
+        with pytest.raises(ValueError, match="injective"):
+            Mapping({"A": "S1", "B": "S1"})
+
+    def test_shared_allows_and_reports_colocation(self):
+        m = Mapping.shared({"A": "S1", "B": "S1", "C": "S2"})
+        assert not m.is_injective
+        assert m.services_on("S1") == ("A", "B")
+        assert m.used_servers() == ("S1", "S2")
+        # An injective assignment built through shared() reports injective.
+        assert Mapping.shared({"A": "S1", "B": "S2"}).is_injective
+
+    def test_single_app_entry_points_reject_shared_mappings(self):
+        # solve() and the Theorem-1 scheduler assume one service per
+        # server; shared mappings must be routed to solve_concurrent.
+        from repro.scheduling.overlap import schedule_period_overlap
+
+        app = make_application([("A", 1, 1), ("B", 1, 1)])
+        graph = ExecutionGraph.empty(app)
+        platform = Platform.homogeneous(2)
+        shared = Mapping.shared({"A": "S1", "B": "S1"})
+        with pytest.raises(ValueError, match="solve_concurrent"):
+            solve(graph, platform=platform, mapping=shared)
+        with pytest.raises(ValueError, match="one server per service"):
+            schedule_period_overlap(graph, platform=platform, mapping=shared)
+
+    def test_reassigned_preserves_shared_capability(self):
+        m = Mapping.shared({"A": "S1", "B": "S2"})
+        moved = m.reassigned("B", "S1")
+        assert not moved.is_injective
+        # A plain mapping still refuses to become non-injective.
+        plain = Mapping({"A": "S1", "B": "S2"})
+        with pytest.raises(ValueError):
+            plain.reassigned("B", "S1")
+
+
+class TestSharedCostModel:
+    def _chain(self):
+        app = make_application([("A", 1, "1/2"), ("B", 4, 1)])
+        return ExecutionGraph.chain(app, ["A", "B"])
+
+    def test_intra_server_edge_costs_zero(self):
+        graph = self._chain()
+        platform = Platform.homogeneous(2)
+        together = CostModel(graph, platform, Mapping.shared({"A": "S1", "B": "S1"}))
+        split = CostModel(graph, platform, Mapping.shared({"A": "S1", "B": "S2"}))
+        assert together.comm_time("A", "B") == 0
+        assert split.comm_time("A", "B") == F(1, 2)
+        # Sizes stay platform-independent; only the *time* is zero.
+        assert together.message_size("A", "B") == F(1, 2)
+
+    def test_server_aggregates_and_period(self):
+        graph = self._chain()
+        platform = Platform.homogeneous(2)
+        costs = CostModel(graph, platform, Mapping.shared({"A": "S1", "B": "S1"}))
+        # cin: 1 (input to A) + 0 (intra edge); ccomp: 1 + 2; cout: 0 + 1/2.
+        assert costs.server_cin("S1") == 1
+        assert costs.server_ccomp("S1") == 3
+        assert costs.server_cout("S1") == F(1, 2)
+        assert costs.server_cexec("S1", CommModel.OVERLAP) == 3
+        assert costs.period_lower_bound(CommModel.OVERLAP) == 3
+        # One-port: the server serialises everything.
+        assert costs.server_cexec("S1", CommModel.INORDER) == F(9, 2)
+
+    def test_injective_mapping_values_unchanged(self):
+        # The aggregation is a strict generalisation: an injective mapping
+        # reproduces the per-service formulation bit for bit.
+        graph = fig1_example().graph
+        platform = Platform.of(speeds=[1, 2, 1, 4, 2])
+        mapping = Mapping(dict(zip(graph.nodes, platform.names)))
+        shared_capable = Mapping.shared(dict(mapping.items()))
+        a = CostModel(graph, platform, mapping)
+        b = CostModel(graph, platform, shared_capable)
+        for model in CommModel:
+            assert a.period_lower_bound(model) == b.period_lower_bound(model)
+        for node in graph.nodes:
+            assert a.cin(node) == b.cin(node)
+            assert a.ccomp(node) == b.ccomp(node)
+            assert a.cout(node) == b.cout(node)
+
+
+# ---------------------------------------------------------------------------
+# Satellite fix: cache keys must fingerprint the many-to-one mapping
+# ---------------------------------------------------------------------------
+
+class TestSharedFingerprintRegression:
+    """Same shape of bug as the PR 2 platform-fingerprint collisions.
+
+    On a unit platform every *injective* mapping is equivalent, so they
+    deliberately share the ``"unit"`` sentinel.  A shared mapping is not:
+    which services are co-located changes the aggregated value.  Before
+    the fix both shared mappings below collapsed to ``"unit"`` and the
+    second query was (wrongly) answered from the first one's entry.
+    """
+
+    def _instance(self):
+        app = make_application([("A", 1, "1/2"), ("B", 4, 1), ("C", 6, 1)])
+        graph = ExecutionGraph.chain(app, ["A", "B", "C"])
+        platform = Platform.homogeneous(2)
+        ab = Mapping.shared({"A": "S1", "B": "S1", "C": "S2"})
+        bc = Mapping.shared({"A": "S1", "B": "S2", "C": "S2"})
+        return graph, platform, ab, bc
+
+    def test_keys_differ_for_different_colocations(self):
+        graph, platform, ab, bc = self._instance()
+        key_ab = evaluation_key(
+            "period", graph, CommModel.OVERLAP, Effort.EXACT, platform, ab
+        )
+        key_bc = evaluation_key(
+            "period", graph, CommModel.OVERLAP, Effort.EXACT, platform, bc
+        )
+        assert key_ab != key_bc
+
+    def test_shared_does_not_collide_with_injective_sentinel(self):
+        graph, platform, ab, _ = self._instance()
+        injective = evaluation_key(
+            "period", graph, CommModel.OVERLAP, Effort.EXACT, platform, None
+        )
+        shared = evaluation_key(
+            "period", graph, CommModel.OVERLAP, Effort.EXACT, platform, ab
+        )
+        assert injective != shared
+
+    def test_cache_returns_distinct_values(self):
+        # End-to-end: the two co-locations have genuinely different
+        # aggregated periods, and both must be computed (two misses).
+        graph, platform, ab, bc = self._instance()
+        cache = EvaluationCache()
+        v_ab = cache.objective(
+            "period", CommModel.OVERLAP, Effort.EXACT, platform, ab
+        )(graph)
+        v_bc = cache.objective(
+            "period", CommModel.OVERLAP, Effort.EXACT, platform, bc
+        )(graph)
+        # ab together: S1 ccomp 1+2=3, S2: cin 1/2, ccomp 3, cout 1/2 -> 3
+        # bc together: S1: max(1, 1, 1/2) = 1... S2: ccomp 2+3=5 -> 5
+        assert v_ab == CostModel(graph, platform, ab).period_lower_bound(
+            CommModel.OVERLAP
+        )
+        assert v_bc == CostModel(graph, platform, bc).period_lower_bound(
+            CommModel.OVERLAP
+        )
+        assert v_ab != v_bc
+        assert cache.misses == 2 and cache.hits == 0
+
+
+# ---------------------------------------------------------------------------
+# MultiApplication container
+# ---------------------------------------------------------------------------
+
+class TestMultiApplication:
+    def test_combined_graph_is_disjoint_union(self):
+        inst = fig1_example()
+        multi = MultiApplication([("x", inst.graph), ("y", inst.graph)])
+        assert multi.total_services == 10
+        combined = multi.combined_graph
+        assert len(combined.edges) == 2 * len(inst.graph.edges)
+        # No cross-application edges: every edge stays within one owner.
+        for a, b in combined.edges:
+            assert multi.owner(a) == multi.owner(b)
+        assert multi.local_name("x.C1") == "C1"
+
+    def test_duplicate_and_dotted_names_rejected(self):
+        g = ExecutionGraph.empty(make_application([("X", 1, 1)]))
+        with pytest.raises(ValueError, match="duplicate"):
+            MultiApplication([("a", g), ("a", g)])
+        with pytest.raises(ValueError, match="must not contain"):
+            ConcurrentApp("a.b", g)
+
+    def test_targets_and_weights(self):
+        g = ExecutionGraph.empty(make_application([("X", 2, 1)]))
+        multi = MultiApplication(
+            [ConcurrentApp("a", g, F(4)), ConcurrentApp("b", g, F(2))]
+        )
+        weights = multi.weights()
+        assert weights == {"a.X": F(1, 4), "b.X": F(1, 2)}
+        assert MultiApplication([("a", g)]).weights() is None
+
+
+# ---------------------------------------------------------------------------
+# Shared placement search
+# ---------------------------------------------------------------------------
+
+class TestSharedPlacementSearch:
+    def test_exhaustive_beats_or_equals_greedy(self):
+        app = make_application(
+            [("A", 6, 1), ("B", 2, 1), ("C", 2, 1), ("D", 2, 1)]
+        )
+        graph = ExecutionGraph.empty(app)
+        platform = Platform.homogeneous(3)
+        assert shared_space_size(4, 3) == 81
+        value, mapping = optimize_shared_mapping(
+            graph, CommModel.OVERLAP, platform
+        )
+        greedy = greedy_shared_mapping(graph, platform)
+        greedy_value = CostModel(graph, platform, greedy).period_lower_bound(
+            CommModel.OVERLAP
+        )
+        assert value <= greedy_value
+        # Exhaustive is exact here: nothing below max total work / servers.
+        assert value == F(6)
+        assert not mapping.is_injective
+
+    def test_colocation_beats_split_on_slow_link(self):
+        # demo2-style: a 1/100 link makes the A->B message cost 50; the
+        # optimal shared placement keeps the chain on one server.
+        app = make_application([("A", 1, "1/2"), ("B", 4, 1)])
+        graph = ExecutionGraph.chain(app, ["A", "B"])
+        platform = Platform.of(speeds=[1, 1], links={("S1", "S2"): F(1, 100)})
+        value, mapping = optimize_shared_mapping(
+            graph, CommModel.OVERLAP, platform
+        )
+        assert mapping.server("A") == mapping.server("B")
+        assert value == 3  # cin 1, ccomp 1 + 2, cout 1/2
+        split = CostModel(
+            graph, platform, Mapping.shared({"A": "S1", "B": "S2"})
+        ).period_lower_bound(CommModel.OVERLAP)
+        assert split == 50 and value < split
+
+    def test_local_search_value_matches_full_recompute(self):
+        wl = load_concurrent_workload("fig1+fig1")
+        graph = wl.multi.combined_graph
+        platform = Platform.homogeneous(3)
+        assert shared_space_size(len(graph.nodes), 3) > 512  # LS path
+        value, mapping = optimize_shared_mapping(
+            graph, CommModel.OVERLAP, platform
+        )
+        assert value == CostModel(graph, platform, mapping).period_lower_bound(
+            CommModel.OVERLAP
+        )
+        assert set(dict(mapping.items()).values()) <= {"S1", "S2", "S3"}
+
+    def test_weighted_search_minimises_utilisation(self):
+        g = ExecutionGraph.empty(make_application([("X", 4, 1)]))
+        multi = MultiApplication(
+            [ConcurrentApp("a", g, F(8)), ConcurrentApp("b", g, F(2))]
+        )
+        value, mapping = optimize_shared_mapping(
+            multi.combined_graph,
+            CommModel.OVERLAP,
+            Platform.homogeneous(2),
+            weights=multi.weights(),
+        )
+        costs = ConcurrentCosts(
+            multi, Platform.homogeneous(2), mapping, model=CommModel.OVERLAP
+        )
+        assert value == costs.max_utilisation()
+        # b is 4x more demanding per time unit: each app gets its own server.
+        assert mapping.server("a.X") != mapping.server("b.X")
+
+
+# ---------------------------------------------------------------------------
+# solve_concurrent (acceptance criteria)
+# ---------------------------------------------------------------------------
+
+class TestSolveConcurrent:
+    def test_unshared_servers_match_single_app_solve(self):
+        """Acceptance: per-app periods == single-app solve without sharing."""
+        inst = fig1_example()
+        multi = load_concurrent_workload("fig1+fig1").multi
+        platform = Platform.homogeneous(10)
+        services = list(inst.graph.nodes)
+        mapping = multi.combined_mapping(
+            {
+                "a0-fig1": {svc: f"S{i + 1}" for i, svc in enumerate(services)},
+                "a1-fig1": {svc: f"S{i + 6}" for i, svc in enumerate(services)},
+            }
+        )
+        assert mapping.is_injective
+        result = solve_concurrent(multi, platform=platform, mapping=mapping)
+        single = solve(
+            inst.graph, objective="period", model="overlap", schedule=False
+        )
+        assert result.method == "pinned"
+        assert result.app_periods == {
+            "a0-fig1": single.value, "a1-fig1": single.value
+        }
+        assert result.value == single.value  # disjoint unit servers: no interference
+        single_latency = solve(
+            inst.graph, objective="latency", model="overlap", schedule=False,
+            cache=EvaluationCache(),
+        )
+        assert result.app_latencies["a0-fig1"] == single_latency.value
+
+    def test_fewer_servers_than_services_is_feasible(self):
+        """Acceptance: 10 services on 3 servers -> strictly feasible plan."""
+        result = solve_concurrent(["fig1", "fig1"], platform="hom:n=3")
+        assert result.objective == "period"
+        assert not result.mapping.is_injective  # pigeonhole: sharing forced
+        assert set(result.mapping.services()) == set(
+            result.multi.combined_graph.nodes
+        )
+        assert result.feasible
+        assert result.value > 0
+        # The shared system can never beat each app running alone on the
+        # whole (unit) platform.
+        single = solve(
+            fig1_example().graph, objective="period", model="overlap",
+            schedule=False,
+        )
+        assert result.value >= single.value
+        for name in result.multi.names:
+            assert result.app_periods[name] >= single.value
+        # Per-server loads are consistent with the objective value.
+        assert max(result.server_loads.values()) == result.value
+
+    def test_targets_drive_utilisation_and_feasibility(self):
+        generous = solve_concurrent(
+            ["fig1", "fig1"], platform="hom:n=3",
+            targets={"a0-fig1": 100, "a1-fig1": 100},
+        )
+        assert generous.objective == "utilisation"
+        assert generous.utilisation is not None
+        assert generous.feasible and generous.utilisation <= 1
+        tight = solve_concurrent(
+            ["fig1", "fig1"], platform="hom:n=3",
+            targets={"a0-fig1": 1, "a1-fig1": 1},
+        )
+        assert not tight.feasible and tight.utilisation > 1
+        with pytest.raises(ValueError, match="unknown application"):
+            solve_concurrent(
+                ["fig1"], platform="hom:n=2", targets={"nope": 4}
+            )
+        # Targets are all-or-nothing: a missing one must not silently be
+        # treated as rho = 1 and drive the feasibility verdict.
+        with pytest.raises(ValueError, match="cover every application"):
+            solve_concurrent(
+                ["fig1", "fig1"], platform="hom:n=3",
+                targets={"a0-fig1": 100},
+            )
+
+    def test_requires_platform_and_accepts_specs(self):
+        with pytest.raises(ValueError, match="platform"):
+            solve_concurrent(["fig1", "fig1"], platform=None)
+        # A '+' spec string is accepted directly as the problem.
+        result = solve_concurrent("fig1+fig1", platform="hom:n=3")
+        assert result.multi.names == ("a0-fig1", "a1-fig1")
+
+    def test_workload_without_fixed_graph_gets_one(self):
+        wl = load_concurrent_workload("hetdemo+fig1")
+        assert wl.multi.names == ("a0-hetdemo", "a1-fig1")
+        # hetdemo has no fixed graph; the derived one is the homogeneous
+        # optimum (the chain A -> B, period 4).
+        derived = wl.multi["a0-hetdemo"].graph
+        assert sorted(derived.edges) == [("A", "B")]
+
+    def test_result_serialises(self):
+        result = solve_concurrent(["fig1", "fig1"], platform="hom:n=3")
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert payload["feasible"] is True
+        assert set(payload["applications"]) == set(result.multi.names)
+        assert "shared" in result.method or result.method == "pinned"
+        assert "ms" in result.summary()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestConcurrentCLI:
+    def test_text_output(self, capsys):
+        assert cli_main(
+            ["concurrent", "fig1+fig1", "--platform", "hom:n=3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "a0-fig1" in out and "shared servers:" in out
+
+    def test_json_output(self, capsys):
+        assert cli_main(
+            ["concurrent", "fig1+fig1", "--platform", "hom:n=3", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "fig1+fig1"
+        assert payload["result"]["objective"] == "period"
+
+    def test_targets_positional_and_named(self, capsys):
+        assert cli_main(
+            ["concurrent", "fig1+fig1", "--platform", "hom:n=3",
+             "--targets", "100,100"]
+        ) == 0
+        assert "utilisation" in capsys.readouterr().out
+        assert cli_main(
+            ["concurrent", "fig1+fig1", "--platform", "hom:n=3",
+             "--targets", "a0-fig1=100,a1-fig1=100"]
+        ) == 0
+
+    def test_error_paths_return_2(self, capsys):
+        assert cli_main(
+            ["concurrent", "fig1+nosuch", "--platform", "hom:n=3"]
+        ) == 2
+        assert cli_main(
+            ["concurrent", "fig1+fig1", "--platform", "hom:n=3",
+             "--targets", "1,2,3"]
+        ) == 2

@@ -1,0 +1,154 @@
+"""Property-based shared-server invariants (satellite).
+
+Three randomized sweeps of 100 seeded instances each:
+
+(a) the per-server aggregated load is exactly the sum of the per-service
+    loads (and the :class:`IncrementalSharedCosts` delta evaluator agrees
+    with full recomputation, before and after random moves);
+(b) collapsing every application to its own injective mapping on disjoint
+    servers reproduces the single-application :class:`CostModel` values
+    bit for bit (Fraction equality, per service and per readout);
+(c) under OVERLAP, every application's Theorem-1 bound is still achieved
+    by a concrete validated schedule given its induced mapping.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.concurrent import ConcurrentCosts, MultiApplication
+from repro.core import CommModel, CostModel, Mapping
+from repro.optimize import IncrementalSharedCosts
+from repro.scheduling.overlap import schedule_period_overlap
+from repro.workloads.generators import random_platform
+
+N_INSTANCES = 100
+
+ZERO = Fraction(0)
+
+
+# ---------------------------------------------------------------------------
+# (a) per-server aggregation == sum of per-service loads; delta parity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(N_INSTANCES))
+def test_server_aggregation_is_sum_of_service_loads(seed, multi_instance):
+    multi, platform, mapping = multi_instance(seed)
+    costs = CostModel(multi.combined_graph, platform, mapping)
+    nodes = set(multi.combined_graph.nodes)
+    for server in costs.used_servers():
+        services = costs.server_services(server)
+        assert set(services) == {
+            s for s in mapping.services_on(server) if s in nodes
+        }
+        assert costs.server_cin(server) == sum(
+            (costs.cin(s) for s in services), ZERO
+        )
+        assert costs.server_ccomp(server) == sum(
+            (costs.ccomp(s) for s in services), ZERO
+        )
+        assert costs.server_cout(server) == sum(
+            (costs.cout(s) for s in services), ZERO
+        )
+    # The system period is the worst aggregated server, never better than
+    # any single server's load.
+    for model in CommModel:
+        bound = costs.period_lower_bound(model)
+        assert bound == max(
+            costs.server_cexec(u, model) for u in costs.used_servers()
+        )
+
+
+@pytest.mark.parametrize("seed", range(N_INSTANCES))
+def test_incremental_shared_parity_with_full_recompute(seed, multi_instance):
+    multi, platform, mapping = multi_instance(seed)
+    graph = multi.combined_graph
+    rng = random.Random(seed)
+    names = list(graph.nodes)
+    model = list(CommModel)[seed % 3]
+    inc = IncrementalSharedCosts(graph, platform, mapping, model=model)
+    assert inc.value() == CostModel(graph, platform, mapping).period_lower_bound(
+        model
+    )
+    for _ in range(4):
+        if rng.random() < 0.5:
+            svc = rng.choice(names)
+            srv = rng.choice(platform.names)
+            if srv == inc.assignment[svc]:
+                continue
+            score = inc.score_reassign(svc, srv)
+            inc.apply_reassign(svc, srv)
+        else:
+            a, b = rng.sample(names, 2)
+            if inc.assignment[a] == inc.assignment[b]:
+                continue
+            score = inc.score_swap(a, b)
+            inc.apply_swap(a, b)
+        full = CostModel(
+            graph, platform, inc.mapping()
+        ).period_lower_bound(model)
+        assert score == full == inc.value()
+
+
+# ---------------------------------------------------------------------------
+# (b) injective per-app collapse == single-app CostModel, bit for bit
+# ---------------------------------------------------------------------------
+
+def _disjoint_instance(seed, multi_instance):
+    """The instance of *seed* re-placed injectively on disjoint servers."""
+    multi, _, _ = multi_instance(seed)
+    total = multi.total_services
+    platform = random_platform(total, seed=seed + 777, link_density=0.4)
+    per_app = {}
+    offset = 0
+    for app in multi.members:
+        nodes = app.graph.nodes
+        per_app[app.name] = {
+            svc: platform.names[offset + i] for i, svc in enumerate(nodes)
+        }
+        offset += len(nodes)
+    mapping = multi.combined_mapping(per_app)
+    assert mapping.is_injective
+    return multi, platform, mapping, per_app
+
+
+@pytest.mark.parametrize("seed", range(N_INSTANCES))
+def test_injective_collapse_reproduces_single_app_values(seed, multi_instance):
+    multi, platform, mapping, per_app = _disjoint_instance(seed, multi_instance)
+    combined = CostModel(multi.combined_graph, platform, mapping)
+    readout = ConcurrentCosts(multi, platform, mapping)
+    for app in multi.members:
+        single = CostModel(app.graph, platform, Mapping(per_app[app.name]))
+        for svc in app.graph.nodes:
+            namespaced = f"{app.name}.{svc}"
+            assert combined.cin(namespaced) == single.cin(svc)
+            assert combined.ccomp(namespaced) == single.ccomp(svc)
+            assert combined.cout(namespaced) == single.cout(svc)
+        for model in CommModel:
+            # The per-app period readout is exactly the app's own bound.
+            if model is CommModel.OVERLAP:
+                assert readout.app_period(app.name) == (
+                    single.period_lower_bound(model)
+                )
+        assert readout.app_latency(app.name) == single.latency_lower_bound()
+
+
+# ---------------------------------------------------------------------------
+# (c) Theorem-1 bound still achieved per application under OVERLAP
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(N_INSTANCES))
+def test_theorem1_achieved_per_application(seed, multi_instance):
+    multi, platform, mapping, per_app = _disjoint_instance(seed, multi_instance)
+    readout = ConcurrentCosts(multi, platform, mapping)
+    for app in multi.members:
+        induced = Mapping(per_app[app.name])
+        plan = schedule_period_overlap(
+            app.graph, platform=platform, mapping=induced
+        )
+        # The concrete schedule achieves exactly the per-app readout ...
+        assert plan.period == readout.app_period(app.name)
+        # ... and passes the full Appendix-A validator on the shared
+        # platform (the servers really are the platform's).
+        assert plan.is_valid(), plan.validate().violations

@@ -12,9 +12,12 @@ ROOT = pathlib.Path(__file__).parent.parent
 #: Modules whose docstrings carry runnable examples (the docstring pass).
 DOCTEST_MODULES = [
     "repro",
+    "repro.concurrent",
+    "repro.concurrent.multiapp",
     "repro.core.platform",
     "repro.optimize.placement",
     "repro.planner",
+    "repro.planner.concurrent",
     "repro.planner.batch",
     "repro.planner.cache",
     "repro.planner.catalog",

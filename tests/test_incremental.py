@@ -26,17 +26,6 @@ from repro.workloads.generators import random_application, random_platform
 F = Fraction
 
 
-def _random_forest(app, rng):
-    names = list(app.names)
-    order = names[:]
-    rng.shuffle(order)
-    parents, placed = {}, []
-    for name in order:
-        parents[name] = rng.choice([None] + placed) if placed else None
-        placed.append(name)
-    return ExecutionGraph.from_parents(app, parents)
-
-
 class TestForestParity:
     """score/apply_reparent == CostModel.period_lower_bound, bit for bit.
 
@@ -45,14 +34,14 @@ class TestForestParity:
     with several committed moves per configuration.
     """
 
-    def test_randomized_parity_unit_and_het(self):
+    def test_randomized_parity_unit_and_het(self, forest_graph):
         rng = random.Random(7)
         configurations = 0
         moves_checked = 0
         for seed in range(72):
             n = 2 + seed % 5
             app = random_application(n, seed=seed)
-            graph = _random_forest(app, rng)
+            graph = forest_graph(app, rng)
             names = list(app.names)
             for model in CommModel:
                 if seed % 2:
@@ -106,13 +95,13 @@ class TestForestParity:
 
 
 class TestMappingParity:
-    def test_randomized_parity(self):
+    def test_randomized_parity(self, forest_graph):
         rng = random.Random(11)
         moves_checked = 0
         for seed in range(30):
             n = 2 + seed % 4
             app = random_application(n, seed=seed + 900)
-            graph = _random_forest(app, rng)
+            graph = forest_graph(app, rng)
             platform = random_platform(n + 2, seed=seed + 3)
             names = list(app.names)
             mapping = Mapping(dict(zip(names, platform.names)))

@@ -13,38 +13,17 @@ that the built operation list (a) has exactly the bound as its period and
 
 from fractions import Fraction
 
-import numpy as np
 import pytest
 
-from repro.core import CommModel, CostModel, Mapping, Platform
+from repro.core import CommModel, CostModel, Platform
 from repro.scheduling.overlap import overlap_period_bound, schedule_period_overlap
-from repro.workloads.generators import (
-    random_application,
-    random_execution_graph,
-    random_platform,
-)
 
 N_GRAPHS = 200
 
 
-def _instance(seed: int):
-    """A random graph plus a random het platform and injective mapping."""
-    rng = np.random.default_rng(seed)
-    n = int(rng.integers(2, 7))
-    app = random_application(n, seed=seed, filter_fraction=float(rng.uniform(0.2, 0.9)))
-    graph = random_execution_graph(app, seed=seed + 1, density=float(rng.uniform(0.1, 0.7)))
-    n_servers = n + int(rng.integers(0, 3))  # sometimes spare servers
-    platform = random_platform(n_servers, seed=seed + 2, link_density=0.5)
-    order = rng.permutation(n_servers)[:n]
-    mapping = Mapping(
-        {svc: platform.names[order[i]] for i, svc in enumerate(graph.nodes)}
-    )
-    return graph, platform, mapping
-
-
 @pytest.mark.parametrize("seed", range(N_GRAPHS))
-def test_overlap_schedule_meets_theorem1_bound(seed):
-    graph, platform, mapping = _instance(seed)
+def test_overlap_schedule_meets_theorem1_bound(seed, het_instance):
+    graph, platform, mapping = het_instance(seed)
 
     # Heterogeneous platform with a random mapping.
     het_costs = CostModel(graph, platform, mapping)
@@ -65,10 +44,10 @@ def test_overlap_schedule_meets_theorem1_bound(seed):
         assert hom_plan.is_valid(), hom_plan.validate().violations
 
 
-def test_theorem1_bound_scales_inversely_with_uniform_speedup():
+def test_theorem1_bound_scales_inversely_with_uniform_speedup(het_instance):
     """Doubling every speed and bandwidth exactly halves the optimal period."""
     for seed in range(10):
-        graph, _, _ = _instance(seed)
+        graph, _, _ = het_instance(seed)
         slow = Platform.homogeneous(len(graph.nodes))
         fast = Platform.homogeneous(len(graph.nodes), speed=2, bandwidth=2)
         assert overlap_period_bound(graph, fast) * 2 == overlap_period_bound(graph, slow)
