@@ -3,7 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test coverage bench bench-platform bench-search bench-concurrent docs gallery install
+.PHONY: test coverage bench bench-platform bench-search bench-concurrent \
+	bench-compare profile docs gallery install
 
 test:            ## unit + integration tests and benchmark assertions
 	$(PYTHON) -m pytest -x -q
@@ -20,9 +21,19 @@ bench-platform:  ## heterogeneous-platform scaling table (platform_scaling.txt)
 
 bench-search:    ## branch-and-bound / incremental-delta perf (BENCH_search.json)
 	$(PYTHON) -m pytest benchmarks/test_bench_search.py -q
+	$(PYTHON) benchmarks/compare_bench.py --stamp
 
 bench-concurrent: ## shared-server multi-app scaling (BENCH_concurrent.json)
 	$(PYTHON) -m pytest benchmarks/test_bench_concurrent.py -q
+	$(PYTHON) benchmarks/compare_bench.py --stamp
+
+bench-compare:   ## perf-regression guard: snapshot committed BENCH_*.json, regenerate, diff
+	$(PYTHON) benchmarks/compare_bench.py --snapshot
+	$(PYTHON) -m pytest benchmarks/test_bench_search.py benchmarks/test_bench_concurrent.py -q
+	$(PYTHON) benchmarks/compare_bench.py
+
+profile:         ## cProfile a representative solve (evidence for perf PRs)
+	$(PYTHON) -m repro profile random:n=9,seed=4 --method branch-and-bound
 
 docs:            ## execute the documented examples (doctests + quickstarts)
 	$(PYTHON) -m pytest tests/test_docs.py -q

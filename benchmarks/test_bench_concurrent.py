@@ -52,6 +52,11 @@ def _compute_floor(multi, platform):
     return total_work / total_speed
 
 
+#: Run the exact (all-Fraction) placement search alongside the certified
+#: one on the larger grid points — the fast-vs-exact comparison rows.
+EXACT_COMPARE_MIN_SERVICES = 15
+
+
 def _row(k, spec):
     multi = _instance(k)
     platform = load_platform(spec)
@@ -63,7 +68,7 @@ def _row(k, spec):
     result = solve_concurrent(multi, platform=platform)
     wall = time.perf_counter() - started
     floor = _compute_floor(multi, platform)
-    return {
+    row = {
         "apps": k,
         "services": multi.total_services,
         "platform": spec,
@@ -77,6 +82,17 @@ def _row(k, spec):
         "feasible": result.feasible,
         "wall_s": round(wall, 4),
     }
+    if multi.total_services >= EXACT_COMPARE_MIN_SERVICES:
+        from repro.planner import clear_default_cache
+
+        clear_default_cache()  # the certified run memoized this placement
+        started = time.perf_counter()
+        exact = solve_concurrent(multi, platform=platform, exactness="exact")
+        clear_default_cache()
+        # The certified tier is bit-for-bit the exact one.
+        assert exact.value == result.value, (spec, exact.value, result.value)
+        row["exact_wall_s"] = round(time.perf_counter() - started, 4)
+    return row
 
 
 def test_concurrent_scaling(benchmark):

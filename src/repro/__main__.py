@@ -3,6 +3,8 @@
 Subcommands
 -----------
 ``solve``       Solve one workload for one objective/model/method.
+``profile``     cProfile one solve and print the top cumulative hot spots
+                (evidence for performance work).
 ``compare``     Solve a workload over a grid of objectives × models × methods.
 ``batch``       Solve many workloads at once, sharded over worker processes
                 (per-shard evaluation caches are merged back).
@@ -16,6 +18,8 @@ Examples::
 
     python -m repro solve fig1 --objective period --model inorder
     python -m repro solve fig1 --platform het4
+    python -m repro solve random:n=9,seed=4 --exactness exact   # no fast path
+    python -m repro profile random:n=9,seed=4 --method branch-and-bound
     python -m repro solve random:n=6,seed=3 --method local-search
     python -m repro compare fig1 --objectives period,latency
     python -m repro batch fig1 b1 random:n=9,seed=1 --processes 4
@@ -132,6 +136,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
             schedule=not args.no_schedule,
             platform=platform,
             mapping=mapping,
+            exactness=args.exactness,
         )
         for objective in _split(args.objective, all_values=["period", "latency"])
         for model in _split(args.model, all_values=[m.value for m in ALL_MODELS])
@@ -150,6 +155,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         schedule=not args.no_schedule,
         platform=load_platform(args.platform) if args.platform else None,
         processes=args.processes,
+        exactness=args.exactness,
     )
     if args.json:
         print(json.dumps(batch.as_dict(), indent=2))
@@ -203,6 +209,7 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
         platform=load_platform(args.platform),
         model=args.model,
         targets=_parse_targets(args.targets, list(workload.multi.names)),
+        exactness=args.exactness,
     )
     if args.json:
         print(json.dumps(
@@ -240,6 +247,47 @@ def cmd_concurrent(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile one solve; print the top cumulative hot spots.
+
+    Caches are cleared first so the profile reflects cold work, not memo
+    lookups — the evidence future performance PRs should start from.
+    """
+    import cProfile
+    import pstats
+
+    from .planner import clear_default_cache
+
+    workload = load_workload(args.workload)
+    platform, mapping = _platform_args(workload, args.platform)
+    problem = _problem(workload, args.remap)
+    clear_default_cache()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = solve(
+        problem,
+        objective=args.objective,
+        model=args.model,
+        method=args.method,
+        effort=args.effort,
+        schedule=not args.no_schedule,
+        platform=platform,
+        mapping=mapping,
+        exactness=args.exactness,
+    )
+    profiler.disable()
+    print(
+        f"workload: {workload.name} — {args.objective}/{args.model} via "
+        f"{result.method}: value {format_value(result.value)} in "
+        f"{result.stats.wall_time * 1000:.1f} ms "
+        f"({result.stats.evaluations} evaluations)"
+    )
+    print()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 #: Methods applicable to a fixed execution graph (orchestration).
 _GRAPH_METHODS = ["auto", "exhaustive", "heuristic", "bound"]
 
@@ -261,6 +309,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             schedule=not args.no_schedule,
             platform=platform,
             mapping=mapping,
+            exactness=args.exactness,
         )
         for objective in _split(args.objectives, all_values=["period", "latency"])
         for model in _split(args.models, all_values=[m.value for m in ALL_MODELS])
@@ -371,6 +420,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="platform spec, e.g. het4, demo2, hom:n=8 or het:n=6,seed=1 "
             "(default: the workload's bundled platform, if any)",
         )
+        p.add_argument(
+            "--exactness",
+            default=None,
+            choices=["exact", "certified", "fast"],
+            help="numeric tier: certified (default — float fast path, "
+            "bit-for-bit exact results), exact (Fractions everywhere), or "
+            "fast (float tier, uncertified values)",
+        )
 
     p_solve = sub.add_parser("solve", help="solve one workload")
     add_common(p_solve)
@@ -379,6 +436,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--method", default="auto", help="solver name or auto")
     p_solve.add_argument("--effort", default=None, help="bound, heuristic, or exact")
     p_solve.set_defaults(fn=cmd_solve)
+
+    p_prof = sub.add_parser(
+        "profile", help="cProfile one solve; print the top hot spots"
+    )
+    add_common(p_prof)
+    p_prof.add_argument("--objective", default="period", help="period or latency")
+    p_prof.add_argument("--model", default="overlap", help="overlap, inorder or outorder")
+    p_prof.add_argument("--method", default="auto", help="solver name or auto")
+    p_prof.add_argument("--effort", default=None, help="bound, heuristic, or exact")
+    p_prof.add_argument(
+        "--top", type=int, default=20,
+        help="how many rows of the profile to print (default 20)",
+    )
+    p_prof.add_argument(
+        "--sort", default="cumulative",
+        help="pstats sort key (cumulative, tottime, calls, ...)",
+    )
+    p_prof.set_defaults(fn=cmd_profile)
 
     p_batch = sub.add_parser(
         "batch", help="solve many workloads, sharded over worker processes"
@@ -405,6 +480,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=None,
         help="worker processes (default: min(cpu count, #workloads); 1 = serial)",
     )
+    p_batch.add_argument(
+        "--exactness", default=None,
+        choices=["exact", "certified", "fast"],
+        help="numeric tier (default: certified)",
+    )
     p_batch.set_defaults(fn=cmd_batch)
 
     p_con = sub.add_parser(
@@ -430,6 +510,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-application period targets: name=value pairs or one "
         "value per application in order, e.g. 16,8 — switches the "
         "objective to max per-server utilisation",
+    )
+    p_con.add_argument(
+        "--exactness", default=None,
+        choices=["exact", "certified", "fast"],
+        help="numeric tier of the placement search (default: certified)",
     )
     p_con.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p_con.set_defaults(fn=cmd_concurrent)

@@ -9,6 +9,7 @@ from .constants import INPUT, OUTPUT
 from .costs import CostModel, comm_edges
 from .graph import CycleError, Edge, ExecutionGraph, PrecedenceError
 from .models import ALL_MODELS, ONE_PORT_MODELS, CommModel
+from .numeric import CERT_EPS, Exactness, FloatCosts, GraphArrays, certified_threshold
 from .platform import Link, Mapping, Platform, Server, platform_fingerprint
 from .operation_list import (
     COMM,
@@ -35,13 +36,18 @@ from .validation import (
 __all__ = [
     "ALL_MODELS",
     "Application",
+    "CERT_EPS",
     "COMM",
     "COMP",
     "CommModel",
     "CostModel",
     "CycleError",
     "Edge",
+    "Exactness",
     "ExecutionGraph",
+    "FloatCosts",
+    "GraphArrays",
+    "certified_threshold",
     "INPUT",
     "InvalidScheduleError",
     "Link",

@@ -34,6 +34,20 @@ Proposition 4), :func:`bb_minlatency` (DAGs — optimal latency plans need
 not be forests, Proposition 13).  The planner registers them as the
 ``"branch-and-bound"`` solver, which is also the ``method="auto"`` exact
 path (:data:`repro.planner.AUTO_EXHAUSTIVE_MAX`).
+
+**Numeric tiers** (:class:`~repro.core.Exactness`): the bound algebra —
+ancestor products, per-node terms, heap keys — runs in exact
+``Fraction``s under ``EXACT`` and in native floats under ``CERTIFIED``
+and ``FAST``.  Certified pruning is conservative: a state is discarded
+only when its float bound exceeds the incumbent by more than
+:data:`~repro.core.CERT_EPS` relative (``float_lb > incumbent *
+(1 + eps)``), which the float error (~1e-13) can never fake, so the
+exact optimum is never pruned; surviving complete graphs are re-scored
+through the exact *objective*, keeping the returned optimum bit-for-bit
+identical to the ``EXACT`` tier — at one to two orders of magnitude less
+bound arithmetic.  Under ``FAST`` the caller supplies a float-tier
+objective and the result is an uncertified (but typically optimal)
+incumbent.
 """
 
 from __future__ import annotations
@@ -45,13 +59,16 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from ..core import (
+    CERT_EPS,
     INPUT,
     OUTPUT,
     Application,
     CommModel,
+    Exactness,
     ExecutionGraph,
     Mapping,
     Platform,
+    certified_threshold,
 )
 from .evaluation import Effort, Objective
 
@@ -137,6 +154,21 @@ class _Scaling:
         return self._speed.get(name, self._default_speed)
 
 
+def _float_cuts(value: Fraction, eps: float) -> Tuple[float, float]:
+    """``(cut, low_cut)`` float thresholds around an exact incumbent.
+
+    An incumbent too large for a float degenerates to ``(inf, -inf)`` —
+    every bound then lands "in the band", so a certified search arbitrates
+    everything exactly (slow but still exact) and a fast search returns
+    its incumbent.
+    """
+    try:
+        f = float(value)
+    except OverflowError:
+        return float("inf"), float("-inf")
+    return certified_threshold(f, eps), f * (1.0 - eps)
+
+
 def _min_products(app: Application) -> Dict[str, Fraction]:
     """``minprod[j]``: the smallest possible ancestor-selectivity product.
 
@@ -200,6 +232,7 @@ def _seed_incumbent(
     model: CommModel,
     platform: Optional[Platform],
     mapping: Optional[Mapping],
+    exactness: Exactness = Exactness.EXACT,
 ) -> Tuple[Fraction, ExecutionGraph]:
     """Greedy + reparenting local search: the starting incumbent.
 
@@ -219,7 +252,8 @@ def _seed_incumbent(
     delta = None
     if kind == "period" and model.overlaps_compute:
         delta = period_delta(
-            seed_graph, model, Effort.HEURISTIC, platform, mapping
+            seed_graph, model, Effort.HEURISTIC, platform, mapping,
+            exactness=exactness,
         )
     _, graph = local_search_forest(seed_graph, objective, delta=delta)
     return objective(graph), graph
@@ -250,6 +284,8 @@ def bb_minperiod(
     mapping: Optional[Mapping] = None,
     incumbent: Optional[Tuple[Fraction, ExecutionGraph]] = None,
     node_limit: Optional[int] = None,
+    exactness: Exactness = Exactness.EXACT,
+    eps: float = CERT_EPS,
 ) -> Tuple[Fraction, ExecutionGraph, BBStats]:
     """Exact MinPeriod over forests by best-first branch and bound.
 
@@ -263,6 +299,13 @@ def bb_minperiod(
     incumbent is returned (still an upper bound, no longer certified
     optimal — ``stats.expanded`` reaching the limit flags it).
 
+    *exactness* picks the numeric tier for the bound arithmetic (the
+    module docstring spells out the certification contract): under
+    ``CERTIFIED`` the bounds run in floats, states are pruned only beyond
+    the *eps* relative guard, and the returned optimum is bit-for-bit the
+    ``EXACT`` tier's as long as *objective* evaluates exactly; ``FAST``
+    expects a float-tier objective and returns an uncertified incumbent.
+
     Example::
 
         >>> from repro import CommModel, make_application
@@ -275,17 +318,28 @@ def bb_minperiod(
     """
     if app.precedence:
         raise ValueError("forest branch and bound assumes no precedence constraints")
+    exactness = Exactness.coerce(exactness)
     names = list(app.names)
     n = len(names)
     index = {name: i for i, name in enumerate(names)}
-    sigma = [app.selectivity(name) for name in names]
-    cost = [app.cost(name) for name in names]
     scaling = _Scaling(app, platform, mapping)
-    speed = [scaling.speed(name) for name in names]
-    b_div = scaling.comm_div
     minprod = _min_products(app)
     floors = _period_floors(app, model, scaling, minprod)
-    floor_list = [floors[name] for name in names]
+    while True:
+        use_float = exactness.uses_float
+        conv = float if use_float else (lambda value: value)
+        try:
+            one = conv(ONE)
+            sigma = [conv(app.selectivity(name)) for name in names]
+            cost = [conv(app.cost(name)) for name in names]
+            speed = [conv(scaling.speed(name)) for name in names]
+            b_div = conv(scaling.comm_div)
+            floor_list = [conv(floors[name]) for name in names]
+            break
+        except OverflowError:
+            # Instance quantities beyond float range: the fast tier cannot
+            # represent them — degrade to the (always-correct) exact tier.
+            exactness = Exactness.EXACT
     overlap = model.overlaps_compute
     stats = BBStats()
 
@@ -306,50 +360,84 @@ def bb_minperiod(
     if incumbent is None:
         incumbent = _seed_incumbent(
             app, scored, kind="period", model=model,
-            platform=platform, mapping=mapping,
+            platform=platform, mapping=mapping, exactness=exactness,
         )
     best_value, best_graph = incumbent
     if not best_graph.is_forest:
         raise ValueError("the MinPeriod incumbent must be a forest")
 
+    # Float-tier pruning thresholds around the incumbent: a state whose
+    # float bound exceeds ``cut`` is provably no better than the incumbent
+    # (the eps guard swallows the float error).  Under CERTIFIED a state
+    # inside the ``[low_cut, cut]`` near-tie band is arbitrated in exact
+    # arithmetic — so the prune *set* is bit-for-bit the exact tier's —
+    # and one below ``low_cut`` provably admits an improvement.  Under
+    # FAST (uncertified by contract) ties prune aggressively at
+    # ``low_cut``, with no exact arithmetic anywhere.
+    certified = exactness is Exactness.CERTIFIED
+    if use_float:
+        cut, low_cut = _float_cuts(best_value, eps)
+    else:
+        cut = low_cut = best_value
+
     # Per-node partial term: cin is the parent's out-size (== the node's
     # ancestor product) or the unit input message for roots; cout counts
     # the current children plus the one unavoidable output message.
-    def term(anc: Fraction, is_root: bool, children: int, i: int) -> Fraction:
-        cin = (ONE if is_root else anc) / b_div
-        ccomp = anc * cost[i] / speed[i]
-        cout = max(children, 1) * anc * sigma[i] / b_div
-        if overlap:
-            return max(cin, ccomp, cout)
-        return cin + ccomp + cout
+    def make_term(sig, cst, spd, bdv, unit):
+        def term(anc, is_root: bool, children: int, i: int):
+            cin = (unit if is_root else anc) / bdv
+            ccomp = anc * cst[i] / spd[i]
+            cout = max(children, 1) * anc * sig[i] / bdv
+            if overlap:
+                return max(cin, ccomp, cout)
+            return cin + ccomp + cout
+        return term
 
-    root_bound = max(floor_list) if floor_list else Fraction(0)
+    term = make_term(sigma, cost, speed, b_div, one)
+    if certified:
+        # Exact twins of every converted array, for near-tie arbitration.
+        sigma_x = [app.selectivity(name) for name in names]
+        cost_x = [app.cost(name) for name in names]
+        speed_x = [scaling.speed(name) for name in names]
+        term_x = make_term(sigma_x, cost_x, speed_x, scaling.comm_div, ONE)
+        floors_x = [floors[name] for name in names]
+        root_bound_x = max(floors_x) if floors_x else Fraction(0)
+
+    root_bound = max(floor_list) if floor_list else conv(Fraction(0))
     start: Tuple[int, ...] = tuple([_ForestState.UNPLACED] * n)
-    heap: List[Tuple[Fraction, int, int, Tuple[int, ...]]] = []
+    heap: List[Tuple] = []
     counter = itertools.count()
-    heapq.heappush(heap, (root_bound, 0, next(counter), start))
+    gen = 0  # incumbent generation: bumps on every incumbent improvement
+    # The root is pushed un-arbitrated (generation -1), so its pop re-checks
+    # the band — the "floors certify the incumbent at the root" case.
+    heapq.heappush(heap, (root_bound, 0, next(counter), start, -1))
     seen = {start}
 
     while heap:
-        bound, placed_rank, _, parents = heapq.heappop(heap)
-        if bound >= best_value:
+        bound, placed_rank, _, parents, state_gen = heapq.heappop(heap)
+        if certified:
+            worse = bound > cut
+        elif use_float:
+            worse = bound >= low_cut  # FAST: ties prune uncertified
+        else:
+            worse = bound >= cut
+        if worse:
             break  # every remaining state is at least as bad — optimal
         if node_limit is not None and stats.expanded >= node_limit:
             stats.limit_hit = True
             break
-        stats.expanded += 1
 
         placed = [i for i, p in enumerate(parents) if p != _ForestState.UNPLACED]
         unplaced = [i for i, p in enumerate(parents) if p == _ForestState.UNPLACED]
         # Revive the ancestor products and child counts of the partial forest.
-        anc: Dict[int, Fraction] = {}
+        anc: Dict[int, object] = {}
         children: Dict[int, int] = {i: 0 for i in placed}
 
-        def anc_of(i: int) -> Fraction:
+        def anc_of(i: int):
             found = anc.get(i)
             if found is None:
                 p = parents[i]
-                found = ONE if p == _ForestState.ROOT else anc_of(p) * sigma[p]
+                found = one if p == _ForestState.ROOT else anc_of(p) * sigma[p]
                 anc[i] = found
             return found
 
@@ -358,10 +446,64 @@ def bb_minperiod(
             if parents[i] >= 0:
                 children[parents[i]] += 1
 
+        if certified:
+            # Lazy exact revival of this state's bound — only touched when
+            # a float bound lands in the near-tie band.  A state's
+            # accumulated bound equals max(static root bound, the placed
+            # nodes' *current* terms): terms only ever grow as children
+            # are attached, so the historical max collapses to the
+            # current one.
+            exact_state: List[Optional[Fraction]] = [None]
+            exact_anc: Dict[int, Fraction] = {}
+
+            def exact_anc_of(i: int) -> Fraction:
+                found = exact_anc.get(i)
+                if found is None:
+                    p = parents[i]
+                    found = (
+                        ONE if p == _ForestState.ROOT
+                        else exact_anc_of(p) * sigma_x[p]
+                    )
+                    exact_anc[i] = found
+                return found
+
+            def exact_bound() -> Fraction:
+                found = exact_state[0]
+                if found is None:
+                    found = root_bound_x
+                    for i in placed:
+                        t = term_x(
+                            exact_anc_of(i),
+                            parents[i] == _ForestState.ROOT,
+                            children[i],
+                            i,
+                        )
+                        if t > found:
+                            found = t
+                    exact_state[0] = found
+                return found
+
+            # A state pushed under the current incumbent was already exactly
+            # arbitrated at generation time; only a since-improved incumbent
+            # warrants re-checking the near-tie band at pop time.
+            if (
+                state_gen != gen
+                and bound >= low_cut
+                and exact_bound() >= best_value
+            ):
+                stats.pruned += 1  # exact arbitration: a true (near-)tie
+                continue
+        stats.expanded += 1
+        # The incumbent generation this state's bound was screened under;
+        # children inherit it, so a mid-expansion incumbent improvement
+        # forces their own pop-time re-arbitration (the inherited bound
+        # component was only verified against the pre-improvement value).
+        verified_gen = gen
+
         for u in unplaced:
             for p in [-1] + placed:
                 if p == _ForestState.ROOT:
-                    anc_u = ONE
+                    anc_u = one
                     new_term = term(anc_u, True, 0, u)
                     parent_term = None
                 else:
@@ -373,14 +515,46 @@ def bb_minperiod(
                 child_bound = bound if new_term <= bound else new_term
                 if parent_term is not None and parent_term > child_bound:
                     child_bound = parent_term
-                if child_bound >= best_value:
+                if use_float and not certified:
+                    if child_bound >= low_cut:  # FAST: uncertified pruning
+                        stats.pruned += 1
+                        continue
+                elif certified:
+                    if child_bound > cut:
+                        stats.pruned += 1
+                        continue
+                    if child_bound >= low_cut:
+                        # Near-tie band: arbitrate in exact arithmetic so the
+                        # prune set matches the exact tier bit-for-bit.  The
+                        # expanded state's own exact bound is already known
+                        # to be below the incumbent, so only the two terms
+                        # the move changes need exact evaluation.
+                        if p == _ForestState.ROOT:
+                            if term_x(ONE, True, 0, u) >= best_value:
+                                stats.pruned += 1
+                                continue
+                        else:
+                            anc_px = exact_anc_of(p)
+                            if (
+                                term_x(anc_px * sigma_x[p], False, 0, u)
+                                >= best_value
+                                or term_x(
+                                    anc_px, parents[p] == _ForestState.ROOT,
+                                    children[p] + 1, p,
+                                )
+                                >= best_value
+                            ):
+                                stats.pruned += 1
+                                continue
+                elif child_bound >= cut:
                     stats.pruned += 1
                     continue
                 child = list(parents)
                 child[u] = p if p >= 0 else _ForestState.ROOT
                 child_key = tuple(child)
                 if len(placed) + 1 == n:
-                    # Complete forest: score it for real.
+                    # Complete forest: score it for real (exact tier under
+                    # EXACT/CERTIFIED — only float-safe survivors reach here).
                     if child_key in seen:
                         stats.duplicates += 1
                         continue
@@ -389,6 +563,11 @@ def bb_minperiod(
                     value = scored(graph)
                     if value < best_value:
                         best_value, best_graph = value, graph
+                        gen += 1
+                        if use_float:
+                            cut, low_cut = _float_cuts(best_value, eps)
+                        else:
+                            cut = low_cut = best_value
                         stats.incumbent_updates += 1
                     continue
                 if child_key in seen:
@@ -397,7 +576,8 @@ def bb_minperiod(
                 seen.add(child_key)
                 heapq.heappush(
                     heap,
-                    (child_bound, n - len(placed) - 1, next(counter), child_key),
+                    (child_bound, n - len(placed) - 1, next(counter), child_key,
+                     verified_gen),
                 )
 
     return best_value, best_graph, stats
@@ -417,6 +597,8 @@ def bb_minlatency(
     incumbent: Optional[Tuple[Fraction, ExecutionGraph]] = None,
     node_limit: Optional[int] = None,
     max_services: int = MAX_BB_LATENCY_SERVICES,
+    exactness: Exactness = Exactness.EXACT,
+    eps: float = CERT_EPS,
 ) -> Tuple[Fraction, ExecutionGraph, BBStats]:
     """Exact MinLatency over DAGs by best-first branch and bound.
 
@@ -425,6 +607,9 @@ def bb_minlatency(
     time is final; the bound adds each node's unavoidable output message
     and the static floors of the unplaced services.  Optimal latency plans
     need not be forests (Proposition 13), hence the DAG space.
+
+    *exactness*/*eps* pick the numeric tier of the bound arithmetic with
+    the same certification contract as :func:`bb_minperiod`.
 
     Example::
 
@@ -445,14 +630,23 @@ def bb_minlatency(
             f"DAG branch and bound is unreasonable for n={n} > {max_services}; "
             f"use the forest-restricted search or a heuristic"
         )
-    sigma = [app.selectivity(name) for name in names]
-    cost = [app.cost(name) for name in names]
+    exactness = Exactness.coerce(exactness)
     scaling = _Scaling(app, platform, mapping)
-    speed = [scaling.speed(name) for name in names]
-    b_div = scaling.comm_div
     minprod = _min_products(app)
     floors = _latency_floors(app, scaling, minprod)
-    floor_list = [floors[name] for name in names]
+    while True:
+        use_float = exactness.uses_float
+        conv = float if use_float else (lambda value: value)
+        try:
+            one = conv(ONE)
+            sigma = [conv(app.selectivity(name)) for name in names]
+            cost = [conv(app.cost(name)) for name in names]
+            speed = [conv(scaling.speed(name)) for name in names]
+            b_div = conv(scaling.comm_div)
+            floor_list = [conv(floors[name]) for name in names]
+            break
+        except OverflowError:
+            exactness = Exactness.EXACT  # beyond float range (see bb_minperiod)
     stats = BBStats()
 
     def scored(graph: ExecutionGraph) -> Fraction:
@@ -462,27 +656,47 @@ def bb_minlatency(
     if incumbent is None:
         incumbent = _seed_incumbent(
             app, scored, kind="latency", model=model,
-            platform=platform, mapping=mapping,
+            platform=platform, mapping=mapping, exactness=exactness,
         )
     best_value, best_graph = incumbent
 
+    # Near-tie band thresholds — see bb_minperiod for the contract.
+    certified = exactness is Exactness.CERTIFIED
+    if use_float:
+        cut, low_cut = _float_cuts(best_value, eps)
+    else:
+        cut = low_cut = best_value
+    if certified:
+        sigma_x = [app.selectivity(name) for name in names]
+        cost_x = [app.cost(name) for name in names]
+        speed_x = [scaling.speed(name) for name in names]
+        b_div_x = scaling.comm_div
+        floors_x = [floors[name] for name in names]
+        root_bound_x = max(floors_x) if floors_x else Fraction(0)
+
     # State: (frozenset of placed indices, frozenset of (pred, succ) edges).
     State = Tuple[frozenset, frozenset]
-    root_bound = max(floor_list) if floor_list else Fraction(0)
+    root_bound = max(floor_list) if floor_list else conv(Fraction(0))
     start: State = (frozenset(), frozenset())
-    heap: List[Tuple[Fraction, int, int, State]] = []
+    heap: List[Tuple] = []
     counter = itertools.count()
-    heapq.heappush(heap, (root_bound, n, next(counter), start))
+    gen = 0  # incumbent generation (see bb_minperiod)
+    heapq.heappush(heap, (root_bound, n, next(counter), start, -1))
     seen = {start}
 
     while heap:
-        bound, _, _, (placed, edges) = heapq.heappop(heap)
-        if bound >= best_value:
+        bound, _, _, (placed, edges), state_gen = heapq.heappop(heap)
+        if certified:
+            worse = bound > cut
+        elif use_float:
+            worse = bound >= low_cut  # FAST: ties prune uncertified
+        else:
+            worse = bound >= cut
+        if worse:
             break
         if node_limit is not None and stats.expanded >= node_limit:
             stats.limit_hit = True
             break
-        stats.expanded += 1
 
         order = sorted(placed)
         preds: Dict[int, List[int]] = {i: [] for i in order}
@@ -490,8 +704,8 @@ def bb_minlatency(
             preds[b].append(a)
         # Critical-path revival: ancestors of placed nodes are final.
         anc_set: Dict[int, frozenset] = {}
-        anc_prod: Dict[int, Fraction] = {}
-        finish: Dict[int, Fraction] = {}
+        anc_prod: Dict[int, object] = {}
+        finish: Dict[int, object] = {}
         done: set = set()
         pending = [i for i in order]
         while pending:
@@ -502,7 +716,7 @@ def bb_minlatency(
             acc = frozenset().union(*[anc_set[p] | {p} for p in preds[i]]) \
                 if preds[i] else frozenset()
             anc_set[i] = acc
-            prod = ONE
+            prod = one
             for j in acc:
                 prod *= sigma[j]
             anc_prod[i] = prod
@@ -511,9 +725,68 @@ def bb_minlatency(
                     finish[p] + anc_prod[p] * sigma[p] / b_div for p in preds[i]
                 )
             else:
-                start_t = ONE / b_div
+                start_t = one / b_div
             finish[i] = start_t + prod * cost[i] / speed[i]
             done.add(i)
+
+        if certified:
+            # Lazy exact revival for near-tie arbitration: the state's
+            # bound is max(static root bound, finish + out-message of each
+            # placed node), every component final once the node is placed.
+            exact_cache: Dict[str, object] = {}
+
+            def exact_revive():
+                found = exact_cache.get("finish")
+                if found is None:
+                    anc_prod_x: Dict[int, Fraction] = {}
+                    finish_x: Dict[int, Fraction] = {}
+                    for i in order:  # anc_set is complete: reuse its sets
+                        prod_x = ONE
+                        for j in anc_set[i]:
+                            prod_x *= sigma_x[j]
+                        anc_prod_x[i] = prod_x
+                    exact_cache["anc"] = anc_prod_x
+                    finish_pending = [i for i in order]
+                    done_x: set = set()
+                    while finish_pending:
+                        i = finish_pending.pop(0)
+                        if any(p not in done_x for p in preds[i]):
+                            finish_pending.append(i)
+                            continue
+                        if preds[i]:
+                            start_x = max(
+                                finish_x[p] + anc_prod_x[p] * sigma_x[p] / b_div_x
+                                for p in preds[i]
+                            )
+                        else:
+                            start_x = ONE / b_div_x
+                        finish_x[i] = start_x + anc_prod_x[i] * cost_x[i] / speed_x[i]
+                        done_x.add(i)
+                    exact_cache["finish"] = finish_x
+                    found = finish_x
+                return exact_cache["anc"], exact_cache["finish"]
+
+            def exact_bound() -> Fraction:
+                found = exact_cache.get("bound")
+                if found is None:
+                    anc_prod_x, finish_x = exact_revive()
+                    found = root_bound_x
+                    for i in order:
+                        t = finish_x[i] + anc_prod_x[i] * sigma_x[i] / b_div_x
+                        if t > found:
+                            found = t
+                    exact_cache["bound"] = found
+                return found
+
+            if (
+                state_gen != gen
+                and bound >= low_cut
+                and exact_bound() >= best_value
+            ):
+                stats.pruned += 1
+                continue
+        stats.expanded += 1
+        verified_gen = gen  # see bb_minperiod: children re-check if stale
 
         unplaced = [i for i in range(n) if i not in placed]
         placed_list = list(order)
@@ -524,7 +797,7 @@ def bb_minlatency(
                 acc = frozenset().union(
                     *[anc_set[p] | {p} for p in chosen]
                 ) if chosen else frozenset()
-                prod = ONE
+                prod = one
                 for j in acc:
                     prod *= sigma[j]
                 if chosen:
@@ -532,11 +805,42 @@ def bb_minlatency(
                         finish[p] + anc_prod[p] * sigma[p] / b_div for p in chosen
                     )
                 else:
-                    start_t = ONE / b_div
+                    start_t = one / b_div
                 finish_u = start_t + prod * cost[u] / speed[u]
                 new_term = finish_u + prod * sigma[u] / b_div
                 child_bound = bound if new_term <= bound else new_term
-                if child_bound >= best_value:
+                if use_float and not certified:
+                    if child_bound >= low_cut:  # FAST: uncertified pruning
+                        stats.pruned += 1
+                        continue
+                elif certified:
+                    if child_bound > cut:
+                        stats.pruned += 1
+                        continue
+                    if child_bound >= low_cut:
+                        # Near-tie band: exact arbitration (see bb_minperiod).
+                        # The expanded state's exact bound is below the
+                        # incumbent, so only the appended node's term matters.
+                        anc_prod_x, finish_x = exact_revive()
+                        prod_x = ONE
+                        for j in acc:
+                            prod_x *= sigma_x[j]
+                        if chosen:
+                            start_x = max(
+                                finish_x[p] + anc_prod_x[p] * sigma_x[p] / b_div_x
+                                for p in chosen
+                            )
+                        else:
+                            start_x = ONE / b_div_x
+                        new_term_x = (
+                            start_x
+                            + prod_x * cost_x[u] / speed_x[u]
+                            + prod_x * sigma_x[u] / b_div_x
+                        )
+                        if new_term_x >= best_value:
+                            stats.pruned += 1
+                            continue
+                elif child_bound >= cut:
                     stats.pruned += 1
                     continue
                 child: State = (
@@ -556,10 +860,17 @@ def bb_minlatency(
                     value = scored(graph)
                     if value < best_value:
                         best_value, best_graph = value, graph
+                        gen += 1
+                        if use_float:
+                            cut, low_cut = _float_cuts(best_value, eps)
+                        else:
+                            cut = low_cut = best_value
                         stats.incumbent_updates += 1
                     continue
                 heapq.heappush(
-                    heap, (child_bound, n - len(placed) - 1, next(counter), child)
+                    heap,
+                    (child_bound, n - len(placed) - 1, next(counter), child,
+                     verified_gen),
                 )
 
     return best_value, best_graph, stats

@@ -12,15 +12,38 @@ that placement; ``mapping=None`` additionally optimises the placement
 (exhaustive for small instances, greedy + local search beyond — see
 :mod:`repro.optimize.placement`), so graph searches transparently become
 graph × server-assignment searches.
+
+The :class:`~repro.core.Exactness` knob picks the numeric tier.  ``EXACT``
+and ``CERTIFIED`` return bit-for-bit identical exact ``Fraction``s for a
+single graph (certification only changes how *searches* use the float
+kernel internally); ``FAST`` answers from the
+:class:`~repro.core.FloatCosts` flat-array kernel wherever the Section-2.1
+bound *is* the objective — OVERLAP period (Theorem 1), the ``BOUND``
+effort, shared-server mappings — returning the exact binary image
+``Fraction(float_value)``; configurations without a float kernel fall back
+to the exact computation.
+
+Callers that already hold a :class:`~repro.core.CostModel` for the same
+``(graph, platform, mapping)`` can pass it as ``costs=`` and it is reused
+instead of rebuilt — the schedulers accept the same keyword, so one model
+now serves a whole evaluation instead of being constructed per layer.
 """
 
 from __future__ import annotations
 
 import enum
 from fractions import Fraction
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
-from ..core import CommModel, CostModel, ExecutionGraph, Mapping, Platform
+from ..core import (
+    CommModel,
+    CostModel,
+    Exactness,
+    ExecutionGraph,
+    FloatCosts,
+    Mapping,
+    Platform,
+)
 from ..scheduling.inorder import (
     exact_inorder_period,
     greedy_orders,
@@ -64,12 +87,48 @@ def _normalise(
     return platform, mapping
 
 
+def fast_period_value(
+    graph: ExecutionGraph,
+    model: CommModel,
+    effort: Effort = Effort.HEURISTIC,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Optional[float]:
+    """Float-tier period value, or ``None`` when no float kernel applies.
+
+    One-shot form of :func:`make_fast_period_objective` — that factory is
+    the single source of truth for which configurations the kernel
+    covers.
+    """
+    fast = make_fast_period_objective(model, effort, platform, mapping)
+    return fast(graph) if fast is not None else None
+
+
+def fast_latency_value(
+    graph: ExecutionGraph,
+    effort: Effort = Effort.HEURISTIC,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Optional[float]:
+    """Float-tier latency value, or ``None`` when no float kernel applies.
+
+    One-shot form of :func:`make_fast_latency_objective` — that factory
+    is the single source of truth for which configurations the kernel
+    covers.
+    """
+    fast = make_fast_latency_objective(effort, platform, mapping)
+    return fast(graph) if fast is not None else None
+
+
 def period_objective(
     graph: ExecutionGraph,
     model: CommModel,
     effort: Effort = Effort.HEURISTIC,
     platform: Optional[Platform] = None,
     mapping: Optional[Mapping] = None,
+    *,
+    costs: Optional[CostModel] = None,
+    exactness: Union[str, Exactness] = Exactness.EXACT,
 ) -> Fraction:
     """Period of the best known operation list for *graph* under *model*.
 
@@ -84,6 +143,11 @@ def period_objective(
     over server assignments (the placement optimiser of
     :mod:`repro.optimize.placement`).
 
+    *costs* reuses a caller-built :class:`~repro.core.CostModel` for the
+    same configuration; *exactness* picks the numeric tier (``FAST``
+    answers from the float kernel where one exists — see the module
+    docstring).
+
     The Section 2.3 instance shows the INORDER bound/exact gap::
 
         >>> from repro.core import CommModel
@@ -97,13 +161,21 @@ def period_objective(
     The planner memoizes this function through
     :class:`repro.planner.EvaluationCache`.
     """
+    exactness = Exactness.coerce(exactness)
     platform, mapping = _normalise(platform, mapping)
+    if exactness is Exactness.FAST:
+        fast = fast_period_value(graph, model, effort, platform, mapping)
+        if fast is not None:
+            return Fraction(fast)
     if platform is not None and mapping is None:
         from .placement import optimize_mapping
 
-        value, _ = optimize_mapping(graph, "period", model, effort, platform)
+        value, _ = optimize_mapping(
+            graph, "period", model, effort, platform, exactness=exactness
+        )
         return value
-    costs = CostModel(graph, platform, mapping)
+    if costs is None:
+        costs = CostModel(graph, platform, mapping)
     if model is CommModel.OVERLAP:
         return costs.period_lower_bound(model)
     if effort is Effort.BOUND:
@@ -121,12 +193,14 @@ def period_objective(
             return lam
         return inorder_period_for_orders(
             graph,
-            greedy_orders(graph, platform=platform, mapping=mapping),
+            greedy_orders(graph, platform=platform, mapping=mapping, costs=costs),
             platform=platform,
             mapping=mapping,
         )
     # OUTORDER
-    return outorder_schedule(graph, platform=platform, mapping=mapping).period
+    return outorder_schedule(
+        graph, platform=platform, mapping=mapping, costs=costs
+    ).period
 
 
 def latency_objective(
@@ -135,6 +209,9 @@ def latency_objective(
     effort: Effort = Effort.HEURISTIC,
     platform: Optional[Platform] = None,
     mapping: Optional[Mapping] = None,
+    *,
+    costs: Optional[CostModel] = None,
+    exactness: Union[str, Exactness] = Exactness.EXACT,
 ) -> Fraction:
     """Latency of the best known operation list for *graph* under *model*.
 
@@ -146,7 +223,8 @@ def latency_objective(
     an upper bound for OVERLAP where multi-port can be strictly better).
 
     With a non-unit *platform* and ``mapping=None`` the value is the best
-    over server assignments.
+    over server assignments.  *costs*/*exactness* as in
+    :func:`period_objective`.
 
     Example (the Figure-1 graph; the paper's hand schedule achieves 21)::
 
@@ -155,20 +233,30 @@ def latency_objective(
         >>> latency_objective(fig1_example().graph, CommModel.INORDER)
         Fraction(21, 1)
     """
+    exactness = Exactness.coerce(exactness)
     platform, mapping = _normalise(platform, mapping)
+    if exactness is Exactness.FAST:
+        fast = fast_latency_value(graph, effort, platform, mapping)
+        if fast is not None:
+            return Fraction(fast)
     if platform is not None and mapping is None:
         from .placement import optimize_mapping
 
-        value, _ = optimize_mapping(graph, "latency", model, effort, platform)
+        value, _ = optimize_mapping(
+            graph, "latency", model, effort, platform, exactness=exactness
+        )
         return value
     if mapping is not None and not mapping.is_injective:
         # Shared servers: Algorithm 1 and the one-port schedulers assume
         # one service per server; the critical path with free intra-server
         # edges is the concurrent regime's analytic readout.
-        return CostModel(graph, platform, mapping).latency_lower_bound()
+        if costs is None:
+            costs = CostModel(graph, platform, mapping)
+        return costs.latency_lower_bound()
     if graph.is_forest:
         return tree_latency(graph, platform=platform, mapping=mapping)
-    costs = CostModel(graph, platform, mapping)
+    if costs is None:
+        costs = CostModel(graph, platform, mapping)
     if effort is Effort.BOUND:
         return costs.latency_lower_bound()
     if effort is Effort.EXACT and len(graph.nodes) <= 7:
@@ -192,6 +280,7 @@ def make_period_objective(
     effort: Effort = Effort.HEURISTIC,
     platform: Optional[Platform] = None,
     mapping: Optional[Mapping] = None,
+    exactness: Union[str, Exactness] = Exactness.EXACT,
 ) -> Objective:
     """Bind :func:`period_objective` to a fixed model/effort/platform.
 
@@ -206,7 +295,9 @@ def make_period_objective(
     For a memoized equivalent use
     ``repro.planner.EvaluationCache.objective("period", model, effort)``.
     """
-    return lambda graph: period_objective(graph, model, effort, platform, mapping)
+    return lambda graph: period_objective(
+        graph, model, effort, platform, mapping, exactness=exactness
+    )
 
 
 def make_latency_objective(
@@ -214,6 +305,7 @@ def make_latency_objective(
     effort: Effort = Effort.HEURISTIC,
     platform: Optional[Platform] = None,
     mapping: Optional[Mapping] = None,
+    exactness: Union[str, Exactness] = Exactness.EXACT,
 ) -> Objective:
     """Bind :func:`latency_objective` to a fixed model/effort/platform.
 
@@ -225,13 +317,84 @@ def make_latency_objective(
         >>> obj(ExecutionGraph.chain(app, ["A", "B"]))   # 1+4+1+4+1
         Fraction(11, 1)
     """
-    return lambda graph: latency_objective(graph, model, effort, platform, mapping)
+    return lambda graph: latency_objective(
+        graph, model, effort, platform, mapping, exactness=exactness
+    )
+
+
+def make_fast_period_objective(
+    model: CommModel,
+    effort: Effort = Effort.HEURISTIC,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Optional[Callable[[ExecutionGraph], Optional[float]]]:
+    """A ``graph -> float | None`` period evaluator on the float tier.
+
+    The single source of truth for the period kernel's coverage: OVERLAP
+    at any effort (Theorem 1), the ``BOUND`` effort under any model, and
+    shared-server mappings (whose aggregated bound is the concurrent
+    readout) — exactly the configurations where the Section-2.1 bound
+    *is* the period objective.  A non-unit platform with a free mapping
+    is not covered (the objective there runs the placement optimiser,
+    which has its own fast path), and the factory then returns ``None``.
+    The returned callable answers ``None`` per graph when the instance's
+    quantities overflow a float — the caller must score exactly.
+    """
+    plat, mapp = _normalise(platform, mapping)
+    if plat is not None and mapp is None:
+        return None
+    shared = mapp is not None and not mapp.is_injective
+    if not (model is CommModel.OVERLAP or effort is Effort.BOUND or shared):
+        return None
+
+    def evaluate(graph: ExecutionGraph) -> Optional[float]:
+        try:
+            return FloatCosts(graph, plat, mapp).period_lower_bound(model)
+        except OverflowError:
+            return None  # beyond float range: exact tier only
+
+    return evaluate
+
+
+def make_fast_latency_objective(
+    effort: Effort = Effort.HEURISTIC,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+) -> Optional[Callable[[ExecutionGraph], Optional[float]]]:
+    """A ``graph -> float | None`` latency evaluator on the float tier.
+
+    The single source of truth for the latency kernel's coverage: shared
+    mappings and the ``BOUND`` effort, minus injective forests (their
+    objective is the Algorithm-1 scheduler, answered with a per-graph
+    ``None`` — as is an instance overflowing float range).  The
+    communication model plays no role: the critical-path bound is
+    model-independent.
+    """
+    plat, mapp = _normalise(platform, mapping)
+    if plat is not None and mapp is None:
+        return None
+    shared = mapp is not None and not mapp.is_injective
+    if not (shared or effort is Effort.BOUND):
+        return None
+
+    def evaluate(graph: ExecutionGraph) -> Optional[float]:
+        if not shared and graph.is_forest:
+            return None  # Algorithm 1 territory: no float shortcut
+        try:
+            return FloatCosts(graph, plat, mapp).latency_lower_bound()
+        except OverflowError:
+            return None  # beyond float range: exact tier only
+    return evaluate
 
 
 __all__ = [
     "Effort",
     "Objective",
+    "fast_latency_value",
+    "fast_period_value",
     "latency_objective",
+    "make_fast_latency_objective",
+    "make_fast_period_objective",
     "make_latency_objective",
     "make_period_objective",
     "period_objective",

@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import itertools
 from fractions import Fraction
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from ..core import Application, CommModel, ExecutionGraph
+from ..core import Application, CommModel, ExecutionGraph, certified_threshold
 from .evaluation import Effort, latency_objective, period_objective
 
 #: :func:`iter_dags` refuses applications larger than this (the DAG space
@@ -107,20 +107,44 @@ def iter_dags(app: Application) -> Iterator[ExecutionGraph]:
 def scan_best(
     graphs: Iterable[ExecutionGraph],
     objective,
+    *,
+    fast_objective: Optional[
+        Callable[[ExecutionGraph], Optional[float]]
+    ] = None,
 ) -> Tuple[Fraction, ExecutionGraph, int]:
     """Scan *graphs*, returning ``(best value, best graph, count scanned)``.
 
     Shared by the exhaustive searches here and the planner's exhaustive
     solver.  Ties keep the first graph in enumeration order.
+
+    Passing *fast_objective* (a float-tier evaluator, e.g. from
+    :func:`~repro.optimize.evaluation.make_fast_period_objective`) turns
+    the scan into a **certified** two-tier sweep: each candidate is scored
+    on the float kernel first and the exact *objective* is consulted only
+    when the float value lands at or under the running best's
+    :func:`~repro.core.certified_threshold` — so the result (value, graph
+    and tie-breaks) is bit-for-bit the plain scan's, while the vast
+    majority of candidates never allocate a Fraction.  A per-graph
+    ``None`` from *fast_objective* (no kernel for that graph) falls back
+    to exact scoring for that candidate.
     """
     best_val: Optional[Fraction] = None
     best_graph: Optional[ExecutionGraph] = None
+    cut: Optional[float] = None
     count = 0
     for graph in graphs:
         count += 1
+        if fast_objective is not None and cut is not None:
+            fast = fast_objective(graph)
+            if fast is not None and fast > cut:
+                continue  # provably no better than the incumbent
         val = objective(graph)
         if best_val is None or val < best_val:
             best_val, best_graph = val, graph
+            try:
+                cut = certified_threshold(float(best_val))
+            except OverflowError:
+                cut = None  # beyond float range: no gate, exact scoring only
     if best_graph is None or best_val is None:
         raise ValueError("no candidate execution graph")
     return best_val, best_graph, count
@@ -132,8 +156,13 @@ def exhaustive_minperiod(
     *,
     forests_only: bool = True,
     effort: Effort = Effort.EXACT,
+    certified: bool = False,
 ) -> Tuple[Fraction, ExecutionGraph]:
     """Exact MinPeriod by enumeration (forests by default — Prop 4).
+
+    ``certified=True`` pre-screens candidates on the float kernel (where
+    one covers the configuration) before exact scoring — same result,
+    fewer Fraction allocations; see :func:`scan_best`.
 
     Example (a filter in front of an expensive service halves its load;
     the facade equivalent is ``solve(app, method="exhaustive")``)::
@@ -144,9 +173,13 @@ def exhaustive_minperiod(
         >>> value, sorted(graph.edges)
         (Fraction(4, 1), [('A', 'B')])
     """
+    from .evaluation import make_fast_period_objective
+
     graphs = iter_forests(app) if forests_only else iter_dags(app)
+    fast = make_fast_period_objective(model, effort) if certified else None
     value, graph, _ = scan_best(
-        graphs, lambda g: period_objective(g, model, effort)
+        graphs, lambda g: period_objective(g, model, effort),
+        fast_objective=fast,
     )
     return value, graph
 
@@ -157,12 +190,14 @@ def exhaustive_minlatency(
     *,
     forests_only: bool = False,
     effort: Effort = Effort.EXACT,
+    certified: bool = False,
 ) -> Tuple[Fraction, ExecutionGraph]:
     """Exact MinLatency by enumeration.
 
     Optimal latency plans are *not* always forests (the Prop-13 gadget is a
     fork-join), so the default enumerates DAGs; ``forests_only=True`` gives
-    the Proposition-17 restricted problem.
+    the Proposition-17 restricted problem.  ``certified=True`` as in
+    :func:`exhaustive_minperiod`.
 
     Example (serial beats parallel here: filtering pays for the extra hop)::
 
@@ -172,9 +207,13 @@ def exhaustive_minlatency(
         >>> value, sorted(graph.edges)
         (Fraction(9, 2), [('A', 'B')])
     """
+    from .evaluation import make_fast_latency_objective
+
     graphs = iter_forests(app) if forests_only else iter_dags(app)
+    fast = make_fast_latency_objective(model, effort) if certified else None
     value, graph, _ = scan_best(
-        graphs, lambda g: latency_objective(g, model, effort)
+        graphs, lambda g: latency_objective(g, model, effort),
+        fast_objective=fast,
     )
     return value, graph
 

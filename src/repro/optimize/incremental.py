@@ -26,6 +26,19 @@ recomputation).  That bound *is* the period objective for OVERLAP
 models, which is when the searches engage the delta path; other
 configurations keep the full evaluation.
 
+**Two numeric tiers.**  The evaluators are numeric-generic: every input
+quantity passes through the class's ``_num`` hook once at construction,
+after which all arithmetic stays in that tier.  The base classes keep the
+identity hook (exact ``Fraction``s); the ``Float*`` twins
+(:class:`FloatForestPeriod`, :class:`FloatMappingCosts`,
+:class:`FloatSharedCosts`) convert to native floats, turning every delta
+into a handful of float multiplies — one to two orders of magnitude
+faster.  The ``Certified*`` wrappers pair an exact evaluator with its
+float twin: candidates are scored on the float tier and only the ones
+within the :data:`~repro.core.CERT_EPS` band of the current value are
+re-scored exactly, so the accept/reject decisions — and hence the whole
+search trajectory — stay **bit-for-bit identical** to the exact tier.
+
     >>> from repro import CommModel, ExecutionGraph, make_application
     >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
     >>> inc = IncrementalForestPeriod(
@@ -42,18 +55,24 @@ configurations keep the full evaluation.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core import (
+    CERT_EPS,
     INPUT,
     OUTPUT,
     CommModel,
+    Exactness,
     ExecutionGraph,
     Mapping,
     Platform,
+    certified_threshold,
 )
 
 ONE = Fraction(1)
+
+#: A quantity in either numeric tier.
+Num = Union[Fraction, float]
 
 
 def _require_supported(
@@ -87,6 +106,11 @@ class IncrementalForestPeriod:
     when the move would create a cycle); ``apply_reparent`` commits one.
     """
 
+    #: Numeric-tier hook: every selectivity, cost, speed and bandwidth is
+    #: converted through this exactly once.  The base class keeps exact
+    #: ``Fraction``s; :class:`FloatForestPeriod` swaps in ``float``.
+    _num = staticmethod(lambda value: value)
+
     def __init__(
         self,
         graph: ExecutionGraph,
@@ -102,6 +126,17 @@ class IncrementalForestPeriod:
             raise ValueError("incremental reparenting assumes no precedence")
         self.model = model
         self.platform, self.mapping = _require_supported(platform, mapping)
+        num = self._num
+        self._one: Num = num(ONE)
+        self._zero: Num = num(Fraction(0))
+        self._sigma: Dict[str, Num] = {
+            n: num(self.app.selectivity(n)) for n in self.app.names
+        }
+        self._costv: Dict[str, Num] = {
+            n: num(self.app.cost(n)) for n in self.app.names
+        }
+        self._bw_cache: Dict[Tuple[str, str], Num] = {}
+        self._speed_cache: Dict[str, Num] = {}
         self.parents: Dict[str, Optional[str]] = {}
         self.children: Dict[str, Set[str]] = {n: set() for n in self.app.names}
         for node in graph.nodes:
@@ -110,65 +145,75 @@ class IncrementalForestPeriod:
             self.parents[node] = parent
             if parent is not None:
                 self.children[parent].add(node)
-        self._anc: Dict[str, Fraction] = {}
-        self._cin: Dict[str, Fraction] = {}
-        self._ccomp: Dict[str, Fraction] = {}
-        self._cout: Dict[str, Fraction] = {}
+        self._anc: Dict[str, Num] = {}
+        self._cin: Dict[str, Num] = {}
+        self._ccomp: Dict[str, Num] = {}
+        self._cout: Dict[str, Num] = {}
         for node in graph.topological_order:
             self._recompute(node)
 
     # -- platform helpers --------------------------------------------------
-    def _bw(self, src: str, dst: str) -> Fraction:
+    def _bw(self, src: str, dst: str) -> Num:
         if self.platform is None:
-            return ONE
+            return self._one
+        found = self._bw_cache.get((src, dst))
+        if found is not None:
+            return found
         endpoints = []
         for end in (src, dst):
             if end in (INPUT, OUTPUT):
                 endpoints.append(end)
             else:
                 endpoints.append(self.mapping.server(end))  # type: ignore[union-attr]
-        return self.platform.bandwidth(endpoints[0], endpoints[1])
+        value = self._num(self.platform.bandwidth(endpoints[0], endpoints[1]))
+        self._bw_cache[(src, dst)] = value
+        return value
 
-    def _speed(self, node: str) -> Fraction:
+    def _speed(self, node: str) -> Num:
         if self.platform is None:
-            return ONE
-        return self.platform.speed(self.mapping.server(node))  # type: ignore[union-attr]
+            return self._one
+        found = self._speed_cache.get(node)
+        if found is None:
+            found = self._speed_cache[node] = self._num(
+                self.platform.speed(self.mapping.server(node))  # type: ignore[union-attr]
+            )
+        return found
 
     # -- per-node quantities ----------------------------------------------
-    def _outsize(self, node: str) -> Fraction:
-        return self._anc[node] * self.app.selectivity(node)
+    def _outsize(self, node: str) -> Num:
+        return self._anc[node] * self._sigma[node]
 
-    def _cin_of(self, node: str, parent: Optional[str], anc: Fraction) -> Fraction:
+    def _cin_of(self, node: str, parent: Optional[str], anc: Num) -> Num:
         if parent is None:
-            return ONE / self._bw(INPUT, node)
+            return self._one / self._bw(INPUT, node)
         return anc / self._bw(parent, node)
 
     def _cout_of(
-        self, node: str, anc: Fraction, children: Iterable[str]
-    ) -> Fraction:
-        outsize = anc * self.app.selectivity(node)
+        self, node: str, anc: Num, children: Iterable[str]
+    ) -> Num:
+        outsize = anc * self._sigma[node]
         kids = list(children)
         if not kids:
             return outsize / self._bw(node, OUTPUT)
         return sum(
-            (outsize / self._bw(node, child) for child in kids), Fraction(0)
+            (outsize / self._bw(node, child) for child in kids), self._zero
         )
 
     def _recompute(self, node: str) -> None:
         parent = self.parents[node]
-        anc = ONE if parent is None else self._outsize(parent)
+        anc = self._one if parent is None else self._outsize(parent)
         self._anc[node] = anc
         self._cin[node] = self._cin_of(node, parent, anc)
-        self._ccomp[node] = anc * self.app.cost(node) / self._speed(node)
+        self._ccomp[node] = anc * self._costv[node] / self._speed(node)
         self._cout[node] = self._cout_of(node, anc, self.children[node])
 
-    def _cexec(self, cin: Fraction, ccomp: Fraction, cout: Fraction) -> Fraction:
+    def _cexec(self, cin: Num, ccomp: Num, cout: Num) -> Num:
         if self.model.overlaps_compute:
             return max(cin, ccomp, cout)
         return cin + ccomp + cout
 
     # -- public API --------------------------------------------------------
-    def value(self) -> Fraction:
+    def value(self) -> Num:
         """``max_k Cexec(k)`` of the current forest."""
         return max(
             self._cexec(self._cin[n], self._ccomp[n], self._cout[n])
@@ -187,7 +232,7 @@ class IncrementalForestPeriod:
 
     def _trial(
         self, node: str, new_parent: Optional[str]
-    ) -> Optional[Dict[str, Tuple[Fraction, Fraction, Fraction]]]:
+    ) -> Optional[Dict[str, Tuple[Num, Num, Num]]]:
         """(cin, ccomp, cout) overrides for the move, or ``None`` on a cycle."""
         old_parent = self.parents[node]
         if new_parent == old_parent or new_parent == node:
@@ -195,8 +240,8 @@ class IncrementalForestPeriod:
         sub = self.subtree(node)
         if new_parent is not None and new_parent in sub:
             return None  # the new parent descends from node: cycle
-        overrides: Dict[str, Tuple[Fraction, Fraction, Fraction]] = {}
-        new_anc = ONE if new_parent is None else self._outsize(new_parent)
+        overrides: Dict[str, Tuple[Num, Num, Num]] = {}
+        new_anc = self._one if new_parent is None else self._outsize(new_parent)
         factor = new_anc / self._anc[node]  # selectivities are > 0
         for m in sub:
             if m == node:
@@ -222,7 +267,7 @@ class IncrementalForestPeriod:
             )
         return overrides
 
-    def score_reparent(self, node: str, new_parent: Optional[str]) -> Optional[Fraction]:
+    def score_reparent(self, node: str, new_parent: Optional[str]) -> Optional[Num]:
         """The period bound after moving *node* under *new_parent*.
 
         ``None`` means the move is invalid (cycle or no-op).  Costs
@@ -256,7 +301,7 @@ class IncrementalForestPeriod:
             self.children[new_parent].add(node)
         self.parents[node] = new_parent
         factor_base = self._anc[node]
-        new_anc = ONE if new_parent is None else self._outsize(new_parent)
+        new_anc = self._one if new_parent is None else self._outsize(new_parent)
         factor = new_anc / factor_base
         for m in self.subtree(node):
             self._anc[m] *= factor
@@ -268,14 +313,101 @@ class IncrementalForestPeriod:
         return ExecutionGraph.from_parents(self.app, self.parents)
 
 
+class FloatForestPeriod(IncrementalForestPeriod):
+    """Float twin of :class:`IncrementalForestPeriod` (the fast tier).
+
+    Same moves, same API, native-float arithmetic throughout — values
+    agree with the exact evaluator to ~1e-13 relative (property-tested at
+    1e-9).  Pair it with the exact class through
+    :class:`CertifiedForestPeriod` when the search result must stay
+    bit-for-bit exact.
+
+        >>> from repro import CommModel, ExecutionGraph, make_application
+        >>> app = make_application([("A", 1, "1/2"), ("B", 8, 1)])
+        >>> fast = FloatForestPeriod(
+        ...     ExecutionGraph.empty(app), model=CommModel.OVERLAP)
+        >>> fast.value(), fast.score_reparent("B", "A")
+        (8.0, 4.0)
+    """
+
+    _num = staticmethod(float)
+
+
+class CertifiedForestPeriod:
+    """Exact + float forest evaluators behind one certified interface.
+
+    Candidate reparents are priced on the float tier; only candidates
+    whose float value lands inside the :data:`~repro.core.CERT_EPS` band
+    of the current value are re-priced exactly.  Because the float error
+    is orders of magnitude below the band, every move the exact evaluator
+    would accept gets an exact score here too — the search trajectory is
+    bit-for-bit the exact one, at float cost for the (vast) majority of
+    rejected candidates.  Drop-in wherever an
+    :class:`IncrementalForestPeriod` is accepted.
+    """
+
+    __slots__ = ("exact", "fast", "eps", "_value", "_cut")
+
+    def __init__(
+        self,
+        graph: ExecutionGraph,
+        *,
+        model: CommModel = CommModel.OVERLAP,
+        platform: Optional[Platform] = None,
+        mapping: Optional[Mapping] = None,
+        eps: float = CERT_EPS,
+    ) -> None:
+        self.exact = IncrementalForestPeriod(
+            graph, model=model, platform=platform, mapping=mapping
+        )
+        self.fast = FloatForestPeriod(
+            graph, model=model, platform=platform, mapping=mapping
+        )
+        self.eps = eps
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self._value = self.exact.value()
+        self._cut = certified_threshold(float(self._value), self.eps)
+
+    def value(self) -> Fraction:
+        return self.exact.value()
+
+    def score_reparent(self, node: str, new_parent: Optional[str]) -> Optional[Num]:
+        trial = self.fast.score_reparent(node, new_parent)
+        if trial is None:
+            return None
+        if trial <= self._cut:
+            return self.exact.score_reparent(node, new_parent)
+        # Provably worse than the current value: the float score is safe
+        # to return (it exceeds the exact current value too).
+        return trial
+
+    def apply_reparent(self, node: str, new_parent: Optional[str]) -> None:
+        self.exact.apply_reparent(node, new_parent)
+        self.fast.apply_reparent(node, new_parent)
+        self._refresh()
+
+    @property
+    def parents(self) -> Dict[str, Optional[str]]:
+        return self.exact.parents
+
+    def subtree(self, node: str) -> List[str]:
+        return self.exact.subtree(node)
+
+    def graph(self) -> ExecutionGraph:
+        return self.exact.graph()
+
+
 def period_delta(
     graph: ExecutionGraph,
     model: CommModel,
     effort,
     platform: Optional[Platform] = None,
     mapping: Optional[Mapping] = None,
+    exactness: Exactness = Exactness.EXACT,
 ) -> Optional["IncrementalForestPeriod"]:
-    """An :class:`IncrementalForestPeriod` when it provably computes the
+    """An incremental forest evaluator when it provably computes the
     period objective for this configuration, else ``None``.
 
     The maintained quantity is the Section-2.1 bound, which *is* the
@@ -285,6 +417,12 @@ def period_delta(
     per graph, which a structural delta cannot reproduce).  This is the
     eligibility rule shared by the local-search solver and the
     branch-and-bound incumbent seeding.
+
+    *exactness* picks the numeric tier: ``EXACT`` returns the classic
+    :class:`IncrementalForestPeriod`, ``CERTIFIED`` the
+    :class:`CertifiedForestPeriod` pair (bit-for-bit identical decisions,
+    float-priced rejections), ``FAST`` the :class:`FloatForestPeriod`
+    twin (float values throughout — re-score the final graph exactly).
     """
     from .evaluation import Effort
 
@@ -296,6 +434,18 @@ def period_delta(
         return None
     if not graph.is_forest or graph.application.precedence:
         return None
+    exactness = Exactness.coerce(exactness)
+    try:
+        if exactness is Exactness.FAST:
+            return FloatForestPeriod(
+                graph, model=model, platform=platform, mapping=mapping
+            )
+        if exactness is Exactness.CERTIFIED:
+            return CertifiedForestPeriod(  # type: ignore[return-value]
+                graph, model=model, platform=platform, mapping=mapping
+            )
+    except OverflowError:
+        pass  # beyond float range: the exact tier below is always correct
     return IncrementalForestPeriod(
         graph, model=model, platform=platform, mapping=mapping
     )
@@ -334,6 +484,9 @@ class IncrementalSharedCosts:
         (Fraction(5, 1), Fraction(3, 1))
     """
 
+    #: Numeric-tier hook (see :class:`IncrementalForestPeriod`).
+    _num = staticmethod(lambda value: value)
+
     def __init__(
         self,
         graph: ExecutionGraph,
@@ -347,67 +500,92 @@ class IncrementalSharedCosts:
         self.graph = graph
         self.platform = platform
         self.model = model
-        self.weights = dict(weights) if weights else {}
+        num = self._num
+        self._one: Num = num(ONE)
+        self._zero: Num = num(Fraction(0))
+        self.weights: Dict[str, Num] = (
+            {k: num(v) for k, v in weights.items()} if weights else {}
+        )
+        self._bw_cache: Dict[Tuple[str, str], Num] = {}
+        self._speed_cache: Dict[str, Num] = {}
         self.assignment: Dict[str, str] = {
             svc: mapping.server(svc) for svc in graph.nodes
         }
         app = graph.application
-        self._outsize: Dict[str, Fraction] = {}
-        self._work: Dict[str, Fraction] = {}
+        self._outsize: Dict[str, Num] = {}
+        self._work: Dict[str, Num] = {}
+        sigma = {n: num(app.selectivity(n)) for n in app.names}
+        costv = {n: num(app.cost(n)) for n in app.names}
         for node in graph.topological_order:
-            prod = ONE
+            prod = self._one
             for j in graph.ancestors(node):
-                prod *= app.selectivity(j)
-            self._outsize[node] = prod * app.selectivity(node)
-            self._work[node] = prod * app.cost(node)
-        self._triple: Dict[str, Tuple[Fraction, Fraction, Fraction]] = {}
-        self._sums: Dict[str, List[Fraction]] = {}
+                prod *= sigma[j]
+            self._outsize[node] = prod * sigma[node]
+            self._work[node] = prod * costv[node]
+        self._triple: Dict[str, Tuple[Num, Num, Num]] = {}
+        self._sums: Dict[str, List[Num]] = {}
         for node in graph.nodes:
             self._triple[node] = self._node_triple(node, self.assignment)
         self._rebuild_sums()
 
     # -- internals ---------------------------------------------------------
+    def _bw(self, src: str, dst: str) -> Num:
+        found = self._bw_cache.get((src, dst))
+        if found is None:
+            found = self._bw_cache[(src, dst)] = self._num(
+                self.platform.bandwidth(src, dst)
+            )
+        return found
+
+    def _sp(self, server: str) -> Num:
+        found = self._speed_cache.get(server)
+        if found is None:
+            found = self._speed_cache[server] = self._num(
+                self.platform.speed(server)
+            )
+        return found
+
     def _node_triple(
         self, node: str, assignment: Dict[str, str]
-    ) -> Tuple[Fraction, Fraction, Fraction]:
+    ) -> Tuple[Num, Num, Num]:
         """Weighted (Cin, Ccomp, Cout) of *node* under *assignment*."""
-        graph, platform = self.graph, self.platform
+        graph = self.graph
         server = assignment[node]
         preds = graph.predecessors(node)
         if preds:
             cin = sum(
                 (
-                    self._outsize[p] / platform.bandwidth(assignment[p], server)
+                    self._outsize[p] / self._bw(assignment[p], server)
                     for p in preds
                     if assignment[p] != server
                 ),
-                Fraction(0),
+                self._zero,
             )
         else:
-            cin = ONE / platform.bandwidth(INPUT, server)
-        ccomp = self._work[node] / platform.speed(server)
+            cin = self._one / self._bw(INPUT, server)
+        ccomp = self._work[node] / self._sp(server)
         succs = graph.successors(node)
         if succs:
             cout = sum(
                 (
-                    self._outsize[node] / platform.bandwidth(server, assignment[s])
+                    self._outsize[node] / self._bw(server, assignment[s])
                     for s in succs
                     if assignment[s] != server
                 ),
-                Fraction(0),
+                self._zero,
             )
         else:
-            cout = self._outsize[node] / platform.bandwidth(server, OUTPUT)
+            cout = self._outsize[node] / self._bw(server, OUTPUT)
         w = self.weights.get(node)
-        if w is not None and w != ONE:
+        if w is not None and w != 1:
             return (cin * w, ccomp * w, cout * w)
         return (cin, ccomp, cout)
 
     def _rebuild_sums(self) -> None:
-        sums: Dict[str, List[Fraction]] = {}
+        sums: Dict[str, List[Num]] = {}
         for node, (cin, ccomp, cout) in self._triple.items():
             acc = sums.setdefault(
-                self.assignment[node], [Fraction(0), Fraction(0), Fraction(0)]
+                self.assignment[node], [self._zero, self._zero, self._zero]
             )
             acc[0] += cin
             acc[1] += ccomp
@@ -422,14 +600,14 @@ class IncrementalSharedCosts:
             out.update(self.graph.successors(svc))
         return out
 
-    def _combine(self, sums: Sequence[Fraction]) -> Fraction:
+    def _combine(self, sums: Sequence[Num]) -> Num:
         if self.model.overlaps_compute:
             return max(sums)
         return sums[0] + sums[1] + sums[2]
 
     def _trial_sums(
         self, trial: Dict[str, str], moved: Iterable[str]
-    ) -> Dict[str, List[Fraction]]:
+    ) -> Dict[str, List[Num]]:
         """Per-server sums after the move (only affected servers copied)."""
         sums = dict(self._sums)
         affected = self._affected(moved)
@@ -437,7 +615,7 @@ class IncrementalSharedCosts:
         touched |= {trial[m] for m in affected}
         for server in touched:
             sums[server] = list(
-                sums.get(server, (Fraction(0), Fraction(0), Fraction(0)))
+                sums.get(server, (self._zero, self._zero, self._zero))
             )
         for m in affected:
             old = self._triple[m]
@@ -453,19 +631,19 @@ class IncrementalSharedCosts:
             acc[2] += new[2]
         return sums
 
-    def _value_of(self, sums: Dict[str, List[Fraction]], trial: Dict[str, str]) -> Fraction:
+    def _value_of(self, sums: Dict[str, List[Num]], trial: Dict[str, str]) -> Num:
         used = set(trial.values())
         return max(self._combine(sums[u]) for u in used)
 
     # -- public API --------------------------------------------------------
-    def value(self) -> Fraction:
+    def value(self) -> Num:
         """``max_u Cexec(u)`` (weighted) of the current shared mapping."""
         return max(self._combine(acc) for acc in self._sums.values())
 
     def mapping(self) -> Mapping:
         return Mapping.shared(self.assignment)
 
-    def score_reassign(self, service: str, server: str) -> Fraction:
+    def score_reassign(self, service: str, server: str) -> Num:
         """Price moving *service* onto *server* (shared — any server)."""
         trial = dict(self.assignment)
         trial[service] = server
@@ -476,7 +654,7 @@ class IncrementalSharedCosts:
         trial[service] = server
         self._commit(trial, [service])
 
-    def score_swap(self, a: str, b: str) -> Fraction:
+    def score_swap(self, a: str, b: str) -> Num:
         """Price exchanging the servers of services *a* and *b*."""
         trial = dict(self.assignment)
         trial[a], trial[b] = trial[b], trial[a]
@@ -540,9 +718,142 @@ class IncrementalMappingCosts(IncrementalSharedCosts):
         return Mapping(self.assignment)
 
 
+class FloatSharedCosts(IncrementalSharedCosts):
+    """Float twin of :class:`IncrementalSharedCosts` (the fast tier)."""
+
+    _num = staticmethod(float)
+
+
+class FloatMappingCosts(IncrementalMappingCosts):
+    """Float twin of :class:`IncrementalMappingCosts` (the fast tier)."""
+
+    _num = staticmethod(float)
+
+
+class CertifiedPlacementCosts:
+    """Exact + float placement evaluators behind one certified interface.
+
+    Same protocol as :class:`CertifiedForestPeriod`, for the reassignment/
+    swap moves of the placement searches: float-tier pricing, exact
+    re-pricing inside the :data:`~repro.core.CERT_EPS` band, committed
+    moves applied to both tiers.  Wraps the injective pair by default;
+    pass ``shared=True`` for the shared-server (concurrent) pair.
+    """
+
+    __slots__ = ("exact", "fast", "eps", "_value", "_cut")
+
+    def __init__(
+        self,
+        graph: ExecutionGraph,
+        platform: Platform,
+        mapping: Mapping,
+        *,
+        model: CommModel = CommModel.OVERLAP,
+        weights: Optional[Dict[str, Fraction]] = None,
+        shared: bool = False,
+        eps: float = CERT_EPS,
+    ) -> None:
+        if shared:
+            self.exact = IncrementalSharedCosts(
+                graph, platform, mapping, model=model, weights=weights
+            )
+            self.fast: IncrementalSharedCosts = FloatSharedCosts(
+                graph, platform, mapping, model=model, weights=weights
+            )
+        else:
+            if weights:
+                raise ValueError("weights only apply to shared placements")
+            self.exact = IncrementalMappingCosts(
+                graph, platform, mapping, model=model
+            )
+            self.fast = FloatMappingCosts(graph, platform, mapping, model=model)
+        self.eps = eps
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self._value = self.exact.value()
+        self._cut = certified_threshold(float(self._value), self.eps)
+
+    @property
+    def assignment(self) -> Dict[str, str]:
+        return self.exact.assignment
+
+    def value(self) -> Fraction:
+        return self.exact.value()
+
+    def mapping(self) -> Mapping:
+        return self.exact.mapping()
+
+    def score_reassign(self, service: str, server: str) -> Num:
+        trial = self.fast.score_reassign(service, server)
+        if trial <= self._cut:
+            return self.exact.score_reassign(service, server)
+        return trial
+
+    def apply_reassign(self, service: str, server: str) -> None:
+        self.exact.apply_reassign(service, server)
+        self.fast.apply_reassign(service, server)
+        self._refresh()
+
+    def score_swap(self, a: str, b: str) -> Num:
+        trial = self.fast.score_swap(a, b)
+        if trial <= self._cut:
+            return self.exact.score_swap(a, b)
+        return trial
+
+    def apply_swap(self, a: str, b: str) -> None:
+        self.exact.apply_swap(a, b)
+        self.fast.apply_swap(a, b)
+        self._refresh()
+
+
+def placement_evaluator(
+    graph: ExecutionGraph,
+    platform: Platform,
+    mapping: Mapping,
+    *,
+    model: CommModel = CommModel.OVERLAP,
+    weights: Optional[Dict[str, Fraction]] = None,
+    shared: bool = False,
+    exactness: Exactness = Exactness.EXACT,
+):
+    """The placement delta evaluator matching one exactness tier.
+
+    ``EXACT`` builds the classic Fraction evaluator, ``CERTIFIED`` the
+    paired :class:`CertifiedPlacementCosts` (bit-for-bit identical search
+    decisions), ``FAST`` the float twin (re-score the winner exactly).
+    """
+    exactness = Exactness.coerce(exactness)
+    try:
+        if exactness is Exactness.CERTIFIED:
+            return CertifiedPlacementCosts(
+                graph, platform, mapping, model=model, weights=weights,
+                shared=shared,
+            )
+        if exactness is Exactness.FAST:
+            if shared:
+                return FloatSharedCosts(
+                    graph, platform, mapping, model=model, weights=weights
+                )
+            return FloatMappingCosts(graph, platform, mapping, model=model)
+    except OverflowError:
+        pass  # beyond float range: the exact tier below is always correct
+    if shared:
+        return IncrementalSharedCosts(
+            graph, platform, mapping, model=model, weights=weights
+        )
+    return IncrementalMappingCosts(graph, platform, mapping, model=model)
+
+
 __all__ = [
+    "CertifiedForestPeriod",
+    "CertifiedPlacementCosts",
+    "FloatForestPeriod",
+    "FloatMappingCosts",
+    "FloatSharedCosts",
     "IncrementalForestPeriod",
     "IncrementalMappingCosts",
     "IncrementalSharedCosts",
     "period_delta",
+    "placement_evaluator",
 ]

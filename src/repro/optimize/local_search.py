@@ -24,7 +24,14 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Callable, Dict, Optional, Tuple
 
-from ..core import Application, CommModel, ExecutionGraph, Mapping, Platform
+from ..core import (
+    Application,
+    CommModel,
+    Exactness,
+    ExecutionGraph,
+    Mapping,
+    Platform,
+)
 from ..core.graph import CycleError
 from .evaluation import (
     Effort,
@@ -127,11 +134,14 @@ def local_search_minperiod(
     *,
     effort: Effort = Effort.HEURISTIC,
     max_moves: int = 200,
+    exactness: Exactness = Exactness.EXACT,
 ) -> Tuple[Fraction, ExecutionGraph]:
     """Reparenting local search on the period objective.
 
     Uses delta evaluation automatically where it is exact (OVERLAP, or the
-    one-port bound effort — :func:`repro.optimize.incremental.period_delta`).
+    one-port bound effort — :func:`repro.optimize.incremental.period_delta`);
+    *exactness* picks the delta's numeric tier (``CERTIFIED`` keeps the
+    trajectory and value bit-for-bit, pricing rejected moves in floats).
     Example::
 
         >>> from repro import CommModel, ExecutionGraph, make_application
@@ -140,11 +150,14 @@ def local_search_minperiod(
         ...     ExecutionGraph.empty(app), CommModel.OVERLAP)[0]
         Fraction(4, 1)
     """
-    delta = period_delta(graph, model, effort, None, None)
-    return local_search_forest(
+    delta = period_delta(graph, model, effort, None, None, exactness=exactness)
+    value, best = local_search_forest(
         graph, make_period_objective(model, effort), max_moves=max_moves,
         delta=delta,
     )
+    if isinstance(value, float):
+        value = Fraction(value)  # the FAST delta prices moves in floats
+    return value, best
 
 
 def local_search_minlatency(

@@ -27,7 +27,16 @@ from collections import OrderedDict
 from fractions import Fraction
 from typing import Iterator, Optional, Sequence, Tuple
 
-from ..core import CommModel, CostModel, ExecutionGraph, Mapping, Platform
+from ..core import (
+    CommModel,
+    CostModel,
+    Exactness,
+    ExecutionGraph,
+    FloatCosts,
+    GraphArrays,
+    Mapping,
+    Platform,
+)
 
 #: Enumerate all assignments when the space is at most this large.
 DEFAULT_EXHAUSTIVE_LIMIT = 720
@@ -97,6 +106,76 @@ def greedy_mapping(graph: ExecutionGraph, platform: Platform) -> Mapping:
     return Mapping({svc: srv.name for svc, srv in zip(services, servers)})
 
 
+def _fast_mapping_value(
+    graph: ExecutionGraph,
+    kind: str,
+    model: CommModel,
+    effort,
+    platform: Platform,
+    *,
+    weights=None,
+    shared: bool = False,
+):
+    """A per-mapping float scorer, or ``None`` when no kernel applies.
+
+    The kernel covers exactly the configurations whose per-mapping
+    objective is a :class:`~repro.core.CostModel` bound (the placement
+    analogue of the per-graph rule in
+    :func:`repro.optimize.evaluation.make_fast_period_objective`): the
+    period bound for OVERLAP or the bound effort, the latency bound for
+    non-forests at the bound effort — and *shared* placements always,
+    whose (optionally *weights*-scaled) aggregated load is the bound by
+    construction.  Forest latency is Algorithm-1 territory.  The flat
+    arrays are compiled only once the gate passes and shared by every
+    mapping the returned scorer prices; a per-mapping ``None`` (float
+    overflow) tells the caller to score exactly.
+    """
+    from .evaluation import Effort
+
+    if shared or kind == "period":
+        covered = (
+            shared or model is CommModel.OVERLAP or effort is Effort.BOUND
+        )
+        latency = False
+    else:
+        covered = effort is Effort.BOUND and not graph.is_forest
+        latency = True
+    if not covered:
+        return None
+    try:
+        arrays = GraphArrays(graph)
+    except OverflowError:
+        return None  # beyond float range: exact tier only
+
+    def scorer(mapping: Mapping):
+        try:
+            fast = FloatCosts(
+                graph, platform, mapping, arrays=arrays, weights=weights
+            )
+            if latency:
+                return fast.latency_lower_bound()
+            return fast.period_lower_bound(model)
+        except OverflowError:
+            return None
+
+    return scorer
+
+
+def _fast_scan(candidates, fast_score, exact_score):
+    """FAST-tier scan: float scores, exact fallback per ``None``, first
+    strict minimum wins; the winner's value is the float image."""
+    best = None
+    best_candidate = None
+    for candidate in candidates:
+        f = fast_score(candidate) if fast_score is not None else None
+        if f is None:
+            f = exact_score(candidate)  # no kernel / float overflow
+        if best is None or f < best:
+            best, best_candidate = f, candidate
+    assert best is not None and best_candidate is not None
+    return Fraction(best), best_candidate
+
+
 def optimize_mapping(
     graph: ExecutionGraph,
     kind: str,
@@ -106,6 +185,7 @@ def optimize_mapping(
     *,
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
     max_moves: int = 200,
+    exactness: Exactness = Exactness.EXACT,
 ) -> Tuple[Fraction, Mapping]:
     """Best ``(value, mapping)`` of *graph* on *platform* for one objective.
 
@@ -115,6 +195,13 @@ def optimize_mapping(
     reassignment/swap local search.  *kind* is ``"period"`` or
     ``"latency"``; *model*/*effort* are forwarded to the per-mapping
     objective.
+
+    *exactness* picks the numeric tier.  ``CERTIFIED`` scans candidates on
+    the :class:`~repro.core.FloatCosts` kernel and re-scores only the ones
+    inside the :data:`~repro.core.CERT_EPS` band of the running best in
+    exact ``Fraction``s — the returned pair is bit-for-bit the ``EXACT``
+    one.  ``FAST`` keeps everything on the float tier and returns the
+    float image of the winner's value.
 
     Example (the fast server should host the expensive service)::
 
@@ -130,14 +217,16 @@ def optimize_mapping(
         (Fraction(3, 1), 'S2')
     """
     from .evaluation import Effort, latency_objective, period_objective
+    from .incremental import placement_evaluator
     from .local_search import placement_local_search
 
     if kind not in ("period", "latency"):
         raise ValueError(f"kind must be 'period' or 'latency', got {kind!r}")
+    exactness = Exactness.coerce(exactness)
 
     memo_key = (
         kind, model, effort, platform.key(), exhaustive_limit, max_moves,
-        graph.application, graph.edges,
+        exactness.memo_tier, graph.application, graph.edges,
     )
     found = _memo.get(memo_key)
     if found is not None:
@@ -152,14 +241,26 @@ def optimize_mapping(
     platform.require_capacity(len(graph.nodes))
     space = mapping_space_size(len(graph.nodes), len(platform))
     if space <= exhaustive_limit:
-        best_value: Optional[Fraction] = None
-        best_mapping: Optional[Mapping] = None
-        for mapping in iter_mappings(graph.nodes, platform):
-            value = score(mapping)
-            if best_value is None or value < best_value:
-                best_value, best_mapping = value, mapping
-        assert best_value is not None and best_mapping is not None
-        outcome = (best_value, best_mapping)
+        from .exhaustive import scan_best
+
+        fast_score = (
+            _fast_mapping_value(graph, kind, model, effort, platform)
+            if exactness.uses_float
+            else None
+        )
+        if exactness is Exactness.FAST:
+            outcome = _fast_scan(
+                iter_mappings(graph.nodes, platform), fast_score, score
+            )
+        else:
+            # Plain scan (exact) or the certified float-gated scan —
+            # scan_best is item-type-agnostic and encodes the gate,
+            # cut-update and first-tie rules once for every caller.
+            value, best_mapping, _ = scan_best(
+                iter_mappings(graph.nodes, platform), score,
+                fast_objective=fast_score,
+            )
+            outcome = (value, best_mapping)
     else:
         seed = greedy_mapping(graph, platform)
         evaluator = None
@@ -168,13 +269,17 @@ def optimize_mapping(
         ):
             # The Section-2.1 bound *is* this objective (Theorem 1 for
             # OVERLAP; by definition for the bound effort), so moves can be
-            # priced by recomputing only the touched servers' costs.
-            from .incremental import IncrementalMappingCosts
-
-            evaluator = IncrementalMappingCosts(graph, platform, seed, model=model)
-        outcome = placement_local_search(
+            # priced by recomputing only the touched servers' costs — on
+            # the numeric tier the exactness knob picks.
+            evaluator = placement_evaluator(
+                graph, platform, seed, model=model, exactness=exactness
+            )
+        value, mapping = placement_local_search(
             graph, score, seed, platform, max_moves=max_moves, evaluator=evaluator
         )
+        if exactness is Exactness.FAST and evaluator is not None:
+            value = Fraction(value)
+        outcome = (value, mapping)
     _memo[memo_key] = outcome
     if len(_memo) > _MEMO_MAX_ENTRIES:
         _memo.popitem(last=False)
@@ -260,6 +365,7 @@ def optimize_shared_mapping(
     weights=None,
     exhaustive_limit: int = SHARED_EXHAUSTIVE_LIMIT,
     max_moves: int = 400,
+    exactness: Exactness = Exactness.EXACT,
 ) -> Tuple[Fraction, Mapping]:
     """Best ``(value, shared mapping)`` for the aggregated load objective.
 
@@ -270,6 +376,10 @@ def optimize_shared_mapping(
     exactly; larger ones start from :func:`greedy_shared_mapping` and run
     the reassignment/swap local search priced by
     :class:`~repro.optimize.incremental.IncrementalSharedCosts` deltas.
+
+    *exactness* as in :func:`optimize_mapping`: ``CERTIFIED`` float-gates
+    the scan/search with exact re-scoring inside the eps band (bit-for-bit
+    the exact outcome), ``FAST`` stays on the float tier throughout.
 
     Example (three unit servers, four independent services — the heavy
     one gets a server to itself)::
@@ -284,15 +394,16 @@ def optimize_shared_mapping(
         >>> value, mapping.services_on(mapping.server("A"))
         (Fraction(6, 1), ('A',))
     """
-    from .incremental import IncrementalSharedCosts
+    from .incremental import IncrementalSharedCosts, placement_evaluator
     from .local_search import shared_placement_local_search
 
+    exactness = Exactness.coerce(exactness)
     weight_key = (
         tuple(sorted(weights.items())) if weights else None
     )
     memo_key = (
         "shared", model, weight_key, platform.key(), exhaustive_limit,
-        max_moves, graph.application, graph.edges,
+        max_moves, exactness.memo_tier, graph.application, graph.edges,
     )
     found = _memo.get(memo_key)
     if found is not None:
@@ -302,24 +413,48 @@ def optimize_shared_mapping(
     services = tuple(graph.nodes)
     method = shared_search_method(len(services), len(platform), exhaustive_limit)
     if method == "shared-exhaustive":
-        best_value: Optional[Fraction] = None
-        best_mapping: Optional[Mapping] = None
-        for mapping in iter_shared_mappings(services, platform):
-            value = IncrementalSharedCosts(
+        from .exhaustive import scan_best
+
+        # The (weighted) aggregated load == the kernel's shared period
+        # bound; the flat arrays amortise the mapping-independent work
+        # across the whole enumeration.
+        fast_value = (
+            _fast_mapping_value(
+                graph, "period", model, None, platform,
+                weights=weights, shared=True,
+            )
+            if exactness.uses_float
+            else None
+        )
+
+        def exact_value(mapping):
+            return IncrementalSharedCosts(
                 graph, platform, mapping, model=model, weights=weights
             ).value()
-            if best_value is None or value < best_value:
-                best_value, best_mapping = value, mapping
-        assert best_value is not None and best_mapping is not None
-        outcome = (best_value, best_mapping)
+
+        if exactness is Exactness.FAST:
+            outcome = _fast_scan(
+                iter_shared_mappings(services, platform), fast_value,
+                exact_value,
+            )
+        else:
+            value, best_mapping, _ = scan_best(
+                iter_shared_mappings(services, platform), exact_value,
+                fast_objective=fast_value,
+            )
+            outcome = (value, best_mapping)
     else:
         seed = greedy_shared_mapping(graph, platform, weights=weights)
-        evaluator = IncrementalSharedCosts(
-            graph, platform, seed, model=model, weights=weights
+        evaluator = placement_evaluator(
+            graph, platform, seed, model=model, weights=weights,
+            shared=True, exactness=exactness,
         )
-        outcome = shared_placement_local_search(
+        value, mapping = shared_placement_local_search(
             graph, evaluator, platform, max_moves=max_moves
         )
+        if exactness is Exactness.FAST:
+            value = Fraction(value)
+        outcome = (value, mapping)
     _memo[memo_key] = outcome
     if len(_memo) > _MEMO_MAX_ENTRIES:
         _memo.popitem(last=False)

@@ -44,7 +44,14 @@ from fractions import Fraction
 from typing import Callable, Dict, Hashable, Optional, Tuple
 from typing import Mapping as TypingMapping
 
-from ..core import CommModel, ExecutionGraph, Mapping, Platform, platform_fingerprint
+from ..core import (
+    CommModel,
+    Exactness,
+    ExecutionGraph,
+    Mapping,
+    Platform,
+    platform_fingerprint,
+)
 from ..optimize.evaluation import Effort, latency_objective, period_objective
 
 #: Objective kinds understood by the planner.
@@ -72,23 +79,32 @@ def evaluation_key(
     effort: Effort,
     platform: Optional[Platform] = None,
     mapping: Optional[Mapping] = None,
+    exactness: Exactness = Exactness.EXACT,
 ) -> Hashable:
     """The full canonical cache key of one objective evaluation.
 
     Every discriminating input is spelled out explicitly — the objective
-    kind, the communication model, the effort level, the platform/mapping
-    fingerprint and the graph content — so no two semantically different
-    evaluations can collide:
+    kind, the communication model, the effort level, the exactness tier,
+    the platform/mapping fingerprint and the graph content — so no two
+    semantically different evaluations can collide:
 
     * the *model* is part of the key (an INORDER value is never served for
       an OUTORDER query even though both share the one-port bound);
     * the *platform fingerprint* separates every non-unit platform (and
       every distinct mapping on it) from the unit/homogeneous sentinel, so
-      a heterogeneous solve can never hit a homogeneous entry.
+      a heterogeneous solve can never hit a homogeneous entry;
+    * the *exactness* tier keeps ``FAST`` float-image values in their own
+      slot, so a fast result is never served to an exact or certified
+      caller (or vice versa).
 
-    The single deliberate collapse: the OVERLAP period is exact at every
-    effort level (Theorem 1 — the bound is achievable, on any platform),
-    so its three effort entries share one slot.
+    Two deliberate collapses: the OVERLAP period is exact at every effort
+    level (Theorem 1 — the bound is achievable, on any platform), so its
+    three effort entries share one slot; and ``CERTIFIED`` values are
+    bit-for-bit the ``EXACT`` ones (certification only changes *how*
+    searches compute, never *what* an evaluation returns), so those two
+    tiers share a slot — the rule lives in
+    :attr:`repro.core.Exactness.memo_tier`, shared with the placement
+    memo.
     """
     if kind == "period" and model is CommModel.OVERLAP:
         effort = Effort.EXACT
@@ -96,6 +112,7 @@ def evaluation_key(
         kind,
         model.value,
         effort.value,
+        exactness.memo_tier,
         platform_fingerprint(platform, mapping),
         graph_key(graph),
     )
@@ -157,9 +174,12 @@ class EvaluationCache:
         compute: Callable[[], Fraction],
         platform: Optional[Platform] = None,
         mapping: Optional[Mapping] = None,
+        exactness: Exactness = Exactness.EXACT,
     ) -> Fraction:
         """Return the memoized value for the canonical key, computing once."""
-        key = evaluation_key(kind, graph, model, effort, platform, mapping)
+        key = evaluation_key(
+            kind, graph, model, effort, platform, mapping, exactness
+        )
         found = self._store.get(key)
         if found is not None:
             self.hits += 1
@@ -179,6 +199,7 @@ class EvaluationCache:
         effort: Effort = Effort.HEURISTIC,
         platform: Optional[Platform] = None,
         mapping: Optional[Mapping] = None,
+        exactness: Exactness = Exactness.EXACT,
     ) -> "CachedObjective":
         """A cached ``graph -> Fraction`` evaluator for *kind* under *model*.
 
@@ -188,10 +209,14 @@ class EvaluationCache:
         counting too).  Binding a non-unit *platform* with ``mapping=None``
         evaluates the best server assignment per graph (see
         :mod:`repro.optimize.placement`); binding a *mapping* pins it.
+        Binding an *exactness* routes the evaluation through that numeric
+        tier and keys the memo slot accordingly.
         """
         if kind not in OBJECTIVES:
             raise ValueError(f"unknown objective {kind!r}; expected one of {OBJECTIVES}")
-        return CachedObjective(self, kind, model, effort, platform, mapping)
+        return CachedObjective(
+            self, kind, model, effort, platform, mapping, exactness
+        )
 
 
 class CachedObjective:
@@ -201,7 +226,10 @@ class CachedObjective:
     report per-solve statistics even when the cache is shared.
     """
 
-    __slots__ = ("cache", "kind", "model", "effort", "platform", "mapping", "hits", "misses")
+    __slots__ = (
+        "cache", "kind", "model", "effort", "platform", "mapping",
+        "exactness", "hits", "misses",
+    )
 
     def __init__(
         self,
@@ -211,6 +239,7 @@ class CachedObjective:
         effort: Effort,
         platform: Optional[Platform] = None,
         mapping: Optional[Mapping] = None,
+        exactness: Exactness = Exactness.EXACT,
     ) -> None:
         self.cache = cache
         self.kind = kind
@@ -218,6 +247,7 @@ class CachedObjective:
         self.effort = effort
         self.platform = platform
         self.mapping = mapping
+        self.exactness = Exactness.coerce(exactness)
         self.hits = 0
         self.misses = 0
 
@@ -236,6 +266,7 @@ class CachedObjective:
             lambda: self._compute(graph),
             self.platform,
             self.mapping,
+            self.exactness,
         )
         if self.cache.misses == before:
             self.hits += 1
@@ -246,10 +277,12 @@ class CachedObjective:
     def _compute(self, graph: ExecutionGraph) -> Fraction:
         if self.kind == "period":
             return period_objective(
-                graph, self.model, self.effort, self.platform, self.mapping
+                graph, self.model, self.effort, self.platform, self.mapping,
+                exactness=self.exactness,
             )
         return latency_objective(
-            graph, self.model, self.effort, self.platform, self.mapping
+            graph, self.model, self.effort, self.platform, self.mapping,
+            exactness=self.exactness,
         )
 
 

@@ -33,7 +33,7 @@ from fractions import Fraction
 from typing import Any, Dict, Optional, Sequence, Union
 
 from ..concurrent import ConcurrentCosts, MultiApplication
-from ..core import CommModel, Mapping, Platform, as_fraction
+from ..core import CommModel, Exactness, Mapping, Platform, as_fraction
 from ..optimize.placement import (
     SHARED_EXHAUSTIVE_LIMIT,
     optimize_shared_mapping,
@@ -205,6 +205,7 @@ def solve_concurrent(
     targets: Optional[Dict[str, Any]] = None,
     exhaustive_limit: int = SHARED_EXHAUSTIVE_LIMIT,
     max_moves: int = 400,
+    exactness: Union[str, "Exactness", None] = None,
 ) -> ConcurrentResult:
     """Map concurrent applications onto shared servers; returns a result.
 
@@ -232,6 +233,11 @@ def solve_concurrent(
     exhaustive_limit / max_moves:
         Forwarded to
         :func:`~repro.optimize.placement.optimize_shared_mapping`.
+    exactness:
+        Numeric tier of the placement search (see
+        :class:`~repro.core.Exactness`).  The default ``CERTIFIED`` runs
+        the float kernel with exact re-scoring inside the eps band —
+        bit-for-bit the exact result; ``"fast"`` stays on the float tier.
 
     Example — two copies of the Section 2.3 application squeezed onto
     three servers (ten services, so sharing is forced)::
@@ -270,6 +276,7 @@ def solve_concurrent(
         _, chosen = optimize_shared_mapping(
             graph, mdl, plat, weights=weights,
             exhaustive_limit=exhaustive_limit, max_moves=max_moves,
+            exactness=Exactness.coerce(exactness),
         )
     readout = ConcurrentCosts(multi, plat, chosen, model=mdl)
     utilisation = readout.max_utilisation() if weights is not None else None

@@ -37,6 +37,7 @@ from ..core import (
     ALL_MODELS,
     Application,
     CommModel,
+    Exactness,
     ExecutionGraph,
     Mapping,
     Plan,
@@ -61,8 +62,11 @@ Problem = Union[Application, ExecutionGraph]
 #: ``method="auto"`` answers exactly up to these sizes (forests for
 #: period, DAGs for latency), heuristic search beyond them.  Branch and
 #: bound prunes with Cin/Ccomp/Cout lower bounds, so the exact range
-#: reaches well past the plain-enumeration caps (which were 5 and 4).
-AUTO_EXHAUSTIVE_MAX = {"period": 8, "latency": MAX_DAG_SERVICES}
+#: reaches well past the plain-enumeration caps (which were 5 and 4); the
+#: certified float fast path (the default exactness) pushed the period
+#: frontier from 8 to 10 — n=10 certifies in well under a second where
+#: exact-tier arithmetic took several.
+AUTO_EXHAUSTIVE_MAX = {"period": 10, "latency": MAX_DAG_SERVICES}
 
 #: Orchestration methods (fixed graph) and the evaluation effort they map to.
 _GRAPH_EFFORT = {
@@ -103,6 +107,12 @@ def _coerce_effort(effort: Union[str, Effort, None], fallback: Effort) -> Effort
         raise ValueError(f"unknown effort {effort!r}; expected one of: {names}") from None
 
 
+def _coerce_exactness(exactness: Union[str, Exactness, None]) -> Exactness:
+    """``None`` means the default tier: certified (bit-for-bit exact values,
+    float-tier speed inside the searches)."""
+    return Exactness.coerce(exactness)
+
+
 def _coerce_platform(platform: Union[str, Platform, None]) -> Optional[Platform]:
     """Accept a :class:`Platform`, a catalog spec string, or ``None``."""
     if platform is None or isinstance(platform, Platform):
@@ -140,18 +150,22 @@ def _resolve_mapping(
     effort: Effort,
     platform: Optional[Platform],
     mapping: Optional[Mapping],
+    exactness: Exactness = Exactness.EXACT,
 ) -> Optional[Mapping]:
     """The mapping a concrete schedule should use.
 
     A pinned mapping wins; unit platforms keep the positional default
     (every assignment is equivalent there); non-unit platforms run the
-    placement optimiser for the chosen graph.
+    placement optimiser for the chosen graph (on the numeric tier the
+    exactness knob picks — usually a placement-memo lookup by then).
     """
     if platform is None or mapping is not None or platform.is_unit:
         return mapping
     from ..optimize.placement import optimize_mapping
 
-    _, best = optimize_mapping(graph, objective, model, effort, platform)
+    _, best = optimize_mapping(
+        graph, objective, model, effort, platform, exactness=exactness
+    )
     return best
 
 
@@ -222,6 +236,7 @@ def solve(
     registry: Optional[SolverRegistry] = None,
     platform: Union[str, Platform, None] = None,
     mapping=None,
+    exactness: Union[str, Exactness, None] = None,
     **solver_options,
 ) -> PlanResult:
     """Solve a mapping or orchestration problem; returns :class:`PlanResult`.
@@ -264,6 +279,16 @@ def solve(
         Pin services to servers (a :class:`~repro.core.Mapping` or a plain
         ``{service: server}`` dict).  Default: the placement optimiser
         chooses the assignment per candidate graph.
+    exactness:
+        Numeric tier of the solve (:class:`~repro.core.Exactness` or its
+        string value).  The default ``"certified"`` runs searches on the
+        float fast path with the eps-guarded certification protocol —
+        returned values are **bit-for-bit identical** to ``"exact"``, at
+        a fraction of the wall time.  ``"exact"`` forces Fraction
+        arithmetic everywhere; ``"fast"`` stays on the float tier and
+        returns uncertified float-image values.  The evaluation-cache and
+        placement-memo keys include the tier, so a fast value is never
+        served to a certified or exact caller.
     solver_options:
         Extra keyword arguments forwarded to the solver (e.g.
         ``max_moves=500`` for ``local-search``).
@@ -284,6 +309,7 @@ def solve(
     mdl = _coerce_model(model)
     plat = _coerce_platform(platform)
     mapp = _coerce_mapping(mapping, plat)
+    exact = _coerce_exactness(exactness)
     cache = cache if cache is not None else default_cache()
 
     if plat is not None:
@@ -299,13 +325,14 @@ def solve(
                 f"solving an Application)"
             )
         result = _solve_graph(
-            problem, obj, mdl, method, effort, schedule, cache, plat, mapp
+            problem, obj, mdl, method, effort, schedule, cache, plat, mapp,
+            exact,
         )
     elif isinstance(problem, Application):
         result = _solve_application(
             problem, obj, mdl, method, effort, schedule, cache,
             registry if registry is not None else default_registry,
-            plat, mapp, solver_options,
+            plat, mapp, exact, solver_options,
         )
     else:
         raise TypeError(
@@ -327,6 +354,7 @@ def _solve_application(
     registry: SolverRegistry,
     platform: Optional[Platform],
     mapping: Optional[Mapping],
+    exactness: Exactness,
     solver_options,
 ) -> PlanResult:
     requested = method
@@ -345,7 +373,9 @@ def _solve_application(
         if method in ("exhaustive", "branch-and-bound")
         else Effort.HEURISTIC,
     )
-    objective_fn = cache.objective(objective, model, eff, platform, mapping)
+    objective_fn = cache.objective(
+        objective, model, eff, platform, mapping, exactness
+    )
     value, graph, extras = spec.run(
         app,
         objective=objective,
@@ -358,9 +388,11 @@ def _solve_application(
         evaluations=objective_fn.misses,
         cache_hits=objective_fn.hits,
         graphs_considered=extras.pop("graphs_considered", objective_fn.evaluations),
-        extras={"effort": eff.value, **extras},
+        extras={"effort": eff.value, "exactness": exactness.value, **extras},
     )
-    resolved = _resolve_mapping(graph, objective, model, eff, platform, mapping)
+    resolved = _resolve_mapping(
+        graph, objective, model, eff, platform, mapping, exactness
+    )
     plan = (
         build_schedule(graph, objective, model, platform, resolved)
         if schedule
@@ -390,6 +422,7 @@ def _solve_graph(
     cache: EvaluationCache,
     platform: Optional[Platform],
     mapping: Optional[Mapping],
+    exactness: Exactness = Exactness.EXACT,
 ) -> PlanResult:
     requested = method
     plan: Optional[Plan] = None
@@ -404,7 +437,8 @@ def _solve_graph(
             # The model's scheduler is authoritative: its value is achieved
             # by a concrete validated operation list.
             resolved = _resolve_mapping(
-                graph, objective, model, Effort.HEURISTIC, platform, mapping
+                graph, objective, model, Effort.HEURISTIC, platform, mapping,
+                exactness,
             )
             plan = build_schedule(graph, objective, model, platform, resolved)
             value = plan.period if objective == "period" else plan.latency
@@ -416,11 +450,12 @@ def _solve_graph(
             # the placement search, so resolving the winning mapping below
             # is a placement-memo lookup, not a second search.
             objective_fn = cache.objective(
-                objective, model, Effort.HEURISTIC, platform, mapping
+                objective, model, Effort.HEURISTIC, platform, mapping, exactness
             )
             value = objective_fn(graph)
             resolved = _resolve_mapping(
-                graph, objective, model, Effort.HEURISTIC, platform, mapping
+                graph, objective, model, Effort.HEURISTIC, platform, mapping,
+                exactness,
             )
             stats = SolverStats(
                 evaluations=objective_fn.misses,
@@ -430,15 +465,19 @@ def _solve_graph(
         method = "schedule"
     elif method in _GRAPH_EFFORT:
         eff = _coerce_effort(effort, _GRAPH_EFFORT[method])
-        objective_fn = cache.objective(objective, model, eff, platform, mapping)
+        objective_fn = cache.objective(
+            objective, model, eff, platform, mapping, exactness
+        )
         value = objective_fn(graph)
         stats = SolverStats(
             evaluations=objective_fn.misses,
             cache_hits=objective_fn.hits,
             graphs_considered=1,
-            extras={"effort": eff.value},
+            extras={"effort": eff.value, "exactness": exactness.value},
         )
-        resolved = _resolve_mapping(graph, objective, model, eff, platform, mapping)
+        resolved = _resolve_mapping(
+            graph, objective, model, eff, platform, mapping, exactness
+        )
         if schedule:
             plan = build_schedule(graph, objective, model, platform, resolved)
     else:

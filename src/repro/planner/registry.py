@@ -45,14 +45,18 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
-from ..core import Application, CommModel, ExecutionGraph
+from ..core import Application, CommModel, Exactness, ExecutionGraph
 from ..optimize.branch_and_bound import (
     MAX_BB_LATENCY_SERVICES,
     bb_minlatency,
     bb_minperiod,
 )
 from ..optimize.chains import minlatency_chain, minperiod_chain
-from ..optimize.evaluation import Effort
+from ..optimize.evaluation import (
+    Effort,
+    make_fast_latency_objective,
+    make_fast_period_objective,
+)
 from ..optimize.exhaustive import (
     MAX_DAG_SERVICES,
     iter_dags,
@@ -195,8 +199,26 @@ def _solve_exhaustive(
                 f"not be forests — Prop 13); pass space='forests' for the "
                 f"forest-restricted problem or use method='local-search'"
             )
+    exactness = getattr(objective_fn, "exactness", Exactness.EXACT)
+    fast_objective = None
+    if exactness.uses_float:
+        # Certified two-tier scan: float-gate the candidates, score the
+        # survivors through the (memoized, exact) objective.  Where no
+        # float kernel covers the configuration this stays a plain scan.
+        platform = getattr(objective_fn, "platform", None)
+        mapping = getattr(objective_fn, "mapping", None)
+        if objective == "period":
+            fast_objective = make_fast_period_objective(
+                model, effort, platform, mapping
+            )
+        else:
+            fast_objective = make_fast_latency_objective(
+                effort, platform, mapping
+            )
     graphs = iter_forests(app) if space == "forests" else iter_dags(app)
-    value, graph, count = scan_best(graphs, objective_fn)
+    value, graph, count = scan_best(
+        graphs, objective_fn, fast_objective=fast_objective
+    )
     return value, graph, {"space": space, "graphs_considered": count}
 
 
@@ -237,6 +259,7 @@ def _solve_local_search(
             seed_graph, model, effort,
             getattr(objective_fn, "platform", None),
             getattr(objective_fn, "mapping", None),
+            exactness=getattr(objective_fn, "exactness", Exactness.EXACT),
         )
     value, graph = local_search_forest(
         seed_graph, objective_fn, max_moves=max_moves, delta=delta
@@ -270,20 +293,23 @@ def _solve_branch_and_bound(
     """
     platform = getattr(objective_fn, "platform", None)
     mapping = getattr(objective_fn, "mapping", None)
+    exactness = getattr(objective_fn, "exactness", Exactness.EXACT)
     if objective == "period":
         value, graph, stats = bb_minperiod(
             app, objective_fn, model=model, platform=platform, mapping=mapping,
-            node_limit=node_limit,
+            node_limit=node_limit, exactness=exactness,
         )
     else:
         value, graph, stats = bb_minlatency(
             app, objective_fn, model=model, platform=platform, mapping=mapping,
-            node_limit=node_limit,
+            node_limit=node_limit, exactness=exactness,
         )
     return value, graph, {
         "space": "forests" if objective == "period" else "dags",
         "graphs_considered": stats.evaluated,
-        "certified": not stats.limit_hit,
+        # A FAST search prunes and scores on float images: the incumbent
+        # it returns is honest but its optimality is no longer certified.
+        "certified": not stats.limit_hit and exactness is not Exactness.FAST,
         **stats.as_extras(),
     }
 

@@ -179,14 +179,18 @@ def greedy_orders(
     *,
     platform: Optional[Platform] = None,
     mapping: Optional[Mapping] = None,
+    costs: Optional[CostModel] = None,
 ) -> CommOrders:
     """Critical-path heuristic orders.
 
     Outgoing messages are sent to the successor with the longest remaining
     downstream work first (feeding the critical path early); incoming
     messages are received from the earliest-available producer first.
+    Pass a prebuilt *costs* (for the same graph/platform/mapping) to skip
+    rebuilding the cost model.
     """
-    costs = CostModel(graph, platform, mapping)
+    if costs is None:
+        costs = CostModel(graph, platform, mapping)
     # downstream[k]: longest (comp + comm) path from the start of k's
     # computation to the end of the final output communication.
     downstream: Dict[str, Fraction] = {}

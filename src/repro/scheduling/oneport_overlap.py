@@ -48,7 +48,10 @@ ZERO = Fraction(0)
 
 
 def oneport_overlap_event_graph(
-    graph: ExecutionGraph, orders: Optional[CommOrders] = None
+    graph: ExecutionGraph,
+    orders: Optional[CommOrders] = None,
+    *,
+    costs: Optional[CostModel] = None,
 ) -> EventGraph:
     """Event graph where each server has separate send and receive ports.
 
@@ -56,9 +59,10 @@ def oneport_overlap_event_graph(
     precedence (after all receives, before all sends) and must not overlap
     itself across periods (a height-1 self-loop).
     """
+    if costs is None:
+        costs = CostModel(graph)
     if orders is None:
-        orders = greedy_orders(graph)
-    costs = CostModel(graph)
+        orders = greedy_orders(graph, costs=costs)
     eg = EventGraph()
     for node in graph.nodes:
         cop = comp_op(node)
@@ -84,7 +88,10 @@ def _dur(costs: CostModel, op) -> Fraction:
 
 
 def oneport_overlap_period(
-    graph: ExecutionGraph, orders: Optional[CommOrders] = None
+    graph: ExecutionGraph,
+    orders: Optional[CommOrders] = None,
+    *,
+    costs: Optional[CostModel] = None,
 ) -> Fraction:
     """Achievable one-port-overlap period for the given (or greedy) orders.
 
@@ -95,7 +102,7 @@ def oneport_overlap_period(
         >>> oneport_overlap_period(fig1_example().graph)
         Fraction(4, 1)
     """
-    return minimum_period(oneport_overlap_event_graph(graph, orders))
+    return minimum_period(oneport_overlap_event_graph(graph, orders, costs=costs))
 
 
 # ---------------------------------------------------------------------------
@@ -103,7 +110,11 @@ def oneport_overlap_period(
 # ---------------------------------------------------------------------------
 
 def saturated_bipartite_window_feasible(
-    graph: ExecutionGraph, senders: Sequence[str], receivers: Sequence[str]
+    graph: ExecutionGraph,
+    senders: Sequence[str],
+    receivers: Sequence[str],
+    *,
+    costs: Optional[CostModel] = None,
 ) -> bool:
     """Can the cut's messages be one-port-scheduled in a load-equal window?
 
@@ -115,7 +126,8 @@ def saturated_bipartite_window_feasible(
     chosen order.  We enumerate receiver orders and check each sender's
     required begins are exactly its no-idle slots.
     """
-    costs = CostModel(graph)
+    if costs is None:
+        costs = CostModel(graph)
     sender_size = {s: costs.outsize(s) for s in senders}
     load = None
     for s in senders:
@@ -175,6 +187,7 @@ def pack_bipartite_window(
     receivers: Sequence[str],
     window_start: Fraction,
     window_end: Fraction,
+    costs: Optional[CostModel] = None,
 ) -> Optional[Dict[Tuple[str, str], Fraction]]:
     """One-port packing of the cut's messages into a window (integral grid).
 
@@ -183,7 +196,8 @@ def pack_bipartite_window(
     one-port schedule of counter-example B.2 (window [2, 9]).  The integral
     restriction can only miss schedules when message sizes are fractional.
     """
-    costs = CostModel(graph)
+    if costs is None:
+        costs = CostModel(graph)
     msgs: List[Tuple[str, str, Fraction]] = []
     recv_set = set(receivers)
     for s in senders:
@@ -261,7 +275,9 @@ def _free_slot_exists(
     return candidates
 
 
-def b3_oneport_period12_feasible(graph: ExecutionGraph) -> bool:
+def b3_oneport_period12_feasible(
+    graph: ExecutionGraph, *, costs: Optional[CostModel] = None
+) -> bool:
     """Exact feasibility of a one-port period-12 steady state on B.3.
 
     The saturated send ports (C1, C2, C3) and receive ports (C5, C6, C7)
@@ -274,7 +290,8 @@ def b3_oneport_period12_feasible(graph: ExecutionGraph) -> bool:
     the remaining messages.
     """
     lam = Fraction(12)
-    costs = CostModel(graph)
+    if costs is None:
+        costs = CostModel(graph)
     sizes = {s: costs.outsize(s) for s in ("C1", "C2", "C3", "C4")}
     if sorted(sizes.values()) != [2, 3, 3, 4]:
         raise ValueError("not the B.3 instance")

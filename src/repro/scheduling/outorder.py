@@ -211,6 +211,7 @@ def outorder_schedule(
     max_rounds: int = 500,
     platform: Optional[Platform] = None,
     mapping: Optional[Mapping] = None,
+    costs: Optional[CostModel] = None,
 ) -> Plan:
     """Best-effort OUTORDER orchestration (lower bound first, then repair).
 
@@ -226,7 +227,9 @@ def outorder_schedule(
         >>> plan.period, is_certified_optimal(plan)
         (Fraction(7, 1), True)
     """
-    lb = outorder_period_bound(graph, platform, mapping)
+    if costs is None:
+        costs = CostModel(graph, platform, mapping)
+    lb = costs.period_lower_bound(CommModel.OUTORDER)
     inorder_plan = inorder_schedule(graph, platform=platform, mapping=mapping)
     fallback = Plan(
         graph,

@@ -14,6 +14,7 @@ DOCTEST_MODULES = [
     "repro",
     "repro.concurrent",
     "repro.concurrent.multiapp",
+    "repro.core.numeric",
     "repro.core.platform",
     "repro.optimize.placement",
     "repro.planner",
