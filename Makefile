@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test coverage bench bench-platform bench-search bench-concurrent \
-	bench-compare profile docs gallery install
+	bench-batched bench-compare profile docs gallery install
 
 test:            ## unit + integration tests and benchmark assertions
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,9 @@ bench-search:    ## branch-and-bound / incremental-delta perf (BENCH_search.json
 bench-concurrent: ## shared-server multi-app scaling (BENCH_concurrent.json)
 	$(PYTHON) -m pytest benchmarks/test_bench_concurrent.py -q
 	$(PYTHON) benchmarks/compare_bench.py --stamp
+
+bench-batched:   ## batched-kernel throughput + anytime curve (BENCH_batched.json)
+	$(PYTHON) -m pytest benchmarks/test_bench_batched.py -q
 
 bench-compare:   ## perf-regression guard: snapshot committed BENCH_*.json, regenerate, diff
 	$(PYTHON) benchmarks/compare_bench.py --snapshot

@@ -120,7 +120,7 @@ def snapshot(baseline_dir: Path) -> int:
             copied += 1
             print(f"snapshot: {src} -> {baseline_dir / name}")
         else:
-            print(f"snapshot: {src} missing, skipped")
+            print(f"WARN  snapshot: {src} missing, skipped")
     stamp = RESULTS_DIR / STAMP_FILE
     if stamp.exists():
         # The committed stamp of the machine that produced the baseline
@@ -135,7 +135,17 @@ def snapshot(baseline_dir: Path) -> int:
             json.dumps({"seconds": calibration}) + "\n"
         )
         print(f"snapshot: local calibration {calibration * 1000:.1f} ms")
-    return 0 if copied else 1
+    if not copied:
+        # A fresh clone (or a results/ wipe) has no committed artifacts
+        # yet: the guard then has no baseline to diff against, which the
+        # compare step reports per-file as a warning — `make bench-compare`
+        # must stay runnable end to end, so this is not an error.
+        print(
+            "WARN  snapshot: no committed BENCH artifacts found — the "
+            "compare step will pass with warnings until benchmarks are "
+            "generated and committed"
+        )
+    return 0
 
 
 def stamp() -> int:

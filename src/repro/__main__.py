@@ -137,6 +137,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
             platform=platform,
             mapping=mapping,
             exactness=args.exactness,
+            deadline=args.deadline,
         )
         for objective in _split(args.objective, all_values=["period", "latency"])
         for model in _split(args.model, all_values=[m.value for m in ALL_MODELS])
@@ -156,6 +157,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         platform=load_platform(args.platform) if args.platform else None,
         processes=args.processes,
         exactness=args.exactness,
+        deadline=args.deadline,
     )
     if args.json:
         print(json.dumps(batch.as_dict(), indent=2))
@@ -435,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--model", default="overlap", help="overlap, inorder, outorder, a comma list, or all")
     p_solve.add_argument("--method", default="auto", help="solver name or auto")
     p_solve.add_argument("--effort", default=None, help="bound, heuristic, or exact")
+    p_solve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="anytime wall-clock budget: race the solver portfolio and "
+        "return the best certified plan found in time",
+    )
     p_solve.set_defaults(fn=cmd_solve)
 
     p_prof = sub.add_parser(
@@ -484,6 +491,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--exactness", default=None,
         choices=["exact", "certified", "fast"],
         help="numeric tier (default: certified)",
+    )
+    p_batch.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-workload anytime budget (portfolio racing; see solve)",
     )
     p_batch.set_defaults(fn=cmd_batch)
 

@@ -5,6 +5,7 @@ Appendix A of the paper.  Everything downstream (schedulers, optimisers,
 reductions, benchmarks) is built on these types.
 """
 
+from .batched import ForestBatch, MappingBatch, iter_forest_rows
 from .constants import INPUT, OUTPUT
 from .costs import CostModel, comm_edges
 from .graph import CycleError, Edge, ExecutionGraph, PrecedenceError
@@ -46,7 +47,10 @@ __all__ = [
     "Exactness",
     "ExecutionGraph",
     "FloatCosts",
+    "ForestBatch",
     "GraphArrays",
+    "MappingBatch",
+    "iter_forest_rows",
     "certified_threshold",
     "INPUT",
     "InvalidScheduleError",

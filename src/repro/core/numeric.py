@@ -148,9 +148,14 @@ class GraphArrays:
         anc = [1.0] * self.n
         for name in names:
             i = index[name]
+            ancestors = graph.ancestors(name)
             prod = 1.0
-            for j in graph.ancestors(name):
-                prod *= self.sigma[index[j]]
+            # Fold in canonical name order, not set-iteration order: the
+            # product is then a deterministic float expression any batched
+            # kernel can replay operation-for-operation (bit-for-bit).
+            for j, other in enumerate(names):
+                if other in ancestors:
+                    prod *= self.sigma[j]
             anc[i] = prod
         self.anc = anc
         self.outsize = [anc[i] * self.sigma[i] for i in range(self.n)]
@@ -198,7 +203,13 @@ class FloatCosts:
         self.platform = platform
         self.mapping = mapping
         scaled = platform is not None and not platform.is_unit
-        shared = mapping is not None and not mapping.is_injective
+        # Weighted queries always aggregate per server: a shared-space
+        # candidate that happens to be injective must still be priced as
+        # the weighted per-server load (the exact objective the concurrent
+        # searches certify against), not the unweighted per-node maximum.
+        shared = mapping is not None and (
+            not mapping.is_injective or bool(weights)
+        )
         self._shared = shared
 
         n = a.n

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
@@ -284,6 +285,8 @@ def bb_minperiod(
     mapping: Optional[Mapping] = None,
     incumbent: Optional[Tuple[Fraction, ExecutionGraph]] = None,
     node_limit: Optional[int] = None,
+    deadline: Optional[float] = None,
+    leaf_batch=None,
     exactness: Exactness = Exactness.EXACT,
     eps: float = CERT_EPS,
 ) -> Tuple[Fraction, ExecutionGraph, BBStats]:
@@ -297,7 +300,20 @@ def bb_minperiod(
 
     *node_limit* caps the number of expanded states; when hit, the current
     incumbent is returned (still an upper bound, no longer certified
-    optimal — ``stats.expanded`` reaching the limit flags it).
+    optimal — ``stats.expanded`` reaching the limit flags it).  *deadline*
+    (seconds of wall clock) stops the search the same way — the anytime
+    contract: the incumbent is always a valid plan, ``stats.limit_hit``
+    records whether optimality was proved.
+
+    *leaf_batch* (a :class:`~repro.core.ForestBatch` covering the searched
+    objective, see
+    :func:`~repro.optimize.evaluation.make_forest_period_batch`; only
+    consulted under the ``CERTIFIED`` tier) defers each expansion's
+    complete-forest children into one batched float pricing and
+    exact-scores only those inside the running incumbent's certified band.
+    The returned optimum is bit-for-bit unchanged; ``stats`` counters may
+    differ from the default path (fewer evaluations), which is why the
+    gate is opt-in.
 
     *exactness* picks the numeric tier for the bound arithmetic (the
     module docstring spells out the certification contract): under
@@ -342,6 +358,7 @@ def bb_minperiod(
             exactness = Exactness.EXACT
     overlap = model.overlaps_compute
     stats = BBStats()
+    deadline_at = None if deadline is None else time.monotonic() + deadline
 
     def scored(graph: ExecutionGraph) -> Fraction:
         stats.evaluated += 1
@@ -375,6 +392,7 @@ def bb_minperiod(
     # FAST (uncertified by contract) ties prune aggressively at
     # ``low_cut``, with no exact arithmetic anywhere.
     certified = exactness is Exactness.CERTIFIED
+    use_leaf_batch = certified and leaf_batch is not None
     if use_float:
         cut, low_cut = _float_cuts(best_value, eps)
     else:
@@ -424,6 +442,9 @@ def bb_minperiod(
         if worse:
             break  # every remaining state is at least as bad — optimal
         if node_limit is not None and stats.expanded >= node_limit:
+            stats.limit_hit = True
+            break
+        if deadline_at is not None and time.monotonic() >= deadline_at:
             stats.limit_hit = True
             break
 
@@ -499,6 +520,7 @@ def bb_minperiod(
         # forces their own pop-time re-arbitration (the inherited bound
         # component was only verified against the pre-improvement value).
         verified_gen = gen
+        leaf_keys: List[Tuple[int, ...]] = []
 
         for u in unplaced:
             for p in [-1] + placed:
@@ -559,6 +581,12 @@ def bb_minperiod(
                         stats.duplicates += 1
                         continue
                     seen.add(child_key)
+                    if use_leaf_batch:
+                        # Defer: the whole layer is priced in one batched
+                        # call after this expansion (same acceptance order,
+                        # so the incumbent sequence is unchanged).
+                        leaf_keys.append(child_key)
+                        continue
                     graph = graph_of(child_key)
                     value = scored(graph)
                     if value < best_value:
@@ -580,6 +608,27 @@ def bb_minperiod(
                      verified_gen),
                 )
 
+        if leaf_keys:
+            # Certified batched leaf gate: complete rows are already valid
+            # forests, so only the float prices matter.  Survivors are
+            # exact-scored in generation order under the *running* cut —
+            # the acceptance predicate (exact value < running best) is the
+            # scalar path's, so the final optimum is bit-for-bit identical.
+            import numpy as np
+
+            rows = np.array(leaf_keys, dtype=np.int64)
+            _valid, fast = leaf_batch.periods(rows)
+            for k_i, child_key in enumerate(leaf_keys):
+                if fast[k_i] > cut:
+                    continue  # provably no better than the incumbent
+                graph = graph_of(child_key)
+                value = scored(graph)
+                if value < best_value:
+                    best_value, best_graph = value, graph
+                    gen += 1
+                    cut, low_cut = _float_cuts(best_value, eps)
+                    stats.incumbent_updates += 1
+
     return best_value, best_graph, stats
 
 
@@ -596,6 +645,7 @@ def bb_minlatency(
     mapping: Optional[Mapping] = None,
     incumbent: Optional[Tuple[Fraction, ExecutionGraph]] = None,
     node_limit: Optional[int] = None,
+    deadline: Optional[float] = None,
     max_services: int = MAX_BB_LATENCY_SERVICES,
     exactness: Exactness = Exactness.EXACT,
     eps: float = CERT_EPS,
@@ -609,7 +659,9 @@ def bb_minlatency(
     need not be forests (Proposition 13), hence the DAG space.
 
     *exactness*/*eps* pick the numeric tier of the bound arithmetic with
-    the same certification contract as :func:`bb_minperiod`.
+    the same certification contract as :func:`bb_minperiod`; *deadline*
+    (wall-clock seconds) stops the search like *node_limit*, leaving the
+    incumbent as an anytime upper bound with ``stats.limit_hit`` set.
 
     Example::
 
@@ -648,6 +700,7 @@ def bb_minlatency(
         except OverflowError:
             exactness = Exactness.EXACT  # beyond float range (see bb_minperiod)
     stats = BBStats()
+    deadline_at = None if deadline is None else time.monotonic() + deadline
 
     def scored(graph: ExecutionGraph) -> Fraction:
         stats.evaluated += 1
@@ -695,6 +748,9 @@ def bb_minlatency(
         if worse:
             break
         if node_limit is not None and stats.expanded >= node_limit:
+            stats.limit_hit = True
+            break
+        if deadline_at is not None and time.monotonic() >= deadline_at:
             stats.limit_hit = True
             break
 

@@ -356,6 +356,37 @@ def make_fast_period_objective(
     return evaluate
 
 
+def make_forest_period_batch(
+    app,
+    model: CommModel,
+    effort: Effort = Effort.HEURISTIC,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+):
+    """A :class:`~repro.core.ForestBatch` for this configuration, or ``None``.
+
+    The batched twin of :func:`make_fast_period_objective`: covered in
+    exactly the same configurations (its per-row values are bit-for-bit
+    the scalar kernel's), ``None`` where the scalar factory would return
+    ``None`` — plus when numpy is unavailable or the instance overflows
+    float range at compilation time.
+    """
+    plat, mapp = _normalise(platform, mapping)
+    if plat is not None and mapp is None:
+        return None
+    shared = mapp is not None and not mapp.is_injective
+    if not (model is CommModel.OVERLAP or effort is Effort.BOUND or shared):
+        return None
+    try:
+        from ..core.batched import ForestBatch
+    except ImportError:  # pragma: no cover - numpy-free environments
+        return None
+    try:
+        return ForestBatch(app, model, plat, mapp)
+    except OverflowError:
+        return None  # beyond float range: exact tier only
+
+
 def make_fast_latency_objective(
     effort: Effort = Effort.HEURISTIC,
     platform: Optional[Platform] = None,
@@ -395,6 +426,7 @@ __all__ = [
     "latency_objective",
     "make_fast_latency_objective",
     "make_fast_period_objective",
+    "make_forest_period_batch",
     "make_latency_objective",
     "make_period_objective",
     "period_objective",

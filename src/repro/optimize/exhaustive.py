@@ -150,6 +150,65 @@ def scan_best(
     return best_val, best_graph, count
 
 
+def scan_best_forests_batched(
+    app: Application,
+    objective,
+    batch,
+    *,
+    chunk: int = 512,
+) -> Tuple[Fraction, ExecutionGraph, int]:
+    """The certified forest scan of :func:`scan_best`, gated in bulk.
+
+    *batch* is a :class:`~repro.core.ForestBatch` for the configuration
+    being searched (see
+    :func:`~repro.optimize.evaluation.make_forest_period_batch`).  Parent
+    vectors are enumerated in :func:`iter_forests` order *chunk* rows at a
+    time and priced in one numpy call per chunk; only rows at or under the
+    running incumbent's :func:`~repro.core.certified_threshold` are
+    materialised as graphs and scored through *objective*.  Because the
+    batched floats are bit-for-bit the scalar kernel's, every gate
+    decision — and therefore the returned ``(value, graph, count)``
+    including tie-breaks — is identical to
+    ``scan_best(iter_forests(app), objective, fast_objective=...)``.
+    """
+    import numpy as np
+
+    if app.precedence:
+        raise ValueError("forest enumeration assumes no precedence constraints")
+    from ..core.batched import iter_forest_rows
+
+    n = len(app.names)
+    best_val: Optional[Fraction] = None
+    best_graph: Optional[ExecutionGraph] = None
+    cut: Optional[float] = None
+    count = 0
+    for rows, _base in iter_forest_rows(n, chunk):
+        valid, fast = batch.periods(rows)
+        count += int(valid.sum())
+        if cut is None:
+            candidates = np.nonzero(valid)[0]
+        else:
+            # Chunk-level pre-filter with the cut as of the chunk start: it
+            # only ever *keeps* rows the scalar scan would examine (the cut
+            # never increases); the loop below re-checks the running cut so
+            # the survivor set matches the scalar scan exactly.
+            candidates = np.nonzero(valid & ~(fast > cut))[0]
+        for r in candidates:
+            if cut is not None and fast[r] > cut:
+                continue  # provably no better than the incumbent
+            graph = batch.decode(rows[r])
+            val = objective(graph)
+            if best_val is None or val < best_val:
+                best_val, best_graph = val, graph
+                try:
+                    cut = certified_threshold(float(best_val))
+                except OverflowError:
+                    cut = None  # beyond float range: exact scoring only
+    if best_graph is None or best_val is None:
+        raise ValueError("no candidate execution graph")
+    return best_val, best_graph, count
+
+
 def exhaustive_minperiod(
     app: Application,
     model: CommModel,
@@ -225,4 +284,5 @@ __all__ = [
     "iter_dags",
     "iter_forests",
     "scan_best",
+    "scan_best_forests_batched",
 ]

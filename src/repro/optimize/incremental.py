@@ -312,6 +312,18 @@ class IncrementalForestPeriod:
         """The current forest as an :class:`~repro.core.ExecutionGraph`."""
         return ExecutionGraph.from_parents(self.app, self.parents)
 
+    def parent_row(self) -> Tuple[int, ...]:
+        """The current forest as a parent-vector row: one index into
+        ``app.names`` per service, ``-1`` marking a root — the encoding
+        :class:`~repro.core.ForestBatch` rows and the branch-and-bound
+        state keys share."""
+        names = self.app.names
+        index = {name: i for i, name in enumerate(names)}
+        return tuple(
+            -1 if self.parents[name] is None else index[self.parents[name]]
+            for name in names
+        )
+
 
 class FloatForestPeriod(IncrementalForestPeriod):
     """Float twin of :class:`IncrementalForestPeriod` (the fast tier).
@@ -397,6 +409,9 @@ class CertifiedForestPeriod:
 
     def graph(self) -> ExecutionGraph:
         return self.exact.graph()
+
+    def parent_row(self) -> Tuple[int, ...]:
+        return self.exact.parent_row()
 
 
 def period_delta(

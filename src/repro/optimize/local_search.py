@@ -57,12 +57,45 @@ def _parents_of(graph: ExecutionGraph) -> Dict[str, Optional[str]]:
     return parents
 
 
+def _gate_reparents(batch, parents, node, candidates, current):
+    """Which reparent *candidates* of *node* a certified gate can skip.
+
+    Prices the whole candidate column in one batched call and marks every
+    candidate that is provably not an improvement on *current* — cyclic
+    rows (the scalar path's ``CycleError``) and rows whose float bound
+    exceeds ``certified_threshold(current)``.  Skipping only those leaves
+    the accepted-move sequence bit-for-bit the ungated one.  Returns
+    ``None`` when the gate cannot run (float overflow on *current*).
+    """
+    import numpy as np
+
+    from ..core import certified_threshold
+
+    try:
+        cut = certified_threshold(float(current))
+    except OverflowError:
+        return None  # beyond float range: score every candidate exactly
+    names = batch.names
+    index = {name: i for i, name in enumerate(names)}
+    base = np.array(
+        [-1 if parents[name] is None else index[parents[name]] for name in names],
+        dtype=np.int64,
+    )
+    rows = np.repeat(base[None, :], len(candidates), axis=0)
+    rows[:, index[node]] = [
+        -1 if c is None else index[c] for c in candidates
+    ]
+    valid, fast = batch.periods(rows)
+    return ~valid | (fast > cut)
+
+
 def local_search_forest(
     graph: ExecutionGraph,
     objective: Objective,
     *,
     max_moves: int = 200,
     delta: Optional[IncrementalForestPeriod] = None,
+    batch=None,
 ) -> Tuple[Fraction, ExecutionGraph]:
     """First-improvement reparenting search from *graph* (a forest).
 
@@ -72,10 +105,16 @@ def local_search_forest(
     :class:`~repro.optimize.incremental.IncrementalForestPeriod` built
     from *graph* for the matching objective) prices candidates in
     ``O(subtree)`` deltas instead — the objective is then only consulted
-    by the caller for the final graph.  The scan resumes at the service
-    *after* an accepted move and stops once a whole pass finds no
-    improvement.  Example — starting from the empty forest, the search
-    discovers the filter-first chain::
+    by the caller for the final graph.  Passing *batch* (a
+    :class:`~repro.core.ForestBatch` for the matching objective, see
+    :func:`~repro.optimize.evaluation.make_forest_period_batch`) prices
+    each node's whole candidate column in one numpy call and skips the
+    candidates that provably cannot improve — the certified gate of
+    :func:`~repro.optimize.exhaustive.scan_best` applied to the
+    neighbourhood sweep, leaving the move sequence bit-for-bit identical.
+    The scan resumes at the service *after* an accepted move and stops
+    once a whole pass finds no improvement.  Example — starting from the
+    empty forest, the search discovers the filter-first chain::
 
         >>> from repro import CommModel, ExecutionGraph, make_application
         >>> from repro.optimize import make_period_objective
@@ -101,9 +140,15 @@ def local_search_forest(
         position += 1
         original = parents[node]
         accepted = False
-        for candidate in [None] + [p for p in names if p != node]:
+        candidates = [None] + [p for p in names if p != node]
+        skip = None
+        if batch is not None and delta is None:
+            skip = _gate_reparents(batch, parents, node, candidates, current)
+        for k, candidate in enumerate(candidates):
             if candidate == original:
                 continue
+            if skip is not None and skip[k]:
+                continue  # cyclic, or provably no better than current
             if delta is not None:
                 val = delta.score_reparent(node, candidate)
                 if val is None:
@@ -239,6 +284,7 @@ def placement_local_search(
     *,
     max_moves: int = 200,
     evaluator: Optional[IncrementalMappingCosts] = None,
+    batch=None,
 ) -> Tuple[Fraction, Mapping]:
     """First-improvement search over service-to-server assignments.
 
@@ -256,6 +302,12 @@ def placement_local_search(
     :class:`~repro.optimize.incremental.IncrementalMappingCosts` built
     from *start* for the matching objective) instead prices each move by
     recomputing only the touched servers' ``Cin``/``Ccomp``/``Cout``.
+    Passing *batch* (a :class:`~repro.core.MappingBatch` for the matching
+    objective; ignored when *evaluator* is given) bulk-prices each
+    neighbourhood column on the float kernel and skips candidates whose
+    bound exceeds the running value's
+    :func:`~repro.core.certified_threshold` — the moves taken, and the
+    returned pair, stay bit-for-bit the ungated ones.
 
     Example (the heavy service walks onto the fast idle server)::
 
@@ -275,41 +327,102 @@ def placement_local_search(
     start.validate_on(graph.nodes, platform)
     services = list(start.services())
     state = {"mapping": start}
+    initial = evaluator.value() if evaluator is not None else objective(start)
+    gate: Optional[dict] = None
+    if batch is not None and evaluator is None:
+        # value: the scan's running best (promoted on apply); skip: the
+        # bulk-priced verdicts of the most recent neighbourhood column.
+        gate = {"value": initial, "last": None, "skip": {}}
 
-    def idle_servers(_service: str):
+    def _bulk_gate(variants) -> None:
+        """Bulk-price candidate moves; record which are provably rejects.
+
+        *variants* is ``[(key, mapping), ...]``.  Between pricing and the
+        scan consuming the verdicts no move can be accepted (every accept
+        restarts the scan), so the running value — and hence the cut — is
+        stable; skipped candidates are exactly those the ungated scan
+        would score and reject.
+        """
+        import numpy as np
+
+        from ..core import certified_threshold
+
+        assert gate is not None
+        gate["skip"] = {}
+        try:
+            cut = certified_threshold(float(gate["value"]))
+        except OverflowError:
+            return  # beyond float range: score every candidate exactly
+        rows = np.stack([batch.encode(m) for _key, m in variants])
+        fast = batch.values(rows)
+        gate["skip"] = {
+            key: bool(fast[k] > cut) for k, (key, _m) in enumerate(variants)
+        }
+
+    def idle_servers(service: str):
         used = set(state["mapping"].used_servers())
-        return [name for name in platform.names if name not in used]
+        names = [name for name in platform.names if name not in used]
+        if gate is not None and names:
+            _bulk_gate(
+                [
+                    ((service, server), state["mapping"].reassigned(service, server))
+                    for server in names
+                ]
+            )
+        return names
 
     def score_reassign(service: str, server: str) -> Fraction:
         if evaluator is not None:
             return evaluator.score_reassign(service, server)
-        return objective(state["mapping"].reassigned(service, server))
+        if gate is not None and gate["skip"].get((service, server)):
+            return gate["value"]  # provably no better: reject without scoring
+        val = objective(state["mapping"].reassigned(service, server))
+        if gate is not None:
+            gate["last"] = val
+        return val
 
     def apply_reassign(service: str, server: str) -> None:
         if evaluator is not None:
             evaluator.apply_reassign(service, server)
+        if gate is not None:
+            gate["value"] = gate["last"]  # the accept just scored exactly
         state["mapping"] = state["mapping"].reassigned(service, server)
 
     def score_swap(a: str, b: str) -> Fraction:
         if evaluator is not None:
             return evaluator.score_swap(a, b)
-        return objective(state["mapping"].swapped(a, b))
+        if gate is not None and gate["skip"].get(("swap", a, b)):
+            return gate["value"]  # provably no better: reject without scoring
+        val = objective(state["mapping"].swapped(a, b))
+        if gate is not None:
+            gate["last"] = val
+        return val
 
     def apply_swap(a: str, b: str) -> None:
         if evaluator is not None:
             evaluator.apply_swap(a, b)
+        if gate is not None:
+            gate["value"] = gate["last"]
         state["mapping"] = state["mapping"].swapped(a, b)
 
     def all_pairs():
-        return (
+        pairs = [
             (a, b)
             for i, a in enumerate(services)
             for b in services[i + 1 :]
-        )
+        ]
+        if gate is not None and pairs:
+            _bulk_gate(
+                [
+                    (("swap", a, b), state["mapping"].swapped(a, b))
+                    for a, b in pairs
+                ]
+            )
+        return pairs
 
     value = _scan_first_improvement(
         services,
-        initial=evaluator.value() if evaluator is not None else objective(start),
+        initial=initial,
         reassign_candidates=idle_servers,
         score_reassign=score_reassign,
         apply_reassign=apply_reassign,

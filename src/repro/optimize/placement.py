@@ -161,6 +161,86 @@ def _fast_mapping_value(
     return scorer
 
 
+def _make_mapping_batch(
+    graph: ExecutionGraph,
+    kind: str,
+    model: CommModel,
+    effort,
+    platform: Platform,
+    *,
+    weights=None,
+    shared: bool = False,
+):
+    """A :class:`~repro.core.MappingBatch` for this configuration, or ``None``.
+
+    The batched twin of :func:`_fast_mapping_value`: covered in exactly
+    the same configurations, with per-row values bit-for-bit the scalar
+    scorer's; ``None`` where the scalar gate would not apply (or numpy is
+    missing, or the instance overflows float range).
+    """
+    from .evaluation import Effort
+
+    if shared or kind == "period":
+        covered = shared or model is CommModel.OVERLAP or effort is Effort.BOUND
+        batch_kind = "period"
+    else:
+        covered = effort is Effort.BOUND and not graph.is_forest
+        batch_kind = "latency"
+    if not covered:
+        return None
+    try:
+        from ..core.batched import MappingBatch
+    except ImportError:  # pragma: no cover - numpy-free environments
+        return None
+    try:
+        return MappingBatch(
+            graph, platform, kind=batch_kind, model=model,
+            shared=shared, weights=weights,
+        )
+    except OverflowError:
+        return None  # beyond float range: exact tier only
+
+
+def _scan_mappings_batched(
+    candidates, batch, exact_score, *, fast_tier: bool = False
+):
+    """The certified (or FAST) placement scan, float-gated in bulk.
+
+    *candidates* is the full enumeration (materialised — placement spaces
+    on the exhaustive branch are a few hundred rows); one numpy call
+    prices every row, then survivors are exact-scored in enumeration order
+    under the running :func:`~repro.core.certified_threshold` cut exactly
+    like :func:`~repro.optimize.exhaustive.scan_best`.  ``fast_tier=True``
+    skips exact scoring entirely and returns the first float minimum's
+    image — :func:`_fast_scan` semantics.
+    """
+    import numpy as np
+
+    from ..core import certified_threshold
+
+    mappings = list(candidates)
+    rows = np.stack([batch.encode(m) for m in mappings])
+    fast = batch.values(rows)
+    if fast_tier:
+        best = int(np.argmin(fast))  # argmin keeps the first minimum
+        return Fraction(float(fast[best])), mappings[best]
+    best_val = None
+    best_mapping = None
+    cut = None
+    for k, mapping in enumerate(mappings):
+        if cut is not None and fast[k] > cut:
+            continue  # provably no better than the incumbent
+        val = exact_score(mapping)
+        if best_val is None or val < best_val:
+            best_val, best_mapping = val, mapping
+            try:
+                cut = certified_threshold(float(best_val))
+            except OverflowError:
+                cut = None  # beyond float range: exact scoring only
+    assert best_val is not None and best_mapping is not None
+    return best_val, best_mapping
+
+
 def _fast_scan(candidates, fast_score, exact_score):
     """FAST-tier scan: float scores, exact fallback per ``None``, first
     strict minimum wins; the winner's value is the float image."""
@@ -243,16 +323,31 @@ def optimize_mapping(
     if space <= exhaustive_limit:
         from .exhaustive import scan_best
 
-        fast_score = (
-            _fast_mapping_value(graph, kind, model, effort, platform)
+        batch = (
+            _make_mapping_batch(graph, kind, model, effort, platform)
             if exactness.uses_float
             else None
         )
-        if exactness is Exactness.FAST:
+        if batch is not None:
+            # One numpy call prices the whole space; same gate decisions
+            # (and FAST first-minimum rule) as the scalar paths below.
+            outcome = _scan_mappings_batched(
+                iter_mappings(graph.nodes, platform), batch, score,
+                fast_tier=exactness is Exactness.FAST,
+            )
+        elif exactness is Exactness.FAST:
+            fast_score = _fast_mapping_value(
+                graph, kind, model, effort, platform
+            )
             outcome = _fast_scan(
                 iter_mappings(graph.nodes, platform), fast_score, score
             )
         else:
+            fast_score = (
+                _fast_mapping_value(graph, kind, model, effort, platform)
+                if exactness.uses_float
+                else None
+            )
             # Plain scan (exact) or the certified float-gated scan —
             # scan_best is item-type-agnostic and encodes the gate,
             # cut-update and first-tie rules once for every caller.
@@ -274,8 +369,14 @@ def optimize_mapping(
             evaluator = placement_evaluator(
                 graph, platform, seed, model=model, exactness=exactness
             )
+        batch = (
+            _make_mapping_batch(graph, kind, model, effort, platform)
+            if evaluator is None and exactness.uses_float
+            else None
+        )
         value, mapping = placement_local_search(
-            graph, score, seed, platform, max_moves=max_moves, evaluator=evaluator
+            graph, score, seed, platform, max_moves=max_moves,
+            evaluator=evaluator, batch=batch,
         )
         if exactness is Exactness.FAST and evaluator is not None:
             value = Fraction(value)
@@ -415,34 +516,47 @@ def optimize_shared_mapping(
     if method == "shared-exhaustive":
         from .exhaustive import scan_best
 
-        # The (weighted) aggregated load == the kernel's shared period
-        # bound; the flat arrays amortise the mapping-independent work
-        # across the whole enumeration.
-        fast_value = (
-            _fast_mapping_value(
+        def exact_value(mapping):
+            return IncrementalSharedCosts(
+                graph, platform, mapping, model=model, weights=weights
+            ).value()
+
+        batch = (
+            _make_mapping_batch(
                 graph, "period", model, None, platform,
                 weights=weights, shared=True,
             )
             if exactness.uses_float
             else None
         )
-
-        def exact_value(mapping):
-            return IncrementalSharedCosts(
-                graph, platform, mapping, model=model, weights=weights
-            ).value()
-
-        if exactness is Exactness.FAST:
-            outcome = _fast_scan(
-                iter_shared_mappings(services, platform), fast_value,
-                exact_value,
+        if batch is not None:
+            outcome = _scan_mappings_batched(
+                iter_shared_mappings(services, platform), batch, exact_value,
+                fast_tier=exactness is Exactness.FAST,
             )
         else:
-            value, best_mapping, _ = scan_best(
-                iter_shared_mappings(services, platform), exact_value,
-                fast_objective=fast_value,
+            # The (weighted) aggregated load == the kernel's shared period
+            # bound; the flat arrays amortise the mapping-independent work
+            # across the whole enumeration.
+            fast_value = (
+                _fast_mapping_value(
+                    graph, "period", model, None, platform,
+                    weights=weights, shared=True,
+                )
+                if exactness.uses_float
+                else None
             )
-            outcome = (value, best_mapping)
+            if exactness is Exactness.FAST:
+                outcome = _fast_scan(
+                    iter_shared_mappings(services, platform), fast_value,
+                    exact_value,
+                )
+            else:
+                value, best_mapping, _ = scan_best(
+                    iter_shared_mappings(services, platform), exact_value,
+                    fast_objective=fast_value,
+                )
+                outcome = (value, best_mapping)
     else:
         seed = greedy_shared_mapping(graph, platform, weights=weights)
         evaluator = placement_evaluator(

@@ -237,6 +237,7 @@ def solve(
     platform: Union[str, Platform, None] = None,
     mapping=None,
     exactness: Union[str, Exactness, None] = None,
+    deadline: Optional[float] = None,
     **solver_options,
 ) -> PlanResult:
     """Solve a mapping or orchestration problem; returns :class:`PlanResult`.
@@ -289,6 +290,18 @@ def solve(
         returns uncertified float-image values.  The evaluation-cache and
         placement-memo keys include the tier, so a fast value is never
         served to a certified or exact caller.
+    deadline:
+        Wall-clock budget in seconds — the anytime knob.  On an
+        :class:`~repro.core.Application` the solve is routed through the
+        ``portfolio`` solver (greedy / local search / branch and bound
+        racing a shared incumbent; the requested *method* becomes the
+        portfolio's primary racer) and **always returns a valid plan**:
+        the best certified incumbent when the budget runs out, the same
+        result as the unbudgeted solve when it suffices.
+        :attr:`PlanResult.budget_exhausted` and
+        :attr:`PlanResult.trajectory` report what happened.  Fixed-graph
+        orchestration is direct evaluation, so there the deadline is
+        recorded but does not alter the solve.
     solver_options:
         Extra keyword arguments forwarded to the solver (e.g.
         ``max_moves=500`` for ``local-search``).
@@ -328,11 +341,12 @@ def solve(
             problem, obj, mdl, method, effort, schedule, cache, plat, mapp,
             exact,
         )
+        result.deadline = deadline
     elif isinstance(problem, Application):
         result = _solve_application(
             problem, obj, mdl, method, effort, schedule, cache,
             registry if registry is not None else default_registry,
-            plat, mapp, exact, solver_options,
+            plat, mapp, exact, deadline, solver_options,
         )
     else:
         raise TypeError(
@@ -355,9 +369,22 @@ def _solve_application(
     platform: Optional[Platform],
     mapping: Optional[Mapping],
     exactness: Exactness,
+    deadline: Optional[float],
     solver_options,
 ) -> PlanResult:
     requested = method
+    if deadline is not None and not app.precedence:
+        # The anytime path: whatever method was asked for becomes the
+        # portfolio's primary racer, so the unbudgeted result is still
+        # reachable when the budget suffices.  (Precedence-constrained
+        # applications have no anytime roster — greedy and the forest
+        # searches assume independent services — so the deadline is
+        # recorded but the requested solver runs as-is.)
+        if method != "portfolio":
+            solver_options = dict(solver_options)
+            solver_options.setdefault("primary", method)
+        method = "portfolio"
+        solver_options = {**solver_options, "deadline": deadline}
     if method == "auto":
         method = _auto_method(app, objective)
     spec = registry.get(method)
@@ -384,6 +411,8 @@ def _solve_application(
         objective_fn=objective_fn,
         **solver_options,
     )
+    trajectory = extras.pop("trajectory", None)
+    budget_exhausted = extras.pop("budget_exhausted", None)
     stats = SolverStats(
         evaluations=objective_fn.misses,
         cache_hits=objective_fn.hits,
@@ -409,6 +438,9 @@ def _solve_application(
         requested_method=requested,
         platform=platform,
         mapping=resolved,
+        deadline=deadline,
+        budget_exhausted=budget_exhausted,
+        trajectory=trajectory,
     )
 
 

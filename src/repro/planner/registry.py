@@ -56,12 +56,14 @@ from ..optimize.evaluation import (
     Effort,
     make_fast_latency_objective,
     make_fast_period_objective,
+    make_forest_period_batch,
 )
 from ..optimize.exhaustive import (
     MAX_DAG_SERVICES,
     iter_dags,
     iter_forests,
     scan_best,
+    scan_best_forests_batched,
 )
 from ..optimize.greedy import greedy_forest
 from ..optimize.incremental import period_delta
@@ -168,6 +170,8 @@ def _solve_exhaustive(
     effort: Effort,
     objective_fn,
     space: Optional[str] = None,
+    batch: bool = True,
+    chunk: int = 512,
 ) -> SolverOutcome:
     """Exact enumeration: forests for period (Prop 4), DAGs for latency.
 
@@ -200,13 +204,13 @@ def _solve_exhaustive(
                 f"forest-restricted problem or use method='local-search'"
             )
     exactness = getattr(objective_fn, "exactness", Exactness.EXACT)
+    platform = getattr(objective_fn, "platform", None)
+    mapping = getattr(objective_fn, "mapping", None)
     fast_objective = None
     if exactness.uses_float:
         # Certified two-tier scan: float-gate the candidates, score the
         # survivors through the (memoized, exact) objective.  Where no
         # float kernel covers the configuration this stays a plain scan.
-        platform = getattr(objective_fn, "platform", None)
-        mapping = getattr(objective_fn, "mapping", None)
         if objective == "period":
             fast_objective = make_fast_period_objective(
                 model, effort, platform, mapping
@@ -215,6 +219,25 @@ def _solve_exhaustive(
             fast_objective = make_fast_latency_objective(
                 effort, platform, mapping
             )
+    if (
+        batch
+        and space == "forests"
+        and objective == "period"
+        and fast_objective is not None
+    ):
+        # Bulk-gated enumeration: chunked parent-vector pricing replaces
+        # the per-candidate float kernel.  Batched floats are bit-for-bit
+        # the scalar ones, so values, tie-breaks and the survivor set (and
+        # hence evaluation counts) are identical to the scalar scan.
+        fb = make_forest_period_batch(app, model, effort, platform, mapping)
+        if fb is not None:
+            value, graph, count = scan_best_forests_batched(
+                app, objective_fn, fb, chunk=chunk
+            )
+            return value, graph, {
+                "space": space, "graphs_considered": count,
+                "batched": True, "chunk": chunk,
+            }
     graphs = iter_forests(app) if space == "forests" else iter_dags(app)
     value, graph, count = scan_best(
         graphs, objective_fn, fast_objective=fast_objective
@@ -261,14 +284,29 @@ def _solve_local_search(
             getattr(objective_fn, "mapping", None),
             exactness=getattr(objective_fn, "exactness", Exactness.EXACT),
         )
+    batch = None
+    if delta is None and objective == "period":
+        exactness = getattr(objective_fn, "exactness", Exactness.EXACT)
+        if exactness.uses_float:
+            # No delta evaluator: bulk-gate each node's reparent column on
+            # the batched kernel instead (identical move sequence).
+            batch = make_forest_period_batch(
+                app, model, effort,
+                getattr(objective_fn, "platform", None),
+                getattr(objective_fn, "mapping", None),
+            )
     value, graph = local_search_forest(
-        seed_graph, objective_fn, max_moves=max_moves, delta=delta
+        seed_graph, objective_fn, max_moves=max_moves, delta=delta, batch=batch
     )
     if delta is not None:
         # One real evaluation pins the memoized value for the winner (and
         # double-checks the delta arithmetic against the cached objective).
         value = objective_fn(graph)
-    return value, graph, {"seed_value": seed_value, "incremental": delta is not None}
+    return value, graph, {
+        "seed_value": seed_value,
+        "incremental": delta is not None,
+        "batched": batch is not None,
+    }
 
 
 def _solve_branch_and_bound(
@@ -279,6 +317,8 @@ def _solve_branch_and_bound(
     effort: Effort,
     objective_fn,
     node_limit: Optional[int] = None,
+    deadline: Optional[float] = None,
+    leaf_batch: bool = False,
 ) -> SolverOutcome:
     """Exact best-first branch and bound (see
     :mod:`repro.optimize.branch_and_bound`).
@@ -289,20 +329,29 @@ def _solve_branch_and_bound(
     greedy + local-search incumbent, reaching instance sizes where plain
     enumeration is infeasible.  *node_limit* (a solver option) caps the
     expanded states; when hit, the incumbent is returned as an upper bound
-    and ``extras["certified"]`` is ``False``.
+    and ``extras["certified"]`` is ``False``.  *deadline* (seconds) stops
+    the search the same way on wall clock — the anytime knob the portfolio
+    solver leans on.  ``leaf_batch=True`` routes the certified search's
+    complete-forest layer through one batched float pricing per expansion
+    (same optimum bit-for-bit; ``evaluated``/``pruned`` counters may
+    shrink, hence opt-in).
     """
     platform = getattr(objective_fn, "platform", None)
     mapping = getattr(objective_fn, "mapping", None)
     exactness = getattr(objective_fn, "exactness", Exactness.EXACT)
     if objective == "period":
+        fb = None
+        if leaf_batch and exactness is Exactness.CERTIFIED:
+            fb = make_forest_period_batch(app, model, effort, platform, mapping)
         value, graph, stats = bb_minperiod(
             app, objective_fn, model=model, platform=platform, mapping=mapping,
-            node_limit=node_limit, exactness=exactness,
+            node_limit=node_limit, deadline=deadline, leaf_batch=fb,
+            exactness=exactness,
         )
     else:
         value, graph, stats = bb_minlatency(
             app, objective_fn, model=model, platform=platform, mapping=mapping,
-            node_limit=node_limit, exactness=exactness,
+            node_limit=node_limit, deadline=deadline, exactness=exactness,
         )
     return value, graph, {
         "space": "forests" if objective == "period" else "dags",
@@ -311,6 +360,41 @@ def _solve_branch_and_bound(
         # it returns is honest but its optimality is no longer certified.
         "certified": not stats.limit_hit and exactness is not Exactness.FAST,
         **stats.as_extras(),
+    }
+
+
+def _solve_portfolio(
+    app: Application,
+    *,
+    objective: str,
+    model: CommModel,
+    effort: Effort,
+    objective_fn,
+    deadline: Optional[float] = None,
+    primary: str = "auto",
+    seeds: int = 2,
+    seed_base: int = 17,
+    max_moves: int = 200,
+    node_limit: Optional[int] = None,
+    workers: int = 0,
+) -> SolverOutcome:
+    """Anytime portfolio: race greedy / local search / B&B under *deadline*.
+
+    See :mod:`repro.optimize.portfolio` for the roster, the deterministic
+    winner rule and the process mode (``workers > 0``).  Always returns a
+    valid plan — greedy runs unconditionally even at ``deadline=0``.
+    """
+    from ..optimize.portfolio import portfolio_search
+
+    outcome = portfolio_search(
+        app, objective_fn, objective=objective, model=model, effort=effort,
+        deadline=deadline, primary=primary, seeds=seeds, seed_base=seed_base,
+        max_moves=max_moves, node_limit=node_limit, workers=workers,
+    )
+    return outcome.value, outcome.graph, {
+        "trajectory": outcome.trajectory,
+        "budget_exhausted": outcome.budget_exhausted,
+        "racers": outcome.racers,
     }
 
 
@@ -372,6 +456,11 @@ def _make_default_registry() -> SolverRegistry:
         "branch-and-bound",
         _solve_branch_and_bound,
         description="best-first exact search with Cin/Ccomp/Cout pruning",
+    )
+    reg.register(
+        "portfolio",
+        _solve_portfolio,
+        description="anytime racer portfolio (greedy / local search / B&B)",
     )
     reg.register(
         "chain",

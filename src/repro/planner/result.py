@@ -56,6 +56,8 @@ def _jsonable(value: Any) -> Any:
         return {"fraction": str(value), "float": float(value)}
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
     return value
 
 
@@ -95,6 +97,16 @@ class PlanResult:
         pinned by the caller or chosen by the placement optimiser
         (``None`` on the unit platform, where every assignment is
         equivalent).
+    deadline:
+        The wall-clock budget (seconds) passed to ``solve(deadline=...)``,
+        or ``None`` for an unbudgeted solve.
+    budget_exhausted:
+        Anytime verdict: ``True`` when the budget cut the search short (the
+        result is the best incumbent, not a proved optimum), ``False`` when
+        every racer completed, ``None`` for non-anytime solves.
+    trajectory:
+        Incumbent improvements as ``(elapsed_seconds, value, racer)``
+        triples, in discovery order (``None`` for non-anytime solves).
     """
 
     objective: str
@@ -107,6 +119,9 @@ class PlanResult:
     requested_method: str = ""
     platform: Optional[Platform] = None
     mapping: Optional[Mapping] = None
+    deadline: Optional[float] = None
+    budget_exhausted: Optional[bool] = None
+    trajectory: Optional[list] = None
 
     @property
     def platform_label(self) -> str:
@@ -153,6 +168,15 @@ class PlanResult:
             out["platform"] = self.platform_label
         if self.mapping is not None:
             out["mapping"] = {svc: srv for svc, srv in self.mapping.items()}
+        if self.deadline is not None:
+            out["deadline"] = self.deadline
+        if self.budget_exhausted is not None:
+            out["budget_exhausted"] = self.budget_exhausted
+        if self.trajectory is not None:
+            out["trajectory"] = [
+                {"elapsed": t, "value": str(v), "racer": name}
+                for t, v, name in self.trajectory
+            ]
         if include_graph:
             out["graph_edges"] = sorted(list(e) for e in self.graph.edges)
         return out
