@@ -4,7 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test coverage bench bench-platform bench-search bench-concurrent \
-	bench-batched bench-compare profile docs gallery install
+	bench-batched bench-serve bench-compare serve-smoke profile docs \
+	gallery install
 
 test:            ## unit + integration tests and benchmark assertions
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +30,12 @@ bench-concurrent: ## shared-server multi-app scaling (BENCH_concurrent.json)
 
 bench-batched:   ## batched-kernel throughput + anytime curve (BENCH_batched.json)
 	$(PYTHON) -m pytest benchmarks/test_bench_batched.py -q
+
+bench-serve:     ## planner-daemon load test: rps + p50/p99 per mix (BENCH_serve.json)
+	$(PYTHON) -m pytest benchmarks/test_bench_serve.py -q
+
+serve-smoke:     ## start the real daemon subprocess; solve/stats/shutdown round trip
+	$(PYTHON) -m pytest tests/test_serve.py -q -m smoke
 
 bench-compare:   ## perf-regression guard: snapshot committed BENCH_*.json, regenerate, diff
 	$(PYTHON) benchmarks/compare_bench.py --snapshot

@@ -12,6 +12,9 @@ Subcommands
                 onto one shared platform — services may share servers.
 ``gallery``     Batch-solve the paper's named instances and report achieved
                 versus expected values.
+``serve``       Run the long-lived planner daemon (JSON-lines over
+                stdin/stdout and optionally TCP) with request coalescing,
+                micro-batching and a warm evaluation cache.
 ``list``        Show the known workload specs and registered solvers.
 
 Examples::
@@ -27,6 +30,7 @@ Examples::
     python -m repro concurrent fig1+random:n=4,seed=1 --platform het4 \\
         --targets 16,8
     python -m repro gallery --platform --json
+    python -m repro serve --workers 2 --tcp 127.0.0.1:0
 """
 
 from __future__ import annotations
@@ -375,6 +379,32 @@ def cmd_gallery(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the planner daemon until EOF or a ``shutdown`` request."""
+    import asyncio
+
+    from .serve import ServeConfig, serve_forever
+
+    if args.no_stdio and not args.tcp:
+        raise ValueError("--no-stdio needs --tcp (no transport left)")
+    options = dict(
+        workers=args.workers,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        cache_ttl=args.cache_ttl,
+        result_entries=args.result_entries,
+        result_ttl=args.result_ttl,
+        snapshot_path=args.snapshot,
+    )
+    if args.cache_entries is not None:
+        options["cache_entries"] = args.cache_entries
+    config = ServeConfig(**options)
+    asyncio.run(
+        serve_forever(config, stdio=not args.no_stdio, tcp=args.tcp)
+    )
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("workloads (named instances take no options; families take key=value):")
     for name in workload_names():
@@ -546,6 +576,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_gal.set_defaults(fn=cmd_gallery)
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the planner daemon (JSON-lines over stdio and/or TCP)",
+    )
+    p_srv.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="also listen on TCP (port 0 picks a free port; the bound "
+        "address is announced on stderr)",
+    )
+    p_srv.add_argument(
+        "--no-stdio", action="store_true",
+        help="do not serve stdin/stdout (requires --tcp)",
+    )
+    p_srv.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for sharding micro-batches (default 0: "
+        "solve in-process against the shared warm cache)",
+    )
+    p_srv.add_argument(
+        "--batch-window", type=float, default=0.005, metavar="SECONDS",
+        help="how long a request waits for batch company (default 0.005)",
+    )
+    p_srv.add_argument(
+        "--max-batch", type=int, default=16,
+        help="flush a batch group at this many requests (default 16)",
+    )
+    p_srv.add_argument(
+        "--cache-entries", type=int, default=None,
+        help="evaluation-cache capacity (LRU beyond this; default 200000)",
+    )
+    p_srv.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="evaluation-cache entry lifetime (default: no expiry)",
+    )
+    p_srv.add_argument(
+        "--result-entries", type=int, default=4096,
+        help="finished-solve result-cache capacity (default 4096)",
+    )
+    p_srv.add_argument(
+        "--result-ttl", type=float, default=None, metavar="SECONDS",
+        help="result-cache entry lifetime (default: no expiry)",
+    )
+    p_srv.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="evaluation-cache snapshot file: loaded on start, written "
+        "on graceful shutdown",
+    )
+    p_srv.set_defaults(fn=cmd_serve)
+
     p_list = sub.add_parser("list", help="show workloads and registered solvers")
     p_list.set_defaults(fn=cmd_list)
     return parser
@@ -558,6 +637,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.fn(args)
     except BrokenPipeError:
         return 0  # output piped into a pager/head that exited early
+    except ZeroDivisionError:
+        print(
+            "error: zero denominator in a fractional value (e.g. bw=1/0)",
+            file=sys.stderr,
+        )
+        return 2
     except (ValueError, KeyError, NotImplementedError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

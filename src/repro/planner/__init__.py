@@ -20,7 +20,9 @@ See :mod:`repro.planner.facade` for the full API and
 from .batch import BatchResult, solve_many
 from .cache import (
     CachedObjective,
+    CacheStats,
     EvaluationCache,
+    TTLCache,
     clear_default_cache,
     default_cache,
     evaluation_key,
@@ -36,7 +38,7 @@ from .catalog import (
     workload_names,
 )
 from .concurrent import ConcurrentResult, solve_concurrent
-from .facade import AUTO_EXHAUSTIVE_MAX, build_schedule, compare, solve
+from .facade import AUTO_EXHAUSTIVE_MAX, build_schedule, compare, solve, solve_key
 from .registry import (
     SolverRegistry,
     SolverSpec,
@@ -48,6 +50,7 @@ from .result import PlanResult, SolverStats
 __all__ = [
     "AUTO_EXHAUSTIVE_MAX",
     "BatchResult",
+    "CacheStats",
     "CachedObjective",
     "ConcurrentResult",
     "ConcurrentWorkload",
@@ -56,6 +59,7 @@ __all__ = [
     "SolverRegistry",
     "SolverSpec",
     "SolverStats",
+    "TTLCache",
     "Workload",
     "build_schedule",
     "clear_default_cache",
@@ -71,6 +75,7 @@ __all__ = [
     "registry",
     "solve",
     "solve_concurrent",
+    "solve_key",
     "solve_many",
     "workload_names",
 ]

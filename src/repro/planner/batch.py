@@ -122,6 +122,7 @@ def solve_many(
     *,
     processes: Optional[int] = None,
     cache: Optional[EvaluationCache] = None,
+    pool: Optional[Any] = None,
     **solve_kwargs: Any,
 ) -> BatchResult:
     """Solve every job, sharding over worker processes; returns
@@ -140,6 +141,13 @@ def solve_many(
     cache:
         Where the merged shard caches land (default: the process-wide
         planner cache), priming every later solve in this process.
+    pool:
+        An already-running ``concurrent.futures`` executor to shard over
+        instead of spawning (and tearing down) a fresh process pool per
+        call.  The serve daemon passes its persistent worker pool here so
+        micro-batched request groups don't pay process startup on every
+        batch.  The caller owns the pool's lifecycle; ``processes`` still
+        bounds how many shards are cut.
     solve_kwargs:
         Forwarded to :func:`repro.planner.solve` for every job —
         ``objective``, ``model``, ``method``, ``effort``, ``schedule``,
@@ -162,19 +170,26 @@ def solve_many(
         processes = 1  # report what actually ran, not what was requested
         shard_outcomes = [_solve_shard((indexed, dict(solve_kwargs)))]
     else:
-        import concurrent.futures
-
         shards = [indexed[i::processes] for i in range(processes)]
         shards = [s for s in shards if s]
         processes = len(shards)  # workers actually spawned
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=len(shards)
-        ) as pool:
+        if pool is not None:
             futures = [
                 pool.submit(_solve_shard, (shard, dict(solve_kwargs)))
                 for shard in shards
             ]
             shard_outcomes = [f.result() for f in futures]
+        else:
+            import concurrent.futures
+
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=len(shards)
+            ) as fresh_pool:
+                futures = [
+                    fresh_pool.submit(_solve_shard, (shard, dict(solve_kwargs)))
+                    for shard in shards
+                ]
+                shard_outcomes = [f.result() for f in futures]
 
     merged = 0
     ordered: List[Optional[PlanResult]] = [None] * len(jobs)

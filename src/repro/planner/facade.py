@@ -31,7 +31,7 @@ Quickstart::
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Hashable, Iterable, List, Optional, Sequence, Union
 
 from ..core import (
     ALL_MODELS,
@@ -42,6 +42,7 @@ from ..core import (
     Mapping,
     Plan,
     Platform,
+    platform_fingerprint,
 )
 from ..optimize.evaluation import Effort
 from ..scheduling.inorder import inorder_schedule
@@ -52,7 +53,7 @@ from ..scheduling.latency import (
 )
 from ..scheduling.outorder import outorder_schedule
 from ..scheduling.overlap import schedule_period_overlap
-from .cache import EvaluationCache, default_cache
+from .cache import EvaluationCache, default_cache, graph_key
 from .catalog import load_platform
 from .registry import MAX_DAG_SERVICES, SolverRegistry, registry as default_registry
 from .result import PlanResult, SolverStats
@@ -222,6 +223,69 @@ def _auto_method(app: Application, objective: str) -> str:
     if n <= AUTO_EXHAUSTIVE_MAX[objective]:
         return "branch-and-bound"
     return "local-search"
+
+
+def solve_key(
+    problem: Problem,
+    *,
+    objective: str = "period",
+    model: Union[str, CommModel] = CommModel.OVERLAP,
+    method: str = "auto",
+    effort: Union[str, Effort, None] = None,
+    schedule: bool = True,
+    platform: Union[str, Platform, None] = None,
+    mapping=None,
+    exactness: Union[str, Exactness, None] = None,
+    deadline: Optional[float] = None,
+) -> Hashable:
+    """The canonical fingerprint of one :func:`solve` request.
+
+    Two calls with equal keys are guaranteed to ask for interchangeable
+    results — same objective/model/method/effort, same numeric tier, same
+    platform and mapping (by :func:`~repro.core.platform_fingerprint`,
+    so a spec string and the :class:`~repro.core.Platform` it loads to
+    agree), same deadline, and the same problem *content* (frozen
+    application / graph-edge equality, not object identity).  The serve
+    daemon keys both its in-flight request coalescing and its result
+    cache on this: N identical concurrent requests collapse to one
+    underlying solve, while requests differing in **any** discriminating
+    input — a different platform, a different exactness tier — never
+    share a slot.
+
+    Inputs run through the same coercions as :func:`solve`, so
+    ``model="overlap"`` and ``model=CommModel.OVERLAP`` fingerprint
+    identically.  The three exactness tiers are all kept distinct here
+    (unlike the evaluation-cache key, which collapses certified into
+    exact): a certified and an exact solve return the same values but
+    different solver statistics, and a coalesced response reports the
+    statistics of the solve that actually ran.
+    """
+    obj = _coerce_objective(objective)
+    mdl = _coerce_model(model)
+    plat = _coerce_platform(platform)
+    mapp = _coerce_mapping(mapping, plat)
+    exact = _coerce_exactness(exactness)
+    eff = None if effort is None else _coerce_effort(effort, Effort.HEURISTIC)
+    if isinstance(problem, ExecutionGraph):
+        content: Hashable = ("graph", graph_key(problem))
+    elif isinstance(problem, Application):
+        content = ("application", problem)
+    else:
+        raise TypeError(
+            f"problem must be an Application or ExecutionGraph, "
+            f"got {type(problem).__name__}"
+        )
+    return (
+        obj,
+        mdl.value,
+        str(method),
+        None if eff is None else eff.value,
+        exact.value,
+        platform_fingerprint(plat, mapp),
+        deadline,
+        bool(schedule),
+        content,
+    )
 
 
 def solve(
@@ -576,4 +640,5 @@ __all__ = [
     "build_schedule",
     "compare",
     "solve",
+    "solve_key",
 ]

@@ -1,0 +1,50 @@
+"""Planner-as-a-service: the long-running ``python -m repro serve`` daemon.
+
+The planner facade solves one problem per call; this package serves
+planner traffic: an asyncio JSON-lines loop (stdio + TCP) that coalesces
+identical in-flight requests (:mod:`~repro.serve.coalescer`),
+micro-batches compatible ones through ``solve_many`` sharding
+(:mod:`~repro.serve.batcher`), and keeps process-wide evaluation and
+result caches warm across requests — LRU+TTL bounded, counter-
+instrumented, snapshotted to disk across restarts
+(:class:`~repro.planner.cache.TTLCache`).  See
+:mod:`repro.serve.protocol` for the wire format and
+:mod:`repro.serve.client` for ready-made test/load clients.
+"""
+
+from .batcher import MicroBatcher
+from .client import StdioServeClient, TcpServeClient
+from .coalescer import Coalescer
+from .protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    SolveJob,
+    encode_response,
+    error_response,
+    ok_response,
+    parse_request,
+    resolve_solve,
+)
+from .server import PlannerServer, ServeConfig, serve_forever
+
+__all__ = [
+    "Coalescer",
+    "MicroBatcher",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "PlannerServer",
+    "ProtocolError",
+    "Request",
+    "ServeConfig",
+    "SolveJob",
+    "StdioServeClient",
+    "TcpServeClient",
+    "encode_response",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "resolve_solve",
+    "serve_forever",
+]

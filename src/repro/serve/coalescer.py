@@ -1,0 +1,83 @@
+"""In-flight request coalescing: N identical concurrent solves cost one.
+
+Production planner traffic repeats workload shapes; when several
+identical requests are *simultaneously* in flight, only the first
+(the *leader*) should pay for the solve — the rest (*followers*) await
+the leader's future and share its result.  The :class:`Coalescer` keys
+in-flight work on the canonical :func:`~repro.planner.solve_key`
+fingerprint, so requests differing in any discriminating input (another
+platform, another exactness tier, another deadline) never share a
+future.
+
+This is a distinct mechanism from the warm result cache: the cache
+serves *finished* work, the coalescer de-duplicates *unfinished* work.
+Together they make a duplicate-heavy mix cost ``O(distinct shapes)``
+solves instead of ``O(requests)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Hashable, Tuple
+
+
+class Coalescer:
+    """Share one in-flight awaitable per canonical request key.
+
+    Single-event-loop discipline: all bookkeeping happens on the loop
+    that runs :meth:`run`, so no lock is needed around ``_inflight``
+    (the shared :class:`~repro.planner.EvaluationCache` the solves
+    themselves touch carries its own lock).
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[Hashable, "asyncio.Future[Any]"] = {}
+        #: Requests that started a solve (one per distinct in-flight key).
+        self.leaders = 0
+        #: Requests answered by awaiting another request's solve.
+        self.coalesced = 0
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self, key: Hashable, thunk: Callable[[], Awaitable[Any]]
+    ) -> Tuple[Any, bool]:
+        """Run *thunk* once per in-flight *key*; returns ``(result,
+        coalesced)`` where *coalesced* says this caller shared a leader's
+        work.  A leader's exception propagates to every follower (each
+        raises it; the entry is removed so the next request retries)."""
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            # shield: one follower being cancelled must not cancel the
+            # leader's future out from under the other followers.
+            return await asyncio.shield(existing), True
+
+        future: "asyncio.Future[Any]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[key] = future
+        self.leaders += 1
+        try:
+            result = await thunk()
+        except BaseException as exc:
+            future.set_exception(exc)
+            future.exception()  # mark retrieved: no stray-exception log
+            raise
+        else:
+            future.set_result(result)
+            return result, False
+        finally:
+            del self._inflight[key]
+
+    async def drain(self) -> None:
+        """Wait until every in-flight solve has settled (for shutdown)."""
+        while self._inflight:
+            await asyncio.gather(
+                *list(self._inflight.values()), return_exceptions=True
+            )
+
+
+__all__ = ["Coalescer"]

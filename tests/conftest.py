@@ -119,3 +119,10 @@ def pinned_mapping():
 def multi_instance():
     """Factory fixture: ``seed -> (multi, platform, shared mapping)``."""
     return random_multi_instance
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "smoke: end-to-end daemon subprocess tests (make serve-smoke)",
+    )

@@ -1,0 +1,74 @@
+"""CLI error paths: malformed input exits nonzero with one line, no traceback.
+
+Every ``python -m repro`` subcommand funnels user-input failures through
+``main()``'s except clause: one ``error: ...`` line on stderr, exit code
+2.  A traceback leaking through means a new failure mode slipped past
+the net (regression: ``--platform hom:bw=1/0`` used to raise a bare
+``ZeroDivisionError``).
+"""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["solve", "nope"],
+        ["solve", "random:n=bogus"],
+        ["solve", "random:n=5,seed=1,zzz=3"],
+        ["solve", "fig1", "--platform", "nope"],
+        ["solve", "fig1", "--platform", "hom:n=bogus"],
+        ["solve", "fig1", "--platform", "hom:bw=1/0"],
+        ["solve", "fig1", "--platform", "het:n=4,seed=1,zzz=2"],
+        ["solve", "fig1", "--method", "no-such-solver"],
+        ["batch", "fig1", "--platform", "nope"],
+        ["compare", "nope"],
+        ["concurrent", "fig1+nope", "--platform", "hom:n=3"],
+        ["concurrent", "fig1+fig1", "--platform", "nope"],
+        ["concurrent", "fig1+fig1", "--platform", "hom:n=3",
+         "--targets", "16,8,4"],
+        ["concurrent", "fig1+fig1", "--platform", "hom:n=3",
+         "--targets", "a0-fig1=16,8"],
+        ["profile", "nope"],
+    ],
+)
+def test_malformed_input_is_one_line_error_rc2(argv, capsys):
+    code, out, err = run_cli(argv, capsys)
+    assert code == 2
+    assert err.startswith("error: ")
+    assert len(err.strip().splitlines()) == 1
+    assert "Traceback" not in err and "Traceback" not in out
+
+
+def test_zero_denominator_message_names_the_cause(capsys):
+    code, _, err = run_cli(["solve", "fig1", "--platform", "hom:bw=1/0"], capsys)
+    assert code == 2
+    assert "zero denominator" in err
+
+
+def test_serve_no_stdio_without_tcp_is_an_error(capsys):
+    code, _, err = run_cli(["serve", "--no-stdio"], capsys)
+    assert code == 2
+    assert err.startswith("error: ")
+    assert "--tcp" in err
+
+
+def test_serve_bad_tcp_spec_is_an_error(capsys):
+    code, _, err = run_cli(["serve", "--tcp", "nonsense"], capsys)
+    assert code == 2
+    assert err.startswith("error: ")
+    assert "HOST:PORT" in err
+
+
+def test_good_invocation_still_exits_zero(capsys):
+    code, out, err = run_cli(["solve", "fig1"], capsys)
+    assert code == 0
+    assert "workload: fig1" in out

@@ -1,0 +1,499 @@
+"""The planner daemon: protocol, coalescing, batching, caches, transports.
+
+Most tests drive a :class:`~repro.serve.PlannerServer` in-process (one
+event loop, no subprocess) — that is where the coalescing/batching
+invariants are assertable exactly.  The ``smoke`` tests at the bottom
+spawn the real ``python -m repro serve`` subprocess and run the
+solve/stats/shutdown round trip over stdio and TCP; ``make serve-smoke``
+runs just those.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import (
+    PlannerServer,
+    ProtocolError,
+    ServeConfig,
+    StdioServeClient,
+    TcpServeClient,
+    encode_response,
+    parse_request,
+    resolve_solve,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(body, config=None):
+    server = PlannerServer(config or ServeConfig(batch_window=0.001))
+    try:
+        return await body(server)
+    finally:
+        await server.aclose()
+
+
+# ---------------------------------------------------------------- protocol
+
+
+def test_parse_request_roundtrip():
+    request = parse_request('{"id": 7, "op": "solve", "workload": "fig1"}')
+    assert request.op == "solve" and request.id == 7
+    assert request.params == {"workload": "fig1"}
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "not json at all",
+        '["a", "list"]',
+        '{"op": "frobnicate"}',
+        '{"id": 1}',
+    ],
+)
+def test_parse_request_rejects_malformed_lines(line):
+    with pytest.raises(ProtocolError):
+        parse_request(line)
+
+
+def test_resolve_solve_rejects_unknown_params():
+    with pytest.raises(ProtocolError, match="bogus"):
+        resolve_solve({"workload": "fig1", "bogus": 1})
+
+
+def test_resolve_solve_requires_workload():
+    with pytest.raises(ProtocolError, match="workload"):
+        resolve_solve({})
+
+
+def test_resolve_solve_validates_deadline():
+    with pytest.raises(ProtocolError, match="deadline"):
+        resolve_solve({"workload": "fig1", "deadline": "soon"})
+    with pytest.raises(ProtocolError, match="deadline"):
+        resolve_solve({"workload": "fig1", "deadline": -1})
+
+
+def test_solve_keys_discriminate():
+    base = resolve_solve({"workload": "fig1"})
+    same = resolve_solve({"workload": "fig1"})
+    assert base.key == same.key
+    assert resolve_solve({"workload": "fig1", "platform": "het4"}).key != base.key
+    assert resolve_solve({"workload": "fig1", "exactness": "exact"}).key != base.key
+    assert resolve_solve({"workload": "fig1", "exactness": "fast"}).key != base.key
+    assert resolve_solve({"workload": "fig1", "objective": "latency"}).key != base.key
+    assert resolve_solve({"workload": "fig1", "deadline": 1.0}).key != base.key
+    # all three exactness tiers are mutually distinct at the request level
+    keys = {
+        resolve_solve({"workload": "fig1", "exactness": tier}).key
+        for tier in ("exact", "certified", "fast")
+    }
+    assert len(keys) == 3
+
+
+def test_encode_response_is_one_line():
+    line = encode_response({"id": 1, "ok": True, "result": {"value": "4"}})
+    assert "\n" not in line
+    assert json.loads(line)["ok"] is True
+
+
+# ------------------------------------------------------------ basic serving
+
+
+def test_ping_stats_clear():
+    async def body(server):
+        assert (await server.handle_request({"op": "ping", "id": 1}))["result"] == "pong"
+        stats = (await server.handle_request({"op": "stats", "id": 2}))["result"]
+        assert stats["server"]["requests"] == 2
+        assert "evaluation_cache" in stats and "result_cache" in stats
+        cleared = (await server.handle_request({"op": "clear_cache", "id": 3}))["result"]
+        assert cleared == {"evaluation_entries": 0, "result_entries": 0}
+
+    run(_with_server(body))
+
+
+def test_solve_returns_plan_result_payload():
+    async def body(server):
+        response = await server.handle_request(
+            {"op": "solve", "id": 1, "workload": "fig1"}
+        )
+        assert response["ok"] and response["served"] == "solve"
+        assert response["result"]["value"] == "4"
+        assert response["result"]["objective"] == "period"
+        assert response["wall_ms"] >= 0
+
+    run(_with_server(body))
+
+
+def test_malformed_requests_become_error_responses():
+    async def body(server):
+        bad_op = await server.handle_request({"op": "nope", "id": 1})
+        assert bad_op["ok"] is False and "unknown op" in bad_op["error"]
+        bad_spec = await server.handle_request(
+            {"op": "solve", "id": 2, "workload": "nope:zzz"}
+        )
+        assert bad_spec["ok"] is False and bad_spec["id"] == 2
+        bad_platform = await server.handle_request(
+            {"op": "solve", "id": 3, "workload": "fig1", "platform": "hom:bw=1/0"}
+        )
+        assert bad_platform["ok"] is False
+        assert server.errors == 3
+        # the daemon stays serviceable after errors
+        assert (await server.handle_request({"op": "ping", "id": 4}))["ok"]
+
+    run(_with_server(body))
+
+
+# ---------------------------------------------------------------- coalescing
+
+
+def test_identical_concurrent_requests_cost_one_solve():
+    async def body(server):
+        n = 8
+        responses = await asyncio.gather(*[
+            server.handle_request(
+                {"op": "solve", "id": i, "workload": "random:n=6,seed=3"}
+            )
+            for i in range(n)
+        ])
+        served = sorted(r["served"] for r in responses)
+        assert served.count("solve") == 1
+        assert served.count("coalesced") == n - 1
+        assert server.solves == 1
+        assert server.coalescer.coalesced == n - 1
+        # everyone got the same answer
+        values = {r["result"]["value"] for r in responses}
+        assert len(values) == 1
+
+    run(_with_server(body))
+
+
+def test_distinct_platforms_never_coalesce():
+    async def body(server):
+        responses = await asyncio.gather(
+            server.handle_request({"op": "solve", "id": 1, "workload": "fig1"}),
+            server.handle_request(
+                {"op": "solve", "id": 2, "workload": "fig1", "platform": "het4"}
+            ),
+            server.handle_request(
+                {"op": "solve", "id": 3, "workload": "fig1",
+                 "platform": "het:n=3,seed=1"}
+            ),
+        )
+        assert all(r["served"] == "solve" for r in responses)
+        assert server.coalescer.coalesced == 0
+        assert server.solves == 3
+
+
+def test_unit_platform_is_interchangeable_with_none():
+    """`hom:n=3` at unit speed IS the paper's normalised platform —
+    platform_fingerprint collapses both to the "unit" sentinel, so these
+    requests *should* share one solve."""
+
+    async def body(server):
+        responses = await asyncio.gather(
+            server.handle_request({"op": "solve", "id": 1, "workload": "fig1"}),
+            server.handle_request(
+                {"op": "solve", "id": 2, "workload": "fig1", "platform": "hom:n=3"}
+            ),
+        )
+        assert sorted(r["served"] for r in responses) == ["coalesced", "solve"]
+        assert server.solves == 1
+
+    run(_with_server(body))
+
+    run(_with_server(body))
+
+
+def test_distinct_exactness_tiers_never_coalesce():
+    async def body(server):
+        responses = await asyncio.gather(*[
+            server.handle_request(
+                {"op": "solve", "id": i, "workload": "fig1", "exactness": tier}
+            )
+            for i, tier in enumerate(("exact", "certified", "fast"))
+        ])
+        assert all(r["served"] == "solve" for r in responses)
+        assert server.coalescer.coalesced == 0
+        assert server.solves == 3
+
+    run(_with_server(body))
+
+
+def test_result_cache_serves_warm_repeats():
+    async def body(server):
+        first = await server.handle_request(
+            {"op": "solve", "id": 1, "workload": "fig1"}
+        )
+        second = await server.handle_request(
+            {"op": "solve", "id": 2, "workload": "fig1"}
+        )
+        assert first["served"] == "solve"
+        assert second["served"] == "result-cache"
+        assert second["result"] == first["result"]
+        assert server.solves == 1
+        stats = (await server.handle_request({"op": "stats", "id": 3}))["result"]
+        assert stats["result_cache"]["hits"] == 1
+
+    run(_with_server(body))
+
+
+def test_deadline_routes_to_portfolio():
+    async def body(server):
+        response = await server.handle_request(
+            {"op": "solve", "id": 1, "workload": "random:n=6,seed=5",
+             "deadline": 5.0}
+        )
+        assert response["ok"]
+        assert response["result"]["method"].startswith("portfolio")
+
+    run(_with_server(body))
+
+
+# -------------------------------------------------------------- micro-batching
+
+
+def test_compatible_requests_share_a_batch():
+    async def body(server):
+        responses = await asyncio.gather(*[
+            server.handle_request(
+                {"op": "solve", "id": i, "workload": f"random:n=5,seed={i}"}
+            )
+            for i in range(4)
+        ])
+        assert all(r["ok"] for r in responses)
+        assert server.batcher.batches == 1
+        assert server.batcher.batched_jobs == 4
+
+    config = ServeConfig(batch_window=0.05)
+    run(_with_server(body, config))
+
+
+def test_incompatible_requests_split_batches():
+    async def body(server):
+        responses = await asyncio.gather(
+            server.handle_request(
+                {"op": "solve", "id": 1, "workload": "random:n=5,seed=1"}
+            ),
+            server.handle_request(
+                {"op": "solve", "id": 2, "workload": "random:n=5,seed=2",
+                 "objective": "latency"}
+            ),
+        )
+        assert all(r["ok"] for r in responses)
+        assert server.batcher.batches == 2
+
+    config = ServeConfig(batch_window=0.05)
+    run(_with_server(body, config))
+
+
+def test_max_batch_flushes_immediately():
+    async def body(server):
+        responses = await asyncio.gather(*[
+            server.handle_request(
+                {"op": "solve", "id": i, "workload": f"random:n=5,seed={i}"}
+            )
+            for i in range(4)
+        ])
+        assert all(r["ok"] for r in responses)
+        assert server.batcher.batches == 2  # 2 flushes of max_batch=2
+
+    config = ServeConfig(batch_window=10.0, max_batch=2)
+    run(_with_server(body, config))
+
+
+# ---------------------------------------------------------- snapshot/restart
+
+
+def test_snapshot_saved_on_shutdown_and_restored_on_start(tmp_path):
+    snap = tmp_path / "warm.pkl"
+
+    async def first(server):
+        # a mapping workload (graph search) populates the evaluation
+        # cache; a fixed-graph one like fig1 barely touches it
+        await server.handle_request(
+            {"op": "solve", "id": 1, "workload": "random:n=6,seed=1"}
+        )
+        bye = await server.handle_request({"op": "shutdown", "id": 2})
+        assert bye["result"] == "bye"
+        assert bye["saved_entries"] > 0
+        return bye["saved_entries"]
+
+    saved = run(_with_server(first, ServeConfig(snapshot_path=str(snap))))
+    assert snap.exists()
+
+    async def second(server):
+        assert server.restored_entries == saved
+        stats = (await server.handle_request({"op": "stats", "id": 1}))["result"]
+        assert stats["server"]["restored_entries"] == saved
+
+    run(_with_server(second, ServeConfig(snapshot_path=str(snap))))
+
+
+def test_corrupt_snapshot_does_not_kill_startup(tmp_path):
+    snap = tmp_path / "corrupt.pkl"
+    snap.write_bytes(b"this is not a pickle")
+
+    async def body(server):
+        assert server.restored_entries == 0
+        assert (await server.handle_request({"op": "ping", "id": 1}))["ok"]
+
+    run(_with_server(body, ServeConfig(snapshot_path=str(snap))))
+
+
+# ----------------------------------------------------------- stdio in-process
+
+
+def test_run_stdio_with_injected_streams():
+    """The stdio loop itself (no subprocess): ping/solve/bad-line/shutdown."""
+    import io
+
+    stdin = io.StringIO(
+        '{"op": "ping", "id": 1}\n'
+        "\n"  # blank lines are ignored
+        "this is not json\n"
+        '{"op": "solve", "id": 2, "workload": "fig1"}\n'
+        '{"op": "shutdown", "id": 3}\n'
+        '{"op": "ping", "id": 99}\n'  # after shutdown: never served
+    )
+    stdout = io.StringIO()
+
+    async def body():
+        server = PlannerServer(ServeConfig(batch_window=0.001))
+        await server.run_stdio(stdin=stdin, stdout=stdout)
+        await server.aclose()
+        return server
+
+    server = run(body())
+    responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+    by_id = {r["id"]: r for r in responses}
+    assert by_id[1]["result"] == "pong"
+    assert by_id[None]["ok"] is False  # the bad line
+    assert by_id[2]["result"]["value"] == "4"
+    assert by_id[3]["result"] == "bye"
+    assert 99 not in by_id
+    assert server.errors == 1
+
+
+def test_run_stdio_eof_exits_after_draining():
+    import io
+
+    stdin = io.StringIO('{"op": "solve", "id": 1, "workload": "fig1"}\n')
+    stdout = io.StringIO()
+
+    async def body():
+        server = PlannerServer(ServeConfig(batch_window=0.001))
+        await server.run_stdio(stdin=stdin, stdout=stdout)
+        await server.aclose()
+
+    run(body())
+    responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+    assert len(responses) == 1 and responses[0]["ok"]
+
+
+def test_serve_forever_tcp_only():
+    """The CLI entry body: TCP-only mode serves until a shutdown request."""
+    import threading
+
+    from repro.serve.server import serve_forever
+
+    announced = []
+    results = {}
+
+    async def body():
+        task = asyncio.ensure_future(serve_forever(
+            ServeConfig(batch_window=0.001),
+            stdio=False,
+            tcp="127.0.0.1:0",
+            announce=announced.append,
+        ))
+        while not announced:  # wait for the bound-port announcement
+            await asyncio.sleep(0.005)
+        _, _, addr = announced[0].rpartition("tcp://")
+        host, _, port = addr.partition(":")
+
+        def client_body():
+            with TcpServeClient(host, int(port)) as client:
+                results["ping"] = client.request({"op": "ping", "id": 1})
+                results["bye"] = client.shutdown()
+
+        thread = threading.Thread(target=client_body)
+        thread.start()
+        server = await task
+        thread.join(timeout=10)
+        return server
+
+    run(body())
+    assert results["ping"]["result"] == "pong"
+    assert results["bye"]["result"] == "bye"
+
+
+# ------------------------------------------------------------------- TCP
+
+
+def test_tcp_round_trip():
+    async def body(server):
+        host, port = await server.start_tcp()
+
+        def client_calls():
+            with TcpServeClient(host, port) as client:
+                ping = client.request({"op": "ping", "id": 0})
+                solved = client.request(
+                    {"op": "solve", "id": 1, "workload": "fig1"}
+                )
+                return ping, solved
+
+        ping, solved = await asyncio.get_running_loop().run_in_executor(
+            None, client_calls
+        )
+        assert ping["result"] == "pong"
+        assert solved["ok"] and solved["result"]["value"] == "4"
+
+    run(_with_server(body))
+
+
+# ------------------------------------------------------------- stdio smoke
+
+
+@pytest.mark.smoke
+def test_stdio_smoke_solve_stats_shutdown():
+    """The real daemon subprocess: solve, stats, shutdown, clean exit."""
+    with StdioServeClient() as client:
+        assert client.request({"op": "ping", "id": 0})["result"] == "pong"
+        solved = client.request({"op": "solve", "id": 1, "workload": "fig1"})
+        assert solved["ok"] and solved["result"]["value"] == "4"
+        repeat = client.request({"op": "solve", "id": 2, "workload": "fig1"})
+        assert repeat["served"] == "result-cache"
+        stats = client.request({"op": "stats", "id": 3})["result"]
+        assert stats["server"]["solves"] == 1
+        assert stats["result_cache"]["hits"] == 1
+        malformed = client.request({"op": "what"})
+        assert malformed["ok"] is False
+        bye = client.shutdown()
+        assert bye["ok"] and bye["result"] == "bye"
+        assert client.close() == 0
+
+
+@pytest.mark.smoke
+def test_stdio_smoke_eof_is_a_clean_exit():
+    client = StdioServeClient()
+    assert client.request({"op": "ping", "id": 0})["result"] == "pong"
+    assert client.close() == 0  # EOF without shutdown: drain and leave
+
+
+@pytest.mark.smoke
+def test_stdio_smoke_snapshot_across_restarts(tmp_path):
+    snap = tmp_path / "warm.pkl"
+    with StdioServeClient(["--snapshot", str(snap)]) as client:
+        client.request({"op": "solve", "id": 1, "workload": "random:n=6,seed=1"})
+        bye = client.shutdown()
+        assert bye["saved_entries"] > 0
+        assert client.close() == 0
+    with StdioServeClient(["--snapshot", str(snap)]) as client:
+        stats = client.request({"op": "stats", "id": 1})["result"]
+        assert stats["server"]["restored_entries"] > 0
+        client.shutdown()
+        assert client.close() == 0
