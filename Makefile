@@ -4,8 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test coverage bench bench-platform bench-search bench-concurrent \
-	bench-batched bench-serve bench-compare serve-smoke profile docs \
-	gallery install
+	bench-batched bench-serve bench-topology bench-compare serve-smoke \
+	profile docs gallery install
 
 test:            ## unit + integration tests and benchmark assertions
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,9 @@ bench-batched:   ## batched-kernel throughput + anytime curve (BENCH_batched.jso
 
 bench-serve:     ## planner-daemon load test: rps + p50/p99 per mix (BENCH_serve.json)
 	$(PYTHON) -m pytest benchmarks/test_bench_serve.py -q
+
+bench-topology:  ## hierarchical vs flat placement on tree/torus (BENCH_topology.json)
+	$(PYTHON) -m pytest benchmarks/test_bench_topology.py -q
 
 serve-smoke:     ## start the real daemon subprocess; solve/stats/shutdown round trip
 	$(PYTHON) -m pytest tests/test_serve.py -q -m smoke

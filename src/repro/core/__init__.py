@@ -11,7 +11,15 @@ from .costs import CostModel, comm_edges
 from .graph import CycleError, Edge, ExecutionGraph, PrecedenceError
 from .models import ALL_MODELS, ONE_PORT_MODELS, CommModel
 from .numeric import CERT_EPS, Exactness, FloatCosts, GraphArrays, certified_threshold
-from .platform import Link, Mapping, Platform, Server, platform_fingerprint
+from .platform import (
+    Link,
+    Mapping,
+    Platform,
+    Server,
+    link_flow_counts,
+    platform_fingerprint,
+)
+from .topology import FlatTopology, Topology, TorusTopology, TreeTopology
 from .operation_list import (
     COMM,
     COMP,
@@ -46,6 +54,7 @@ __all__ = [
     "Edge",
     "Exactness",
     "ExecutionGraph",
+    "FlatTopology",
     "FloatCosts",
     "ForestBatch",
     "GraphArrays",
@@ -66,6 +75,9 @@ __all__ = [
     "PrecedenceError",
     "Server",
     "Service",
+    "Topology",
+    "TorusTopology",
+    "TreeTopology",
     "ValidationReport",
     "as_fraction",
     "assert_valid",
@@ -74,6 +86,7 @@ __all__ = [
     "comp_op",
     "is_comm",
     "is_comp",
+    "link_flow_counts",
     "make_application",
     "modular_overlap",
     "modular_residue",

@@ -83,9 +83,13 @@ def _edge_coef_matrix(
             [float(platform.speed(server[i])) for i in range(n)]
         )
         coef = np.empty((n, n))
+        # lenient: the full matrix includes self-pairs (diagonal, plus any
+        # co-located pair under a shared mapping) that no edge ever reads.
         for i in range(n):
             for j in range(n):
-                coef[i, j] = 1.0 / float(platform.bandwidth(server[i], server[j]))
+                coef[i, j] = 1.0 / float(
+                    platform.bandwidth(server[i], server[j], lenient=True)
+                )
         input_coef = np.array(
             [1.0 / float(platform.bandwidth(INPUT, server[i])) for i in range(n)]
         )
@@ -154,6 +158,30 @@ class ForestBatch:
         self.server_id = np.array(server_id)
         self.n_servers = int(self.server_id.max()) + 1 if mapping is not None else 0
         self.overlap = model.overlaps_compute
+        # Contended topologies: each row is a different graph, hence a
+        # different flow pattern over the pinned mapping.  ``usage_flat``
+        # holds one 0/1 link-usage vector per potential (parent, child)
+        # service pair (flattened ``p*n + c``; co-located pairs are all
+        # zero — they are not flows) plus a zero sentinel row for roots;
+        # :meth:`periods` gathers per-row counts from it and prices each
+        # edge at ``max_l k_l / cap_l``, replaying the scalar kernel's
+        # ``float(k) * (1/float(cap))`` expression bit-for-bit.
+        caps = platform.link_capacities() if platform is not None else ()
+        self.contended = (
+            platform is not None
+            and platform.has_contention
+            and mapping is not None
+            and len(caps) > 0
+        )
+        if self.contended:
+            server = [mapping.server(name) for name in names]
+            self.invcap = np.array([1.0 / float(c) for c in caps])
+            usage = np.zeros((n * n + 1, len(caps)))
+            for p in range(n):
+                for c in range(n):
+                    for lid in platform.route(server[p], server[c]):
+                        usage[p * n + c, lid] = 1.0
+            self.usage_flat = usage
 
     def ancestor_products(
         self, rows: np.ndarray
@@ -208,10 +236,20 @@ class ForestBatch:
         parent = np.where(rows < 0, 0, rows)
         has_parent = rows >= 0
         col = np.arange(n)[None, :].repeat(R, axis=0)
+        if self.contended:
+            # Per-row flow counts: gather each edge's link-usage vector
+            # (roots hit the zero sentinel), sum to k_l, price each edge
+            # at the bottleneck ``max_l k_l / cap_l``.
+            pid = np.where(has_parent, parent * n + col, n * n)
+            urows = self.usage_flat[pid]                 # (R, n, L)
+            lam = urows.sum(axis=1) * self.invcap[None, :]  # (R, L)
+            edge_c = (urows * lam[:, None, :]).max(axis=2)  # (R, n)
+        else:
+            edge_c = self.coef[parent, col]
         # Cin: the single parent edge, or the world input message.
         cin = np.where(
             has_parent,
-            outsize[r_idx[:, None], parent] * self.coef[parent, col],
+            outsize[r_idx[:, None], parent] * edge_c,
             self.input_coef[None, :],
         )
         # Cout: children folded in lexicographic name order (the stored
@@ -225,7 +263,7 @@ class ForestBatch:
             if live.size == 0:
                 continue
             pl = p[live]
-            cout[live, pl] += outsize[live, pl] * self.coef[pl, c]
+            cout[live, pl] += outsize[live, pl] * edge_c[live, c]
             has_child[live, pl] = True
         leaf = ~has_child
         cout[leaf] = (outsize * self.output_coef[None, :])[leaf]
@@ -312,9 +350,13 @@ class MappingBatch:
         if self.scaled:
             self.speed = np.array([float(platform.speed(u)) for u in platform.names])
             self.bw_inv = np.empty((self.m, self.m))
+            # lenient: the diagonal is never read (co-located edges are
+            # zeroed or impossible), but the full matrix materialises it.
             for i, u in enumerate(platform.names):
                 for j, v in enumerate(platform.names):
-                    self.bw_inv[i, j] = 1.0 / float(platform.bandwidth(u, v))
+                    self.bw_inv[i, j] = 1.0 / float(
+                        platform.bandwidth(u, v, lenient=True)
+                    )
             self.bw_in = np.array(
                 [1.0 / float(platform.bandwidth(INPUT, u)) for u in platform.names]
             )
@@ -329,9 +371,53 @@ class MappingBatch:
             self.weight = None
         self.overlap = model.overlaps_compute
         self.server_index = {name: i for i, name in enumerate(platform.names)}
+        # Contended topologies: the graph's edges are fixed but each row's
+        # assignment induces a different flow pattern.  ``pair_usage``
+        # holds one 0/1 link-usage vector per ordered server-index pair
+        # (flattened ``si*m + sj``; same-server pairs are all zero);
+        # :meth:`_flow_lambda` sums the usage of every cross-server edge
+        # into per-row counts and the per-link ``k_l / cap_l`` columns the
+        # per-edge bottleneck max reads — the scalar kernel's
+        # ``float(k) * (1/float(cap))`` expression bit-for-bit.
+        caps = platform.link_capacities()
+        self.contended = platform.has_contention and len(caps) > 0
+        if self.contended:
+            self.invcap = np.array([1.0 / float(c) for c in caps])
+            m = self.m
+            usage = np.zeros((m * m, len(caps)))
+            for i, u in enumerate(platform.names):
+                for j, v in enumerate(platform.names):
+                    for lid in platform.route(u, v):
+                        usage[i * m + j, lid] = 1.0
+            self.pair_usage = usage
+            self.graph_edges = [
+                (i, j) for i in range(self.n) for j in a.succs[i]
+            ]
 
-    def _edge(self, S: np.ndarray, i: int, j: int) -> np.ndarray:
+    def _flow_lambda(self, S: np.ndarray) -> Optional[np.ndarray]:
+        """Per-row ``k_l / cap_l`` link columns under this batch's flows."""
+        if not self.contended:
+            return None
+        counts = np.zeros((S.shape[0], self.pair_usage.shape[1]))
+        m = self.m
+        for i, j in self.graph_edges:
+            counts += self.pair_usage[S[:, i] * m + S[:, j]]
+        return counts * self.invcap[None, :]
+
+    def _edge(
+        self,
+        S: np.ndarray,
+        i: int,
+        j: int,
+        lam: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Per-row coefficient of the edge ``i -> j`` (service indices)."""
+        if lam is not None:
+            # Bottleneck over the route's links; same-server pairs have
+            # all-zero usage, so the max is 0.0 — the shared-mapping
+            # "co-located edges are free" rule falls out automatically.
+            c = (self.pair_usage[S[:, i] * self.m + S[:, j]] * lam).max(axis=1)
+            return c
         if self.scaled:
             c = self.bw_inv[S[:, i], S[:, j]]
         else:
@@ -345,6 +431,7 @@ class MappingBatch:
         a = self.arrays
         R = S.shape[0]
         n = self.n
+        lam = self._flow_lambda(S)
         cin = np.empty((R, n))
         cout = np.empty((R, n))
         for i in range(n):
@@ -352,7 +439,7 @@ class MappingBatch:
             if preds:
                 acc = np.zeros(R)
                 for p in preds:  # stored (lexicographic) edge order
-                    acc += self.outsize[p] * self._edge(S, p, i)
+                    acc += self.outsize[p] * self._edge(S, p, i, lam)
                 cin[:, i] = acc
             else:
                 cin[:, i] = self.bw_in[S[:, i]] if self.scaled else 1.0
@@ -360,7 +447,7 @@ class MappingBatch:
             if succs:
                 acc = np.zeros(R)
                 for s in succs:
-                    acc += self.outsize[i] * self._edge(S, i, s)
+                    acc += self.outsize[i] * self._edge(S, i, s, lam)
                 cout[:, i] = acc
             else:
                 out_c = self.bw_out[S[:, i]] if self.scaled else 1.0
@@ -405,13 +492,14 @@ class MappingBatch:
         cin, ccomp, cout = self._components(S)
         del cin, cout  # latency re-derives edge terms along the paths
         R = S.shape[0]
+        lam = self._flow_lambda(S)
         finish = np.zeros((R, self.n))
         for i in a.topo:
             preds = a.preds[i]
             if preds:
                 start = np.zeros(R)
                 for p in preds:
-                    t = finish[:, p] + self.outsize[p] * self._edge(S, p, i)
+                    t = finish[:, p] + self.outsize[p] * self._edge(S, p, i, lam)
                     start = np.maximum(start, t)
             else:
                 start = self.bw_in[S[:, i]] if self.scaled else np.ones(R)

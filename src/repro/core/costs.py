@@ -48,7 +48,7 @@ from typing import Dict, List, Optional, Tuple
 from .constants import INPUT, OUTPUT
 from .graph import ExecutionGraph
 from .models import CommModel
-from .platform import Mapping, Platform
+from .platform import Mapping, Platform, link_flow_counts
 
 CommEdge = Tuple[str, str]
 
@@ -84,7 +84,8 @@ class CostModel:
     """
 
     __slots__ = (
-        "graph", "platform", "mapping", "_anc_sel", "_outsize", "_scaled", "_shared",
+        "graph", "platform", "mapping", "_anc_sel", "_outsize", "_scaled",
+        "_shared", "_eff_bw",
     )
 
     def __init__(
@@ -120,6 +121,31 @@ class CostModel:
             outsize[node] = prod * app.selectivity(node)
         self._anc_sel = anc_sel
         self._outsize = outsize
+        # Contended topologies: price every cross-server edge at the
+        # bottleneck of its route with concurrent flows sharing capacity.
+        # Each graph edge whose endpoints sit on distinct servers is one
+        # flow; ``k`` flows on a link of capacity ``c`` each see ``c/k``,
+        # so the pair's effective bandwidth is ``min_l cap_l / k_l``.
+        # Input/output-world edges ride dedicated links and never appear.
+        self._eff_bw: Dict[Tuple[str, str], Fraction] = {}
+        if (
+            platform is not None
+            and mapping is not None
+            and platform.has_contention
+        ):
+            flows = [
+                (mapping.server(u), mapping.server(v))
+                for u, v in graph.edges
+                if mapping.server(u) != mapping.server(v)
+            ]
+            counts = link_flow_counts(platform, flows)
+            caps = platform.link_capacities()
+            for pair in set(flows):
+                route = platform.route(*pair)
+                if route:
+                    self._eff_bw[pair] = min(
+                        caps[l] / counts[l] for l in route
+                    )
 
     # -- platform lookups ------------------------------------------------------
     def server_of(self, node: str) -> str:
@@ -135,11 +161,21 @@ class CostModel:
         return self.mapping.server(node)
 
     def link_bandwidth(self, src: str, dst: str) -> Fraction:
-        """``b_{u,v}`` of the link carrying the communication ``src -> dst``."""
+        """``b_{u,v}`` of the link carrying the communication ``src -> dst``.
+
+        On a contended topology this is the *effective* bandwidth of the
+        pair under the current ``(graph, mapping)`` flow pattern — the
+        route bottleneck with concurrent flows dividing each shared
+        link's capacity.
+        """
         if not self._scaled:
             return ONE
         assert self.platform is not None
-        return self.platform.bandwidth(self._endpoint(src), self._endpoint(dst))
+        a, b = self._endpoint(src), self._endpoint(dst)
+        eff = self._eff_bw.get((a, b))
+        if eff is not None:
+            return eff
+        return self.platform.bandwidth(a, b)
 
     def server_speed(self, node: str) -> Fraction:
         """``s_u`` of the server hosting *node*."""

@@ -51,7 +51,7 @@ from typing import Dict, List, Optional, Union
 from .constants import INPUT, OUTPUT
 from .graph import ExecutionGraph
 from .models import CommModel
-from .platform import Mapping, Platform
+from .platform import Mapping, Platform, link_flow_counts
 
 #: Relative slack of every certified float comparison.  Float evaluation
 #: of the cost algebra keeps ~1e-13 relative accuracy (a few hundred ulps
@@ -237,11 +237,33 @@ class FloatCosts:
                 return found
 
             speed_div = [speed(server[i] or a.names[i]) for i in range(n)]
+            # Contended topologies: the coefficient of a cross-server pair
+            # is the route bottleneck with flow counts folded in —
+            # ``max_l k_l / cap_l``.  Computed as ``float(k) * (1/float(cap))``
+            # so the batched kernel can replay the expression bit-for-bit
+            # (counts are small exact integers; the max is order-free).
+            contended: Dict[tuple, float] = {}
+            if platform.has_contention and mapping is not None:
+                flows = [
+                    (server[i], server[j])
+                    for i in range(n)
+                    for j in a.succs[i]
+                    if server[i] != server[j]
+                ]
+                counts = link_flow_counts(platform, flows)
+                invcap = [1.0 / float(c) for c in platform.link_capacities()]
+                for pair in set(flows):
+                    route = platform.route(*pair)
+                    if route:
+                        contended[pair] = max(
+                            float(counts[l]) * invcap[l] for l in route
+                        )
         else:
             def coef(u: str, v: str) -> float:  # noqa: ARG001 - unit platform
                 return 1.0
 
             speed_div = [1.0] * n
+            contended = {}
 
         def edge_coef(i: int, j: int) -> float:
             """Transfer-time coefficient of the edge ``i -> j`` (0 = free)."""
@@ -249,6 +271,9 @@ class FloatCosts:
                 return 0.0
             if not scaled:
                 return 1.0
+            eff = contended.get((server[i], server[j]))
+            if eff is not None:
+                return eff
             return coef(server[i] or a.names[i], server[j] or a.names[j])
 
         self._in_coef = [[edge_coef(p, i) for p in a.preds[i]] for i in range(n)]

@@ -23,6 +23,16 @@ This module models that regime exactly (all quantities are
 * :class:`Mapping` — an injective assignment of services to servers (the
   paper maps one service per server; a platform may have spare servers).
 
+Link storage is pluggable: a :class:`~repro.core.topology.Topology`
+(rack trees, tori — see :mod:`repro.core.topology`) can generate the
+servers and the pairwise bandwidth table instead of explicit
+:class:`Link` objects, and additionally declares physical routes whose
+shared links *contend* — concurrent flows divide a link's capacity.
+Plain platforms keep an implicit flat clique
+(:class:`~repro.core.topology.FlatTopology`) and stay bit-for-bit
+identical to their pre-topology behaviour, keys and fingerprints
+included.
+
 Example::
 
     >>> from fractions import Fraction
@@ -52,8 +62,11 @@ from typing import (
 from typing import Mapping as TypingMapping
 
 from .constants import INPUT, OUTPUT
+from .topology import FlatTopology, Topology
 
 Numeric = Union[int, float, str, Fraction]
+
+_WORLD = (INPUT, OUTPUT)
 
 ONE = Fraction(1)
 
@@ -115,18 +128,43 @@ class Platform:
         *default_bandwidth*.
     default_bandwidth:
         ``b`` for every pair without an override (the paper's ``b = 1``).
+        With a *topology* it prices the outside-world links (messages
+        from :data:`INPUT` / to :data:`OUTPUT`), which ride dedicated
+        wires and never contend.
+    topology:
+        A :class:`~repro.core.topology.Topology` generating the servers
+        and link table structurally; mutually exclusive with explicit
+        *servers*/*links*.
     """
 
-    __slots__ = ("servers", "default_bandwidth", "_links", "_by_name", "_key", "_unit")
+    __slots__ = (
+        "servers", "default_bandwidth", "_links", "_by_name", "_key",
+        "_unit", "_topology",
+    )
 
     def __init__(
         self,
-        servers: Iterable[Server],
+        servers: Iterable[Server] = (),
         links: Iterable[Link] = (),
         *,
         default_bandwidth: Numeric = ONE,
+        topology: Optional[Topology] = None,
     ) -> None:
         servers = tuple(servers)
+        default_bw = _fraction(default_bandwidth, "default bandwidth")
+        if topology is not None:
+            if servers or tuple(links):
+                raise ValueError(
+                    "topology is mutually exclusive with explicit servers/links"
+                )
+            servers = tuple(
+                Server(name, speed) for name, speed in topology.server_specs()
+            )
+            links = tuple(
+                Link(u, v, bw)
+                for (u, v), bw in sorted(topology.pair_bandwidths().items())
+                if u < v and bw != default_bw
+            )
         if not servers:
             raise ValueError("a platform needs at least one server")
         names = [s.name for s in servers]
@@ -134,7 +172,6 @@ class Platform:
             dupes = sorted({n for n in names if names.count(n) > 1})
             raise ValueError(f"duplicate server names: {dupes}")
         by_name = {s.name: s for s in servers}
-        default_bw = _fraction(default_bandwidth, "default bandwidth")
         directed: Dict[Tuple[str, str], Fraction] = {}
         known = set(names) | {INPUT, OUTPUT}
         for link in links:
@@ -152,15 +189,33 @@ class Platform:
         self.default_bandwidth = default_bw
         self._links: Dict[Tuple[str, str], Fraction] = directed
         self._by_name = by_name
-        self._key = (
+        self._topology: Topology = (
+            topology if topology is not None else FlatTopology(names)
+        )
+        base_key = (
             tuple((s.name, s.speed) for s in servers),
             tuple(sorted(directed.items())),
             default_bw,
         )
+        # Flat platforms keep their historical 3-tuple key bit-for-bit (an
+        # explicitly passed clique topology is indistinguishable from the
+        # implicit one); structured platforms append the topology's content
+        # key so two shapes with identical effective pairwise bandwidths
+        # (but different routes, hence different contention) never collide
+        # in any cache.
+        topo_key = tuple(self._topology.key())
+        if topo_key == ("clique",):
+            self._key = base_key
+        else:
+            self._key = base_key + (("topology",) + topo_key,)
+        # A contended platform is never "unit": its effective bandwidths
+        # depend on the mapping, so its costs cannot collapse onto the
+        # platform-free cache entries.
         self._unit = (
             all(s.speed == ONE for s in servers)
             and default_bw == ONE
             and all(bw == ONE for bw in directed.values())
+            and not self._topology.contended
         )
 
     # -- constructors ---------------------------------------------------------
@@ -218,18 +273,32 @@ class Platform:
         """``s_u`` of server *name*."""
         return self[name].speed
 
-    def bandwidth(self, src: str, dst: str) -> Fraction:
+    def bandwidth(self, src: str, dst: str, *, lenient: bool = False) -> Fraction:
         """``b_{src,dst}``: link override if given, else the default.
 
         *src*/*dst* may be :data:`INPUT`/:data:`OUTPUT` (the outside
         world); pairs touching them default to *default_bandwidth* too.
+
+        The lookup is **strict**: unknown server names, self-pairs and
+        world-to-world pairs raise :class:`KeyError` — those are
+        degenerate pairs no physical message crosses, and a silent
+        default has historically hidden endpoint bugs in cost code.
+        Pass ``lenient=True`` to restore the permissive behaviour
+        (*default_bandwidth* for any degenerate-but-known pair), used by
+        the batched kernels when they materialise full ``n x n``
+        coefficient matrices whose diagonal is never read.
         """
         override = self._links.get((src, dst))
         if override is not None:
             return override
         for end in (src, dst):
-            if end not in self._by_name and end not in (INPUT, OUTPUT):
+            if end not in self._by_name and end not in _WORLD:
                 raise KeyError(f"no server named {end!r}")
+        if not lenient:
+            if src == dst:
+                raise KeyError(f"self-pair bandwidth ({src!r}, {dst!r}); no message crosses it")
+            if src in _WORLD and dst in _WORLD:
+                raise KeyError(f"world-to-world bandwidth ({src!r}, {dst!r}); no message crosses it")
         return self.default_bandwidth
 
     def require_capacity(self, n_services: int) -> None:
@@ -252,10 +321,44 @@ class Platform:
 
     @property
     def is_homogeneous(self) -> bool:
-        """True when all speeds are equal and all bandwidths are equal."""
+        """True when all speeds are equal and all bandwidths are equal.
+
+        Judged on the topology-derived *effective* bandwidths (the pair
+        table already folds route bottlenecks in); a contended topology
+        is never homogeneous because its effective bandwidths vary with
+        the mapping.
+        """
+        if self.has_contention:
+            return False
         speeds = {s.speed for s in self.servers}
         bws = set(self._links.values()) | {self.default_bandwidth}
         return len(speeds) == 1 and len(bws) == 1
+
+    # -- topology -------------------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        """The link structure behind this platform (flat clique by default)."""
+        return self._topology
+
+    @property
+    def has_contention(self) -> bool:
+        """True when concurrent flows share physical link capacity."""
+        return self._topology.contended
+
+    def route(self, src: str, dst: str) -> Tuple[int, ...]:
+        """Physical link ids a ``src -> dst`` message crosses.
+
+        Empty for self-pairs, for flat cliques, and for any pair touching
+        the outside world (:data:`INPUT`/:data:`OUTPUT` ride dedicated
+        links that never contend).
+        """
+        if src == dst or src in _WORLD or dst in _WORLD:
+            return ()
+        return self._topology.route(src, dst)
+
+    def link_capacities(self) -> Tuple[Fraction, ...]:
+        """Capacity per physical link, indexed by the ids :meth:`route` yields."""
+        return self._topology.link_capacities()
 
     def key(self) -> Tuple:
         """Canonical hashable content key (used by the evaluation cache)."""
@@ -443,10 +546,29 @@ def platform_fingerprint(
     return (platform.key(), mapping.key() if mapping is not None else "*")
 
 
+def link_flow_counts(
+    platform: Platform, server_pairs: Iterable[Tuple[str, str]]
+) -> Dict[int, int]:
+    """Flows per physical link for the given ``(src_server, dst_server)`` pairs.
+
+    Each pair is one concurrent flow (a graph edge crossing servers);
+    pairs with an empty :meth:`Platform.route` — co-located, flat, or
+    touching the outside world — contribute nothing.  The counts are the
+    ``k_l`` of the contention model: ``k`` flows sharing a link of
+    capacity ``c`` each see ``c / k``.
+    """
+    counts: Dict[int, int] = {}
+    for src, dst in server_pairs:
+        for lid in platform.route(src, dst):
+            counts[lid] = counts.get(lid, 0) + 1
+    return counts
+
+
 __all__ = [
     "Link",
     "Mapping",
     "Platform",
     "Server",
+    "link_flow_counts",
     "platform_fingerprint",
 ]

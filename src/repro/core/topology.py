@@ -1,0 +1,381 @@
+"""Structured platform topologies: racks, trees, tori, shared uplinks.
+
+The paper prices every link bandwidth ``b_{u,v}`` independently — a flat
+clique.  Real platforms are structured: servers hang off rack switches,
+racks share uplinks, grids wire nearest neighbours.  A
+:class:`Topology` describes that structure *behind* the
+:class:`~repro.core.platform.Platform` API so that everything downstream
+keeps speaking pairwise bandwidths:
+
+* a topology names its servers and **physical links** (each with a
+  capacity), and routes every server pair over a fixed link sequence
+  (:meth:`Topology.route`);
+* the *uncontended* effective bandwidth of a pair is the minimum capacity
+  along its route — this is what ``Platform.bandwidth`` reports, so flat
+  consumers work unchanged;
+* a **contended** topology additionally declares that concurrent flows
+  crossing one physical link *share* its capacity: ``k`` flows on a link
+  of capacity ``c`` each see ``c / k``.  The cost tiers
+  (:class:`~repro.core.costs.CostModel`,
+  :class:`~repro.core.numeric.FloatCosts`, the batched kernels) count the
+  flows of a concrete ``(graph, mapping)`` pair and price each
+  cross-server edge at ``min_l cap_l / k_l`` over its route.  Messages to
+  the outside world (:data:`~repro.core.constants.INPUT` /
+  :data:`~repro.core.constants.OUTPUT`) ride dedicated links and never
+  contend.
+* :meth:`Topology.groups` exposes the locality hierarchy (racks, torus
+  rows) the hierarchical placement heuristic of
+  :mod:`repro.optimize.hierarchy` partitions against.
+
+Two generators are provided: :class:`TreeTopology` (racks of servers
+under a shared switch uplink — the classic fat-tree leaf level) and
+:class:`TorusTopology` (a ``d``-dimensional grid with wraparound links,
+the "Mapping Matters" regime).  :class:`FlatTopology` is the clique every
+plain :class:`~repro.core.platform.Platform` implicitly has; it routes
+nothing and never contends, keeping flat platforms bit-for-bit identical
+to their pre-topology behaviour.
+
+    >>> topo = TreeTopology(racks=2, servers_per_rack=2, up_bw="1/2")
+    >>> [name for name, _speed in topo.server_specs()]
+    ['R0N0', 'R0N1', 'R1N0', 'R1N1']
+    >>> topo.route("R0N0", "R0N1")     # same rack: two access links
+    (0, 1)
+    >>> topo.route("R0N0", "R1N1")     # cross rack: access + both uplinks
+    (0, 4, 5, 3)
+    >>> topo.pair_bandwidths()[("R0N0", "R1N1")]
+    Fraction(1, 2)
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from .service import as_fraction
+
+ONE = Fraction(1)
+
+#: A directed server pair.
+Pair = Tuple[str, str]
+
+
+def _positive_fraction(value, what: str) -> Fraction:
+    frac = as_fraction(value)
+    if frac <= 0:
+        raise ValueError(f"{what} must be > 0, got {frac}")
+    return frac
+
+
+def _positive_int(value, what: str) -> int:
+    try:
+        out = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{what} must be an integer, got {value!r}") from None
+    if out < 1:
+        raise ValueError(f"{what} must be >= 1, got {out}")
+    return out
+
+
+class Topology:
+    """Abstract link structure behind a :class:`~repro.core.Platform`.
+
+    Subclasses fix the server roster, the physical links and the routing;
+    the :class:`~repro.core.platform.Platform` constructor turns
+    :meth:`pair_bandwidths` into its ordinary link table so every flat
+    consumer keeps working, while the cost tiers consult
+    :meth:`route`/:meth:`link_capacities` for contention.
+    """
+
+    #: Human-readable family name (``"clique"``, ``"tree"``, ``"torus"``).
+    kind: str = "abstract"
+
+    #: Do concurrent flows share a physical link's capacity?
+    contended: bool = False
+
+    def server_specs(self) -> Tuple[Tuple[str, Fraction], ...]:
+        """``(name, speed)`` per server, in canonical platform order."""
+        raise NotImplementedError
+
+    def pair_bandwidths(self) -> Dict[Pair, Fraction]:
+        """Uncontended effective bandwidth per *ordered* server pair.
+
+        The minimum capacity along :meth:`route` — symmetric by
+        construction.  This is the table ``Platform.bandwidth`` serves.
+        """
+        raise NotImplementedError
+
+    def link_capacities(self) -> Tuple[Fraction, ...]:
+        """Capacity per physical link, indexed by link id."""
+        raise NotImplementedError
+
+    def route(self, src: str, dst: str) -> Tuple[int, ...]:
+        """Physical link ids a ``src -> dst`` message crosses (may be empty)."""
+        raise NotImplementedError
+
+    def groups(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        """Locality groups ``(label, member server names)``.
+
+        Servers inside one group communicate without crossing a shared
+        link (or crossing cheaper ones); the hierarchical placement
+        heuristic packs chatty services into one group.  A single group
+        means "no exploitable structure".
+        """
+        raise NotImplementedError
+
+    def key(self) -> Tuple:
+        """Canonical hashable content key, mixed into ``Platform.key()``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.kind!r})"
+
+
+class FlatTopology(Topology):
+    """The implicit clique of a plain platform: no routes, no contention.
+
+    Exists so ``platform.topology`` is always a :class:`Topology`;
+    carries no state beyond the server names (one locality group).
+    """
+
+    kind = "clique"
+    contended = False
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self._names = tuple(names)
+
+    def server_specs(self) -> Tuple[Tuple[str, Fraction], ...]:
+        return tuple((name, ONE) for name in self._names)
+
+    def pair_bandwidths(self) -> Dict[Pair, Fraction]:
+        return {}
+
+    def link_capacities(self) -> Tuple[Fraction, ...]:
+        return ()
+
+    def route(self, src: str, dst: str) -> Tuple[int, ...]:
+        return ()
+
+    def groups(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        return (("all", self._names),)
+
+    def key(self) -> Tuple:
+        return ("clique",)
+
+
+class TreeTopology(Topology):
+    """Racks of servers under per-rack switch uplinks (a two-level tree).
+
+    Each server ``R{r}N{i}`` owns a dedicated **access link** of capacity
+    *rack_bw* to its rack switch; each rack owns one **uplink** of
+    capacity *up_bw* to the core.  A same-rack message crosses the two
+    access links; a cross-rack message additionally crosses both racks'
+    uplinks — so its uncontended bandwidth is ``min(rack_bw, up_bw)``,
+    and under contention (*shared*, the default) every concurrent
+    cross-rack flow divides the uplink capacities it shares.
+
+    *speed* is every server's speed; *speed2*, when given, is the speed of
+    the odd-indexed server in each rack (a cheap heterogeneity knob).
+    """
+
+    kind = "tree"
+
+    def __init__(
+        self,
+        racks: int,
+        servers_per_rack: int,
+        *,
+        speed=1,
+        speed2=None,
+        rack_bw=1,
+        up_bw=1,
+        shared: bool = True,
+        prefix: str = "R",
+    ) -> None:
+        self.racks = _positive_int(racks, "tree racks")
+        self.servers_per_rack = _positive_int(
+            servers_per_rack, "tree servers_per_rack"
+        )
+        self.speed = _positive_fraction(speed, "tree speed")
+        self.speed2 = (
+            None if speed2 is None else _positive_fraction(speed2, "tree speed2")
+        )
+        self.rack_bw = _positive_fraction(rack_bw, "tree rack_bw")
+        self.up_bw = _positive_fraction(up_bw, "tree up_bw")
+        self.contended = bool(shared)
+        self.prefix = prefix
+        n = self.racks * self.servers_per_rack
+        self._names: Tuple[str, ...] = tuple(
+            f"{prefix}{r}N{i}"
+            for r in range(self.racks)
+            for i in range(self.servers_per_rack)
+        )
+        # Link ids: access link of server k is k; uplink of rack r is n + r.
+        self._loc: Dict[str, Tuple[int, int]] = {}  # name -> (rack, access id)
+        for k, name in enumerate(self._names):
+            self._loc[name] = (k // self.servers_per_rack, k)
+        self._caps: Tuple[Fraction, ...] = tuple(
+            [self.rack_bw] * n + [self.up_bw] * self.racks
+        )
+        self._n = n
+
+    def server_specs(self) -> Tuple[Tuple[str, Fraction], ...]:
+        specs: List[Tuple[str, Fraction]] = []
+        for k, name in enumerate(self._names):
+            odd = (k % self.servers_per_rack) % 2 == 1
+            specs.append((name, self.speed2 if odd and self.speed2 else self.speed))
+        return tuple(specs)
+
+    def link_capacities(self) -> Tuple[Fraction, ...]:
+        return self._caps
+
+    def route(self, src: str, dst: str) -> Tuple[int, ...]:
+        if src == dst:
+            return ()
+        ru, au = self._loc[src]
+        rv, av = self._loc[dst]
+        if ru == rv:
+            return (au, av)
+        n = self._n
+        return (au, n + ru, n + rv, av)
+
+    def pair_bandwidths(self) -> Dict[Pair, Fraction]:
+        out: Dict[Pair, Fraction] = {}
+        for u in self._names:
+            for v in self._names:
+                if u != v:
+                    out[(u, v)] = min(self._caps[l] for l in self.route(u, v))
+        return out
+
+    def groups(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        spr = self.servers_per_rack
+        return tuple(
+            (
+                f"{self.prefix}{r}",
+                self._names[r * spr : (r + 1) * spr],
+            )
+            for r in range(self.racks)
+        )
+
+    def key(self) -> Tuple:
+        return (
+            "tree", self.racks, self.servers_per_rack, self.speed,
+            self.speed2, self.rack_bw, self.up_bw, self.contended,
+        )
+
+
+class TorusTopology(Topology):
+    """A ``d``-dimensional torus/grid of servers with wraparound links.
+
+    Servers sit at grid coordinates (name ``N<c0>x<c1>...``); each
+    neighbouring pair along a dimension shares one physical link of
+    capacity *bw* (wraparound links exist only for dimension sizes above
+    2 — a size-2 ring would duplicate its single edge).  Routing is
+    dimension-ordered shortest path, ties broken toward the positive
+    direction, so routes are deterministic and symmetric.  Under
+    contention (*shared*, the default) every flow crossing a link divides
+    its capacity.
+    """
+
+    kind = "torus"
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        *,
+        bw=1,
+        speed=1,
+        shared: bool = True,
+    ) -> None:
+        dims = tuple(dims)
+        if not dims:
+            raise ValueError("torus dims must name at least one dimension")
+        self.dims: Tuple[int, ...] = tuple(
+            _positive_int(d, "torus dimension size") for d in dims
+        )
+        self.bw = _positive_fraction(bw, "torus bw")
+        self.speed = _positive_fraction(speed, "torus speed")
+        self.contended = bool(shared)
+        coords: List[Tuple[int, ...]] = [()]
+        for size in self.dims:
+            coords = [c + (i,) for c in coords for i in range(size)]
+        self._coords = coords
+        self._names: Tuple[str, ...] = tuple(
+            "N" + "x".join(str(c) for c in coord) for coord in coords
+        )
+        self._coord_of: Dict[str, Tuple[int, ...]] = dict(
+            zip(self._names, coords)
+        )
+        index = {coord: i for i, coord in enumerate(coords)}
+        self._index = index
+        links: Dict[Tuple[int, int], int] = {}
+        for i, coord in enumerate(coords):
+            for d, size in enumerate(self.dims):
+                if size < 2:
+                    continue
+                step = list(coord)
+                step[d] = coord[d] + 1
+                if step[d] == size:
+                    if size <= 2:
+                        continue  # wraparound would duplicate the edge
+                    step[d] = 0
+                j = index[tuple(step)]
+                a, b = (i, j) if i < j else (j, i)
+                links.setdefault((a, b), len(links))
+        self._links = links
+        self._caps: Tuple[Fraction, ...] = tuple([self.bw] * len(links))
+
+    def server_specs(self) -> Tuple[Tuple[str, Fraction], ...]:
+        return tuple((name, self.speed) for name in self._names)
+
+    def link_capacities(self) -> Tuple[Fraction, ...]:
+        return self._caps
+
+    def route(self, src: str, dst: str) -> Tuple[int, ...]:
+        if src == dst:
+            return ()
+        cur = list(self._coord_of[src])
+        goal = self._coord_of[dst]
+        hops: List[int] = []
+        for d, size in enumerate(self.dims):
+            forward = (goal[d] - cur[d]) % size
+            if forward == 0:
+                continue
+            backward = (cur[d] - goal[d]) % size
+            direction = 1 if forward <= backward else -1
+            for _ in range(min(forward, backward)):
+                nxt = list(cur)
+                nxt[d] = (cur[d] + direction) % size
+                i, j = self._index[tuple(cur)], self._index[tuple(nxt)]
+                a, b = (i, j) if i < j else (j, i)
+                hops.append(self._links[(a, b)])
+                cur = nxt
+        return tuple(hops)
+
+    def pair_bandwidths(self) -> Dict[Pair, Fraction]:
+        # All capacities equal: every connected pair runs at bw uncontended.
+        out: Dict[Pair, Fraction] = {}
+        for u in self._names:
+            for v in self._names:
+                if u != v:
+                    out[(u, v)] = self.bw
+        return out
+
+    def groups(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        # Slices along dimension 0: the rows of the grid.
+        rows: Dict[int, List[str]] = {}
+        for name, coord in self._coord_of.items():
+            rows.setdefault(coord[0], []).append(name)
+        return tuple(
+            (f"row{r}", tuple(rows[r])) for r in sorted(rows)
+        )
+
+    def key(self) -> Tuple:
+        return ("torus", self.dims, self.bw, self.speed, self.contended)
+
+
+__all__ = [
+    "FlatTopology",
+    "Topology",
+    "TorusTopology",
+    "TreeTopology",
+]

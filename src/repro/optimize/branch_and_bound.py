@@ -136,10 +136,15 @@ class _Scaling:
             self._speed: Dict[str, Fraction] = {}
             self._default_speed = ONE
             return
+        # Uncontended pair bandwidths only: on a contended topology the
+        # effective bandwidth of any pair under any flow pattern is at
+        # most its uncontended value, so the max over these stays an
+        # optimistic divisor and the bound remains admissible.  Skip
+        # world-to-world pairs — no message crosses them (strict lookup).
         bandwidths = [platform.default_bandwidth]
         for u in list(platform.names) + [INPUT, OUTPUT]:
             for v in list(platform.names) + [INPUT, OUTPUT]:
-                if u != v:
+                if u != v and not (u in (INPUT, OUTPUT) and v in (INPUT, OUTPUT)):
                     bandwidths.append(platform.bandwidth(u, v))
         self.comm_div = max(bandwidths)
         max_speed = max(s.speed for s in platform.servers)

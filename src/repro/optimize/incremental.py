@@ -62,8 +62,11 @@ from ..core import (
     INPUT,
     OUTPUT,
     CommModel,
+    CostModel,
     Exactness,
     ExecutionGraph,
+    FloatCosts,
+    GraphArrays,
     Mapping,
     Platform,
     certified_threshold,
@@ -86,6 +89,13 @@ def _require_supported(
         )
     if platform is None or platform.is_unit:
         return None, None
+    if platform.has_contention:
+        raise ValueError(
+            "incremental evaluation does not model link contention: one "
+            "move changes the flow counts, hence every co-routed edge's "
+            "effective bandwidth; use FullPlacementCosts / a full "
+            "CostModel recompute on contended topologies"
+        )
     if mapping is None:
         raise ValueError(
             "incremental evaluation on a non-unit platform needs a pinned "
@@ -443,6 +453,11 @@ def period_delta(
 
     if model is not CommModel.OVERLAP and effort is not Effort.BOUND:
         return None
+    if platform is not None and platform.has_contention:
+        # One reparent changes the flow pattern, hence the effective
+        # bandwidth of every co-routed edge — the subtree-rescale delta
+        # is invalid.  Callers fall back to full recomputation.
+        return None
     if platform is not None and not platform.is_unit and mapping is None:
         return None
     if mapping is not None and not mapping.is_injective:
@@ -512,6 +527,12 @@ class IncrementalSharedCosts:
         weights: Optional[Dict[str, Fraction]] = None,
     ) -> None:
         mapping.validate_on(graph.nodes, platform)
+        if platform.has_contention:
+            raise ValueError(
+                "IncrementalSharedCosts assumes static link bandwidths; "
+                "contended topologies need FullPlacementCosts (one move "
+                "changes every co-routed edge's effective bandwidth)"
+            )
         self.graph = graph
         self.platform = platform
         self.model = model
@@ -822,6 +843,161 @@ class CertifiedPlacementCosts:
         self._refresh()
 
 
+def exact_placement_value(
+    graph: ExecutionGraph,
+    platform: Optional[Platform],
+    mapping: Mapping,
+    *,
+    model: CommModel = CommModel.OVERLAP,
+    weights: Optional[Dict[str, Fraction]] = None,
+    shared: bool = False,
+) -> Fraction:
+    """Exact (Fraction) placement objective of one concrete mapping.
+
+    The value the incremental evaluators maintain, computed from scratch
+    through :class:`~repro.core.CostModel` — which prices contended
+    topologies correctly (effective bandwidths under the mapping's flow
+    pattern).  ``shared``/*weights* switch to the per-server weighted
+    aggregation of the concurrent regime; otherwise this is
+    ``CostModel(...).period_lower_bound(model)`` verbatim.
+    """
+    costs = CostModel(graph, platform, mapping)
+    if not shared and not weights:
+        return costs.period_lower_bound(model)
+    zero = Fraction(0)
+    sums: Dict[str, List[Fraction]] = {}
+    for node in graph.nodes:
+        acc = sums.setdefault(mapping.server(node), [zero, zero, zero])
+        w = weights.get(node, ONE) if weights else ONE
+        acc[0] += w * costs.cin(node)
+        acc[1] += w * costs.ccomp(node)
+        acc[2] += w * costs.cout(node)
+    if model.overlaps_compute:
+        return max(max(acc) for acc in sums.values())
+    return max(acc[0] + acc[1] + acc[2] for acc in sums.values())
+
+
+class FullPlacementCosts:
+    """Full-recompute placement evaluator for contended topologies.
+
+    On a contended topology one reassign changes the flow counts on every
+    link its edges share — and with them the effective bandwidth of every
+    co-routed edge — so the ``O(degree)`` deltas of
+    :class:`IncrementalSharedCosts` are invalid.  This evaluator speaks
+    the same protocol (``value``/``score_*``/``apply_*``/``assignment``/
+    ``mapping``) but re-prices each candidate mapping from scratch:
+    the float tier (:class:`~repro.core.FloatCosts`, sharing one
+    :class:`~repro.core.GraphArrays`) scores candidates, and the
+    certified tier re-prices exactly inside the
+    :data:`~repro.core.CERT_EPS` band, keeping accept/reject decisions —
+    and the returned value — bit-for-bit the all-``Fraction`` ones.
+    """
+
+    __slots__ = (
+        "graph", "platform", "model", "weights", "shared", "exactness",
+        "eps", "assignment", "_arrays", "_allow_shared", "_value", "_cut",
+    )
+
+    def __init__(
+        self,
+        graph: ExecutionGraph,
+        platform: Platform,
+        mapping: Mapping,
+        *,
+        model: CommModel = CommModel.OVERLAP,
+        weights: Optional[Dict[str, Fraction]] = None,
+        shared: bool = False,
+        exactness: Exactness = Exactness.CERTIFIED,
+        eps: float = CERT_EPS,
+    ) -> None:
+        mapping.validate_on(graph.nodes, platform)
+        self.graph = graph
+        self.platform = platform
+        self.model = model
+        self.weights = dict(weights) if weights else None
+        self.shared = shared or bool(weights)
+        self._allow_shared = shared
+        self.exactness = Exactness.coerce(exactness)
+        self.eps = eps
+        self._arrays = GraphArrays(graph)
+        self.assignment: Dict[str, str] = {
+            svc: mapping.server(svc) for svc in graph.nodes
+        }
+        self._refresh()
+
+    # -- pricing -----------------------------------------------------------
+    def _mapping_of(self, assignment: Dict[str, str]) -> Mapping:
+        return Mapping(assignment, shared=self._allow_shared)
+
+    def _float_value(self, mapping: Mapping) -> float:
+        fast = FloatCosts(
+            self.graph, self.platform, mapping,
+            arrays=self._arrays, weights=self.weights,
+        )
+        return fast.period_lower_bound(self.model)
+
+    def _exact_value(self, mapping: Mapping) -> Fraction:
+        return exact_placement_value(
+            self.graph, self.platform, mapping,
+            model=self.model, weights=self.weights, shared=self.shared,
+        )
+
+    def _score(self, mapping: Mapping) -> Num:
+        if self.exactness is not Exactness.EXACT:
+            try:
+                trial = self._float_value(mapping)
+            except OverflowError:
+                trial = None
+            if trial is not None and (
+                self.exactness is Exactness.FAST or trial > self._cut
+            ):
+                return trial
+        return self._exact_value(mapping)
+
+    def _refresh(self) -> None:
+        current = self._mapping_of(self.assignment)
+        if self.exactness is Exactness.FAST:
+            try:
+                self._value: Num = self._float_value(current)
+            except OverflowError:
+                self._value = self._exact_value(current)
+        else:
+            self._value = self._exact_value(current)
+        try:
+            self._cut = certified_threshold(float(self._value), self.eps)
+        except OverflowError:
+            self._cut = float("inf")  # arbitrate everything exactly
+
+    # -- public API (the incremental evaluators' protocol) ------------------
+    def value(self) -> Num:
+        return self._value
+
+    def mapping(self) -> Mapping:
+        return self._mapping_of(self.assignment)
+
+    def score_reassign(self, service: str, server: str) -> Num:
+        trial = dict(self.assignment)
+        trial[service] = server
+        return self._score(self._mapping_of(trial))
+
+    def apply_reassign(self, service: str, server: str) -> None:
+        self.assignment = dict(self.assignment)
+        self.assignment[service] = server
+        self._refresh()
+
+    def score_swap(self, a: str, b: str) -> Num:
+        trial = dict(self.assignment)
+        trial[a], trial[b] = trial[b], trial[a]
+        return self._score(self._mapping_of(trial))
+
+    def apply_swap(self, a: str, b: str) -> None:
+        self.assignment = dict(self.assignment)
+        self.assignment[a], self.assignment[b] = (
+            self.assignment[b], self.assignment[a]
+        )
+        self._refresh()
+
+
 def placement_evaluator(
     graph: ExecutionGraph,
     platform: Platform,
@@ -837,8 +1013,16 @@ def placement_evaluator(
     ``EXACT`` builds the classic Fraction evaluator, ``CERTIFIED`` the
     paired :class:`CertifiedPlacementCosts` (bit-for-bit identical search
     decisions), ``FAST`` the float twin (re-score the winner exactly).
+    Contended topologies always dispatch to :class:`FullPlacementCosts`
+    (same protocol, full recompute per candidate) — the incremental
+    deltas are invalid there.
     """
     exactness = Exactness.coerce(exactness)
+    if platform.has_contention:
+        return FullPlacementCosts(
+            graph, platform, mapping, model=model, weights=weights,
+            shared=shared, exactness=exactness,
+        )
     try:
         if exactness is Exactness.CERTIFIED:
             return CertifiedPlacementCosts(
@@ -866,9 +1050,11 @@ __all__ = [
     "FloatForestPeriod",
     "FloatMappingCosts",
     "FloatSharedCosts",
+    "FullPlacementCosts",
     "IncrementalForestPeriod",
     "IncrementalMappingCosts",
     "IncrementalSharedCosts",
+    "exact_placement_value",
     "period_delta",
     "placement_evaluator",
 ]

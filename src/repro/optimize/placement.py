@@ -266,15 +266,27 @@ def optimize_mapping(
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
     max_moves: int = 200,
     exactness: Exactness = Exactness.EXACT,
+    strategy: str = "auto",
 ) -> Tuple[Fraction, Mapping]:
     """Best ``(value, mapping)`` of *graph* on *platform* for one objective.
 
     Enumerates every injective assignment while the space has at most
-    *exhaustive_limit* elements (exact); otherwise starts from
-    :func:`greedy_mapping` and runs the first-improvement
-    reassignment/swap local search.  *kind* is ``"period"`` or
-    ``"latency"``; *model*/*effort* are forwarded to the per-mapping
-    objective.
+    *exhaustive_limit* elements (exact); otherwise starts from a seed and
+    runs the first-improvement reassignment/swap local search.  *kind* is
+    ``"period"`` or ``"latency"``; *model*/*effort* are forwarded to the
+    per-mapping objective.
+
+    *strategy* picks the local-search seeding: ``"flat"`` descends once
+    from the classic work-onto-speed :func:`greedy_mapping`;
+    ``"hierarchical"`` *races* two descents — one from the
+    topology-partitioned seed
+    (:func:`repro.optimize.hierarchy.hierarchical_seed` — keep chatty
+    edges inside a rack/row, respect group capacity) and one from the
+    flat seed — and keeps the better result, so it is never worse than
+    ``"flat"`` at a bounded constant factor in time; ``"auto"`` (the
+    default) behaves as ``"hierarchical"`` exactly when the topology
+    exposes more than one locality group.  The exhaustive branch is
+    seed-free, so the strategy only matters past *exhaustive_limit*.
 
     *exactness* picks the numeric tier.  ``CERTIFIED`` scans candidates on
     the :class:`~repro.core.FloatCosts` kernel and re-scores only the ones
@@ -302,11 +314,15 @@ def optimize_mapping(
 
     if kind not in ("period", "latency"):
         raise ValueError(f"kind must be 'period' or 'latency', got {kind!r}")
+    if strategy not in ("auto", "flat", "hierarchical"):
+        raise ValueError(
+            f"strategy must be 'auto', 'flat' or 'hierarchical', got {strategy!r}"
+        )
     exactness = Exactness.coerce(exactness)
 
     memo_key = (
         kind, model, effort, platform.key(), exhaustive_limit, max_moves,
-        exactness.memo_tier, graph.application, graph.edges,
+        exactness.memo_tier, strategy, graph.application, graph.edges,
     )
     found = _memo.get(memo_key)
     if found is not None:
@@ -357,30 +373,50 @@ def optimize_mapping(
             )
             outcome = (value, best_mapping)
     else:
-        seed = greedy_mapping(graph, platform)
-        evaluator = None
-        if kind == "period" and (
+        use_hierarchy = strategy == "hierarchical" or (
+            strategy == "auto" and len(platform.topology.groups()) > 1
+        )
+        # The hierarchical strategy races the search from *both* seeds and
+        # keeps the better result: the partitioned seed wins on locality,
+        # the flat greedy on speed exploitation, and first-improvement
+        # descent is basin-dependent enough that neither dominates.  The
+        # flat leg makes "never worse than flat" a guarantee rather than a
+        # tendency, at a bounded constant factor (two descents).
+        seeds = []
+        if use_hierarchy:
+            from .hierarchy import hierarchical_seed
+
+            seeds.append(hierarchical_seed(graph, platform))
+        flat_seed = greedy_mapping(graph, platform)
+        if not any(s.items() == flat_seed.items() for s in seeds):
+            seeds.append(flat_seed)
+        use_evaluator = kind == "period" and (
             model is CommModel.OVERLAP or effort is Effort.BOUND
-        ):
-            # The Section-2.1 bound *is* this objective (Theorem 1 for
-            # OVERLAP; by definition for the bound effort), so moves can be
-            # priced by recomputing only the touched servers' costs — on
-            # the numeric tier the exactness knob picks.
-            evaluator = placement_evaluator(
-                graph, platform, seed, model=model, exactness=exactness
-            )
+        )
         batch = (
             _make_mapping_batch(graph, kind, model, effort, platform)
-            if evaluator is None and exactness.uses_float
+            if not use_evaluator and exactness.uses_float
             else None
         )
-        value, mapping = placement_local_search(
-            graph, score, seed, platform, max_moves=max_moves,
-            evaluator=evaluator, batch=batch,
-        )
-        if exactness is Exactness.FAST and evaluator is not None:
-            value = Fraction(value)
-        outcome = (value, mapping)
+        outcome = None
+        for seed in seeds:
+            evaluator = None
+            if use_evaluator:
+                # The Section-2.1 bound *is* this objective (Theorem 1 for
+                # OVERLAP; by definition for the bound effort), so moves
+                # can be priced by recomputing only the touched servers'
+                # costs — on the numeric tier the exactness knob picks.
+                evaluator = placement_evaluator(
+                    graph, platform, seed, model=model, exactness=exactness
+                )
+            value, mapping = placement_local_search(
+                graph, score, seed, platform, max_moves=max_moves,
+                evaluator=evaluator, batch=batch,
+            )
+            if exactness is Exactness.FAST and evaluator is not None:
+                value = Fraction(value)
+            if outcome is None or value < outcome[0]:
+                outcome = (value, mapping)
     _memo[memo_key] = outcome
     if len(_memo) > _MEMO_MAX_ENTRIES:
         _memo.popitem(last=False)
@@ -516,10 +552,22 @@ def optimize_shared_mapping(
     if method == "shared-exhaustive":
         from .exhaustive import scan_best
 
-        def exact_value(mapping):
-            return IncrementalSharedCosts(
-                graph, platform, mapping, model=model, weights=weights
-            ).value()
+        if platform.has_contention:
+            # The incremental evaluator refuses contended topologies (its
+            # deltas assume static bandwidths); score each candidate from
+            # scratch through the contention-aware exact model instead.
+            from .incremental import exact_placement_value
+
+            def exact_value(mapping):
+                return exact_placement_value(
+                    graph, platform, mapping, model=model,
+                    weights=weights, shared=True,
+                )
+        else:
+            def exact_value(mapping):
+                return IncrementalSharedCosts(
+                    graph, platform, mapping, model=model, weights=weights
+                ).value()
 
         batch = (
             _make_mapping_batch(

@@ -12,7 +12,8 @@ instances) a pinned service-to-server mapping.
 
 Platform specs work the same way through :func:`load_platform`: named
 platforms (``het4``, ``demo2``) or families (``hom:n=8``,
-``het:n=8,seed=0``).
+``het:n=8,seed=0``, and the structured topologies
+``tree:racks=4,servers=4,up_bw=1/4`` and ``torus:dims=4x4,bw=1/2``).
 
     >>> from repro.planner.catalog import load_platform, load_workload
     >>> wl = load_workload("fig1")
@@ -30,7 +31,15 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Callable, Dict, Optional, Tuple
 
-from ..core import Application, ExecutionGraph, Mapping, Platform, as_fraction
+from ..core import (
+    Application,
+    ExecutionGraph,
+    Mapping,
+    Platform,
+    TorusTopology,
+    TreeTopology,
+    as_fraction,
+)
 from ..workloads.generators import (
     alternating_platform,
     fork_join_instance,
@@ -242,6 +251,57 @@ def _load_het_platform(options: Dict[str, str]) -> Platform:
     )
 
 
+def _load_tree_platform(options: Dict[str, str]) -> Platform:
+    """``tree:racks=R,servers=S[,speed=..,speed2=..,rack_bw=..,up_bw=..,shared=0|1]``.
+
+    A hierarchical switch platform: *R* racks of *S* servers each, access
+    links at ``rack_bw``, rack uplinks at ``up_bw``; ``shared=1`` (the
+    default) makes co-routed flows divide each link's capacity.
+    ``speed2`` gives the odd-indexed server in each rack a second speed
+    class (heterogeneous racks).
+    """
+    _check_keys(
+        options,
+        ("racks", "servers", "speed", "speed2", "rack_bw", "up_bw", "shared"),
+        "tree",
+    )
+    speed2 = options.get("speed2")
+    topology = TreeTopology(
+        racks=_int(options, "racks", 2),
+        servers_per_rack=_int(options, "servers", 2),
+        speed=as_fraction(options.get("speed", 1)),
+        speed2=as_fraction(speed2) if speed2 is not None else None,
+        rack_bw=as_fraction(options.get("rack_bw", 1)),
+        up_bw=as_fraction(options.get("up_bw", 1)),
+        shared=bool(_int(options, "shared", 1)),
+    )
+    return Platform(topology=topology)
+
+
+def _load_torus_platform(options: Dict[str, str]) -> Platform:
+    """``torus:dims=AxB[,bw=..,speed=..,shared=0|1]`` — a wraparound grid.
+
+    Every link carries ``bw``; routes are dimension-ordered shortest
+    paths, and with ``shared=1`` (the default) co-routed flows divide a
+    link's capacity.
+    """
+    _check_keys(options, ("dims", "bw", "speed", "shared"), "torus")
+    dims_text = options.get("dims", "2x2")
+    try:
+        dims = tuple(int(d) for d in dims_text.split("x"))
+    except ValueError:
+        raise ValueError(
+            f"malformed torus dims {dims_text!r} (expected e.g. dims=4x2)"
+        ) from None
+    topology = TorusTopology(
+        dims,
+        bw=as_fraction(options.get("bw", 1)),
+        speed=as_fraction(options.get("speed", 1)),
+        shared=bool(_int(options, "shared", 1)),
+    )
+    return Platform(topology=topology)
+
+
 _NAMED_PLATFORMS: Dict[str, Callable[[], Platform]] = {
     "het4": _platform_het4,
     "demo2": _platform_demo2,
@@ -250,6 +310,8 @@ _NAMED_PLATFORMS: Dict[str, Callable[[], Platform]] = {
 _PLATFORM_FAMILIES: Dict[str, Callable[[Dict[str, str]], Platform]] = {
     "hom": _load_hom_platform,
     "het": _load_het_platform,
+    "tree": _load_tree_platform,
+    "torus": _load_torus_platform,
 }
 
 

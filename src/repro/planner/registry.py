@@ -10,6 +10,9 @@ wrap the strategies of :mod:`repro.optimize`:
 ``greedy``                Incremental forest construction (cost-ordered
                           insertion, best attachment point).
 ``local-search``          Greedy seed + first-improvement reparenting search.
+``hierarchical``          Structure on the unit abstraction, then
+                          topology-partitioned placement, then
+                          pinned-placement refinement.
 ``chain``                 Optimal *chain* plan in closed form (Propositions 8
                           and 16) — polynomial, restricted structure.
 ``nocomm``                The communication-free optimum of Srivastava et al.,
@@ -57,6 +60,8 @@ from ..optimize.evaluation import (
     make_fast_latency_objective,
     make_fast_period_objective,
     make_forest_period_batch,
+    make_latency_objective,
+    make_period_objective,
 )
 from ..optimize.exhaustive import (
     MAX_DAG_SERVICES,
@@ -309,6 +314,93 @@ def _solve_local_search(
     }
 
 
+def _solve_hierarchical(
+    app: Application,
+    *,
+    objective: str,
+    model: CommModel,
+    effort: Effort,
+    objective_fn,
+    max_moves: int = 200,
+    strategy: str = "hierarchical",
+) -> SolverOutcome:
+    """Structure-then-place pipeline for topology-aware platforms.
+
+    Decomposes the joint structure x placement search the way hierarchical
+    process mapping does: (1) optimise the execution graph on the
+    normalised unit abstraction (structure is platform-independent to
+    first order), (2) place that structure with the topology-partitioned
+    seed + local search of :func:`~repro.optimize.placement.optimize_mapping`
+    (``strategy="hierarchical"``), (3) refine the structure once more at
+    the pinned placement, (4) re-score the winner through *objective_fn*
+    so the reported value shares the planner's memo (and, with a free
+    mapping, remains the best-over-assignments semantics).  On a flat,
+    unit, or pinned-mapping configuration there is nothing to decompose
+    and the plain local-search solver runs instead
+    (``extras["hierarchical"]`` is ``False``).
+    """
+    platform = getattr(objective_fn, "platform", None)
+    mapping = getattr(objective_fn, "mapping", None)
+    exactness = getattr(objective_fn, "exactness", Exactness.EXACT)
+    structured = (
+        platform is not None
+        and mapping is None
+        and len(platform.topology.groups()) > 1
+    )
+    if not structured:
+        value, graph, extras = _solve_local_search(
+            app, objective=objective, model=model, effort=effort,
+            objective_fn=objective_fn, max_moves=max_moves,
+        )
+        extras["hierarchical"] = False
+        return value, graph, extras
+
+    # Phase 1: structure on the unit abstraction.
+    if objective == "period":
+        unit_fn = make_period_objective(model, effort, exactness=exactness)
+    else:
+        unit_fn = make_latency_objective(model, effort, exactness=exactness)
+    _seed_value, seed_graph = greedy_forest(app, unit_fn)
+    _unit_value, struct_graph = local_search_forest(
+        seed_graph, unit_fn, max_moves=max_moves
+    )
+
+    # Phase 2: topology-aware placement of that structure.
+    from ..optimize.placement import optimize_mapping
+
+    placed_value, placed = optimize_mapping(
+        struct_graph, objective, model, effort, platform,
+        max_moves=max_moves, exactness=exactness, strategy=strategy,
+    )
+
+    # Phase 3: refine the structure at the pinned placement.
+    if objective == "period":
+        pinned_fn = make_period_objective(
+            model, effort, platform, placed, exactness=exactness
+        )
+    else:
+        pinned_fn = make_latency_objective(
+            model, effort, platform, placed, exactness=exactness
+        )
+    delta = None
+    if objective == "period":
+        delta = period_delta(
+            struct_graph, model, effort, platform, placed,
+            exactness=exactness,
+        )
+    _pinned_value, graph = local_search_forest(
+        struct_graph, pinned_fn, max_moves=max_moves, delta=delta
+    )
+
+    # Phase 4: report through the planner's shared (memoized) objective.
+    value = objective_fn(graph)
+    return value, graph, {
+        "hierarchical": True,
+        "placement_value": placed_value,
+        "placement": {s: placed.server(s) for s in sorted(graph.nodes)},
+    }
+
+
 def _solve_branch_and_bound(
     app: Application,
     *,
@@ -451,6 +543,12 @@ def _make_default_registry() -> SolverRegistry:
         "local-search",
         _solve_local_search,
         description="greedy seed + first-improvement reparenting local search",
+    )
+    reg.register(
+        "hierarchical",
+        _solve_hierarchical,
+        description="structure on the unit abstraction, then topology-"
+        "partitioned placement, then pinned-placement refinement",
     )
     reg.register(
         "branch-and-bound",

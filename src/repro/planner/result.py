@@ -125,10 +125,16 @@ class PlanResult:
 
     @property
     def platform_label(self) -> str:
-        """Short human label: ``unit``, ``hom(n)`` or ``het(n)``."""
+        """Short human label: ``unit``, ``hom(n)``, ``het(n)``, ``tree(n)``…
+
+        Structured topologies surface their kind (``tree``, ``torus``) so
+        a contended platform is visible at a glance in CLI tables.
+        """
         if self.platform is None or self.platform.is_unit:
             return "unit"
-        kind = "hom" if self.platform.is_homogeneous else "het"
+        kind = self.platform.topology.kind
+        if kind == "clique":
+            kind = "hom" if self.platform.is_homogeneous else "het"
         return f"{kind}({len(self.platform)})"
 
     @property

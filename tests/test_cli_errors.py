@@ -28,6 +28,15 @@ def run_cli(argv, capsys):
         ["solve", "fig1", "--platform", "hom:n=bogus"],
         ["solve", "fig1", "--platform", "hom:bw=1/0"],
         ["solve", "fig1", "--platform", "het:n=4,seed=1,zzz=2"],
+        ["solve", "fig1", "--platform", "tree:racks=0"],
+        ["solve", "fig1", "--platform", "tree:racks=2,servers=2,up_bw=0"],
+        ["solve", "fig1", "--platform", "tree:racks=2,servers=2,rack_bw=-1"],
+        ["solve", "fig1", "--platform", "tree:rocks=2"],
+        ["solve", "fig1", "--platform", "torus:dims=axb"],
+        ["solve", "fig1", "--platform", "torus:dims="],
+        ["solve", "fig1", "--platform", "torus:dims=4x0"],
+        ["solve", "fig1", "--platform", "torus:dims=3x2,bw=0"],
+        ["solve", "fig1", "--platform", "torus:dims=3x2,zzz=1"],
         ["solve", "fig1", "--method", "no-such-solver"],
         ["batch", "fig1", "--platform", "nope"],
         ["compare", "nope"],

@@ -16,6 +16,8 @@ DOCTEST_MODULES = [
     "repro.concurrent.multiapp",
     "repro.core.numeric",
     "repro.core.platform",
+    "repro.core.topology",
+    "repro.optimize.hierarchy",
     "repro.optimize.placement",
     "repro.planner",
     "repro.planner.concurrent",

@@ -1,0 +1,560 @@
+"""Topology-aware platforms: generators, contention, placement, parity.
+
+Covers the structured-platform stack end to end:
+
+* generator invariants — symmetric bandwidths, positive capacities,
+  distinct fingerprints across shapes (the property sweep);
+* the strict :meth:`~repro.core.Platform.bandwidth` lookup contract;
+* flat-clique regression — clique platforms keep their historical key
+  shape and ``unit`` collapse, bit for bit;
+* link contention priced identically by all three cost tiers (exact
+  :class:`~repro.core.CostModel`, float :class:`~repro.core.FloatCosts`,
+  batched :class:`~repro.core.MappingBatch`/:class:`~repro.core.ForestBatch`);
+* certified searches on tree/torus platforms bit-for-bit equal to the
+  all-Fraction tier;
+* the hierarchical placement seed and the incremental-evaluator gates.
+"""
+
+import random
+from fractions import Fraction as F
+
+import numpy as np
+import pytest
+
+from repro import make_application
+from repro.core import (
+    CommModel,
+    CostModel,
+    Exactness,
+    ExecutionGraph,
+    FlatTopology,
+    FloatCosts,
+    ForestBatch,
+    Mapping,
+    MappingBatch,
+    Platform,
+    TorusTopology,
+    TreeTopology,
+    link_flow_counts,
+    platform_fingerprint,
+)
+from repro.optimize import Effort, greedy_mapping, hierarchical_seed
+from repro.optimize.incremental import (
+    FullPlacementCosts,
+    IncrementalSharedCosts,
+    period_delta,
+    placement_evaluator,
+)
+from repro.optimize.placement import (
+    iter_mappings,
+    iter_shared_mappings,
+    optimize_mapping,
+    optimize_shared_mapping,
+)
+from repro.planner import solve, solve_key
+from repro.workloads.generators import random_application, random_execution_graph
+
+MODELS = [CommModel.OVERLAP, CommModel.INORDER, CommModel.OUTORDER]
+
+TREE_SHAPES = [
+    dict(racks=2, servers_per_rack=2),
+    dict(racks=2, servers_per_rack=3),
+    dict(racks=3, servers_per_rack=2),
+    dict(racks=2, servers_per_rack=2, up_bw=F(1, 4)),
+    dict(racks=2, servers_per_rack=2, rack_bw=F(1, 2)),
+    dict(racks=2, servers_per_rack=2, speed2=F(2)),
+    dict(racks=2, servers_per_rack=2, shared=False),
+]
+
+TORUS_SHAPES = [
+    dict(dims=(2, 2)),
+    dict(dims=(3, 2)),
+    dict(dims=(2, 3)),
+    dict(dims=(4,)),
+    dict(dims=(2, 2, 2)),
+    dict(dims=(2, 2), bw=F(1, 2)),
+    dict(dims=(2, 2), shared=False),
+]
+
+
+def _platforms():
+    return [Platform(topology=TreeTopology(**kw)) for kw in TREE_SHAPES] + [
+        Platform(topology=TorusTopology(**kw)) for kw in TORUS_SHAPES
+    ]
+
+
+class TestGeneratorProperties:
+    """Satellite: generated topologies are well-formed and distinct."""
+
+    def test_bandwidths_symmetric_and_positive(self):
+        for platform in _platforms():
+            topo = platform.topology
+            pairs = topo.pair_bandwidths()
+            for (u, v), bw in pairs.items():
+                assert bw > 0, (topo.key(), u, v)
+                assert pairs[(v, u)] == bw, (topo.key(), u, v)
+                assert platform.bandwidth(u, v) == bw
+
+    def test_capacities_positive_and_routes_within_range(self):
+        for platform in _platforms():
+            topo = platform.topology
+            caps = topo.link_capacities()
+            assert all(c > 0 for c in caps)
+            names = platform.names
+            for u in names:
+                for v in names:
+                    if u == v:
+                        continue
+                    for link in topo.route(u, v):
+                        assert 0 <= link < len(caps), (topo.key(), u, v)
+
+    def test_route_bottleneck_equals_pair_bandwidth(self):
+        for platform in _platforms():
+            topo = platform.topology
+            caps = topo.link_capacities()
+            for (u, v), bw in topo.pair_bandwidths().items():
+                route = topo.route(u, v)
+                assert route, (u, v)
+                assert min(caps[l] for l in route) == bw
+
+    def test_fingerprints_distinct_across_shapes(self):
+        platforms = _platforms()
+        keys = [p.key() for p in platforms]
+        assert len(set(keys)) == len(keys)
+        # Uncontended uniform shapes collapse to the "unit" sentinel (they
+        # really are interchangeable); everything else stays distinct.
+        prints = [p.fingerprint() for p in platforms if not p.is_unit]
+        assert len(set(prints)) == len(prints)
+
+    def test_solve_keys_distinct_across_specs(self):
+        app = make_application([("A", 1, 1), ("B", 2, 1)])
+        specs = [
+            "tree:racks=2,servers=2",
+            "tree:racks=2,servers=2,up_bw=1/4",
+            "tree:racks=2,servers=2,shared=0",
+            "torus:dims=2x2",
+            "torus:dims=2x2,bw=1/2",
+        ]
+        keys = [solve_key(app, platform=spec) for spec in specs]
+        assert len(set(keys)) == len(keys)
+
+
+class TestStrictBandwidth:
+    """Satellite: strict lookups raise; ``lenient`` restores the default."""
+
+    def setup_method(self):
+        self.platform = Platform.homogeneous(3)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            self.platform.bandwidth("S1", "nope")
+
+    def test_self_pair_raises_strict_returns_lenient(self):
+        with pytest.raises(KeyError):
+            self.platform.bandwidth("S1", "S1")
+        assert self.platform.bandwidth("S1", "S1", lenient=True) == 1
+
+    def test_world_world_raises_strict(self):
+        from repro.core.platform import INPUT, OUTPUT
+
+        with pytest.raises(KeyError):
+            self.platform.bandwidth(INPUT, OUTPUT)
+        assert self.platform.bandwidth(INPUT, OUTPUT, lenient=True) == 1
+        # World <-> server stays a real (dedicated) link.
+        assert self.platform.bandwidth(INPUT, "S1") == 1
+        assert self.platform.bandwidth("S2", OUTPUT) == 1
+
+
+class TestFlatRegression:
+    """Clique platforms are bit-for-bit what they were before topologies."""
+
+    def test_clique_key_has_no_topology_component(self):
+        platform = Platform.of(speeds=[1, 2], links={("S1", "S2"): F(1, 2)})
+        assert all(
+            not (isinstance(part, tuple) and part and part[0] == "topology")
+            for part in platform.key()
+        )
+        structured = Platform(topology=TreeTopology(racks=1, servers_per_rack=2))
+        assert any(
+            isinstance(part, tuple) and part and part[0] == "topology"
+            for part in structured.key()
+        )
+
+    def test_explicit_flat_topology_matches_homogeneous(self):
+        flat = Platform(topology=FlatTopology(("S1", "S2", "S3")))
+        assert flat == Platform.homogeneous(3)
+        assert flat.is_unit and not flat.has_contention
+        assert platform_fingerprint(flat) == "unit"
+
+    def test_uncontended_uniform_tree_is_unit(self):
+        # Satellite: unit collapse must consult the topology.  A switch
+        # tree with uniform speeds/bandwidths and no sharing is a clique
+        # in disguise; the same tree with sharing is not.
+        calm = Platform(
+            topology=TreeTopology(racks=2, servers_per_rack=2, shared=False)
+        )
+        assert calm.is_unit and calm.is_homogeneous
+        hot = Platform(topology=TreeTopology(racks=2, servers_per_rack=2))
+        assert hot.has_contention
+        assert not hot.is_unit
+        assert not hot.is_homogeneous
+        assert platform_fingerprint(hot) != "unit"
+
+    def test_flat_solve_results_unchanged_shape(self):
+        app = make_application([("A", 2, F(1, 2)), ("B", 3, 1), ("C", 1, 2)])
+        unit = solve(app).value
+        hom = solve(app, platform="hom:n=3").value
+        assert unit == hom
+
+
+class TestExactContention:
+    """CostModel prices shared links by dividing capacity among flows."""
+
+    def _two_cross_flows(self):
+        app = make_application(
+            [("A", 1, 1), ("B", 1, 1), ("C", 1, 1), ("D", 1, 1)]
+        )
+        graph = ExecutionGraph(app, [("A", "C"), ("B", "D")])
+        platform = Platform(topology=TreeTopology(racks=2, servers_per_rack=2))
+        mapping = Mapping(
+            {"A": "R0N0", "B": "R0N1", "C": "R1N0", "D": "R1N1"}
+        )
+        return graph, platform, mapping
+
+    def test_two_flows_halve_the_shared_uplinks(self):
+        graph, platform, mapping = self._two_cross_flows()
+        costs = CostModel(graph, platform, mapping)
+        # Each uplink carries both flows: effective bandwidth 1/2.
+        assert costs.link_bandwidth("A", "C") == F(1, 2)
+        assert costs.link_bandwidth("B", "D") == F(1, 2)
+        assert platform.bandwidth("R0N0", "R1N0") == 1  # uncontended quote
+
+    def test_link_flow_counts(self):
+        graph, platform, mapping = self._two_cross_flows()
+        flows = [(mapping.server(u), mapping.server(v)) for u, v in graph.edges]
+        counts = link_flow_counts(platform, flows)
+        caps = platform.link_capacities()
+        # 4 access links used once each, both uplinks used twice.
+        assert sorted(counts.values()) == [1, 1, 1, 1, 2, 2]
+        assert len(caps) == 6
+
+    def test_colocated_edges_are_not_flows(self):
+        app = make_application([("A", 1, 1), ("B", 1, 1), ("C", 1, 1)])
+        graph = ExecutionGraph(app, [("A", "B"), ("A", "C")])
+        platform = Platform(topology=TreeTopology(racks=2, servers_per_rack=2))
+        shared_map = Mapping.shared({"A": "R0N0", "B": "R0N0", "C": "R1N0"})
+        costs = CostModel(graph, platform, shared_map)
+        # Only A->C crosses servers; it rides alone at full route bottleneck.
+        assert costs.link_bandwidth("A", "C") == 1
+
+    def test_unshared_topology_matches_static_quotes(self):
+        graph, _, mapping = self._two_cross_flows()
+        platform = Platform(
+            topology=TreeTopology(racks=2, servers_per_rack=2, shared=False)
+        )
+        costs = CostModel(graph, platform, mapping)
+        assert costs.link_bandwidth("A", "C") == platform.bandwidth(
+            "R0N0", "R1N0"
+        )
+
+
+def _structured_instance(seed, *, max_services=4):
+    """Random ``(graph, platform, mapping)`` on a tree or torus platform."""
+    rng = random.Random(seed)
+    if seed % 2:
+        topo = TreeTopology(
+            racks=rng.randrange(2, 4),
+            servers_per_rack=rng.randrange(2, 4),
+            up_bw=F(1, rng.randrange(1, 5)),
+            rack_bw=F(1, rng.randrange(1, 3)),
+            speed2=F(rng.randrange(1, 4)),
+            shared=seed % 4 != 3,
+        )
+    else:
+        dims = (rng.randrange(2, 4), rng.randrange(2, 4))
+        topo = TorusTopology(
+            dims, bw=F(1, rng.randrange(1, 4)), shared=seed % 4 != 2
+        )
+    platform = Platform(topology=topo)
+    n = rng.randrange(2, min(max_services, len(platform)) + 1)
+    app = random_application(n, seed=seed, filter_fraction=rng.uniform(0.2, 0.9))
+    graph = random_execution_graph(app, seed=seed + 1, density=rng.uniform(0.2, 0.7))
+    order = rng.sample(range(len(platform)), n)
+    mapping = Mapping(
+        {svc: platform.names[order[i]] for i, svc in enumerate(graph.nodes)}
+    )
+    return graph, platform, mapping
+
+
+class TestFloatParity:
+    """FloatCosts tracks the exact tier within CERT_EPS under contention."""
+
+    def test_period_and_latency_sweep(self):
+        for seed in range(80):
+            graph, platform, mapping = _structured_instance(seed)
+            exact = CostModel(graph, platform, mapping)
+            fast = FloatCosts(graph, platform, mapping)
+            model = MODELS[seed % 3]
+            e = exact.period_lower_bound(model)
+            f = fast.period_lower_bound(model)
+            assert abs(f - float(e)) <= 1e-9 * max(1.0, abs(float(e))), seed
+            el = exact.latency_lower_bound()
+            fl = fast.latency_lower_bound()
+            assert abs(fl - float(el)) <= 1e-9 * max(1.0, abs(float(el))), seed
+
+
+class TestBatchedParity:
+    """Batched kernels == scalar FloatCosts, bit for bit, under contention."""
+
+    def test_mapping_batch_full_enumeration(self):
+        for seed in range(40):
+            graph, platform, _ = _structured_instance(seed, max_services=3)
+            mappings = list(iter_mappings(graph.nodes, platform))
+            if len(mappings) > 400:
+                mappings = mappings[::7]
+            for kind in ("period", "latency"):
+                model = MODELS[seed % 3]
+                batch = MappingBatch(graph, platform, kind=kind, model=model)
+                rows = np.stack([batch.encode(m) for m in mappings])
+                values = batch.values(rows)
+                for k, m in enumerate(mappings):
+                    fast = FloatCosts(graph, platform, m)
+                    scalar = (
+                        fast.period_lower_bound(model)
+                        if kind == "period"
+                        else fast.latency_lower_bound()
+                    )
+                    assert values[k] == scalar, (seed, kind, model, k)
+
+    def test_forest_batch_pinned_mapping(self, forest_graph):
+        for seed in range(40):
+            rng = random.Random(seed)
+            _, platform, _ = _structured_instance(seed, max_services=4)
+            n = rng.randrange(2, 5)
+            app = random_application(n, seed=seed + 50)
+            order = rng.sample(range(len(platform)), n)
+            mapping = Mapping(
+                {svc: platform.names[order[i]] for i, svc in enumerate(app.names)}
+            )
+            model = MODELS[seed % 3]
+            batch = ForestBatch(app, model, platform, mapping)
+            graphs = [forest_graph(app, rng) for _ in range(20)]
+            rows = np.stack([batch.encode(g) for g in graphs])
+            valid, values = batch.periods(rows)
+            assert valid.all(), (seed, model)
+            for k, g in enumerate(graphs):
+                scalar = FloatCosts(g, platform, mapping).period_lower_bound(model)
+                assert values[k] == scalar, (seed, model, k)
+
+
+class TestCertifiedBitForBit:
+    """Certified searches on structured platforms == the all-Fraction tier."""
+
+    def test_optimize_mapping_exhaustive_and_local_search(self):
+        from repro.optimize.placement import clear_placement_memo
+
+        for seed in range(12):
+            graph, platform, _ = _structured_instance(seed, max_services=3)
+            model = MODELS[seed % 3]
+            for kwargs in (
+                {},  # exhaustive (small spaces)
+                {"exhaustive_limit": 0},  # force seed + local search
+            ):
+                results = {}
+                for exactness in (Exactness.EXACT, Exactness.CERTIFIED):
+                    clear_placement_memo()
+                    results[exactness] = optimize_mapping(
+                        graph, "period", model, Effort.BOUND, platform,
+                        exactness=exactness, **kwargs,
+                    )
+                exact_v, exact_m = results[Exactness.EXACT]
+                cert_v, cert_m = results[Exactness.CERTIFIED]
+                assert cert_v == exact_v, (seed, model, kwargs)
+                assert cert_m.items() == exact_m.items(), (seed, model, kwargs)
+
+    def test_optimize_shared_mapping_exhaustive(self):
+        platform = Platform(
+            topology=TreeTopology(racks=2, servers_per_rack=2, up_bw=F(1, 2))
+        )
+        for seed in range(6):
+            rng = random.Random(seed)
+            n = rng.randrange(2, 4)
+            app = random_application(n, seed=seed + 30)
+            graph = random_execution_graph(app, seed=seed + 31, density=0.5)
+            model = MODELS[seed % 3]
+            value, mapping = optimize_shared_mapping(graph, model, platform)
+            brute = min(
+                _shared_value(graph, platform, m, model)
+                for m in iter_shared_mappings(graph.nodes, platform)
+            )
+            assert value == brute, (seed, model)
+            assert _shared_value(graph, platform, mapping, model) == value
+
+    def test_solve_branch_and_bound_certified(self):
+        app = make_application(
+            [("A", 2, F(1, 2)), ("B", 3, 1), ("C", 1, 2), ("D", 2, 1)]
+        )
+        for spec in ("tree:racks=2,servers=2,up_bw=1/2", "torus:dims=2x2,bw=1/2"):
+            exact = solve(
+                app, method="branch-and-bound", platform=spec, exactness="exact"
+            )
+            cert = solve(
+                app, method="branch-and-bound", platform=spec,
+                exactness="certified",
+            )
+            assert cert.value == exact.value, spec
+            assert cert.graph.edges == exact.graph.edges, spec
+
+
+def _shared_value(graph, platform, mapping, model):
+    from repro.optimize.incremental import exact_placement_value
+
+    return exact_placement_value(
+        graph, platform, mapping, model=model, shared=True
+    )
+
+
+class TestIncrementalGates:
+    """Contention invalidates cached deltas; the full evaluator takes over."""
+
+    def _contended(self):
+        graph, platform, mapping = TestExactContention()._two_cross_flows()
+        return graph, platform, mapping
+
+    def test_period_delta_declines_contended_platforms(self):
+        graph, platform, mapping = self._contended()
+        assert (
+            period_delta(graph, CommModel.OVERLAP, Effort.BOUND, platform, mapping)
+            is None
+        )
+
+    def test_incremental_shared_costs_refuses(self):
+        graph, platform, _ = self._contended()
+        shared = Mapping.shared(
+            {n: platform.names[0] for n in graph.nodes}
+        )
+        with pytest.raises(ValueError, match="contention|contended"):
+            IncrementalSharedCosts(graph, platform, shared)
+
+    def test_placement_evaluator_dispatches_full_recompute(self):
+        graph, platform, mapping = self._contended()
+        ev = placement_evaluator(graph, platform, mapping)
+        assert isinstance(ev, FullPlacementCosts)
+
+    def test_full_placement_costs_scores_match_recompute(self):
+        for seed in range(15):
+            graph, platform, mapping = _structured_instance(seed)
+            ev = placement_evaluator(graph, platform, mapping)
+            base = CostModel(graph, platform, mapping).period_lower_bound(
+                CommModel.OVERLAP
+            )
+            assert ev.value() == base, seed
+            rng = random.Random(seed)
+            nodes = list(graph.nodes)
+            svc = rng.choice(nodes)
+            free = [s for s in platform.names if s not in ev.assignment.values()]
+            target = rng.choice(free) if free else ev.assignment[svc]
+            trial = ev.score_reassign(svc, target)
+            moved = dict(ev.assignment)
+            moved[svc] = target
+            expect = CostModel(
+                graph, platform, Mapping(moved)
+            ).period_lower_bound(CommModel.OVERLAP)
+            if trial is not None:
+                assert abs(float(trial) - float(expect)) <= 1e-9 * max(
+                    1.0, float(expect)
+                ), seed
+            ev.apply_reassign(svc, target)
+            assert ev.value() == expect, seed
+
+
+class TestHierarchicalSeed:
+    """The topology-partitioned seed: injective, capacity-safe, effective."""
+
+    def test_seed_is_injective_and_capacity_respecting(self):
+        for seed in range(20):
+            graph, platform, _ = _structured_instance(seed, max_services=5)
+            m = hierarchical_seed(graph, platform)
+            servers = [m.server(n) for n in graph.nodes]
+            assert len(set(servers)) == len(servers), seed
+            for _label, names in platform.topology.groups():
+                used = sum(1 for s in servers if s in names)
+                assert used <= len(names), seed
+
+    def test_flat_platform_reduces_to_greedy(self):
+        app = make_application([("A", 3, 1), ("B", 1, 2), ("C", 2, F(1, 2))])
+        graph = ExecutionGraph(app, [("A", "B")])
+        platform = Platform.of(speeds=[1, 2, 4])
+        assert hierarchical_seed(graph, platform).items() == greedy_mapping(
+            graph, platform
+        ).items()
+
+    def test_chain_pairs_share_a_rack(self):
+        app = make_application(
+            [("A", 1, 2), ("B", 1, 1), ("C", 1, 2), ("D", 1, 1)]
+        )
+        graph = ExecutionGraph(app, [("A", "B"), ("C", "D")])
+        platform = Platform(
+            topology=TreeTopology(racks=2, servers_per_rack=2, up_bw=F(1, 4))
+        )
+        m = hierarchical_seed(graph, platform)
+        assert m.server("A")[:2] == m.server("B")[:2]
+        assert m.server("C")[:2] == m.server("D")[:2]
+
+    def test_hierarchical_strategy_never_loses_to_flat(self):
+        from repro.optimize.placement import clear_placement_memo
+
+        for seed in range(8):
+            graph, platform, _ = _structured_instance(seed, max_services=4)
+            clear_placement_memo()
+            flat_v, _ = optimize_mapping(
+                graph, "period", CommModel.OVERLAP, Effort.BOUND, platform,
+                exhaustive_limit=0, strategy="flat",
+            )
+            clear_placement_memo()
+            hier_v, _ = optimize_mapping(
+                graph, "period", CommModel.OVERLAP, Effort.BOUND, platform,
+                exhaustive_limit=0, strategy="hierarchical",
+            )
+            # Both run the same local search from different seeds; the
+            # topology-aware seed must not end in a worse local optimum
+            # on these instances (regression guard for the heuristic).
+            assert hier_v <= flat_v * F(11, 10), seed
+
+    def test_bad_strategy_rejected(self):
+        graph, platform, _ = _structured_instance(1)
+        with pytest.raises(ValueError, match="strategy"):
+            optimize_mapping(
+                graph, "period", CommModel.OVERLAP, Effort.BOUND, platform,
+                strategy="bogus",
+            )
+
+
+class TestPlannerIntegration:
+    """The hierarchical solver and topology specs through the facade."""
+
+    def test_solve_hierarchical_on_tree(self):
+        app = make_application(
+            [("A", 1, 2), ("B", 2, 1), ("C", 1, 2), ("D", 3, F(1, 2)),
+             ("E", 1, 1), ("F", 2, 1)]
+        )
+        spec = "tree:racks=3,servers=2,up_bw=1/4"
+        hier = solve(app, method="hierarchical", platform=spec)
+        assert hier.stats.extras.get("hierarchical") is True
+        ls = solve(app, method="local-search", platform=spec)
+        assert hier.value <= ls.value
+
+    def test_solver_falls_back_without_structure(self):
+        app = make_application([("A", 1, 2), ("B", 2, 1)])
+        r = solve(app, method="hierarchical")
+        assert r.stats.extras.get("hierarchical") is False
+        assert r.value == solve(app, method="local-search").value
+
+    def test_certified_solve_matches_exact_on_torus(self):
+        app = make_application([("A", 2, F(1, 2)), ("B", 3, 1), ("C", 1, 2)])
+        spec = "torus:dims=2x2,bw=1/2"
+        exact = solve(app, method="hierarchical", platform=spec, exactness="exact")
+        cert = solve(
+            app, method="hierarchical", platform=spec, exactness="certified"
+        )
+        assert cert.value == exact.value
