@@ -4,8 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test coverage bench bench-platform bench-search bench-concurrent \
-	bench-batched bench-serve bench-topology bench-compare serve-smoke \
-	profile docs gallery install
+	bench-batched bench-serve bench-topology bench-dynamic bench-compare \
+	serve-smoke profile docs gallery install
 
 test:            ## unit + integration tests and benchmark assertions
 	$(PYTHON) -m pytest -x -q
@@ -36,6 +36,9 @@ bench-serve:     ## planner-daemon load test: rps + p50/p99 per mix (BENCH_serve
 
 bench-topology:  ## hierarchical vs flat placement on tree/torus (BENCH_topology.json)
 	$(PYTHON) -m pytest benchmarks/test_bench_topology.py -q
+
+bench-dynamic:   ## warm re-planning vs cold re-solve on a flash crowd (BENCH_dynamic.json)
+	$(PYTHON) -m pytest benchmarks/test_bench_dynamic.py -q
 
 serve-smoke:     ## start the real daemon subprocess; solve/stats/shutdown round trip
 	$(PYTHON) -m pytest tests/test_serve.py -q -m smoke

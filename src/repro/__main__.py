@@ -15,6 +15,9 @@ Subcommands
 ``serve``       Run the long-lived planner daemon (JSON-lines over
                 stdin/stdout and optionally TCP) with request coalescing,
                 micro-batching and a warm evaluation cache.
+``replay``      Play a scenario trace (flash crowd, diurnal load, rolling
+                maintenance, or a CSV) through warm-started re-planning
+                and compare against the cold re-solve baseline.
 ``list``        Show the known workload specs and registered solvers.
 
 Examples::
@@ -31,6 +34,8 @@ Examples::
         --targets 16,8
     python -m repro gallery --platform --json
     python -m repro serve --workers 2 --tcp 127.0.0.1:0
+    python -m repro replay flash:n=20,seed=7 --platform hom:n=4 --budget 2
+    python -m repro replay maint:dwell=10 --platform tree:racks=2,servers=2
 """
 
 from __future__ import annotations
@@ -405,6 +410,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a scenario trace through warm-started re-planning."""
+    from .dynamic import load_trace, replay
+    from .planner.facade import _coerce_model
+
+    platform = load_platform(args.platform)
+    trace = load_trace(args.trace, platform)
+    if args.save_csv:
+        trace.save_csv(args.save_csv)
+    report = replay(
+        trace,
+        platform,
+        budget=args.budget,
+        model=_coerce_model(args.model),
+        exactness=args.exactness,
+        compare_cold=not args.no_cold,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+    print(report.summary_table())
+    print()
+    for key, value in report.aggregates().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("workloads (named instances take no options; families take key=value):")
     for name in workload_names():
@@ -624,6 +656,48 @@ def build_parser() -> argparse.ArgumentParser:
         "on graceful shutdown",
     )
     p_srv.set_defaults(fn=cmd_serve)
+
+    p_rep = sub.add_parser(
+        "replay",
+        help="replay a scenario trace through warm-started re-planning",
+    )
+    p_rep.add_argument(
+        "trace",
+        help="trace spec: a generator family (flash:n=50,seed=7, "
+        "diurnal:apps=3,cycles=1, maint:dwell=10,gap=5) or a CSV file "
+        "(@path or anything ending in .csv)",
+    )
+    p_rep.add_argument(
+        "--platform", required=True,
+        help="platform spec the events play out on, e.g. hom:n=4 or "
+        "tree:racks=2,servers=2,up_bw=1/2 (maint traces need a "
+        "topology with more than one group)",
+    )
+    p_rep.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="max voluntary migrations per event (default: unlimited; "
+        "forced evacuations and admissions are always free)",
+    )
+    p_rep.add_argument(
+        "--model", default="overlap",
+        help="overlap (exact aggregated bound), inorder or outorder",
+    )
+    p_rep.add_argument(
+        "--exactness", default=None,
+        choices=["exact", "certified", "fast"],
+        help="numeric tier of the placement search (default: certified)",
+    )
+    p_rep.add_argument(
+        "--no-cold", action="store_true",
+        help="skip the per-event cold re-solve baseline (faster; the "
+        "period/move ratios become unavailable)",
+    )
+    p_rep.add_argument(
+        "--save-csv", default=None, metavar="PATH",
+        help="also write the (possibly generated) trace to a CSV file",
+    )
+    p_rep.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p_rep.set_defaults(fn=cmd_replay)
 
     p_list = sub.add_parser("list", help="show workloads and registered solvers")
     p_list.set_defaults(fn=cmd_list)

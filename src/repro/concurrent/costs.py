@@ -68,7 +68,13 @@ class ConcurrentCosts:
 
     # -- system-wide -----------------------------------------------------------
     def system_period(self) -> Fraction:
-        """The minimal common period: ``max_u Cexec(u)`` aggregated."""
+        """The minimal common period: ``max_u Cexec(u)`` aggregated.
+
+        An empty system (no services mapped — e.g. every application
+        evicted) sustains any period, so the bound degenerates to ``0``.
+        """
+        if not self.costs.used_servers():
+            return ZERO
         return self.costs.period_lower_bound(self.model)
 
     def server_loads(self) -> Dict[str, Fraction]:
@@ -149,10 +155,15 @@ class ConcurrentCosts:
         return self._combine(cin, ccomp, cout)
 
     def max_utilisation(self) -> Fraction:
-        """``max_u`` utilisation — the sequels' load-balance objective."""
-        return max(
-            self.server_utilisation(u) for u in self.costs.used_servers()
-        )
+        """``max_u`` utilisation — the sequels' load-balance objective.
+
+        The empty system (no services mapped) loads no server at all, so
+        its utilisation is ``0`` — not a ``max()`` over zero servers.
+        """
+        used = self.costs.used_servers()
+        if not used:
+            return ZERO
+        return max(self.server_utilisation(u) for u in used)
 
     def is_feasible(self) -> bool:
         """Every period target satisfiable: max utilisation at most 1.

@@ -100,13 +100,14 @@ class MultiApplication:
     members:
         :class:`ConcurrentApp` objects, ``(name, graph)`` pairs, or bare
         :class:`~repro.core.ExecutionGraph` objects (auto-named
-        ``app0``, ``app1``, ...).  Names must be unique.
+        ``app0``, ``app1``, ...).  Names must be unique.  Zero members is
+        allowed — the *empty system* every application has been evicted
+        from (see :mod:`repro.dynamic`); its combined graph has no
+        services, its period is 0 and it is trivially feasible.
     """
 
     def __init__(self, members: Sequence[Member]) -> None:
         apps = tuple(_coerce_member(m, i) for i, m in enumerate(members))
-        if not apps:
-            raise ValueError("a MultiApplication needs at least one application")
         names = [a.name for a in apps]
         if len(set(names)) != len(names):
             dupes = sorted({n for n in names if names.count(n) > 1})

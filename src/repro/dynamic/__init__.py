@@ -1,0 +1,71 @@
+"""Online re-planning: event-driven admit/evict/load-change scenarios.
+
+The concurrent regime's runtime layer (ROADMAP open item 1): a running
+system holds an incumbent shared mapping (:class:`DynamicState`), events
+(:class:`Event` — admissions, evictions, load changes, server drains)
+mutate it through warm-started bounded repair (:func:`replan`), and
+:func:`replay` measures whole scenario traces (:class:`ScenarioTrace` —
+flash crowds, diurnal load, rolling maintenance) against the cold
+re-solve baseline.
+
+Quickstart::
+
+    >>> from fractions import Fraction
+    >>> from repro.core import Platform
+    >>> from repro.dynamic import Event, initial_state, replan
+    >>> state = initial_state([], platform=Platform.homogeneous(3))
+    >>> result = replan(
+    ...     state, Event("admit", app="a", workload="fig1", rho=Fraction(40)))
+    >>> result.feasible, len(result.admitted)
+    (True, 5)
+
+CLI: ``python -m repro replay flash:n=50 --platform hom:n=4 --budget 2``.
+"""
+
+from .events import (
+    CSV_COLUMNS,
+    DIURNAL_CURVE,
+    Event,
+    KINDS,
+    ScenarioTrace,
+    TRACE_FAMILIES,
+    diurnal_trace,
+    flash_crowd_trace,
+    load_trace,
+    maintenance_trace,
+)
+from .replan import (
+    DynamicState,
+    MAX_ROUNDS,
+    ReplanResult,
+    apply_event,
+    cold_solve,
+    initial_state,
+    migration_sizes,
+    replan,
+)
+from .replay import ReplayReport, ReplayStep, replay
+
+__all__ = [
+    "CSV_COLUMNS",
+    "DIURNAL_CURVE",
+    "DynamicState",
+    "Event",
+    "KINDS",
+    "MAX_ROUNDS",
+    "ReplanResult",
+    "ReplayReport",
+    "ReplayStep",
+    "ScenarioTrace",
+    "TRACE_FAMILIES",
+    "apply_event",
+    "cold_solve",
+    "diurnal_trace",
+    "flash_crowd_trace",
+    "initial_state",
+    "load_trace",
+    "maintenance_trace",
+    "migration_sizes",
+    "replan",
+    "replay",
+]

@@ -1,0 +1,287 @@
+"""Replay a scenario trace: warm-started repair vs. cold re-solve.
+
+:func:`replay` runs a :class:`~repro.dynamic.events.ScenarioTrace`
+through :func:`~repro.dynamic.replan.replan` event by event, maintaining
+the warm incumbent, and (optionally) re-solves every snapshot cold — the
+baseline a from-scratch planner would deploy.  The per-event timeline
+records both sides: objective value, system period, max utilisation,
+feasibility, services moved, migration cost, and wall time.
+
+Two aggregate numbers summarise a replay (the bench's acceptance
+criteria): the **period ratio** (warm steady-state system period over
+cold — 1.0 means the repair matches the full re-solve) and the **move
+ratio** (total services the warm side migrated over the cold side's
+churn — the whole point of bounded repair is pushing this far below 1).
+
+Cold churn counts the same thing warm moves count: services that
+survived the event but sit on a different server than before it.  The
+cold baseline re-solves with no memory of its previous mapping, so its
+churn is what a stateless planner would force the operators to migrate.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from ..concurrent import ConcurrentCosts, MultiApplication
+from ..core import CommModel, Platform
+from ..optimize.placement import clear_placement_memo
+from .events import Event, ScenarioTrace
+from .replan import DynamicState, ReplanResult, cold_solve, replan
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+@dataclass
+class ReplayStep:
+    """One event's before/after readouts, warm and cold."""
+
+    index: int
+    event: Event
+    applications: int
+    services: int
+    warm_value: Fraction
+    warm_period: Fraction
+    warm_utilisation: Optional[Fraction]
+    warm_feasible: bool
+    warm_moved: int
+    warm_forced: int
+    migration_cost: Fraction
+    fallback: bool
+    warm_wall: float
+    cold_period: Optional[Fraction] = None
+    cold_feasible: Optional[bool] = None
+    cold_moved: Optional[int] = None
+    cold_wall: Optional[float] = None
+
+    @property
+    def period_ratio(self) -> Optional[Fraction]:
+        """Warm period over cold (``None`` without a cold baseline)."""
+        if self.cold_period is None:
+            return None
+        if self.cold_period == 0:
+            return ONE if self.warm_period == 0 else None
+        return self.warm_period / self.cold_period
+
+    def as_dict(self) -> Dict[str, object]:
+        ratio = self.period_ratio
+        return {
+            "index": self.index,
+            "time": str(self.event.time),
+            "event": self.event.label(),
+            "applications": self.applications,
+            "services": self.services,
+            "warm": {
+                "value": str(self.warm_value),
+                "system_period": str(self.warm_period),
+                "utilisation": (
+                    str(self.warm_utilisation)
+                    if self.warm_utilisation is not None
+                    else None
+                ),
+                "feasible": self.warm_feasible,
+                "moved": self.warm_moved,
+                "forced": self.warm_forced,
+                "migration_cost": str(self.migration_cost),
+                "fallback": self.fallback,
+                "wall_ms": round(self.warm_wall * 1000, 3),
+            },
+            "cold": None if self.cold_period is None else {
+                "system_period": str(self.cold_period),
+                "feasible": self.cold_feasible,
+                "moved": self.cold_moved,
+                "wall_ms": round((self.cold_wall or 0.0) * 1000, 3),
+            },
+            "period_ratio": float(ratio) if ratio is not None else None,
+        }
+
+
+@dataclass
+class ReplayReport:
+    """The full timeline plus the aggregates the benchmarks assert on."""
+
+    steps: List[ReplayStep] = field(default_factory=list)
+    final: Optional[DynamicState] = None
+
+    @property
+    def total_warm_moves(self) -> int:
+        return sum(s.warm_moved + s.warm_forced for s in self.steps)
+
+    @property
+    def total_cold_moves(self) -> Optional[int]:
+        if any(s.cold_moved is None for s in self.steps):
+            return None
+        return sum(s.cold_moved for s in self.steps)  # type: ignore[misc]
+
+    @property
+    def mean_period_ratio(self) -> Optional[float]:
+        ratios = [s.period_ratio for s in self.steps]
+        ratios = [r for r in ratios if r is not None]
+        if not ratios:
+            return None
+        return float(sum(ratios) / len(ratios))
+
+    @property
+    def max_period_ratio(self) -> Optional[float]:
+        ratios = [s.period_ratio for s in self.steps if s.period_ratio is not None]
+        return float(max(ratios)) if ratios else None
+
+    @property
+    def move_ratio(self) -> Optional[float]:
+        cold = self.total_cold_moves
+        if cold is None or cold == 0:
+            return None
+        return self.total_warm_moves / cold
+
+    def aggregates(self) -> Dict[str, object]:
+        return {
+            "events": len(self.steps),
+            "total_warm_moves": self.total_warm_moves,
+            "total_cold_moves": self.total_cold_moves,
+            "move_ratio": self.move_ratio,
+            "mean_period_ratio": self.mean_period_ratio,
+            "max_period_ratio": self.max_period_ratio,
+            "total_migration_cost": str(
+                sum((s.migration_cost for s in self.steps), ZERO)
+            ),
+            "warm_wall_ms": round(
+                sum(s.warm_wall for s in self.steps) * 1000, 3
+            ),
+            "cold_wall_ms": round(
+                sum(s.cold_wall or 0.0 for s in self.steps) * 1000, 3
+            ),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "aggregates": self.aggregates(),
+            "timeline": [s.as_dict() for s in self.steps],
+        }
+
+    def summary_table(self) -> str:
+        """The human timeline (``repro replay`` prints this)."""
+        from ..analysis import text_table
+
+        rows = []
+        for s in self.steps:
+            ratio = s.period_ratio
+            rows.append([
+                str(s.index),
+                str(s.event.time),
+                s.event.label(),
+                str(s.applications),
+                f"{float(s.warm_period):.4g}",
+                (
+                    f"{float(s.warm_utilisation):.3f}"
+                    if s.warm_utilisation is not None
+                    else "-"
+                ),
+                "yes" if s.warm_feasible else "NO",
+                str(s.warm_moved + s.warm_forced),
+                str(s.cold_moved) if s.cold_moved is not None else "-",
+                f"{float(ratio):.3f}" if ratio is not None else "-",
+                f"{s.warm_wall * 1000:.1f}",
+                f"{s.cold_wall * 1000:.1f}" if s.cold_wall is not None else "-",
+            ])
+        return text_table(
+            [
+                "#", "t", "event", "apps", "period", "util", "feas",
+                "moved", "cold mv", "ratio", "warm ms", "cold ms",
+            ],
+            rows,
+        )
+
+
+def replay(
+    trace: ScenarioTrace,
+    platform: Platform,
+    *,
+    budget: Optional[int] = None,
+    model: CommModel = CommModel.OVERLAP,
+    exactness=None,
+    initial: Optional[DynamicState] = None,
+    compare_cold: bool = True,
+) -> ReplayReport:
+    """Run *trace* against *platform*, one :func:`replan` per event.
+
+    Starts from the empty system unless *initial* pins an incumbent.
+    With ``compare_cold`` every snapshot is also re-solved from scratch
+    (placement memo cleared first, so the cold wall time is honest) and
+    the cold side's churn is measured against its own previous mapping.
+    """
+    state = initial or DynamicState(
+        multi=MultiApplication([]),
+        platform=platform,
+        mapping=_empty_mapping(),
+        model=model,
+    )
+    report = ReplayReport()
+    cold_assignment: Dict[str, str] = (
+        {svc: state.mapping.server(svc)
+         for svc in state.multi.combined_graph.nodes}
+        if initial is not None
+        else {}
+    )
+    for index, event in enumerate(trace):
+        result: ReplanResult = replan(
+            state, event, budget=budget, exactness=exactness
+        )
+        state = result.state
+        readout = state.costs()
+        weights = state.multi.weights()
+        step = ReplayStep(
+            index=index,
+            event=event,
+            applications=len(state.multi),
+            services=state.multi.total_services,
+            warm_value=result.value,
+            warm_period=readout.system_period(),
+            warm_utilisation=(
+                readout.max_utilisation() if weights is not None else None
+            ),
+            warm_feasible=result.feasible,
+            warm_moved=len(result.moved),
+            warm_forced=len(result.forced),
+            migration_cost=result.migration_cost,
+            fallback=result.fallback,
+            warm_wall=result.wall,
+        )
+        if compare_cold:
+            clear_placement_memo()
+            cold_started = _time.perf_counter()
+            _value, cold_mapping = cold_solve(
+                state.multi, platform, drained=state.drained,
+                model=model, exactness=exactness,
+            )
+            step.cold_wall = _time.perf_counter() - cold_started
+            cold_readout = ConcurrentCosts(
+                state.multi, platform, cold_mapping, model=model
+            )
+            step.cold_period = cold_readout.system_period()
+            step.cold_feasible = cold_readout.is_feasible()
+            new_cold = {
+                svc: cold_mapping.server(svc)
+                for svc in state.multi.combined_graph.nodes
+            }
+            step.cold_moved = sum(
+                1
+                for svc, server in new_cold.items()
+                if svc in cold_assignment and cold_assignment[svc] != server
+            )
+            cold_assignment = new_cold
+        report.steps.append(step)
+    report.final = state
+    return report
+
+
+def _empty_mapping():
+    from ..core import Mapping
+
+    return Mapping.shared({})
+
+
+__all__ = ["ReplayReport", "ReplayStep", "replay"]

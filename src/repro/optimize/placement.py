@@ -461,6 +461,7 @@ def greedy_shared_mapping(
     platform: Platform,
     *,
     weights=None,
+    allowed=None,
 ) -> Mapping:
     """Bin-packing seed: heaviest (weighted) work onto the least-loaded server.
 
@@ -471,6 +472,9 @@ def greedy_shared_mapping(
     ties broken by platform order).  Communication-blind — the local
     search repairs chatty cross-server edges — but a strong LPT-style
     seed for the aggregated load objective.
+
+    *allowed* restricts the candidate servers (the dynamic layer's
+    drained-server maintenance scenarios); ``None`` means every server.
     """
     sizes = CostModel(graph)  # unit platform: raw work volumes
     weights = weights or {}
@@ -481,12 +485,19 @@ def greedy_shared_mapping(
         for n in graph.nodes
     }
     services = sorted(graph.nodes, key=lambda n: (-work[n], n))
-    load = {name: Fraction(0) for name in platform.names}
     order = {name: i for i, name in enumerate(platform.names)}
+    candidates = (
+        platform.names
+        if allowed is None
+        else tuple(n for n in platform.names if n in set(allowed))
+    )
+    if not candidates and services:
+        raise ValueError("no allowed server to place services on")
+    load = {name: Fraction(0) for name in candidates}
     assignment = {}
     for svc in services:
         best = min(
-            platform.names,
+            candidates,
             key=lambda u: (load[u] + work[svc] / platform.speed(u), order[u]),
         )
         assignment[svc] = best
@@ -548,6 +559,12 @@ def optimize_shared_mapping(
         return found
 
     services = tuple(graph.nodes)
+    if not services:
+        # The empty system (every application evicted): the one shared
+        # mapping is the empty one, loading no server at all.
+        outcome = (Fraction(0), Mapping.shared({}))
+        _memo[memo_key] = outcome
+        return outcome
     method = shared_search_method(len(services), len(platform), exhaustive_limit)
     if method == "shared-exhaustive":
         from .exhaustive import scan_best

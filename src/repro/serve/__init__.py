@@ -19,12 +19,14 @@ from .protocol import (
     OPS,
     PROTOCOL_VERSION,
     ProtocolError,
+    ReplanJob,
     Request,
     SolveJob,
     encode_response,
     error_response,
     ok_response,
     parse_request,
+    resolve_replan,
     resolve_solve,
 )
 from .server import PlannerServer, ServeConfig, serve_forever
@@ -36,6 +38,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "PlannerServer",
     "ProtocolError",
+    "ReplanJob",
     "Request",
     "ServeConfig",
     "SolveJob",
@@ -45,6 +48,7 @@ __all__ = [
     "error_response",
     "ok_response",
     "parse_request",
+    "resolve_replan",
     "resolve_solve",
     "serve_forever",
 ]

@@ -31,6 +31,20 @@ Operations
 ``stats``
     Server counters plus :class:`~repro.planner.CacheStats` for the
     evaluation and result caches.
+``replan``
+    Mutate the daemon's live incumbent shared mapping through one
+    re-planning event (:mod:`repro.dynamic`).  Parameters: ``event``
+    (object with ``kind`` — admit/evict/load/drain/restore/noop — plus
+    the trace-CSV fields ``app``/``workload``/``rho``/``servers``),
+    ``budget`` (max voluntary migrations; omitted = unlimited),
+    ``platform`` (spec string — required on the first request or with
+    ``reset``, rejected while an incumbent is live), ``model``,
+    ``exactness``, and ``reset`` (drop the incumbent, start from the
+    empty system).  Omitting ``event`` is a no-op that reports the
+    incumbent.  The response's ``result`` is the
+    :meth:`~repro.dynamic.ReplanResult.as_dict` payload: the new
+    incumbent summary plus move accounting.  Requests are serialised on
+    the incumbent — concurrent replans apply one at a time.
 ``clear_cache``
     Empty both caches and the placement memo (used by load tests to
     measure cold mixes).
@@ -51,6 +65,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
+from ..dynamic.events import Event
 from ..planner.catalog import Workload, load_workload
 from ..planner.facade import solve_key
 
@@ -58,12 +73,19 @@ from ..planner.facade import solve_key
 PROTOCOL_VERSION = 1
 
 #: Every operation the daemon understands.
-OPS: Tuple[str, ...] = ("ping", "solve", "stats", "clear_cache", "shutdown")
+OPS: Tuple[str, ...] = (
+    "ping", "solve", "replan", "stats", "clear_cache", "shutdown",
+)
 
 #: Accepted keys of a ``solve`` request beyond ``id``/``op``.
 SOLVE_PARAMS: Tuple[str, ...] = (
     "workload", "objective", "model", "method", "effort", "platform",
     "exactness", "deadline", "schedule",
+)
+
+#: Accepted keys of a ``replan`` request beyond ``id``/``op``.
+REPLAN_PARAMS: Tuple[str, ...] = (
+    "event", "budget", "platform", "model", "exactness", "reset",
 )
 
 
@@ -195,10 +217,71 @@ def resolve_solve(params: Mapping[str, Any]) -> SolveJob:
     )
 
 
+@dataclass(frozen=True)
+class ReplanJob:
+    """A validated replan request (the server holds the incumbent).
+
+    ``event`` may be ``None`` — a status no-op against the live
+    incumbent (or, with ``reset``, a bare re-initialisation).
+    """
+
+    event: Optional[Event]
+    budget: Optional[int]
+    platform_spec: Optional[str]
+    model: str
+    exactness: Optional[str]
+    reset: bool
+
+
+def resolve_replan(params: Mapping[str, Any]) -> ReplanJob:
+    """Validate ``replan`` parameters into a :class:`ReplanJob`.
+
+    Raises :class:`ProtocolError` on unknown keys or malformed scalars
+    and ``ValueError`` (via :meth:`Event.from_dict`) on a bad event —
+    both become one-line error responses.
+    """
+    unknown = sorted(set(params) - set(REPLAN_PARAMS))
+    if unknown:
+        raise ProtocolError(
+            f"unknown replan parameter(s) {unknown}; "
+            f"accepted: {', '.join(REPLAN_PARAMS)}"
+        )
+    raw_event = params.get("event")
+    event = None
+    if raw_event is not None:
+        if not isinstance(raw_event, dict):
+            raise ProtocolError(
+                "'event' must be an object with a 'kind' field"
+            )
+        event = Event.from_dict(raw_event)
+    budget = params.get("budget")
+    if budget is not None:
+        if isinstance(budget, bool) or not isinstance(budget, int):
+            raise ProtocolError(f"'budget' must be an integer, got {budget!r}")
+        if budget < 0:
+            raise ProtocolError(f"'budget' must be >= 0, got {budget}")
+    platform_spec = params.get("platform")
+    if platform_spec is not None and not isinstance(platform_spec, str):
+        raise ProtocolError("'platform' must be a spec string")
+    exactness = params.get("exactness")
+    if exactness is not None and not isinstance(exactness, str):
+        raise ProtocolError("'exactness' must be a tier name string")
+    return ReplanJob(
+        event=event,
+        budget=budget,
+        platform_spec=platform_spec,
+        model=str(params.get("model", "overlap")),
+        exactness=exactness,
+        reset=bool(params.get("reset", False)),
+    )
+
+
 __all__ = [
     "OPS",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "REPLAN_PARAMS",
+    "ReplanJob",
     "Request",
     "SOLVE_PARAMS",
     "SolveJob",
@@ -206,5 +289,6 @@ __all__ = [
     "error_response",
     "ok_response",
     "parse_request",
+    "resolve_replan",
     "resolve_solve",
 ]

@@ -25,6 +25,10 @@ one-shot library call into a service for heavy repeated traffic:
 * **Per-request deadlines** — a ``deadline`` parameter routes the solve
   through the anytime portfolio, so latency-sensitive clients always
   get the best plan found in time.
+* **A live incumbent** — the ``replan`` op (:mod:`repro.dynamic`) holds
+  one shared mapping in the daemon and mutates it event by event through
+  warm-started bounded repair; requests are serialised on an asyncio
+  lock so concurrent replans apply one at a time.
 """
 
 from __future__ import annotations
@@ -53,6 +57,7 @@ from .protocol import (
     error_response,
     ok_response,
     parse_request,
+    resolve_replan,
     resolve_solve,
 )
 
@@ -106,7 +111,13 @@ class PlannerServer:
         self.requests = 0
         self.errors = 0
         self.solves = 0
+        self.replans = 0
         self.restored_entries = 0
+        # The live replan incumbent (repro.dynamic); its lock is created
+        # lazily inside the running loop for the same 3.9 reason as the
+        # shutdown event below.
+        self._dynamic = None
+        self._dynamic_lock: Optional[asyncio.Lock] = None
         self._started = time.monotonic()
         self._tasks: "set[asyncio.Task[None]]" = set()
         # The shutdown event is created lazily inside the running loop:
@@ -156,6 +167,8 @@ class PlannerServer:
                 return ok_response(request.id, self._clear_caches())
             if request.op == "solve":
                 return await self._handle_solve(request)
+            if request.op == "replan":
+                return await self._handle_replan(request)
             if request.op == "shutdown":
                 # Reached only when called directly (tests / embedding);
                 # the stream loops intercept shutdown to sequence the
@@ -185,6 +198,47 @@ class PlannerServer:
             self.results.put(job.key, payload)
         return ok_response(
             request.id, payload, served="coalesced" if coalesced else "solve",
+            wall_ms=round((time.perf_counter() - started) * 1000, 3),
+        )
+
+    def _replan_lock(self) -> asyncio.Lock:
+        if self._dynamic_lock is None:
+            self._dynamic_lock = asyncio.Lock()
+        return self._dynamic_lock
+
+    async def _handle_replan(self, request: Request) -> Dict[str, Any]:
+        """Apply one re-planning event to the daemon's live incumbent."""
+        from ..dynamic import replan
+
+        job = resolve_replan(request.params)
+        started = time.perf_counter()
+        async with self._replan_lock():
+            state = self._dynamic
+            if job.reset or state is None:
+                if job.platform_spec is None:
+                    raise ProtocolError(
+                        "replan needs a 'platform' spec to initialise the "
+                        "incumbent (send it on the first request or with "
+                        "'reset': true)"
+                    )
+                state = _fresh_incumbent(job.platform_spec, job.model)
+            elif job.platform_spec is not None:
+                raise ProtocolError(
+                    "a replan incumbent is already live; pass 'reset': "
+                    "true to start over on a new platform"
+                )
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                self._threads,
+                lambda: replan(
+                    state, job.event,
+                    budget=job.budget, exactness=job.exactness,
+                ),
+            )
+            self._dynamic = result.state
+            self.replans += 1
+        return ok_response(
+            request.id, result.as_dict(), served="replan",
             wall_ms=round((time.perf_counter() - started) * 1000, 3),
         )
 
@@ -256,6 +310,7 @@ class PlannerServer:
                 "requests": self.requests,
                 "errors": self.errors,
                 "solves": self.solves,
+                "replans": self.replans,
                 "coalesced": self.coalescer.coalesced,
                 "in_flight": self.coalescer.in_flight,
                 "batches": self.batcher.batches,
@@ -449,6 +504,22 @@ class PlannerServer:
     async def wait_shutdown(self) -> None:
         """Block until a ``shutdown`` request arrives (TCP-only mode)."""
         await self._stop_event().wait()
+
+
+def _fresh_incumbent(platform_spec: str, model: str):
+    """The empty system on *platform_spec* — every replan stream's seed."""
+    from ..concurrent import MultiApplication
+    from ..core import Mapping
+    from ..dynamic import DynamicState
+    from ..planner.catalog import load_platform
+    from ..planner.facade import _coerce_model
+
+    return DynamicState(
+        multi=MultiApplication([]),
+        platform=load_platform(platform_spec),
+        mapping=Mapping.shared({}),
+        model=_coerce_model(model),
+    )
 
 
 async def serve_forever(

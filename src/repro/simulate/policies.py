@@ -50,10 +50,17 @@ class PolicyTrace:
         Section-2.3 example cycles through gaps ``7, 7, 9`` with mean
         ``23/3``.  We detect the gap cycle at the tail and return its exact
         mean, falling back to a plain tail average.
+
+        ``warmup`` discards the first *warmup* completions from the tail
+        average (default: the first half).  It must be non-negative; a
+        value of ``n - 1`` or more would leave no gap to average, so it is
+        clamped to ``n - 2`` (at least one gap always survives).
         """
         n = len(self.completion_times)
         if n < 2:
             raise ValueError("need at least two data sets")
+        if warmup is not None and warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {warmup}")
         gaps = [
             b - a
             for a, b in zip(self.completion_times, self.completion_times[1:])

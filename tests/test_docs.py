@@ -14,6 +14,7 @@ DOCTEST_MODULES = [
     "repro",
     "repro.concurrent",
     "repro.concurrent.multiapp",
+    "repro.dynamic",
     "repro.core.numeric",
     "repro.core.platform",
     "repro.core.topology",

@@ -455,6 +455,123 @@ def test_tcp_round_trip():
     run(_with_server(body))
 
 
+# ------------------------------------------------------------------ replan
+
+
+def test_resolve_replan_validates_parameters():
+    from repro.serve import resolve_replan
+
+    with pytest.raises(ProtocolError, match="unknown replan parameter"):
+        resolve_replan({"bogus": 1})
+    with pytest.raises(ProtocolError, match="'event' must be an object"):
+        resolve_replan({"event": "admit"})
+    with pytest.raises(ProtocolError, match="'budget' must be an integer"):
+        resolve_replan({"budget": "two"})
+    with pytest.raises(ProtocolError, match="'budget' must be >= 0"):
+        resolve_replan({"budget": -1})
+    with pytest.raises(ProtocolError, match="'platform' must be a spec"):
+        resolve_replan({"platform": 7})
+    with pytest.raises(ValueError, match="workload spec"):
+        resolve_replan({"event": {"kind": "admit", "app": "a"}})
+    job = resolve_replan({
+        "event": {"kind": "admit", "app": "a", "workload": "fig1",
+                  "rho": "40"},
+        "budget": 2, "platform": "hom:n=3",
+    })
+    assert job.event.kind == "admit" and job.budget == 2
+    assert job.platform_spec == "hom:n=3" and not job.reset
+
+
+def test_replan_lifecycle():
+    async def body(server):
+        first = await server.handle_request({
+            "op": "replan", "id": 1, "platform": "hom:n=3", "budget": 2,
+            "event": {"kind": "admit", "app": "a", "workload": "fig1",
+                      "rho": "40"},
+        })
+        assert first["ok"] and first["served"] == "replan"
+        assert first["result"]["applications"] == ["a"]
+        assert first["result"]["feasible"] is True
+        assert len(first["result"]["admitted"]) == 5
+
+        # the incumbent persists: a load event mutates it in place
+        load = await server.handle_request({
+            "op": "replan", "id": 2,
+            "event": {"kind": "load", "app": "a", "rho": "20"},
+        })
+        assert load["ok"] and load["result"]["utilisation"] == "2/5"
+
+        # no event: a status no-op that must not migrate anything
+        status = await server.handle_request({"op": "replan", "id": 3})
+        assert status["ok"] and status["result"]["noop"] is True
+        assert status["result"]["mapping"] == load["result"]["mapping"]
+
+        # a platform on a live incumbent is refused; reset starts over
+        conflict = await server.handle_request(
+            {"op": "replan", "id": 4, "platform": "hom:n=2"}
+        )
+        assert conflict["ok"] is False and "reset" in conflict["error"]
+        fresh = await server.handle_request(
+            {"op": "replan", "id": 5, "reset": True, "platform": "hom:n=2"}
+        )
+        assert fresh["ok"] and fresh["result"]["applications"] == []
+
+        stats = (await server.handle_request({"op": "stats", "id": 6}))["result"]
+        assert stats["server"]["replans"] == 4
+
+    run(_with_server(body))
+
+
+def test_replan_errors_do_not_corrupt_the_incumbent():
+    async def body(server):
+        # the very first replan needs a platform
+        naked = await server.handle_request({
+            "op": "replan", "id": 1,
+            "event": {"kind": "noop"},
+        })
+        assert naked["ok"] is False and "platform" in naked["error"]
+
+        await server.handle_request({
+            "op": "replan", "id": 2, "platform": "hom:n=3",
+            "event": {"kind": "admit", "app": "a", "workload": "fig1",
+                      "rho": "40"},
+        })
+        bad = await server.handle_request({
+            "op": "replan", "id": 3,
+            "event": {"kind": "evict", "app": "zzz"},
+        })
+        assert bad["ok"] is False and "zzz" in bad["error"]
+        # the incumbent survived the failed transition
+        status = await server.handle_request({"op": "replan", "id": 4})
+        assert status["ok"] and status["result"]["applications"] == ["a"]
+
+    run(_with_server(body))
+
+
+def test_concurrent_replans_apply_one_at_a_time():
+    async def body(server):
+        await server.handle_request({
+            "op": "replan", "id": 0, "platform": "hom:n=4",
+            "event": {"kind": "admit", "app": "seed", "workload": "fig1",
+                      "rho": "200"},
+        })
+        responses = await asyncio.gather(*(
+            server.handle_request({
+                "op": "replan", "id": i,
+                "event": {"kind": "admit", "app": f"a{i}",
+                          "workload": "chain:n=3", "rho": "200"},
+            })
+            for i in range(4)
+        ))
+        assert all(r["ok"] for r in responses)
+        status = await server.handle_request({"op": "replan", "id": 99})
+        # every admission landed on the shared incumbent, in some order
+        assert sorted(status["result"]["applications"]) == \
+            ["a0", "a1", "a2", "a3", "seed"]
+
+    run(_with_server(body))
+
+
 # ------------------------------------------------------------- stdio smoke
 
 

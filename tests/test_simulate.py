@@ -16,7 +16,7 @@ from repro.scheduling import (
     outorder_schedule,
     schedule_period_overlap,
 )
-from repro.simulate import simulate_inorder_policy, simulate_plan
+from repro.simulate import PolicyTrace, simulate_inorder_policy, simulate_plan
 from repro.workloads.paper import (
     fig1_example,
     fig1_inorder_period_23_3_operation_list,
@@ -159,3 +159,26 @@ class TestInorderPolicy:
         trace = simulate_inorder_policy(inst.graph, n_datasets=1)
         with pytest.raises(ValueError):
             trace.steady_state_period()
+
+    def test_negative_warmup_raises(self):
+        # Used to fall through to Python's negative tail indexing and
+        # either crash with IndexError or average the wrong gaps.
+        trace = PolicyTrace([F(1), F(3)])
+        with pytest.raises(ValueError, match="non-negative"):
+            trace.steady_state_period(warmup=-3)
+
+    def test_warmup_on_two_datasets(self):
+        # n = 2 leaves exactly one gap; every admissible warmup reads it.
+        trace = PolicyTrace([F(1), F(3)])
+        assert trace.steady_state_period() == 2
+        assert trace.steady_state_period(warmup=0) == 2
+
+    def test_excessive_warmup_is_clamped(self):
+        # warmup >= n-1 would leave no gap to average; the documented
+        # behaviour clamps it to n-2 so one gap always survives.
+        trace = PolicyTrace([F(1), F(3)])
+        assert trace.steady_state_period(warmup=1) == 2
+        assert trace.steady_state_period(warmup=100) == 2
+        trace3 = PolicyTrace([F(0), F(1), F(6)])
+        assert trace3.steady_state_period(warmup=100) == \
+            trace3.steady_state_period(warmup=1) == 5
