@@ -4,8 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test coverage bench bench-platform bench-search bench-concurrent \
-	bench-batched bench-serve bench-topology bench-dynamic bench-compare \
-	serve-smoke profile docs gallery install
+	bench-batched bench-serve bench-topology bench-dynamic bench-robust \
+	bench-compare serve-smoke profile docs gallery install
 
 test:            ## unit + integration tests and benchmark assertions
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +39,9 @@ bench-topology:  ## hierarchical vs flat placement on tree/torus (BENCH_topology
 
 bench-dynamic:   ## warm re-planning vs cold re-solve on a flash crowd (BENCH_dynamic.json)
 	$(PYTHON) -m pytest benchmarks/test_bench_dynamic.py -q
+
+bench-robust:    ## robust vs nominal degradation sweep (BENCH_robust.json)
+	$(PYTHON) -m pytest benchmarks/test_bench_robust.py -q
 
 serve-smoke:     ## start the real daemon subprocess; solve/stats/shutdown round trip
 	$(PYTHON) -m pytest tests/test_serve.py -q -m smoke

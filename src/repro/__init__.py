@@ -56,7 +56,7 @@ from .core import (
 )
 from .planner import PlanResult, compare, solve
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALL_MODELS",

@@ -18,12 +18,19 @@ Subcommands
 ``replay``      Play a scenario trace (flash crowd, diurnal load, rolling
                 maintenance, or a CSV) through warm-started re-planning
                 and compare against the cold re-solve baseline.
+``calibrate``   Fit service costs, selectivities, server speeds and link
+                bandwidths from measured traces (a CSV of comp/comm
+                records, or seeded synthetic traces of a workload) and
+                print the fitted parameters with uncertainty intervals.
 ``list``        Show the known workload specs and registered solvers.
 
 Examples::
 
     python -m repro solve fig1 --objective period --model inorder
     python -m repro solve fig1 --platform het4
+    python -m repro solve noisy:n=6,seed=4 --robust worst_case:eps=1/10,k=12
+    python -m repro calibrate fig1 --datasets 6 --noise 1/20
+    python -m repro calibrate --trace measured.csv --json
     python -m repro solve random:n=9,seed=4 --exactness exact   # no fast path
     python -m repro profile random:n=9,seed=4 --method branch-and-bound
     python -m repro solve random:n=6,seed=3 --method local-search
@@ -147,11 +154,22 @@ def cmd_solve(args: argparse.Namespace) -> int:
             mapping=mapping,
             exactness=args.exactness,
             deadline=args.deadline,
+            robust=args.robust,
         )
         for objective in _split(args.objective, all_values=["period", "latency"])
         for model in _split(args.model, all_values=[m.value for m in ALL_MODELS])
     ]
     _emit(results, workload, args.json)
+    if args.robust and not args.json:
+        for result in results:
+            extras = result.stats.extras.get("robust", {})
+            print(
+                f"\nrobust [{result.objective}/{result.model}]: "
+                f"{extras.get('spec')} — {extras.get('candidates')} candidate "
+                f"plan(s), winner {'is' if extras.get('winner_is_nominal') else 'is NOT'} "
+                f"the nominal optimum (nominal plan scores "
+                f"{extras.get('nominal_plan_score')})"
+            )
     return 0
 
 
@@ -437,6 +455,76 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """Fit cost-model parameters from measured or synthetic traces."""
+    import json as _json
+
+    from .calibrate import CalibrationTrace, fit_trace, synthetic_records
+    from .core import Mapping as _Mapping, as_fraction
+
+    traces = [CalibrationTrace.load_csv(path) for path in args.trace]
+    trace = CalibrationTrace()
+    for t in traces:
+        trace = trace + t
+
+    if args.workload:
+        workload = load_workload(args.workload)
+        platform, mapping = _platform_args(workload, args.platform)
+        graph = workload.graph
+        if graph is None:
+            graph = solve(
+                workload.application, platform=platform, mapping=mapping,
+                schedule=False,
+            ).graph
+        noise = as_fraction(args.noise)
+        if platform is None:
+            trace = trace + CalibrationTrace(synthetic_records(
+                graph, n_datasets=args.datasets, noise=noise, seed=args.seed,
+            ))
+        else:
+            # Several rotated mappings observe each service on several
+            # servers — that is what breaks the cost/speed gauge.
+            names = list(workload.application.names)
+            servers = sorted(s.name for s in platform.servers)
+            if mapping is None:
+                mapping = _Mapping.default(names, platform)
+            base = {name: mapping.server(name) for name in names}
+            for rotation in range(max(1, args.mappings)):
+                if rotation == 0:
+                    assignment = base
+                else:
+                    assignment = {
+                        name: servers[
+                            (servers.index(base[name]) + rotation) % len(servers)
+                        ]
+                        for name in names
+                    }
+                trace = trace + CalibrationTrace(synthetic_records(
+                    graph, platform, _Mapping(assignment),
+                    n_datasets=args.datasets, noise=noise,
+                    seed=args.seed + rotation, start=rotation * args.datasets,
+                ))
+    if not trace.records:
+        raise ValueError(
+            "nothing to fit: give a workload spec and/or at least one "
+            "--trace CSV"
+        )
+
+    fit = fit_trace(trace, estimator=args.estimator)
+    payload = fit.as_dict()
+    if args.out:
+        with open(args.out, "w") as handle:
+            _json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(_json.dumps(payload, indent=2))
+    else:
+        print(fit.report())
+        if args.out:
+            print(f"\nfitted parameters written to {args.out}")
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("workloads (named instances take no options; families take key=value):")
     for name in workload_names():
@@ -503,6 +591,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="anytime wall-clock budget: race the solver portfolio and "
         "return the best certified plan found in time",
+    )
+    p_solve.add_argument(
+        "--robust", default=None, metavar="SPEC",
+        help="plan under parameter uncertainty: a robust spec such as "
+        "worst_case:eps=1/10,k=12, expected:eps=1/20, or "
+        "quantile:q=9/10,eps=1/10,seed=3 (eps sets cost and selectivity "
+        "intervals; also cost=, sel=, speed=, bw=, k=, seed=)",
     )
     p_solve.set_defaults(fn=cmd_solve)
 
@@ -699,6 +794,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--json", action="store_true", help="emit JSON instead of text")
     p_rep.set_defaults(fn=cmd_replay)
 
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="fit costs/selectivities/speeds/bandwidths from traces",
+    )
+    p_cal.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload spec to generate synthetic traces for (optional "
+        "when --trace supplies measured records)",
+    )
+    p_cal.add_argument(
+        "--trace", action="append", default=[], metavar="CSV",
+        help="measured trace CSV (columns: time,dataset,kind,service,"
+        "server,src,dst,src_server,dst_server,size,duration); repeatable "
+        "— traces concatenate",
+    )
+    p_cal.add_argument(
+        "--platform", default=None,
+        help="platform spec the synthetic traces run on (default: the "
+        "workload's bundled platform, if any)",
+    )
+    p_cal.add_argument(
+        "--datasets", type=int, default=4,
+        help="datasets per synthetic trace (default 4)",
+    )
+    p_cal.add_argument(
+        "--noise", default="0", metavar="FRACTION",
+        help="relative measurement noise on synthetic durations, e.g. "
+        "1/20 (default 0: fits recover the true parameters exactly)",
+    )
+    p_cal.add_argument(
+        "--mappings", type=int, default=2,
+        help="rotated service-to-server mappings to synthesise on a "
+        "platform — several mappings break the cost/speed gauge "
+        "(default 2)",
+    )
+    p_cal.add_argument(
+        "--seed", type=int, default=0, help="noise seed (default 0)",
+    )
+    p_cal.add_argument(
+        "--estimator", default="median", choices=["median", "mean"],
+        help="point estimator for fitted parameters (default median)",
+    )
+    p_cal.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the fitted parameters as JSON to this file",
+    )
+    p_cal.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p_cal.set_defaults(fn=cmd_calibrate)
+
     p_list = sub.add_parser("list", help="show workloads and registered solvers")
     p_list.set_defaults(fn=cmd_list)
     return parser
@@ -717,7 +861,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    except (ValueError, KeyError, NotImplementedError) as exc:
+    except (ValueError, KeyError, NotImplementedError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,43 @@
+"""Calibration: fit the cost model from measured traces.
+
+The planner consumes service costs ``c_i``, selectivities ``σ_i``,
+server speeds ``s_u`` and link bandwidths ``b_{u,v}`` as given
+constants; a deployment only ever *measures* them.  This package closes
+that gap:
+
+* :mod:`repro.calibrate.records` — the measurement currency: timestamped
+  per-operation :class:`TraceRecord` rows (CSV round-trip), plus
+  observers that produce them from the runtime simulators
+  (:func:`records_from_policy`, :func:`records_from_plan`) or from the
+  ground-truth cost model with controlled noise
+  (:func:`synthetic_records`);
+* :mod:`repro.calibrate.fit` — quantile/least-squares estimators that
+  turn a trace into :class:`~repro.core.UncertainValue` parameters with
+  residual diagnostics (:func:`fit_trace` → :class:`CalibrationResult`),
+  ready to rebuild a fitted :class:`~repro.core.Application` /
+  :class:`~repro.core.Platform` or seed a
+  :class:`~repro.robust.RobustSpec`.
+
+Exposed on the command line as ``python -m repro calibrate``.
+"""
+
+from .records import (
+    CSV_COLUMNS,
+    CalibrationTrace,
+    TraceRecord,
+    records_from_plan,
+    records_from_policy,
+    synthetic_records,
+)
+from .fit import CalibrationResult, fit_trace
+
+__all__ = [
+    "CSV_COLUMNS",
+    "CalibrationResult",
+    "CalibrationTrace",
+    "TraceRecord",
+    "fit_trace",
+    "records_from_plan",
+    "records_from_policy",
+    "synthetic_records",
+]

@@ -1,0 +1,543 @@
+"""Estimators: invert the cost formulas over a measured trace.
+
+What is identifiable, and how each family is fitted:
+
+**Selectivities.**  Per data set, a service's output/input size ratio is
+exactly ``σ_i`` — sizes pair through the ``(service, dataset)`` key, so
+per-data-set volume fluctuations cancel.  One sample per outgoing
+transfer record.
+
+**Bandwidths.**  Every cross-server transfer yields a throughput sample
+``size / duration`` for its unordered server pair; world transfers
+(INPUT/OUTPUT endpoints) sample the platform's default bandwidth.
+
+**Costs and speeds.**  A computation record only constrains the *ratio*
+``c_i / s_u = duration / size`` — from a single mapping the two are not
+separately identifiable (the classic gauge freedom: double every cost,
+double every speed, nothing observable changes).  The fit builds the
+bipartite observation graph over services and servers, picks one gauge
+anchor per connected component (a server with a known speed if
+``known_speeds`` provides one, else the lexicographically smallest
+observed server, pinned to speed 1), propagates estimates by BFS, then
+refines by alternating per-node medians — the quantile analogue of
+alternating least squares — re-normalising the gauge each round.
+Measuring the same application under **several mappings** merges the
+components, so heterogeneous speeds become identifiable up to the single
+global anchor.
+
+Every estimate is an exact-Fraction quantile (``estimator="median"``,
+the default) or mean (``"mean"``, the least-squares solution), wrapped
+in an :class:`~repro.core.UncertainValue` whose interval brackets the
+per-record sample estimates.  Noise-free traces therefore round-trip the
+true constants *exactly* — the property the tier-1 tests pin down.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core import (
+    Application,
+    ExecutionGraph,
+    INPUT,
+    Numeric,
+    OUTPUT,
+    Platform,
+    Service,
+    UncertainValue,
+    as_fraction,
+    perturbed_application,
+    perturbed_platform,
+)
+from .records import CalibrationTrace, TraceRecord
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+#: Alternating-median refinement rounds (noise-free data converges in 0).
+_REFINE_ROUNDS = 6
+
+_WORLD = (INPUT, OUTPUT)
+
+
+def _pair(u: str, v: str) -> Tuple[str, str]:
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass
+class CalibrationResult:
+    """Fitted parameters, diagnostics, and rebuilders.
+
+    All dictionaries map names to :class:`~repro.core.UncertainValue`
+    (bandwidths by unordered server pair).  ``residuals`` holds the
+    worst relative prediction error per family — ``0`` means the fitted
+    model reproduces every record exactly; large values flag model
+    mismatch (e.g. bandwidth fits from stretched multiport transfers).
+    """
+
+    costs: Dict[str, UncertainValue]
+    selectivities: Dict[str, UncertainValue]
+    speeds: Dict[str, UncertainValue]
+    bandwidths: Dict[Tuple[str, str], UncertainValue]
+    default_bandwidth: UncertainValue
+    edges: Tuple[Tuple[str, str], ...]
+    n_records: int
+    residuals: Dict[str, Fraction] = field(default_factory=dict)
+    warnings: List[str] = field(default_factory=list)
+
+    # -- rebuilders -----------------------------------------------------------
+    def application(self, base: Optional[Application] = None) -> Application:
+        """The fitted :class:`~repro.core.Application`.
+
+        With *base*, its service order and precedence are kept and only
+        observed parameters are replaced (unobserved ones keep the base
+        value).  Without it, services are the observed ones in sorted
+        order, precedence-free.
+        """
+        if base is not None:
+            return perturbed_application(
+                base,
+                costs={n: uv.nominal for n, uv in self.costs.items()
+                       if n in base.names},
+                selectivities={n: uv.nominal
+                               for n, uv in self.selectivities.items()
+                               if n in base.names},
+            )
+        names = sorted(set(self.costs) | set(self.selectivities))
+        if not names:
+            raise ValueError("no services observed; cannot build an application")
+        return Application(tuple(
+            Service(
+                name,
+                self.costs.get(name, UncertainValue.point(0)).nominal,
+                self.selectivities.get(name, UncertainValue.point(1)).nominal,
+            )
+            for name in names
+        ))
+
+    def graph(self, application: Application) -> ExecutionGraph:
+        """The observed execution graph over *application*."""
+        return ExecutionGraph(application, self.edges)
+
+    def platform(self, base: Optional[Platform] = None) -> Platform:
+        """The fitted :class:`~repro.core.Platform`.
+
+        With *base*, observed speeds/bandwidths replace the base values
+        (structure, unobserved links and server order preserved).
+        Without it, servers are the observed ones in sorted order and a
+        link is emitted for every observed pair whose fitted bandwidth
+        differs from the fitted default.
+        """
+        if base is not None:
+            default = self.default_bandwidth.nominal
+            base_pairs = {_pair(u, v) for (u, v) in base.link_overrides()}
+            known = set(base.names) | set(_WORLD)
+            return perturbed_platform(
+                base,
+                speeds={n: uv.nominal for n, uv in self.speeds.items()
+                        if n in base.names},
+                # A pair fitted *at* the default needs no explicit link —
+                # emitting one would change the platform key without
+                # changing any priced bandwidth.
+                bandwidths={
+                    p: uv.nominal for p, uv in self.bandwidths.items()
+                    if set(p) <= known
+                    and (p in base_pairs or uv.nominal != default)
+                },
+                default_bandwidth=default,
+            )
+        if not self.speeds:
+            raise ValueError("no servers observed; cannot build a platform")
+        from ..core import Link, Server
+
+        default = self.default_bandwidth.nominal
+        servers = tuple(
+            Server(name, self.speeds[name].nominal)
+            for name in sorted(self.speeds)
+        )
+        links = tuple(
+            Link(u, v, uv.nominal)
+            for (u, v), uv in sorted(self.bandwidths.items())
+            if uv.nominal != default
+        )
+        return Platform(servers, links, default_bandwidth=default)
+
+    def robust_spec(self, **kwargs) -> "RobustSpec":  # noqa: F821
+        """A :class:`~repro.robust.RobustSpec` carrying this fit's
+        empirical uncertainty sets (see
+        :meth:`repro.robust.RobustSpec.from_calibration`)."""
+        from ..robust import RobustSpec
+
+        return RobustSpec.from_calibration(self, **kwargs)
+
+    # -- reporting ------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "n_records": self.n_records,
+            "costs": {n: uv.as_dict() for n, uv in sorted(self.costs.items())},
+            "selectivities": {
+                n: uv.as_dict() for n, uv in sorted(self.selectivities.items())
+            },
+            "speeds": {n: uv.as_dict() for n, uv in sorted(self.speeds.items())},
+            "bandwidths": {
+                f"{u}|{v}": uv.as_dict()
+                for (u, v), uv in sorted(self.bandwidths.items())
+            },
+            "default_bandwidth": self.default_bandwidth.as_dict(),
+            "edges": [list(edge) for edge in self.edges],
+            "residuals": {k: str(v) for k, v in sorted(self.residuals.items())},
+            "warnings": list(self.warnings),
+        }
+
+    def report(self) -> str:
+        """Human fit-quality report (the ``repro calibrate`` output)."""
+        lines = [
+            f"calibration fit over {self.n_records} records",
+            "",
+            f"{'parameter':<24} {'nominal':>12} {'[lo, hi]':>24} {'n':>5}",
+        ]
+
+        def num(value: Fraction) -> str:
+            # Noisy fits produce Fractions with astronomical denominators;
+            # the report is for humans, so fall back to a float rendering.
+            if value.denominator <= 10_000:
+                return str(value)
+            return f"{float(value):.6g}"
+
+        def row(label: str, uv: UncertainValue) -> str:
+            return (
+                f"{label:<24} {num(uv.nominal):>12} "
+                f"{f'[{num(uv.lo)}, {num(uv.hi)}]':>24} {len(uv.samples):>5}"
+            )
+
+        for name, uv in sorted(self.costs.items()):
+            lines.append(row(f"cost {name}", uv))
+        for name, uv in sorted(self.selectivities.items()):
+            lines.append(row(f"selectivity {name}", uv))
+        for name, uv in sorted(self.speeds.items()):
+            lines.append(row(f"speed {name}", uv))
+        for (u, v), uv in sorted(self.bandwidths.items()):
+            lines.append(row(f"bandwidth {u}-{v}", uv))
+        lines.append(row("default bandwidth", self.default_bandwidth))
+        lines.append("")
+        lines.append("max relative residual per family:")
+        for family in ("comp", "comm"):
+            value = self.residuals.get(family)
+            shown = "n/a" if value is None else f"{float(value):.6g}"
+            lines.append(f"  {family:<6} {shown}")
+        for warning in self.warnings:
+            lines.append(f"warning: {warning}")
+        return "\n".join(lines)
+
+
+def _estimate(
+    samples: Sequence[Fraction],
+    estimator: str,
+    lo_q: Fraction,
+    hi_q: Fraction,
+) -> UncertainValue:
+    return UncertainValue.from_samples(
+        samples, estimator=estimator, lo_q=lo_q, hi_q=hi_q
+    )
+
+
+def fit_trace(
+    trace: Union[CalibrationTrace, Iterable[TraceRecord]],
+    *,
+    estimator: str = "median",
+    lo_q: Numeric = Fraction(1, 10),
+    hi_q: Numeric = Fraction(9, 10),
+    known_speeds: Optional[Dict[str, Numeric]] = None,
+    gauge: Optional[str] = None,
+) -> CalibrationResult:
+    """Fit costs, selectivities, speeds and bandwidths from *trace*.
+
+    Parameters
+    ----------
+    estimator:
+        ``"median"`` (robust quantile fit, exact on noise-free data) or
+        ``"mean"`` (per-parameter least squares).
+    lo_q / hi_q:
+        Quantiles bracketing each :class:`~repro.core.UncertainValue`.
+    known_speeds:
+        Ground-truth speeds for some servers (e.g. from hardware specs);
+        they anchor the cost/speed gauge of their components.
+    gauge:
+        Server pinned to speed 1 when no known speed anchors its
+        component (default: the lexicographically smallest observed
+        server of each component).
+    """
+    records = tuple(trace)
+    if not records:
+        raise ValueError("fit_trace needs at least one record")
+    lo_q = as_fraction(lo_q)
+    hi_q = as_fraction(hi_q)
+    known = {
+        name: as_fraction(value) for name, value in (known_speeds or {}).items()
+    }
+    warnings: List[str] = []
+
+    comp = [r for r in records if r.kind == "comp"]
+    comm = [r for r in records if r.kind == "comm"]
+
+    # -- selectivities: pair output transfers with the producer's input size
+    in_size: Dict[Tuple[str, int], Fraction] = {}
+    for r in comp:
+        in_size.setdefault((r.service, r.dataset), r.size)
+    sel_samples: Dict[str, List[Fraction]] = defaultdict(list)
+    for r in comm:
+        if r.src in _WORLD:
+            continue
+        base = in_size.get((r.src, r.dataset))
+        if base:
+            sel_samples[r.src].append(r.size / base)
+    selectivities = {
+        name: _estimate(samples, estimator, lo_q, hi_q)
+        for name, samples in sel_samples.items()
+    }
+    for r in comp:
+        if r.service not in selectivities:
+            warnings.append(
+                f"service {r.service!r}: no outgoing transfer observed; "
+                f"selectivity not identifiable (assume 1)"
+            )
+            selectivities[r.service] = UncertainValue.point(1)
+
+    # -- bandwidths: throughput samples per unordered server pair
+    bw_samples: Dict[Tuple[str, str], List[Fraction]] = defaultdict(list)
+    world_samples: List[Fraction] = []
+    for r in comm:
+        if r.duration <= 0 or not (r.src_server and r.dst_server):
+            continue
+        if r.src_server == r.dst_server and r.src_server not in _WORLD:
+            continue  # co-located: no link was exercised
+        throughput = r.size / r.duration
+        if r.src_server in _WORLD or r.dst_server in _WORLD:
+            world_samples.append(throughput)
+        else:
+            bw_samples[_pair(r.src_server, r.dst_server)].append(throughput)
+    bandwidths = {
+        pair: _estimate(samples, estimator, lo_q, hi_q)
+        for pair, samples in bw_samples.items()
+    }
+    if world_samples:
+        default_bandwidth = _estimate(world_samples, estimator, lo_q, hi_q)
+    else:
+        default_bandwidth = UncertainValue.point(1)
+        warnings.append(
+            "no world (INPUT/OUTPUT) transfers observed; default bandwidth "
+            "not identifiable (assume 1)"
+        )
+
+    # -- costs and speeds: gauge-fixed fit of the bipartite ratio graph
+    ratio_records: Dict[Tuple[str, str], List[Tuple[Fraction, Fraction]]] = (
+        defaultdict(list)
+    )  # (service, server) -> [(size, duration)]
+    for r in comp:
+        ratio_records[(r.service, r.server)].append((r.size, r.duration))
+    ratio: Dict[Tuple[str, str], Fraction] = {}
+    for key, pairs in ratio_records.items():
+        ratio[key] = _estimate(
+            [d / s for s, d in pairs], estimator, lo_q, hi_q
+        ).nominal
+
+    services = sorted({svc for svc, _ in ratio})
+    servers = sorted({srv for _, srv in ratio})
+    zero_cost = {
+        svc
+        for svc in services
+        if all(ratio[(s, u)] == 0 for (s, u) in ratio if s == svc)
+    }
+    # Adjacency over informative (nonzero) edges only — a zero-cost
+    # service runs in zero time on every server and constrains nothing.
+    adj: Dict[str, List[str]] = defaultdict(list)
+    for (svc, srv), m in ratio.items():
+        if m != 0 and svc not in zero_cost:
+            adj[f"f:{svc}"].append(f"u:{srv}")
+            adj[f"u:{srv}"].append(f"f:{svc}")
+
+    cost_hat: Dict[str, Fraction] = {svc: ZERO for svc in zero_cost}
+    speed_hat: Dict[str, Fraction] = {}
+    seen: set = set()
+    for srv in servers:
+        node = f"u:{srv}"
+        if node in seen or node not in adj:
+            continue
+        # Collect this component.
+        component = {node}
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for peer in adj[current]:
+                if peer not in component:
+                    component.add(peer)
+                    frontier.append(peer)
+        seen |= component
+        comp_servers = sorted(n[2:] for n in component if n.startswith("u:"))
+        anchored = [u for u in comp_servers if u in known]
+        if anchored:
+            for u in anchored:
+                speed_hat[u] = known[u]
+        elif gauge is not None and gauge in comp_servers:
+            speed_hat[gauge] = ONE
+        else:
+            speed_hat[comp_servers[0]] = ONE
+        # BFS propagation from the anchors.
+        frontier = [f"u:{u}" for u in comp_servers if u in speed_hat]
+        visited = set(frontier)
+        while frontier:
+            current = frontier.pop(0)
+            for peer in adj[current]:
+                if peer in visited:
+                    continue
+                visited.add(peer)
+                if peer.startswith("f:"):
+                    svc, srv = peer[2:], current[2:]
+                    cost_hat[svc] = speed_hat[srv] * ratio[(svc, srv)]
+                else:
+                    svc, srv = current[2:], peer[2:]
+                    speed_hat[srv] = cost_hat[svc] / ratio[(svc, srv)]
+                frontier.append(peer)
+        # Alternating-median refinement (gauge re-normalised per round).
+        anchor = anchored[0] if anchored else (
+            gauge if gauge in comp_servers else comp_servers[0]
+        )
+        anchor_speed = speed_hat[anchor]
+        comp_services = sorted(
+            n[2:] for n in component if n.startswith("f:")
+        )
+        for _ in range(_REFINE_ROUNDS):
+            new_costs = {}
+            for svc in comp_services:
+                samples = [
+                    d * speed_hat[srv] / s
+                    for (s2, srv), pairs in ratio_records.items()
+                    if s2 == svc and srv in speed_hat
+                    for (s, d) in pairs
+                ]
+                new_costs[svc] = _estimate(samples, estimator, lo_q, hi_q).nominal
+            new_speeds = {}
+            for srv in comp_servers:
+                if srv in anchored:
+                    new_speeds[srv] = known[srv]
+                    continue
+                samples = [
+                    new_costs[svc] * s / d
+                    for (svc, srv2), pairs in ratio_records.items()
+                    if srv2 == srv and svc in new_costs and new_costs[svc] > 0
+                    for (s, d) in pairs
+                    if d > 0
+                ]
+                new_speeds[srv] = (
+                    _estimate(samples, estimator, lo_q, hi_q).nominal
+                    if samples
+                    else speed_hat[srv]
+                )
+            if not anchored and new_speeds.get(anchor):
+                factor = anchor_speed / new_speeds[anchor]
+                new_speeds = {u: v * factor for u, v in new_speeds.items()}
+                new_costs = {f: v * factor for f, v in new_costs.items()}
+            converged = all(
+                new_costs[svc] == cost_hat.get(svc) for svc in comp_services
+            ) and all(
+                new_speeds[srv] == speed_hat.get(srv) for srv in comp_servers
+            )
+            cost_hat.update(new_costs)
+            speed_hat.update(new_speeds)
+            if converged:
+                break
+
+    unseen_servers = sorted(
+        {r.server for r in comp} - set(speed_hat)
+    )
+    for srv in unseen_servers:
+        warnings.append(
+            f"server {srv!r}: only zero-cost computations observed; "
+            f"speed not identifiable (assume 1)"
+        )
+        speed_hat[srv] = ONE
+    # Per-parameter sample sets for the uncertainty intervals.
+    costs: Dict[str, UncertainValue] = {}
+    for svc in sorted({s for s, _ in ratio}):
+        samples = [
+            d * speed_hat[srv] / s
+            for (s2, srv), pairs in ratio_records.items()
+            if s2 == svc
+            for (s, d) in pairs
+        ]
+        costs[svc] = _estimate(samples, estimator, lo_q, hi_q)
+        if svc in cost_hat:
+            uv = costs[svc]
+            costs[svc] = UncertainValue(
+                cost_hat[svc],
+                min(uv.lo, cost_hat[svc]),
+                max(uv.hi, cost_hat[svc]),
+                uv.samples,
+            )
+    speeds: Dict[str, UncertainValue] = {}
+    for srv in sorted(speed_hat):
+        samples = [
+            cost_hat[svc] * s / d
+            for (svc, srv2), pairs in ratio_records.items()
+            if srv2 == srv and cost_hat.get(svc, ZERO) > 0
+            for (s, d) in pairs
+            if d > 0
+        ]
+        if samples:
+            uv = _estimate(samples, estimator, lo_q, hi_q)
+            speeds[srv] = UncertainValue(
+                speed_hat[srv],
+                min(uv.lo, speed_hat[srv]),
+                max(uv.hi, speed_hat[srv]),
+                uv.samples,
+            )
+        else:
+            speeds[srv] = UncertainValue.point(speed_hat[srv])
+
+    # -- residual diagnostics -------------------------------------------------
+    residuals: Dict[str, Fraction] = {}
+    worst_comp = ZERO
+    for r in comp:
+        predicted = r.size * costs[r.service].nominal / speeds[r.server].nominal
+        if predicted > 0:
+            worst_comp = max(worst_comp, abs(r.duration - predicted) / predicted)
+        elif r.duration > 0:
+            worst_comp = max(worst_comp, ONE)
+    residuals["comp"] = worst_comp
+    worst_comm = ZERO
+    for r in comm:
+        if r.duration <= 0 or not (r.src_server and r.dst_server):
+            continue
+        if r.src_server in _WORLD or r.dst_server in _WORLD:
+            bw = default_bandwidth.nominal
+        elif r.src_server == r.dst_server:
+            continue
+        else:
+            bw = bandwidths[_pair(r.src_server, r.dst_server)].nominal
+        predicted = r.size / bw
+        if predicted > 0:
+            worst_comm = max(worst_comm, abs(r.duration - predicted) / predicted)
+    residuals["comm"] = worst_comm
+
+    edges = tuple(sorted({
+        (r.src, r.dst)
+        for r in comm
+        if r.src not in _WORLD and r.dst not in _WORLD
+    }))
+    return CalibrationResult(
+        costs=costs,
+        selectivities=dict(sorted(selectivities.items())),
+        speeds=speeds,
+        bandwidths=dict(sorted(bandwidths.items())),
+        default_bandwidth=default_bandwidth,
+        edges=edges,
+        n_records=len(records),
+        residuals=residuals,
+        warnings=warnings,
+    )
+
+
+__all__ = ["CalibrationResult", "fit_trace"]

@@ -1,0 +1,404 @@
+"""Measured traces: one row per observed operation occurrence.
+
+A :class:`TraceRecord` is what a deployment can actually meter about one
+operation: *when* it ran, *how much data* it touched, and *how long* it
+took — never the model parameters themselves.  Calibration
+(:mod:`repro.calibrate.fit`) inverts the paper's cost formulas over many
+records:
+
+* a computation of service ``i`` on server ``u`` processing ``P`` bytes
+  for ``d`` time units satisfies ``d = P · c_i / s_u``;
+* a transfer of ``P`` bytes between servers ``u → v`` taking ``d``
+  satisfies ``d = P / b_{u,v}``;
+* the output/input size ratio of a service is its selectivity ``σ_i``.
+
+Three observers produce traces.  :func:`records_from_policy` instruments
+the rendezvous INORDER runtime (:func:`repro.simulate.simulate_inorder_policy`
+with ``record=True``); :func:`records_from_plan` meters a scheduled
+:class:`~repro.core.Plan`'s operation list; :func:`synthetic_records`
+emits ground-truth records straight from the :class:`~repro.core.CostModel`
+with seeded multiplicative noise — the controlled environment the
+round-trip tests calibrate against.  External measurements enter through
+the CSV round-trip (:meth:`CalibrationTrace.load_csv`).
+
+Everything stays in exact :class:`~fractions.Fraction`s, so noise-free
+observation followed by a quantile fit recovers parameters *exactly*.
+"""
+
+from __future__ import annotations
+
+import csv
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core import (
+    CostModel,
+    ExecutionGraph,
+    INPUT,
+    Mapping,
+    Numeric,
+    OUTPUT,
+    Plan,
+    Platform,
+    as_fraction,
+    is_comm,
+)
+
+#: CSV rendition, one record per row.  ``service``/``server`` are the
+#: computation columns; ``src``/``dst`` (service names or INPUT/OUTPUT)
+#: and ``src_server``/``dst_server`` the communication columns — unused
+#: columns stay empty.
+CSV_COLUMNS: Tuple[str, ...] = (
+    "time", "dataset", "kind", "service", "server",
+    "src", "dst", "src_server", "dst_server", "size", "duration",
+)
+
+#: Denominator of the rational noise grid (multiplicative jitter draws).
+_GRID = 10**6
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed operation occurrence (a computation or a transfer)."""
+
+    kind: str  # "comp" | "comm"
+    dataset: int
+    size: Fraction
+    duration: Fraction
+    time: Fraction = ZERO
+    service: str = ""      # comp: the service that computed
+    server: str = ""       # comp: where it ran
+    src: str = ""          # comm: producing service (or INPUT)
+    dst: str = ""          # comm: consuming service (or OUTPUT)
+    src_server: str = ""
+    dst_server: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("comp", "comm"):
+            raise ValueError(
+                f"record kind must be 'comp' or 'comm', got {self.kind!r}"
+            )
+        if int(self.dataset) < 0:
+            raise ValueError(f"dataset index must be >= 0, got {self.dataset}")
+        object.__setattr__(self, "dataset", int(self.dataset))
+        for name in ("size", "duration", "time"):
+            object.__setattr__(self, name, as_fraction(getattr(self, name)))
+        if self.size <= 0:
+            raise ValueError(f"record size must be > 0, got {self.size}")
+        if self.duration < 0:
+            raise ValueError(f"record duration must be >= 0, got {self.duration}")
+        if self.kind == "comp" and not (self.service and self.server):
+            raise ValueError("comp record needs 'service' and 'server'")
+        if self.kind == "comm" and not (self.src and self.dst):
+            raise ValueError("comm record needs 'src' and 'dst'")
+
+    @classmethod
+    def comp(
+        cls, service: str, server: str, size: Numeric, duration: Numeric,
+        *, dataset: int = 0, time: Numeric = ZERO,
+    ) -> "TraceRecord":
+        return cls(
+            kind="comp", dataset=dataset, size=as_fraction(size),
+            duration=as_fraction(duration), time=as_fraction(time),
+            service=service, server=server,
+        )
+
+    @classmethod
+    def comm(
+        cls, src: str, dst: str, src_server: str, dst_server: str,
+        size: Numeric, duration: Numeric,
+        *, dataset: int = 0, time: Numeric = ZERO,
+    ) -> "TraceRecord":
+        return cls(
+            kind="comm", dataset=dataset, size=as_fraction(size),
+            duration=as_fraction(duration), time=as_fraction(time),
+            src=src, dst=dst, src_server=src_server, dst_server=dst_server,
+        )
+
+    def as_row(self) -> List[str]:
+        return [
+            str(self.time), str(self.dataset), self.kind, self.service,
+            self.server, self.src, self.dst, self.src_server,
+            self.dst_server, str(self.size), str(self.duration),
+        ]
+
+    @classmethod
+    def from_row(cls, row: dict) -> "TraceRecord":
+        unknown = sorted(set(row) - set(CSV_COLUMNS), key=str)
+        if unknown:
+            names = ", ".join(
+                "<extra unnamed column>" if k is None else repr(k)
+                for k in unknown
+            )
+            raise ValueError(
+                f"unknown trace field(s) {names}; "
+                f"accepted: {', '.join(CSV_COLUMNS)}"
+            )
+        kind = row.get("kind")
+        if not isinstance(kind, str):
+            raise ValueError("trace record needs a 'kind' column")
+        try:
+            dataset = int(row.get("dataset") or 0)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"dataset must be an integer, got {row.get('dataset')!r}"
+            ) from None
+        return cls(
+            kind=kind,
+            dataset=dataset,
+            size=as_fraction(row.get("size") or 0),
+            duration=as_fraction(row.get("duration") or 0),
+            time=as_fraction(row.get("time") or 0),
+            service=str(row.get("service") or ""),
+            server=str(row.get("server") or ""),
+            src=str(row.get("src") or ""),
+            dst=str(row.get("dst") or ""),
+            src_server=str(row.get("src_server") or ""),
+            dst_server=str(row.get("dst_server") or ""),
+        )
+
+
+@dataclass
+class CalibrationTrace:
+    """An ordered bag of :class:`TraceRecord` rows with CSV round-trip."""
+
+    records: Tuple[TraceRecord, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.records = tuple(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __add__(self, other: "CalibrationTrace") -> "CalibrationTrace":
+        """Concatenate traces — e.g. the same application measured under
+        several mappings, which is what breaks the cost/speed gauge."""
+        if not isinstance(other, CalibrationTrace):
+            return NotImplemented
+        return CalibrationTrace(self.records + other.records)
+
+    def save_csv(self, path) -> None:
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(CSV_COLUMNS)
+            for record in self.records:
+                writer.writerow(record.as_row())
+
+    @classmethod
+    def load_csv(cls, path) -> "CalibrationTrace":
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None or sorted(reader.fieldnames) != sorted(
+                CSV_COLUMNS
+            ):
+                raise ValueError(
+                    f"trace CSV needs columns {', '.join(CSV_COLUMNS)}; "
+                    f"got {reader.fieldnames}"
+                )
+            records = []
+            for line, row in enumerate(reader, start=2):
+                try:
+                    records.append(TraceRecord.from_row(dict(row)))
+                except ValueError as exc:
+                    raise ValueError(f"trace CSV row {line}: {exc}") from None
+            return cls(tuple(records))
+
+
+# -- observers ----------------------------------------------------------------
+
+
+def _jitter(rng: random.Random, amount: Fraction) -> Fraction:
+    """A rational multiplicative factor uniform in ``[1-amount, 1+amount]``."""
+    if amount == 0:
+        return ONE
+    return ONE + amount * Fraction(rng.randrange(-_GRID, _GRID + 1), _GRID)
+
+
+def _server_of(mapping: Optional[Mapping], node: str) -> str:
+    """Observed host of *node* — itself on the paper's implicit platform."""
+    if node in (INPUT, OUTPUT):
+        return node
+    return mapping.server(node) if mapping is not None else node
+
+
+def synthetic_records(
+    graph: ExecutionGraph,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+    *,
+    n_datasets: int = 1,
+    noise: Numeric = 0,
+    size_jitter: Numeric = 0,
+    seed: int = 0,
+    start: Numeric = 0,
+) -> CalibrationTrace:
+    """Ground-truth measurements of *graph* with controlled noise.
+
+    Emits one comp record per service and one comm record per graph edge
+    (including the INPUT/OUTPUT world edges) per data set, with durations
+    taken from the true :class:`~repro.core.CostModel` times a seeded
+    multiplicative factor in ``[1-noise, 1+noise]``; *size_jitter*
+    additionally scales each data set's input volume (real streams are
+    not constant-size), which perturbs sizes and durations **together**
+    exactly as the linear cost model predicts.  ``noise=0`` reproduces
+    the model exactly — the round-trip tests' setting.
+    """
+    if n_datasets < 1:
+        raise ValueError(f"need n_datasets >= 1, got {n_datasets}")
+    noise = as_fraction(noise)
+    size_jitter = as_fraction(size_jitter)
+    for name, value in (("noise", noise), ("size_jitter", size_jitter)):
+        if not 0 <= value < 1:
+            raise ValueError(f"{name} must be in [0, 1), got {value}")
+    rng = random.Random(seed)
+    costs = CostModel(graph, platform, mapping)
+    mapped = costs.mapping if platform is not None else mapping
+    records: List[TraceRecord] = []
+    clock = as_fraction(start)
+    for dataset in range(n_datasets):
+        scale = _jitter(rng, size_jitter)
+        for node in graph.topological_order:
+            in_edges = [(p, node) for p in graph.predecessors(node)]
+            if not in_edges:
+                in_edges = [(INPUT, node)]
+            for src, dst in in_edges:
+                duration = costs.comm_time(src, dst) * scale * _jitter(rng, noise)
+                records.append(TraceRecord.comm(
+                    src, dst, _server_of(mapped, src), _server_of(mapped, dst),
+                    costs.message_size(src, dst) * scale, duration,
+                    dataset=dataset, time=clock,
+                ))
+                clock += duration
+            duration = costs.ccomp(node) * scale * _jitter(rng, noise)
+            records.append(TraceRecord.comp(
+                node, _server_of(mapped, node),
+                costs.ancestor_selectivity(node) * scale, duration,
+                dataset=dataset, time=clock,
+            ))
+            clock += duration
+            if not graph.successors(node):
+                duration = (
+                    costs.comm_time(node, OUTPUT) * scale * _jitter(rng, noise)
+                )
+                records.append(TraceRecord.comm(
+                    node, OUTPUT, _server_of(mapped, node), OUTPUT,
+                    costs.message_size(node, OUTPUT) * scale, duration,
+                    dataset=dataset, time=clock,
+                ))
+                clock += duration
+    return CalibrationTrace(tuple(records))
+
+
+def records_from_policy(
+    graph: ExecutionGraph,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+    *,
+    n_datasets: int = 4,
+    noise: Numeric = 0,
+    seed: int = 0,
+) -> CalibrationTrace:
+    """Instrument the rendezvous INORDER runtime and meter every operation.
+
+    Runs :func:`repro.simulate.simulate_inorder_policy` with
+    ``record=True`` and converts its per-occurrence
+    :data:`~repro.simulate.OpRecord` spans into trace records —
+    timestamps come from the actual max-plus execution, durations from
+    the rendezvous transfer/compute spans (optionally re-jittered by
+    *noise*, modelling measurement error on the clock reads).
+    """
+    from ..simulate.policies import simulate_inorder_policy
+
+    noise = as_fraction(noise)
+    if not 0 <= noise < 1:
+        raise ValueError(f"noise must be in [0, 1), got {noise}")
+    rng = random.Random(seed)
+    trace = simulate_inorder_policy(
+        graph, n_datasets, platform=platform, mapping=mapping, record=True
+    )
+    mapped = (
+        CostModel(graph, platform, mapping).mapping
+        if platform is not None
+        else mapping
+    )
+    records: List[TraceRecord] = []
+    for op, dataset, begin, end, size in trace.records:
+        duration = (end - begin) * _jitter(rng, noise)
+        if is_comm(op):
+            records.append(TraceRecord.comm(
+                op[1], op[2], _server_of(mapped, op[1]), _server_of(mapped, op[2]),
+                size, duration, dataset=dataset, time=begin,
+            ))
+        else:
+            records.append(TraceRecord.comp(
+                op[1], _server_of(mapped, op[1]), size, duration,
+                dataset=dataset, time=begin,
+            ))
+    return CalibrationTrace(tuple(records))
+
+
+def records_from_plan(
+    plan: Plan,
+    *,
+    n_datasets: int = 2,
+    noise: Numeric = 0,
+    seed: int = 0,
+) -> CalibrationTrace:
+    """Meter a scheduled :class:`~repro.core.Plan`'s operation list.
+
+    Each operation occurrence becomes one record with the schedule's own
+    begin/duration.  Note the caveat for multiport (OVERLAP) schedules:
+    the scheduler may *stretch* a transfer over a longer window at lower
+    effective rate, so plan-derived bandwidth fits are lower bounds;
+    rendezvous policy traces (:func:`records_from_policy`) measure links
+    at full rate.
+    """
+    if n_datasets < 1:
+        raise ValueError(f"need n_datasets >= 1, got {n_datasets}")
+    noise = as_fraction(noise)
+    if not 0 <= noise < 1:
+        raise ValueError(f"noise must be in [0, 1), got {noise}")
+    rng = random.Random(seed)
+    graph, ol = plan.graph, plan.operation_list
+    costs = CostModel(graph, plan.platform, plan.mapping)
+    mapped = costs.mapping if plan.platform is not None else plan.mapping
+    records: List[TraceRecord] = []
+    for op in ol.operations():
+        for dataset in range(n_datasets):
+            begin = ol.begin_n(op, dataset)
+            duration = ol.duration(op) * _jitter(rng, noise)
+            if duration <= 0:
+                continue  # co-located or zero-size edge: nothing measurable
+            if is_comm(op):
+                records.append(TraceRecord.comm(
+                    op[1], op[2],
+                    _server_of(mapped, op[1]), _server_of(mapped, op[2]),
+                    costs.message_size(op[1], op[2]), duration,
+                    dataset=dataset, time=begin,
+                ))
+            else:
+                records.append(TraceRecord.comp(
+                    op[1], _server_of(mapped, op[1]),
+                    costs.ancestor_selectivity(op[1]), duration,
+                    dataset=dataset, time=begin,
+                ))
+    records.sort(key=lambda r: (r.time, r.dataset))
+    return CalibrationTrace(tuple(records))
+
+
+__all__ = [
+    "CSV_COLUMNS",
+    "CalibrationTrace",
+    "TraceRecord",
+    "records_from_plan",
+    "records_from_policy",
+    "synthetic_records",
+]

@@ -20,6 +20,12 @@ from .platform import (
     platform_fingerprint,
 )
 from .topology import FlatTopology, Topology, TorusTopology, TreeTopology
+from .uncertain import (
+    UncertainValue,
+    perturbed_application,
+    perturbed_platform,
+    quantile,
+)
 from .operation_list import (
     COMM,
     COMP,
@@ -78,6 +84,7 @@ __all__ = [
     "Topology",
     "TorusTopology",
     "TreeTopology",
+    "UncertainValue",
     "ValidationReport",
     "as_fraction",
     "assert_valid",
@@ -91,6 +98,9 @@ __all__ = [
     "modular_overlap",
     "modular_residue",
     "op_servers",
+    "perturbed_application",
+    "perturbed_platform",
     "platform_fingerprint",
+    "quantile",
     "validate",
 ]

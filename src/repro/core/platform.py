@@ -301,6 +301,16 @@ class Platform:
                 raise KeyError(f"world-to-world bandwidth ({src!r}, {dst!r}); no message crosses it")
         return self.default_bandwidth
 
+    def link_overrides(self) -> Dict[Tuple[str, str], Fraction]:
+        """A copy of the directed bandwidth-override table.
+
+        Symmetric completion already applied — a single ``Link("S1",
+        "S2", bw)`` shows up under both ``("S1", "S2")`` and ``("S2",
+        "S1")``.  Pairs absent here price at :attr:`default_bandwidth`.
+        Calibration and perturbation rebuild platforms from this.
+        """
+        return dict(self._links)
+
     def require_capacity(self, n_services: int) -> None:
         """Raise unless the platform has at least *n_services* servers."""
         if n_services > len(self.servers):

@@ -1,0 +1,260 @@
+"""Uncertain parameters: measured values with intervals and samples.
+
+Calibration (:mod:`repro.calibrate`) never observes the true service
+costs, selectivities, speeds or bandwidths — it observes noisy records
+and fits them.  :class:`UncertainValue` is the currency of that fit: a
+nominal point estimate plus an uncertainty interval ``[lo, hi]`` and,
+when available, the raw per-record sample estimates.  Robust planning
+(:mod:`repro.robust`) consumes the same type from the other side,
+sampling concrete parameter scenarios out of the intervals.
+
+The perturbation helpers build plain :class:`~repro.core.Application` /
+:class:`~repro.core.Platform` objects — *content-keyed* like any other,
+so every downstream fingerprint (``platform_fingerprint``, evaluation
+cache keys, ``solve_key``) distinguishes perturbed from nominal
+parameters with no special casing.
+
+All arithmetic stays in exact :class:`~fractions.Fraction`s: quantiles
+use the nearest-rank convention and interval sampling draws rational
+points, so a noise-free calibration round-trips parameters *exactly*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from .constants import INPUT, OUTPUT
+from .platform import Link, Platform, Server
+from .service import Application, Numeric, Service, as_fraction
+from .topology import FlatTopology
+
+#: Denominator of rational uniform draws from an interval (fine enough
+#: that scenario sampling never aliases, coarse enough to keep Fractions
+#: small).
+_GRID = 10**6
+
+
+def quantile(samples: Sequence[Numeric], q: Numeric) -> Fraction:
+    """Nearest-rank empirical quantile of *samples* (exact, deterministic).
+
+    ``q=0`` is the minimum, ``q=1`` the maximum, ``q=1/2`` the lower
+    median.  Nearest-rank keeps the result *a sample value* — no
+    interpolation — so noise-free data (all samples equal) recovers the
+    common value exactly.
+    """
+    values = sorted(as_fraction(v) for v in samples)
+    if not values:
+        raise ValueError("quantile of an empty sample set")
+    qf = as_fraction(q)
+    if not 0 <= qf <= 1:
+        raise ValueError(f"quantile q must be in [0, 1], got {q!r}")
+    import math
+
+    rank = math.ceil(qf * len(values)) - 1
+    return values[max(0, min(rank, len(values) - 1))]
+
+
+@dataclass(frozen=True)
+class UncertainValue:
+    """A fitted parameter: nominal estimate, interval, raw samples.
+
+    ``nominal`` is the point estimate a nominal plan would use; ``[lo,
+    hi]`` brackets it (empirical quantiles for fitted values, a relative
+    band for declared intervals); ``samples`` optionally keeps the
+    per-record estimates so robust planning can resample empirically.
+    Hashable — robust specs embed these in cache keys.
+    """
+
+    nominal: Fraction
+    lo: Fraction
+    hi: Fraction
+    samples: Tuple[Fraction, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nominal", as_fraction(self.nominal))
+        object.__setattr__(self, "lo", as_fraction(self.lo))
+        object.__setattr__(self, "hi", as_fraction(self.hi))
+        object.__setattr__(
+            self, "samples", tuple(as_fraction(s) for s in self.samples)
+        )
+        if not self.lo <= self.nominal <= self.hi:
+            raise ValueError(
+                f"UncertainValue needs lo <= nominal <= hi, got "
+                f"[{self.lo}, {self.nominal}, {self.hi}]"
+            )
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def point(cls, value: Numeric) -> "UncertainValue":
+        """A certain value: zero-width interval, no samples."""
+        v = as_fraction(value)
+        return cls(v, v, v)
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Iterable[Numeric],
+        *,
+        lo_q: Numeric = Fraction(1, 10),
+        hi_q: Numeric = Fraction(9, 10),
+        estimator: str = "median",
+    ) -> "UncertainValue":
+        """Fit from per-record estimates.
+
+        ``estimator="median"`` (the robust quantile fit — exact on
+        noise-free data) or ``"mean"`` (the least-squares solution of
+        ``min Σ (sample - x)²``).  ``lo_q``/``hi_q`` pick the interval.
+        """
+        values = tuple(as_fraction(s) for s in samples)
+        if not values:
+            raise ValueError("UncertainValue.from_samples needs at least one sample")
+        if estimator == "median":
+            nominal = quantile(values, Fraction(1, 2))
+        elif estimator == "mean":
+            nominal = sum(values, Fraction(0)) / len(values)
+        else:
+            raise ValueError(
+                f"unknown estimator {estimator!r}; expected 'median' or 'mean'"
+            )
+        lo = min(quantile(values, lo_q), nominal)
+        hi = max(quantile(values, hi_q), nominal)
+        return cls(nominal, lo, hi, values)
+
+    @classmethod
+    def interval(cls, nominal: Numeric, rel: Numeric) -> "UncertainValue":
+        """A declared relative band: ``nominal * (1 ± rel)``."""
+        v = as_fraction(nominal)
+        r = as_fraction(rel)
+        if r < 0:
+            raise ValueError(f"relative half-width must be >= 0, got {rel!r}")
+        return cls(v, v * (1 - r), v * (1 + r))
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def width(self) -> Fraction:
+        return self.hi - self.lo
+
+    @property
+    def relative_width(self) -> Fraction:
+        """``width / nominal`` (0 for a zero nominal)."""
+        return self.width / self.nominal if self.nominal else Fraction(0)
+
+    def sample(self, rng) -> Fraction:
+        """One scenario draw: an empirical resample when raw samples are
+        kept, else a uniform rational point of ``[lo, hi]``."""
+        if self.samples:
+            return self.samples[rng.randrange(len(self.samples))]
+        if self.lo == self.hi:
+            return self.nominal
+        return self.lo + self.width * Fraction(rng.randrange(_GRID + 1), _GRID)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "nominal": str(self.nominal),
+            "lo": str(self.lo),
+            "hi": str(self.hi),
+            "n_samples": len(self.samples),
+        }
+
+
+def _pair(key: Tuple[str, str]) -> Tuple[str, str]:
+    u, v = key
+    return (u, v) if u <= v else (v, u)
+
+
+def perturbed_application(
+    app: Application,
+    *,
+    costs: Optional[Mapping[str, Numeric]] = None,
+    selectivities: Optional[Mapping[str, Numeric]] = None,
+) -> Application:
+    """*app* with some service costs/selectivities replaced.
+
+    Missing names keep their nominal value; service order and precedence
+    are preserved, so the result is content-comparable against the
+    original (same fingerprint discipline, distinct content key).
+    """
+    costs = dict(costs or {})
+    selectivities = dict(selectivities or {})
+    unknown = sorted((set(costs) | set(selectivities)) - set(app.names))
+    if unknown:
+        raise ValueError(f"perturbed_application: unknown service(s) {unknown}")
+    services = tuple(
+        Service(
+            s.name,
+            as_fraction(costs.get(s.name, s.cost)),
+            as_fraction(selectivities.get(s.name, s.selectivity)),
+        )
+        for s in app.services
+    )
+    return Application(services, app.precedence)
+
+
+def perturbed_platform(
+    platform: Platform,
+    *,
+    speeds: Optional[Mapping[str, Numeric]] = None,
+    bandwidths: Optional[Mapping[Tuple[str, str], Numeric]] = None,
+    default_bandwidth: Optional[Numeric] = None,
+) -> Platform:
+    """*platform* with some speeds/bandwidths replaced (flat platforms).
+
+    ``bandwidths`` is keyed by unordered server pair (either order; the
+    synthetic :data:`~repro.core.INPUT`/:data:`~repro.core.OUTPUT`
+    endpoints are allowed) and sets both directions.  Pairs without an
+    existing override become new links.  Structured (topology-generated)
+    platforms are refused — their bandwidths are derived from the
+    topology's shape, so perturb the topology parameters and rebuild
+    instead.
+    """
+    if not isinstance(platform.topology, FlatTopology):
+        raise ValueError(
+            "perturbed_platform supports flat (clique) platforms only; "
+            "rebuild structured topologies from perturbed parameters instead"
+        )
+    speeds = dict(speeds or {})
+    unknown = sorted(set(speeds) - set(platform.names))
+    if unknown:
+        raise ValueError(f"perturbed_platform: unknown server(s) {unknown}")
+    servers = tuple(
+        Server(s.name, as_fraction(speeds.get(s.name, s.speed)))
+        for s in platform.servers
+    )
+    overrides = platform.link_overrides()
+    new_bw: Dict[Tuple[str, str], Fraction] = {}
+    known = set(platform.names) | {INPUT, OUTPUT}
+    for key, value in (bandwidths or {}).items():
+        u, v = key
+        for end in (u, v):
+            if end not in known:
+                raise ValueError(f"perturbed_platform: unknown server {end!r}")
+        new_bw[_pair(key)] = as_fraction(value)
+
+    links = []
+    for (u, v), bw in sorted(overrides.items()):
+        reverse = overrides.get((v, u))
+        if reverse == bw and u > v:
+            continue  # symmetric pair already emitted from the (v, u) side
+        links.append(Link(u, v, new_bw.get(_pair((u, v)), bw)))
+    existing_pairs = {_pair(key) for key in overrides}
+    for pair in sorted(set(new_bw) - existing_pairs):
+        links.append(Link(pair[0], pair[1], new_bw[pair]))
+    return Platform(
+        servers,
+        tuple(links),
+        default_bandwidth=(
+            platform.default_bandwidth
+            if default_bandwidth is None
+            else as_fraction(default_bandwidth)
+        ),
+    )
+
+
+__all__ = [
+    "UncertainValue",
+    "perturbed_application",
+    "perturbed_platform",
+    "quantile",
+]

@@ -139,10 +139,17 @@ class Event:
             raise ValueError(
                 f"event must be an object, got {type(payload).__name__}"
             )
-        unknown = sorted(set(payload) - set(CSV_COLUMNS))
+        # Sort by str(): a ragged CSV row surfaces as a None key (the
+        # DictReader restkey), which must become a one-line error, not a
+        # TypeError from comparing None with str.
+        unknown = sorted(set(payload) - set(CSV_COLUMNS), key=str)
         if unknown:
+            names = ", ".join(
+                "<extra unnamed column>" if k is None else repr(k)
+                for k in unknown
+            )
             raise ValueError(
-                f"unknown event field(s) {unknown}; "
+                f"unknown event field(s) {names}; "
                 f"accepted: {', '.join(CSV_COLUMNS)}"
             )
         kind = payload.get("kind")
@@ -222,7 +229,13 @@ class ScenarioTrace:
                     f"trace CSV needs columns {', '.join(CSV_COLUMNS)}; "
                     f"got {reader.fieldnames}"
                 )
-            return cls([Event.from_dict(dict(row)) for row in reader])
+            events = []
+            for line, row in enumerate(reader, start=2):
+                try:
+                    events.append(Event.from_dict(dict(row)))
+                except ValueError as exc:
+                    raise ValueError(f"trace CSV row {line}: {exc}") from None
+            return cls(events)
 
 
 # -- generators --------------------------------------------------------------

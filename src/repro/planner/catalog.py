@@ -191,6 +191,38 @@ def _load_forkjoin(options: Dict[str, str]) -> Workload:
     )
 
 
+def _load_noisy(options: Dict[str, str]) -> Workload:
+    """Fragile instances for robustness studies.
+
+    Selectivities cluster just around 1 (some barely filtering, some
+    barely amplifying) and costs spread over an order of magnitude, so
+    the optimal tree structure hinges on small parameter differences —
+    exactly the instances where a nominal-optimal plan degrades under
+    perturbation and robust planning has something to win.
+    """
+    import random as _random
+
+    from ..core import Service
+
+    _check_keys(options, ("n", "seed"), "noisy")
+    n = _int(options, "n", 6)
+    seed = _int(options, "seed", 0)
+    rng = _random.Random(seed ^ 0x6E6F6973)  # distinct stream per seed
+    services = [
+        Service(
+            f"N{i}",
+            cost=Fraction(rng.randrange(1, 30)),
+            selectivity=Fraction(rng.randrange(80, 113), 100),
+        )
+        for i in range(n)
+    ]
+    return Workload(
+        name=f"noisy(n={n}, seed={seed})",
+        description=f"{n} services with near-unit selectivities (seed {seed})",
+        application=Application(services),
+    )
+
+
 def _load_layered(options: Dict[str, str]) -> Workload:
     _check_keys(options, ("widths", "seed"), "layered")
     widths_text = options.get("widths", "3x3x3")
@@ -407,6 +439,7 @@ _FAMILIES: Dict[str, Callable[[Dict[str, str]], Workload]] = {
     "star": _load_star,
     "forkjoin": _load_forkjoin,
     "layered": _load_layered,
+    "noisy": _load_noisy,
 }
 
 

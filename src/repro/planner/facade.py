@@ -114,6 +114,20 @@ def _coerce_exactness(exactness: Union[str, Exactness, None]) -> Exactness:
     return Exactness.coerce(exactness)
 
 
+def _coerce_robust(robust):
+    """Accept a :class:`~repro.robust.RobustSpec`, a spec string, or ``None``.
+
+    Imported lazily: ``repro.robust`` itself calls back into this module,
+    and a top-level import would trip over the partially-initialised
+    planner package.
+    """
+    if robust is None:
+        return None
+    from ..robust.spec import RobustSpec
+
+    return RobustSpec.coerce(robust)
+
+
 def _coerce_platform(platform: Union[str, Platform, None]) -> Optional[Platform]:
     """Accept a :class:`Platform`, a catalog spec string, or ``None``."""
     if platform is None or isinstance(platform, Platform):
@@ -237,6 +251,7 @@ def solve_key(
     mapping=None,
     exactness: Union[str, Exactness, None] = None,
     deadline: Optional[float] = None,
+    robust=None,
 ) -> Hashable:
     """The canonical fingerprint of one :func:`solve` request.
 
@@ -259,12 +274,17 @@ def solve_key(
     exact): a certified and an exact solve return the same values but
     different solver statistics, and a coalesced response reports the
     statistics of the solve that actually ran.
+
+    A robust solve appends ``("robust", spec.key())`` as a tenth element;
+    ``robust=None`` keys are bit-for-bit what they were before robust
+    planning existed, so nothing previously cached is invalidated.
     """
     obj = _coerce_objective(objective)
     mdl = _coerce_model(model)
     plat = _coerce_platform(platform)
     mapp = _coerce_mapping(mapping, plat)
     exact = _coerce_exactness(exactness)
+    spec = _coerce_robust(robust)
     eff = None if effort is None else _coerce_effort(effort, Effort.HEURISTIC)
     if isinstance(problem, ExecutionGraph):
         content: Hashable = ("graph", graph_key(problem))
@@ -275,7 +295,7 @@ def solve_key(
             f"problem must be an Application or ExecutionGraph, "
             f"got {type(problem).__name__}"
         )
-    return (
+    base = (
         obj,
         mdl.value,
         str(method),
@@ -286,6 +306,9 @@ def solve_key(
         bool(schedule),
         content,
     )
+    if spec is None:
+        return base
+    return base + (("robust", spec.key()),)
 
 
 def solve(
@@ -302,6 +325,7 @@ def solve(
     mapping=None,
     exactness: Union[str, Exactness, None] = None,
     deadline: Optional[float] = None,
+    robust=None,
     **solver_options,
 ) -> PlanResult:
     """Solve a mapping or orchestration problem; returns :class:`PlanResult`.
@@ -366,6 +390,18 @@ def solve(
         :attr:`PlanResult.trajectory` report what happened.  Fixed-graph
         orchestration is direct evaluation, so there the deadline is
         recorded but does not alter the solve.
+    robust:
+        Plan under parameter uncertainty instead of trusting the nominal
+        numbers — a :class:`~repro.robust.RobustSpec`, a spec string such
+        as ``"worst_case:eps=1/10,k=12"`` or ``"quantile:q=9/10,eps=5/100"``,
+        or ``None`` (default, the plain nominal solve — behaviour,
+        values, and cache keys are bit-for-bit unchanged).  With a spec,
+        candidate plans are gathered from the nominal and per-scenario
+        solves, ranked by their robust score across the seeded scenario
+        set, and the winner — certified in exact arithmetic, never worse
+        than the nominal plan under the spec's own score — is scheduled
+        on the nominal parameters.  ``result.value`` is the exact robust
+        score; ``result.stats.extras["robust"]`` holds the evidence.
     solver_options:
         Extra keyword arguments forwarded to the solver (e.g.
         ``max_moves=500`` for ``local-search``).
@@ -388,6 +424,29 @@ def solve(
     mapp = _coerce_mapping(mapping, plat)
     exact = _coerce_exactness(exactness)
     cache = cache if cache is not None else default_cache()
+    spec = _coerce_robust(robust)
+
+    if spec is not None:
+        from ..robust.scoring import solve_robust
+
+        result = solve_robust(
+            problem,
+            robust=spec,
+            objective=obj,
+            model=mdl,
+            method=method,
+            effort=effort,
+            schedule=schedule,
+            cache=cache,
+            registry=registry,
+            platform=plat,
+            mapping=mapp,
+            exactness=exact,
+            deadline=deadline,
+            solver_options=solver_options,
+        )
+        result.stats.wall_time = time.perf_counter() - started
+        return result
 
     if plat is not None:
         plat.require_capacity(

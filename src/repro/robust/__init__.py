@@ -1,0 +1,36 @@
+"""Robust planning: optimise under parameter uncertainty.
+
+A nominal solve trusts every ``c_i``/``σ_i``/speed/bandwidth exactly;
+calibration (:mod:`repro.calibrate`) shows they are estimates with
+intervals.  This package makes the planner honest about that:
+
+* :class:`RobustSpec` — the uncertainty-set model: per-family relative
+  intervals and/or per-parameter empirical sets
+  (:class:`~repro.core.UncertainValue`), a robust scoring mode
+  (``worst_case`` / ``expected`` / ``quantile``), and a seeded scenario
+  count.  Hashable: its :meth:`~RobustSpec.key` rides
+  :func:`~repro.planner.solve_key` and every cache key.
+* :func:`sample_scenarios` — K deterministic perturbed
+  (:class:`~repro.core.Application`, :class:`~repro.core.Platform`)
+  scenarios out of a spec.
+* :func:`~repro.robust.scoring.solve_robust` — the engine behind
+  ``solve(robust=...)``: candidate plans from the nominal and
+  per-scenario solves, ranked by their robust score across scenarios
+  (float/batched tiers for ranking, exact certification of the winner),
+  the winner scheduled on nominal parameters.
+* :func:`degradation_report` — how far the nominal-optimal plan falls
+  behind per scenario, versus the robust choice.
+"""
+
+from .spec import MODES, RobustSpec, Scenario, sample_scenarios
+from .scoring import DegradationReport, degradation_report, robust_value
+
+__all__ = [
+    "DegradationReport",
+    "MODES",
+    "RobustSpec",
+    "Scenario",
+    "degradation_report",
+    "robust_value",
+    "sample_scenarios",
+]

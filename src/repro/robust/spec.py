@@ -1,0 +1,372 @@
+"""The uncertainty-set model and scenario sampler.
+
+A :class:`RobustSpec` describes *what is uncertain* (relative intervals
+per parameter family, or empirical per-parameter sets carried over from
+a calibration fit), *how many* scenarios to sample (seeded, so every
+consumer — solver, report, benchmark — sees the same draws), and *how*
+a plan's per-scenario values collapse into one robust score.
+
+Scenarios are plain perturbed :class:`~repro.core.Application` /
+:class:`~repro.core.Platform` objects built by the
+:mod:`repro.core.uncertain` helpers — content-keyed like any others, so
+the evaluation cache, placement memo and platform fingerprints
+discriminate scenarios with no special casing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core import (
+    Application,
+    Numeric,
+    Platform,
+    FlatTopology,
+    UncertainValue,
+    as_fraction,
+    perturbed_application,
+    perturbed_platform,
+)
+
+#: Robust scoring modes.
+MODES: Tuple[str, ...] = ("worst_case", "expected", "quantile")
+
+#: Parameter families an empirical entry may target.
+FAMILIES: Tuple[str, ...] = ("cost", "selectivity", "speed", "bandwidth")
+
+#: Denominator of rational jitter draws.
+_GRID = 10**6
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class RobustSpec:
+    """An uncertainty set plus a robust scoring mode (frozen, hashable).
+
+    ``*_rel`` fields declare symmetric relative intervals — every
+    parameter of that family independently drawn from ``nominal * (1 ±
+    rel)``.  ``empirical`` pins specific parameters to
+    :class:`~repro.core.UncertainValue` sets instead (families
+    ``cost``/``selectivity`` name a service, ``speed`` a server,
+    ``bandwidth`` a ``"u|v"`` pair or ``"default"``); empirical entries
+    win over the family interval.  ``scenarios``/``seed`` fix the sample;
+    ``mode`` (+ ``q``) picks the score: the worst, the mean, or the
+    ``q``-quantile of a plan's per-scenario objective values.
+    """
+
+    mode: str = "worst_case"
+    q: Optional[Fraction] = None
+    scenarios: int = 12
+    seed: int = 0
+    cost_rel: Fraction = ZERO
+    selectivity_rel: Fraction = ZERO
+    speed_rel: Fraction = ZERO
+    bandwidth_rel: Fraction = ZERO
+    empirical: Tuple[Tuple[str, str, UncertainValue], ...] = field(
+        default_factory=tuple
+    )
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown robust mode {self.mode!r}; "
+                f"expected one of: {', '.join(MODES)}"
+            )
+        if self.mode == "quantile":
+            if self.q is None:
+                raise ValueError("robust mode 'quantile' needs q (e.g. q=9/10)")
+            object.__setattr__(self, "q", as_fraction(self.q))
+            if not 0 < self.q <= 1:
+                raise ValueError(f"quantile q must be in (0, 1], got {self.q}")
+        elif self.q is not None:
+            raise ValueError(f"q only applies to mode 'quantile', got mode {self.mode!r}")
+        if int(self.scenarios) < 1:
+            raise ValueError(f"scenarios must be >= 1, got {self.scenarios}")
+        object.__setattr__(self, "scenarios", int(self.scenarios))
+        object.__setattr__(self, "seed", int(self.seed))
+        for name in ("cost_rel", "selectivity_rel", "speed_rel", "bandwidth_rel"):
+            value = as_fraction(getattr(self, name))
+            if not 0 <= value < 1:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+            object.__setattr__(self, name, value)
+        entries = []
+        for entry in self.empirical:
+            family, name, uv = entry
+            if family not in FAMILIES:
+                raise ValueError(
+                    f"unknown empirical family {family!r}; "
+                    f"expected one of: {', '.join(FAMILIES)}"
+                )
+            if not isinstance(uv, UncertainValue):
+                raise ValueError(
+                    f"empirical entry for {family}:{name} must be an "
+                    f"UncertainValue, got {type(uv).__name__}"
+                )
+            entries.append((str(family), str(name), uv))
+        object.__setattr__(self, "empirical", tuple(entries))
+        if not self.perturbs:
+            raise ValueError(
+                "RobustSpec perturbs nothing: set a *_rel interval or "
+                "provide empirical entries"
+            )
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def perturbs(self) -> bool:
+        return bool(
+            self.cost_rel or self.selectivity_rel or self.speed_rel
+            or self.bandwidth_rel or self.empirical
+        )
+
+    @property
+    def perturbs_platform(self) -> bool:
+        return bool(
+            self.speed_rel or self.bandwidth_rel
+            or any(f in ("speed", "bandwidth") for f, _, _ in self.empirical)
+        )
+
+    def key(self):
+        """Hashable content fingerprint (a :func:`~repro.planner.solve_key`
+        component — two equal keys ask for interchangeable robust solves)."""
+        return (
+            self.mode, self.q, self.scenarios, self.seed,
+            self.cost_rel, self.selectivity_rel,
+            self.speed_rel, self.bandwidth_rel,
+            self.empirical,
+        )
+
+    def label(self) -> str:
+        """Compact human rendition: ``worst_case(k=12, seed=0, eps=1/5)``."""
+        parts = [f"k={self.scenarios}", f"seed={self.seed}"]
+        if self.q is not None:
+            parts.insert(0, f"q={self.q}")
+        for name, value in (
+            ("cost", self.cost_rel), ("sel", self.selectivity_rel),
+            ("speed", self.speed_rel), ("bw", self.bandwidth_rel),
+        ):
+            if value:
+                parts.append(f"{name}±{value}")
+        if self.empirical:
+            parts.append(f"empirical={len(self.empirical)}")
+        return f"{self.mode}({', '.join(parts)})"
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "RobustSpec":
+        """From a CLI/wire spec string: ``mode[:opt=value,...]``.
+
+        Options: ``eps`` (shorthand setting cost *and* selectivity
+        intervals), ``cost``, ``sel``, ``speed``, ``bw``, ``k`` (scenario
+        count), ``seed``, ``q`` (quantile).  Example:
+        ``worst_case:eps=0.2,k=16,seed=3`` or ``quantile:q=9/10,eps=1/4``.
+        """
+        from ..planner.catalog import _check_keys, _parse_options
+
+        spec = str(spec).strip()
+        mode, _, options_text = spec.partition(":")
+        mode = mode.strip().lower() or "worst_case"
+        options = _parse_options(options_text)
+        _check_keys(
+            options, ("eps", "cost", "sel", "speed", "bw", "k", "seed", "q"),
+            f"robust {mode}",
+        )
+        eps = as_fraction(options.get("eps", 0))
+        return cls(
+            mode=mode,
+            q=as_fraction(options["q"]) if "q" in options else None,
+            scenarios=int(options.get("k", 12)),
+            seed=int(options.get("seed", 0)),
+            cost_rel=as_fraction(options.get("cost", eps)),
+            selectivity_rel=as_fraction(options.get("sel", eps)),
+            speed_rel=as_fraction(options.get("speed", 0)),
+            bandwidth_rel=as_fraction(options.get("bw", 0)),
+        )
+
+    @classmethod
+    def coerce(
+        cls, value: Union["RobustSpec", str, None]
+    ) -> Optional["RobustSpec"]:
+        """``None`` passes through; strings go through :meth:`parse`."""
+        if value is None or isinstance(value, RobustSpec):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        raise TypeError(
+            f"robust must be a RobustSpec, a spec string, or None, "
+            f"got {type(value).__name__}"
+        )
+
+    @classmethod
+    def from_calibration(
+        cls,
+        fit,  # CalibrationResult (kept loose: calibrate imports us)
+        *,
+        mode: str = "worst_case",
+        q: Optional[Numeric] = None,
+        scenarios: int = 12,
+        seed: int = 0,
+        min_width: Numeric = 0,
+        families: Optional[Sequence[str]] = None,
+    ) -> "RobustSpec":
+        """The empirical uncertainty set a calibration fit implies.
+
+        Every fitted parameter whose interval is wider than *min_width*
+        (relative) becomes an empirical entry — scenario draws then
+        resample the fit's per-record estimates.  *families* selects
+        which parameter families participate; the default is the
+        application-side pair ``("cost", "selectivity")``, because
+        perturbing speeds or bandwidths makes ``solve`` demand an
+        explicit (flat) platform to perturb.  Pass
+        ``families=FAMILIES`` for the full set.
+        """
+        min_width = as_fraction(min_width)
+        if families is None:
+            families = ("cost", "selectivity")
+        unknown = sorted(set(families) - set(FAMILIES))
+        if unknown:
+            raise ValueError(
+                f"unknown parameter families {unknown}; expected a subset "
+                f"of {list(FAMILIES)}"
+            )
+        entries: List[Tuple[str, str, UncertainValue]] = []
+
+        def keep(uv: UncertainValue) -> bool:
+            return uv.relative_width > min_width
+
+        if "cost" in families:
+            for name, uv in sorted(fit.costs.items()):
+                if keep(uv):
+                    entries.append(("cost", name, uv))
+        if "selectivity" in families:
+            for name, uv in sorted(fit.selectivities.items()):
+                if keep(uv):
+                    entries.append(("selectivity", name, uv))
+        if "speed" in families:
+            for name, uv in sorted(fit.speeds.items()):
+                if keep(uv):
+                    entries.append(("speed", name, uv))
+        if "bandwidth" in families:
+            for (u, v), uv in sorted(fit.bandwidths.items()):
+                if keep(uv):
+                    entries.append(("bandwidth", f"{u}|{v}", uv))
+            if keep(fit.default_bandwidth):
+                entries.append(("bandwidth", "default", fit.default_bandwidth))
+        if not entries:
+            raise ValueError(
+                "calibration fit shows no parameter uncertainty above "
+                f"min_width={min_width}; a robust solve would equal the "
+                "nominal solve"
+            )
+        return cls(
+            mode=mode, q=q, scenarios=scenarios, seed=seed,
+            empirical=tuple(entries),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One sampled parameter world: a perturbed application (+ platform)."""
+
+    index: int
+    application: Application
+    platform: Optional[Platform]
+
+
+def _draw(
+    rng: random.Random,
+    nominal: Fraction,
+    rel: Fraction,
+    uv: Optional[UncertainValue],
+) -> Fraction:
+    """One parameter draw: empirical set wins over the family interval."""
+    if uv is not None:
+        return uv.sample(rng)
+    if rel == 0:
+        return nominal
+    return nominal * (
+        ONE + rel * Fraction(rng.randrange(-_GRID, _GRID + 1), _GRID)
+    )
+
+
+def sample_scenarios(
+    spec: RobustSpec,
+    application: Application,
+    platform: Optional[Platform] = None,
+) -> List[Scenario]:
+    """The spec's K deterministic scenarios for *application*/*platform*.
+
+    Draw order is fixed (services in application order, then servers,
+    link pairs and the default bandwidth in platform order), so the same
+    ``(spec, application, platform)`` triple always yields identical
+    scenarios — across the solver, the degradation report and the
+    benchmarks.
+    """
+    empirical: Dict[Tuple[str, str], UncertainValue] = {
+        (family, name): uv for family, name, uv in spec.empirical
+    }
+    if spec.perturbs_platform:
+        if platform is None:
+            raise ValueError(
+                "this RobustSpec perturbs speeds/bandwidths, which needs an "
+                "explicit platform (the paper's implicit unit platform has "
+                "no servers to perturb)"
+            )
+        if not isinstance(platform.topology, FlatTopology):
+            raise ValueError(
+                "robust speed/bandwidth perturbation supports flat (clique) "
+                "platforms; structured topologies derive bandwidths from "
+                "their shape — perturb the topology parameters instead"
+            )
+    rng = random.Random(spec.seed)
+    scenarios: List[Scenario] = []
+    for index in range(spec.scenarios):
+        costs: Dict[str, Fraction] = {}
+        sels: Dict[str, Fraction] = {}
+        for service in application.services:
+            costs[service.name] = _draw(
+                rng, service.cost, spec.cost_rel,
+                empirical.get(("cost", service.name)),
+            )
+            sels[service.name] = _draw(
+                rng, service.selectivity, spec.selectivity_rel,
+                empirical.get(("selectivity", service.name)),
+            )
+        app = perturbed_application(
+            application, costs=costs, selectivities=sels
+        )
+        plat = platform
+        if platform is not None and spec.perturbs_platform:
+            speeds = {
+                server.name: _draw(
+                    rng, server.speed, spec.speed_rel,
+                    empirical.get(("speed", server.name)),
+                )
+                for server in platform.servers
+            }
+            overrides = platform.link_overrides()
+            pairs = sorted({tuple(sorted(k)) for k in overrides})
+            bandwidths = {
+                (u, v): _draw(
+                    rng, overrides[(u, v)], spec.bandwidth_rel,
+                    empirical.get(("bandwidth", f"{u}|{v}")),
+                )
+                for u, v in pairs
+            }
+            default = _draw(
+                rng, platform.default_bandwidth, spec.bandwidth_rel,
+                empirical.get(("bandwidth", "default")),
+            )
+            plat = perturbed_platform(
+                platform, speeds=speeds, bandwidths=bandwidths,
+                default_bandwidth=default,
+            )
+        scenarios.append(Scenario(index, app, plat))
+    return scenarios
+
+
+__all__ = ["FAMILIES", "MODES", "RobustSpec", "Scenario", "sample_scenarios"]

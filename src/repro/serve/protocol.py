@@ -80,7 +80,7 @@ OPS: Tuple[str, ...] = (
 #: Accepted keys of a ``solve`` request beyond ``id``/``op``.
 SOLVE_PARAMS: Tuple[str, ...] = (
     "workload", "objective", "model", "method", "effort", "platform",
-    "exactness", "deadline", "schedule",
+    "exactness", "deadline", "schedule", "robust",
 )
 
 #: Accepted keys of a ``replan`` request beyond ``id``/``op``.
@@ -186,6 +186,15 @@ def resolve_solve(params: Mapping[str, Any]) -> SolveJob:
             ) from None
         if deadline < 0:
             raise ProtocolError(f"'deadline' must be >= 0, got {deadline}")
+    robust = params.get("robust")
+    if robust is not None and not isinstance(robust, str):
+        # String specs only: the batching group tuple must stay hashable,
+        # and a spec string round-trips through RobustSpec.parse anyway.
+        raise ProtocolError(
+            "'robust' must be a spec string such as "
+            "'worst_case:eps=1/10,k=12', got "
+            f"{type(robust).__name__}"
+        )
 
     solve_kwargs: Dict[str, Any] = {
         "objective": str(params.get("objective", "period")),
@@ -195,6 +204,7 @@ def resolve_solve(params: Mapping[str, Any]) -> SolveJob:
         "exactness": params.get("exactness"),
         "deadline": deadline,
         "schedule": bool(params.get("schedule", True)),
+        "robust": robust,
     }
 
     # CLI semantics: an explicit platform wins and drops the workload's

@@ -1,9 +1,10 @@
 """Discrete-event simulation: plan replay and runtime policies."""
 
 from .engine import SimulationResult, simulate_plan
-from .policies import PolicyTrace, simulate_inorder_policy
+from .policies import OpRecord, PolicyTrace, simulate_inorder_policy
 
 __all__ = [
+    "OpRecord",
     "PolicyTrace",
     "SimulationResult",
     "simulate_inorder_policy",

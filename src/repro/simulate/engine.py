@@ -96,6 +96,11 @@ def _server_occurrences(
 
 def simulate_plan(plan: Plan, n_datasets: int = 8) -> SimulationResult:
     """Replay *plan* for *n_datasets* data sets and re-check all constraints."""
+    if n_datasets < 1:
+        raise ValueError(
+            f"simulate_plan needs n_datasets >= 1, got {n_datasets} "
+            f"(an empty replay would report a vacuous SimulationResult)"
+        )
     graph, ol, model = plan.graph, plan.operation_list, plan.model
     violations: List[str] = []
 

@@ -25,8 +25,10 @@ from typing import Dict, List, Optional, Tuple
 from ..core import (
     CostModel,
     ExecutionGraph,
+    Mapping,
     Operation,
     OUTPUT,
+    Platform,
     comm_op,
     is_comm,
 )
@@ -34,12 +36,28 @@ from ..scheduling.inorder import CommOrders, greedy_orders, server_sequence
 
 ZERO = Fraction(0)
 
+#: One observed operation occurrence: ``(op, dataset, start, end, size)``.
+#: ``size`` is the data volume the operation touched (message size for
+#: communications, input size for computations) — the quantity a real
+#: deployment can meter, and what :mod:`repro.calibrate` fits against.
+OpRecord = Tuple[Operation, int, Fraction, Fraction, Fraction]
+
 
 @dataclass
 class PolicyTrace:
-    """Execution trace of the rendezvous INORDER policy."""
+    """Execution trace of the rendezvous INORDER policy.
+
+    ``records`` is empty unless the simulation ran with ``record=True``;
+    then it holds one :data:`OpRecord` per operation occurrence — the raw
+    material of :func:`repro.calibrate.records_from_policy`.
+    """
 
     completion_times: List[Fraction]
+    records: List[OpRecord] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.records is None:
+            self.records = []
 
     def steady_state_period(self, warmup: Optional[int] = None) -> Fraction:
         """Asymptotic completion rate.
@@ -83,6 +101,10 @@ def simulate_inorder_policy(
     graph: ExecutionGraph,
     n_datasets: int = 32,
     orders: Optional[CommOrders] = None,
+    *,
+    platform: Optional[Platform] = None,
+    mapping: Optional[Mapping] = None,
+    record: bool = False,
 ) -> PolicyTrace:
     """Run the rendezvous INORDER policy for *n_datasets* data sets.
 
@@ -91,26 +113,38 @@ def simulate_inorder_policy(
     done, (b) the server finished data set ``n - 1`` entirely, and (c) for
     communications, the peer server reached the same operation.  The trace
     records when each data set's last output communication completes.
+
+    *platform*/*mapping* scale every duration through the
+    :class:`~repro.core.CostModel` (``None`` keeps the paper's unit
+    platform, bit-for-bit).  ``record=True`` additionally keeps one
+    :data:`OpRecord` per operation occurrence — the measured trace that
+    :mod:`repro.calibrate` fits cost models from.
     """
+    if n_datasets < 1:
+        raise ValueError(f"need n_datasets >= 1, got {n_datasets}")
     if orders is None:
         orders = greedy_orders(graph)
-    costs = CostModel(graph)
+    costs = CostModel(graph, platform, mapping)
     sequences: Dict[str, List[Operation]] = {
         node: server_sequence(node, orders) for node in graph.nodes
     }
     durations: Dict[Operation, Fraction] = {}
+    sizes: Dict[Operation, Fraction] = {}
     for node in graph.nodes:
         for op in sequences[node]:
             if op in durations:
                 continue
             if is_comm(op):
-                durations[op] = costs.message_size(op[1], op[2])
+                durations[op] = costs.comm_time(op[1], op[2])
+                sizes[op] = costs.message_size(op[1], op[2])
             else:
                 durations[op] = costs.ccomp(op[1])
+                sizes[op] = costs.ancestor_selectivity(op[1])
 
     completion: List[Fraction] = []
+    records: List[OpRecord] = []
     last_cycle_end: Dict[str, Fraction] = {node: ZERO for node in graph.nodes}
-    for _ in range(n_datasets):
+    for dataset in range(n_datasets):
         # Iterate to a fixpoint: rendezvous operations couple two server
         # chains, so repeated sweeps settle all start times (monotone,
         # bounded — a longest-path computation in disguise).
@@ -127,11 +161,14 @@ def simulate_inorder_policy(
                         changed = True
                     t = s + durations[op]
         end = {op: s + durations[op] for op, s in start.items()}
+        if record:
+            for op in sorted(start, key=lambda o: (start[o], o)):
+                records.append((op, dataset, start[op], end[op], sizes[op]))
         for node in graph.nodes:
             last_cycle_end[node] = max(end[op] for op in sequences[node])
         finals = [end[op] for op in end if is_comm(op) and op[2] == OUTPUT]
         completion.append(max(finals if finals else end.values()))
-    return PolicyTrace(completion)
+    return PolicyTrace(completion, records)
 
 
-__all__ = ["PolicyTrace", "simulate_inorder_policy"]
+__all__ = ["OpRecord", "PolicyTrace", "simulate_inorder_policy"]

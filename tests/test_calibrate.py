@@ -1,0 +1,267 @@
+"""Calibration: noise-free traces must recover the true parameters exactly.
+
+The identifiability story under test:
+
+* selectivities pair input/output sizes per (service, dataset), so they
+  are exact even under per-dataset size jitter;
+* costs and speeds share a gauge (a comp record only pins ``c/s``) —
+  observing services on several servers plus the anchor (lexicographic
+  smallest server at speed 1, or ``known_speeds``) breaks it;
+* the fitted parameters must be *useful*: planning on the fitted
+  application/platform picks the same plan as the truth.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import make_application
+from repro.calibrate import (
+    CalibrationTrace,
+    TraceRecord,
+    fit_trace,
+    records_from_plan,
+    records_from_policy,
+    synthetic_records,
+)
+from repro.core import Link, Mapping, Platform, Server, UncertainValue, quantile
+from repro.planner import load_workload, solve
+from repro.workloads.paper import fig1_example
+
+F = Fraction
+
+
+def selective_app():
+    return make_application(
+        [("A", 3, "1/2"), ("B", 5, "3/4"), ("C", 2, "4/5"), ("D", 7, 1)]
+    )
+
+
+def het_platform():
+    return Platform(
+        [
+            Server("S1", 1),
+            Server("S2", 2),
+            Server("S3", 4),
+            Server("S4", 3),
+            Server("S5", F(1, 2)),
+        ],
+        links=[Link("S1", "S2", F(1, 2)), Link("S2", "S3", F(3))],
+    )
+
+
+class TestUncertainValue:
+    def test_from_samples_quantiles_are_exact_fractions(self):
+        uv = UncertainValue.from_samples([F(1), F(2), F(3), F(4), F(5)])
+        assert uv.nominal == 3
+        assert uv.lo == 1 and uv.hi == 5
+        assert uv.width == 4
+
+    def test_point_and_interval(self):
+        assert UncertainValue.point(F(2)).width == 0
+        uv = UncertainValue.interval(F(10), F(1, 10))
+        assert (uv.lo, uv.hi) == (9, 11)
+
+    def test_ordering_validated(self):
+        with pytest.raises(ValueError):
+            UncertainValue(F(1), F(2), F(3))
+
+    def test_quantile_nearest_rank(self):
+        values = [F(10), F(20), F(30), F(40)]
+        assert quantile(values, F(1, 2)) == 20
+        assert quantile(values, F(9, 10)) == 40
+        assert quantile(values, F(1, 100)) == 10
+
+
+class TestNoiseFreeRoundTrip:
+    def test_unit_platform_recovers_costs_and_selectivities_exactly(self):
+        app = selective_app()
+        graph = solve(app, schedule=False).graph
+        trace = CalibrationTrace(synthetic_records(graph, n_datasets=3))
+        fit = fit_trace(trace)
+        for service in app:
+            assert fit.costs[service.name].nominal == service.cost
+            assert fit.costs[service.name].width == 0
+            assert fit.selectivities[service.name].nominal == service.selectivity
+        assert fit.residuals["comp"] == 0
+        assert fit.residuals["comm"] == 0
+        assert fit.application(app) == app
+
+    def test_size_jitter_does_not_disturb_selectivities(self):
+        app = selective_app()
+        graph = solve(app, schedule=False).graph
+        trace = CalibrationTrace(
+            synthetic_records(graph, n_datasets=4, size_jitter=F(1, 5), seed=3)
+        )
+        fit = fit_trace(trace)
+        for service in app:
+            assert fit.selectivities[service.name].nominal == service.selectivity
+
+    def test_het_platform_recovers_speeds_and_bandwidths_exactly(self):
+        app = selective_app()
+        platform = het_platform()
+        graph = solve(app, platform=platform, schedule=False).graph
+        names = list(app.names)
+        servers = sorted(s.name for s in platform.servers)
+        # two rotated mappings observe every service on two servers,
+        # which (with the S1=1 gauge anchor) pins every cost and speed
+        trace = CalibrationTrace()
+        for rotation in range(2):
+            mapping = Mapping(
+                {n: servers[(i + rotation) % len(servers)]
+                 for i, n in enumerate(names)}
+            )
+            trace = trace + CalibrationTrace(synthetic_records(
+                graph, platform, mapping, n_datasets=2, start=rotation * 2,
+            ))
+        fit = fit_trace(trace)
+        for server in platform.servers:
+            assert fit.speeds[server.name].nominal == server.speed, server
+        for service in app:
+            assert fit.costs[service.name].nominal == service.cost
+        # only traversed pairs are observable; each observed one is exact
+        assert fit.bandwidths[("S2", "S3")].nominal == 3
+        for (u, v), uv in fit.bandwidths.items():
+            assert uv.nominal == platform.bandwidth(u, v), (u, v)
+        assert fit.default_bandwidth.nominal == 1
+        # full round-trip: the rebuilt platform is content-identical
+        assert fit.platform(platform).key() == platform.key()
+        assert fit.application(app) == app
+
+    def test_policy_trace_records_fit_exactly(self):
+        inst = fig1_example()
+        trace = CalibrationTrace(records_from_policy(inst.graph, n_datasets=3))
+        fit = fit_trace(trace)
+        for service in inst.application:
+            assert fit.costs[service.name].nominal == service.cost
+        assert fit.residuals["comp"] == 0
+
+    def test_plan_records_fit_costs_exactly(self):
+        inst = fig1_example()
+        plan = solve(inst.graph).plan
+        trace = CalibrationTrace(records_from_plan(plan, n_datasets=2))
+        fit = fit_trace(trace)
+        for service in inst.application:
+            assert fit.costs[service.name].nominal == service.cost
+
+
+class TestFittedPlansMatchTruth:
+    @pytest.mark.parametrize(
+        "spec", ["fig1", "random:n=6,seed=1", "noisy:n=6,seed=2"]
+    )
+    def test_fitted_application_plans_like_the_truth(self, spec):
+        workload = load_workload(spec)
+        app = workload.application
+        truth = solve(app, schedule=False)
+        trace = CalibrationTrace(synthetic_records(truth.graph, n_datasets=3))
+        fitted_app = fit_trace(trace).application(app)
+        assert fitted_app == app  # noise-free fit is the truth...
+        refit = solve(fitted_app, schedule=False)
+        assert refit.value == truth.value  # ...so plans must agree
+        assert refit.graph.edges == truth.graph.edges
+
+    def test_fitted_platform_plans_like_the_truth(self):
+        app = selective_app()
+        platform = het_platform()
+        truth = solve(app, platform=platform, schedule=False)
+        names = list(app.names)
+        servers = sorted(s.name for s in platform.servers)
+        trace = CalibrationTrace()
+        for rotation in range(2):
+            mapping = Mapping(
+                {n: servers[(i + rotation) % len(servers)]
+                 for i, n in enumerate(names)}
+            )
+            trace = trace + CalibrationTrace(synthetic_records(
+                truth.graph, platform, mapping, n_datasets=2,
+                start=rotation * 2,
+            ))
+        fit = fit_trace(trace)
+        refit = solve(
+            fit.application(app), platform=fit.platform(platform),
+            schedule=False,
+        )
+        assert refit.value == truth.value
+
+
+class TestNoisyFit:
+    def test_noisy_fit_lands_near_the_truth_with_real_intervals(self):
+        app = selective_app()
+        graph = solve(app, schedule=False).graph
+        trace = CalibrationTrace(
+            synthetic_records(graph, n_datasets=12, noise=F(1, 10), seed=5)
+        )
+        fit = fit_trace(trace)
+        for service in app:
+            uv = fit.costs[service.name]
+            assert abs(uv.nominal - service.cost) <= service.cost * F(1, 8)
+            assert uv.lo <= uv.nominal <= uv.hi and uv.width > 0
+        assert fit.residuals["comp"] > 0
+        spec = fit.robust_spec(mode="worst_case", scenarios=4)
+        assert spec.empirical  # the fit's uncertainty feeds robust planning
+
+
+class TestTraceIO:
+    def test_csv_round_trip(self, tmp_path):
+        inst = fig1_example()
+        trace = CalibrationTrace(synthetic_records(inst.graph, n_datasets=2))
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        loaded = CalibrationTrace.load_csv(path)
+        assert loaded.records == trace.records
+        assert fit_trace(loaded).costs == fit_trace(trace).costs
+
+    def test_malformed_csv_names_the_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "time,dataset,kind,service,server,src,dst,src_server,dst_server,"
+            "size,duration\n"
+            "0,0,comp,A,S1,,,,,1,2\n"
+            "1,0,chomp,A,S1,,,,,1,2\n"
+        )
+        with pytest.raises(ValueError, match="row 3"):
+            CalibrationTrace.load_csv(path)
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            TraceRecord(kind="nap", dataset=0, size=F(1), duration=F(1))
+        with pytest.raises(ValueError, match="size"):
+            TraceRecord.comp("A", "S1", dataset=0, size=F(0), duration=F(1))
+        with pytest.raises(ValueError, match="dataset"):
+            TraceRecord.comp("A", "S1", dataset=-1, size=F(1), duration=F(1))
+
+
+class TestCalibrateCLI:
+    def test_calibrate_workload_text_report(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["calibrate", "fig1", "--datasets", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration fit over" in out
+        assert "cost C1" in out
+
+    def test_calibrate_trace_csv_and_json_out(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        inst = fig1_example()
+        csv_path = tmp_path / "trace.csv"
+        CalibrationTrace(
+            synthetic_records(inst.graph, n_datasets=2)
+        ).save_csv(csv_path)
+        out_path = tmp_path / "fit.json"
+        code = main([
+            "calibrate", "--trace", str(csv_path),
+            "--json", "--out", str(out_path),
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["costs"]["C1"]["nominal"] == "4"
+
+    def test_calibrate_without_input_is_an_error(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["calibrate"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")

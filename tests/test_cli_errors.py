@@ -77,6 +77,58 @@ def test_serve_bad_tcp_spec_is_an_error(capsys):
     assert "HOST:PORT" in err
 
 
+TRACE_HEADER = "time,kind,app,workload,rho,servers\n"
+
+
+@pytest.mark.parametrize(
+    "row,needle",
+    [
+        ("0,explode,a1,fig1,,", "row 2"),           # unknown event kind
+        ("0,load,a1,,abc,", "row 2"),               # non-numeric rho
+        ("0,load,a1,,-2,", "row 2"),                # non-positive rho
+        ("0,admit,a1,fig1,,,extra", "row 2"),       # ragged row (extra column)
+        ("0,admit,,fig1,,", "application name"),    # admit without an app
+    ],
+)
+def test_replay_malformed_csv_is_one_line_error_rc2(
+    row, needle, tmp_path, capsys
+):
+    """Satellite regression: a malformed scenario CSV must exit 2 with a
+    single row-numbered ``error:`` line — never a traceback (a ragged row
+    used to surface as a bare ``TypeError`` from sorting a ``None`` key)."""
+    path = tmp_path / "trace.csv"
+    path.write_text(TRACE_HEADER + row + "\n")
+    code, out, err = run_cli(
+        ["replay", str(path), "--platform", "hom:n=4"], capsys
+    )
+    assert code == 2
+    assert err.startswith("error: ")
+    assert needle in err
+    assert len(err.strip().splitlines()) == 1
+    assert "Traceback" not in err and "Traceback" not in out
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["solve", "fig1", "--robust", "pessimal:eps=1/10"],
+        ["solve", "fig1", "--robust", "worst_case:zzz=1"],
+        ["solve", "fig1", "--robust", "worst_case:eps=2"],
+        ["solve", "fig1", "--robust", "quantile:eps=1/10"],
+        ["solve", "fig1", "--robust", "worst_case:speed=1/10"],  # no platform
+        ["calibrate"],
+        ["calibrate", "nope"],
+        ["calibrate", "--trace", "/nonexistent/trace.csv"],
+    ],
+)
+def test_robust_and_calibrate_errors_are_one_line_rc2(argv, capsys):
+    code, out, err = run_cli(argv, capsys)
+    assert code == 2
+    assert err.startswith("error: ")
+    assert len(err.strip().splitlines()) == 1
+    assert "Traceback" not in err and "Traceback" not in out
+
+
 def test_good_invocation_still_exits_zero(capsys):
     code, out, err = run_cli(["solve", "fig1"], capsys)
     assert code == 0

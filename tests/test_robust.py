@@ -1,0 +1,248 @@
+"""Robust planning: spec parsing, scenario sampling, solve(robust=...).
+
+The load-bearing guarantees:
+
+* ``robust=None`` changes nothing — ``solve_key`` is bit-for-bit the
+  pre-robust 9-tuple and ``solve`` returns the identical result.
+* The robust winner's exact robust score is never worse than the nominal
+  optimum's robust score on the same scenario set (the nominal candidate
+  is always certified).
+* Scenario sampling is seeded and deterministic.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import make_application
+from repro.core import Platform, Server, UncertainValue
+from repro.planner import load_workload, solve, solve_key
+from repro.robust import (
+    MODES,
+    RobustSpec,
+    degradation_report,
+    robust_value,
+    sample_scenarios,
+)
+
+F = Fraction
+
+EPS10 = dict(cost_rel=F(1, 10), selectivity_rel=F(1, 10))
+
+
+def fragile_app(seed=4, n=6):
+    return load_workload(f"noisy:n={n},seed={seed}").application
+
+
+class TestRobustSpec:
+    def test_parse_round_trips_through_key(self):
+        spec = RobustSpec.parse("worst_case:eps=1/10,k=8,seed=3")
+        assert spec.mode == "worst_case"
+        assert spec.cost_rel == spec.selectivity_rel == F(1, 10)
+        assert spec.scenarios == 8 and spec.seed == 3
+        assert spec.key() == RobustSpec(
+            mode="worst_case", scenarios=8, seed=3, **EPS10
+        ).key()
+
+    def test_explicit_family_options_override_eps(self):
+        spec = RobustSpec.parse("expected:eps=1/10,cost=1/4,bw=1/8,speed=1/16")
+        assert spec.cost_rel == F(1, 4)
+        assert spec.selectivity_rel == F(1, 10)  # eps still covers sel
+        assert spec.bandwidth_rel == F(1, 8)
+        assert spec.speed_rel == F(1, 16)
+
+    def test_quantile_requires_q_and_q_requires_quantile(self):
+        with pytest.raises(ValueError, match="needs q"):
+            RobustSpec(mode="quantile", **EPS10)
+        with pytest.raises(ValueError, match="only applies"):
+            RobustSpec(mode="worst_case", q=F(1, 2), **EPS10)
+        with pytest.raises(ValueError, match="in \\(0, 1\\]"):
+            RobustSpec(mode="quantile", q=F(3, 2), **EPS10)
+
+    def test_empty_spec_is_rejected(self):
+        with pytest.raises(ValueError, match="perturbs nothing"):
+            RobustSpec(mode="worst_case")
+
+    def test_unknown_mode_and_options_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown robust mode"):
+            RobustSpec.parse("pessimal:eps=1/10")
+        with pytest.raises(ValueError, match="unknown option"):
+            RobustSpec.parse("worst_case:eps=1/10,zzz=3")
+
+    def test_rel_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="cost_rel"):
+            RobustSpec(cost_rel=F(3, 2))
+        with pytest.raises(ValueError, match="scenarios"):
+            RobustSpec(scenarios=0, **EPS10)
+
+    def test_coerce(self):
+        assert RobustSpec.coerce(None) is None
+        spec = RobustSpec(**EPS10)
+        assert RobustSpec.coerce(spec) is spec
+        assert RobustSpec.coerce("worst_case:eps=1/10").key() == spec.key()
+        with pytest.raises(TypeError):
+            RobustSpec.coerce({"mode": "worst_case"})
+
+    def test_modes_constant_matches_validation(self):
+        assert MODES == ("worst_case", "expected", "quantile")
+
+
+class TestScenarioSampling:
+    def test_seeded_and_deterministic(self):
+        app = fragile_app()
+        spec = RobustSpec(scenarios=5, seed=7, **EPS10)
+        a = sample_scenarios(spec, app)
+        b = sample_scenarios(spec, app)
+        assert [s.application for s in a] == [s.application for s in b]
+        other = sample_scenarios(RobustSpec(scenarios=5, seed=8, **EPS10), app)
+        assert [s.application for s in a] != [s.application for s in other]
+
+    def test_perturbations_stay_inside_the_interval(self):
+        app = fragile_app()
+        spec = RobustSpec(scenarios=6, seed=1, **EPS10)
+        for scenario in sample_scenarios(spec, app):
+            for true, drawn in zip(app, scenario.application):
+                assert abs(drawn.cost - true.cost) <= true.cost * F(1, 10)
+                assert (
+                    abs(drawn.selectivity - true.selectivity)
+                    <= true.selectivity * F(1, 10)
+                )
+
+    def test_platform_perturbation_needs_a_platform(self):
+        spec = RobustSpec(speed_rel=F(1, 10))
+        with pytest.raises(ValueError, match="explicit platform"):
+            sample_scenarios(spec, fragile_app())
+
+    def test_platform_perturbation_stays_inside_interval(self):
+        app = make_application([("A", 2, "1/2"), ("B", 4, 1)])
+        plat = Platform([Server("S1", 1), Server("S2", 2), Server("S3", 3)])
+        spec = RobustSpec(speed_rel=F(1, 10), bandwidth_rel=F(1, 10))
+        for scenario in sample_scenarios(spec, app, plat):
+            for server in plat.servers:
+                drawn = scenario.platform.speed(server.name)
+                assert abs(drawn - server.speed) <= server.speed * F(1, 10)
+
+
+class TestRobustValue:
+    def test_modes(self):
+        spec_w = RobustSpec(**EPS10)
+        spec_e = RobustSpec(mode="expected", **EPS10)
+        spec_q = RobustSpec(mode="quantile", q=F(1, 2), **EPS10)
+        values = [F(3), F(1), F(2)]
+        assert robust_value(values, spec_w) == 3
+        assert robust_value(values, spec_e) == 2
+        assert robust_value(values, spec_q) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            robust_value([], RobustSpec(**EPS10))
+
+
+class TestSolveRobust:
+    def test_robust_none_key_is_bit_for_bit_the_legacy_key(self):
+        app = fragile_app()
+        key = solve_key(app)
+        assert key == solve_key(app, robust=None)
+        assert len(key) == 9  # the pre-robust 9-tuple, unchanged
+        robust_key = solve_key(app, robust="worst_case:eps=1/10")
+        assert robust_key[:9] == key
+        assert robust_key[9][0] == "robust"
+
+    def test_robust_none_solve_is_identical(self):
+        app = fragile_app()
+        a = solve(app)
+        b = solve(app, robust=None)
+        assert a.value == b.value and a.graph == b.graph
+        assert a.method == b.method
+        assert "robust" not in b.stats.extras
+
+    def test_winner_never_worse_than_nominal_under_robust_score(self):
+        for seed in (0, 4, 12):
+            app = fragile_app(seed=seed)
+            result = solve(app, robust=RobustSpec(scenarios=8, seed=seed, **EPS10))
+            extras = result.stats.extras["robust"]
+            assert result.value <= F(extras["nominal_plan_score"])
+            assert result.method.startswith("robust(")
+            assert result.plan is not None and result.plan.is_valid()
+
+    def test_robust_plan_differs_and_improves_on_a_fragile_instance(self):
+        # seed 5 chosen so the nominal optimum is strictly dominated.
+        app = fragile_app(seed=5)
+        spec = RobustSpec(scenarios=10, seed=5, **{
+            "cost_rel": F(15, 100), "selectivity_rel": F(15, 100)})
+        result = solve(app, robust=spec)
+        extras = result.stats.extras["robust"]
+        assert not extras["winner_is_nominal"]
+        assert result.value < F(extras["nominal_plan_score"])
+
+    def test_all_modes_solve(self):
+        app = fragile_app(seed=1, n=5)
+        for robust in (
+            "worst_case:eps=1/10,k=6",
+            "expected:eps=1/10,k=6",
+            "quantile:q=9/10,eps=1/10,k=6",
+        ):
+            result = solve(app, robust=robust)
+            assert result.value > 0
+            assert result.stats.extras["robust"]["scenarios"] == 6
+
+    def test_fixed_graph_problem(self):
+        app = fragile_app(seed=2, n=5)
+        graph = solve(app, schedule=False).graph
+        result = solve(graph, robust="worst_case:eps=1/10,k=5")
+        extras = result.stats.extras["robust"]
+        assert extras["candidates"] == 1 and extras["winner_is_nominal"]
+        # the score is the worst case across scenarios, >= the nominal value
+        assert result.value >= solve(graph, schedule=False).value
+
+    def test_empirical_spec(self):
+        app = make_application([("A", 2, "1/2"), ("B", 4, "3/4"), ("C", 6, 1)])
+        uv = UncertainValue.from_samples([F(2), F(5, 2), F(3)])
+        spec = RobustSpec(
+            mode="worst_case", scenarios=4,
+            empirical=(("cost", "A", uv),),
+        )
+        result = solve(app, robust=spec)
+        assert result.stats.extras["robust"]["spec"].endswith("empirical=1)")
+
+    def test_heterogeneous_platform_robust(self):
+        app = make_application([("A", 2, "1/2"), ("B", 4, "3/4"), ("C", 6, 1)])
+        plat = Platform([Server("S1", 1), Server("S2", 2), Server("S3", 3)])
+        result = solve(
+            app, platform=plat,
+            robust="worst_case:eps=1/10,speed=1/10,bw=1/10,k=5",
+        )
+        assert result.value > 0
+        assert result.stats.extras["robust"]["scenarios"] == 5
+
+
+class TestDegradationReport:
+    def test_report_consistency(self):
+        app = fragile_app(seed=4)
+        spec = RobustSpec(scenarios=8, seed=4, **EPS10)
+        report = degradation_report(app, spec)
+        assert len(report.rows) == 8
+        # the certified guarantee: robust score <= nominal plan's score
+        assert report.robust_score <= report.nominal_score
+        assert report.robust_worst_ratio >= 1
+        for row in report.rows:
+            assert F(row["nominal_ratio"]) >= 1
+            assert F(row["robust_ratio"]) >= 1
+        payload = report.as_dict()
+        assert payload["mode"] == "worst_case"
+        assert len(payload["scenarios"]) == 8
+        assert report.summary_table().startswith("degradation under")
+
+
+class TestServeProtocol:
+    def test_robust_param_threads_through_and_keys_discriminate(self):
+        from repro.serve.protocol import ProtocolError, resolve_solve
+
+        job = resolve_solve(
+            {"workload": "noisy:n=5,seed=1", "robust": "worst_case:eps=1/10,k=4"}
+        )
+        assert dict(job.group)["robust"] == "worst_case:eps=1/10,k=4"
+        plain = resolve_solve({"workload": "noisy:n=5,seed=1"})
+        assert job.key != plain.key
+        with pytest.raises(ProtocolError, match="spec string"):
+            resolve_solve({"workload": "fig1", "robust": {"mode": "worst_case"}})

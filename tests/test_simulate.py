@@ -92,6 +92,37 @@ class TestSimulatePlan:
             assert result.empirical_period == plan.period
 
 
+class TestDatasetValidation:
+    """Satellite regression: ``n_datasets < 1`` used to return a vacuous
+    all-green SimulationResult instead of failing fast."""
+
+    @pytest.mark.parametrize("n", [0, -1, -7])
+    def test_simulate_plan_rejects_non_positive_n_datasets(self, n):
+        inst = fig1_example()
+        plan = schedule_period_overlap(inst.graph)
+        with pytest.raises(ValueError, match="n_datasets >= 1"):
+            simulate_plan(plan, n_datasets=n)
+
+    @pytest.mark.parametrize("n", [0, -3])
+    def test_policy_simulation_rejects_non_positive_n_datasets(self, n):
+        inst = fig1_example()
+        with pytest.raises(ValueError, match="n_datasets >= 1"):
+            simulate_inorder_policy(inst.graph, n_datasets=n)
+
+
+class TestPolicyTraceRecords:
+    def test_record_flag_captures_per_operation_telemetry(self):
+        inst = fig1_example()
+        plain = simulate_inorder_policy(inst.graph, n_datasets=4)
+        traced = simulate_inorder_policy(inst.graph, n_datasets=4, record=True)
+        assert plain.records == []  # off by default — zero overhead
+        assert traced.completion_times == plain.completion_times  # passive
+        assert traced.records
+        for op, dataset, start, end, size in traced.records:
+            assert 0 <= dataset < 4
+            assert end >= start and size > 0
+
+
 #: Seeds of the randomized differential sweep (satellite: the engine was
 #: previously only exercised on hand-built examples).
 N_SWEEP = 100
